@@ -1,0 +1,101 @@
+//! Substrate throughput benchmarks: TLB lookups, cache probes, page
+//! walks, and trace generation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use itpx_mem::{Cache, CacheConfig, Probe};
+use itpx_policy::{CacheMeta, Lru, TlbPolicy};
+use itpx_trace::{TraceGenerator, WorkloadSpec};
+use itpx_types::{FillClass, PageSize, PhysAddr, ThreadId, TranslationKind, VirtAddr};
+use itpx_vm::page_table::{HugePagePolicy, PageTable};
+use itpx_vm::psc::SplitPscs;
+use itpx_vm::tlb::{Tlb, TlbConfig};
+use itpx_vm::walker::{PageWalker, PteMemory};
+use std::hint::black_box;
+
+struct FlatMem;
+impl PteMemory for FlatMem {
+    fn pte_access(&mut self, _pa: PhysAddr, _k: TranslationKind, now: u64) -> u64 {
+        now + 20
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    // TLB lookup/fill cycle.
+    let cfg = TlbConfig {
+        sets: 128,
+        ways: 12,
+        latency: 8,
+        mshr_entries: 16,
+    };
+    let mut tlb = Tlb::new(cfg, Box::new(Lru::new(128, 12)) as TlbPolicy);
+    for i in 0..1536u64 {
+        tlb.fill(
+            i,
+            PageSize::Base4K,
+            PhysAddr::new(i << 12),
+            TranslationKind::Data,
+            0,
+            ThreadId(0),
+            1,
+            0,
+        );
+    }
+    let mut i = 0u64;
+    let mut g = c.benchmark_group("structures");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("stlb_lookup", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(tlb.lookup(
+                VirtAddr::new((i % 4096) << 12),
+                TranslationKind::Data,
+                0,
+                ThreadId(0),
+                i,
+            ))
+        })
+    });
+
+    // Cache probe/fill cycle.
+    let mut cache = Cache::new(
+        CacheConfig {
+            sets: 1024,
+            ways: 8,
+            latency: 5,
+            mshr_entries: 32,
+        },
+        Box::new(Lru::new(1024, 8)),
+    );
+    let mut j = 0u64;
+    g.bench_function("l2c_probe_fill", |b| {
+        b.iter(|| {
+            j = j.wrapping_add(17);
+            let m = CacheMeta::demand(j % 65536, FillClass::DataPayload);
+            if let Probe::Miss(start) = cache.probe(&m, j, true) {
+                cache.fill(&m, start, start + 30, true);
+            }
+        })
+    });
+
+    // Full page walk against a flat memory.
+    let mut pt = PageTable::new(HugePagePolicy::none(), 1);
+    let mut pscs = SplitPscs::asplos25();
+    let mut walker = PageWalker::new(4);
+    let mut k = 0u64;
+    g.bench_function("page_walk", |b| {
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            let tr = pt.translate(VirtAddr::new((k % 100_000) << 12), TranslationKind::Data);
+            black_box(walker.walk(&tr, TranslationKind::Data, &mut pscs, FlatMem, k))
+        })
+    });
+
+    // Trace generation throughput.
+    let spec = WorkloadSpec::server_like(1);
+    let mut generator = TraceGenerator::new(&spec);
+    g.bench_function("trace_gen", |b| b.iter(|| black_box(generator.next())));
+    g.finish();
+}
+
+criterion_group!(structures, benches);
+criterion_main!(structures);

@@ -1,0 +1,53 @@
+//! Diagnostic: CPI headroom probes for workload/engine balance.
+//!
+//! Runs counterfactual machines (huge ITLB+STLB, perfect-ish caches via a
+//! giant L2C, no-branch-penalty) to show which bottleneck binds the
+//! baseline IPC — used while calibrating the synthetic suite.
+
+use itpx_bench::RunScale;
+use itpx_core::Preset;
+use itpx_cpu::{Simulation, SystemConfig};
+use itpx_trace::WorkloadSpec;
+
+fn main() {
+    let scale = RunScale::from_env();
+    let w = scale.apply(WorkloadSpec::server_like(7));
+    let base_cfg = SystemConfig::asplos25();
+
+    let run = |label: &str, cfg: &SystemConfig| {
+        let out = Simulation::single_thread(cfg, Preset::Lru, &w).run();
+        println!(
+            "{:<18} IPC {:.4}  itrans {:>5.1}%  mispred/1k {:>5.1}  dram/1k {:>6.1}",
+            label,
+            out.ipc(),
+            out.itrans_stall_fraction() * 100.0,
+            out.threads[0].mispredictions as f64 * 1000.0 / out.threads[0].instructions as f64,
+            out.dram_reads as f64 * 1000.0 / out.instructions() as f64,
+        );
+        out.ipc()
+    };
+
+    let base = run("baseline", &base_cfg);
+
+    let big_itlb = base_cfg.with_itlb_entries(4096).with_stlb_entries(36864);
+    let i = run("huge ITLB+STLB", &big_itlb);
+
+    let mut big_l2 = base_cfg;
+    big_l2.hierarchy.l2.sets = 65536; // 32 MiB L2C: data mostly L2-resident
+    let c = run("huge L2C", &big_l2);
+
+    let mut both = big_itlb;
+    both.hierarchy.l2.sets = 65536;
+    let b = run("both huge", &both);
+
+    let mut nobranch = base_cfg;
+    nobranch.mispredict_penalty = 0;
+    run("no mispred pen.", &nobranch);
+
+    println!(
+        "\nheadroom: translation {:+.1}%  caches {:+.1}%  both {:+.1}%",
+        (i / base - 1.0) * 100.0,
+        (c / base - 1.0) * 100.0,
+        (b / base - 1.0) * 100.0
+    );
+}

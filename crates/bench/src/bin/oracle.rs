@@ -1,0 +1,42 @@
+//! STLB replacement headroom study: Belady's MIN vs LRU on the page-access
+//! streams of the synthetic suites.
+//!
+//! This bounds what *any* STLB replacement policy could achieve. The
+//! split streams show each side's intrinsic headroom (near zero for
+//! instructions: the code working set fits the STLB in isolation); the
+//! unified stream shows the cross-stream contention headroom — which is
+//! exactly the pool iTP's instruction prioritization draws from.
+//!
+//! ```sh
+//! cargo run -p itpx-bench --release --bin oracle
+//! ```
+
+use itpx_bench::{Report, RunScale};
+use itpx_trace::{qualcomm_like_suite, replay_min_and_lru, tlb_key_streams, TraceGenerator};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let mut report = Report::new("Oracle - Belady MIN vs LRU at the STLB (page streams)");
+    report.line("headroom = fraction of LRU misses a clairvoyant policy avoids");
+    report.line("");
+    report.line(format!(
+        "{:<10} {:>12} {:>12} {:>12} {:>10}",
+        "workload", "stream", "LRU misses", "MIN misses", "headroom"
+    ));
+    for spec in qualcomm_like_suite(scale.workloads.min(8)) {
+        let n = scale.instructions as usize;
+        let (code, data, unified) = tlb_key_streams(TraceGenerator::new(&spec).take(n));
+        for (label, stream) in [("instr", &code), ("data", &data), ("unified", &unified)] {
+            let r = replay_min_and_lru(stream, 128, 12);
+            report.line(format!(
+                "{:<10} {:>12} {:>12} {:>12} {:>9.1}%",
+                spec.name,
+                label,
+                r.lru_misses,
+                r.min_misses,
+                r.headroom() * 100.0
+            ));
+        }
+    }
+    report.finish();
+}

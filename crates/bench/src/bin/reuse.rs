@@ -1,0 +1,40 @@
+//! Prints page-level reuse-distance profiles of the synthetic workloads —
+//! the characterization used to keep the suites aligned with the paper's
+//! Section 3 analysis (code working sets around STLB capacity, data reuse
+//! split between TLB-hot and transit traffic).
+//!
+//! ```sh
+//! cargo run -p itpx-bench --release --bin reuse
+//! ```
+
+use itpx_bench::{Report, RunScale};
+use itpx_trace::{mix_summary, page_reuse_profiles, TraceGenerator, WorkloadSpec};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let n = scale.instructions as usize;
+    let mut report = Report::new("Workload reuse-distance profiles");
+    for spec in [WorkloadSpec::server_like(0), WorkloadSpec::spec_like(0)] {
+        let mix = mix_summary(TraceGenerator::new(&spec).take(n));
+        let (code, data) = page_reuse_profiles(TraceGenerator::new(&spec).take(n));
+        report.line(format!("-- {} ({} instructions) --", spec.name, n));
+        report.row("code pages touched", mix.code_pages);
+        report.row("data pages touched", mix.data_pages);
+        for (label, p) in [("code", &code), ("data", &data)] {
+            report.row(
+                format!("{label} page-LRU hit @64"),
+                format!("{:.1}%", p.hit_fraction_at(64) * 100.0),
+            );
+            report.row(
+                format!("{label} page-LRU hit @1536"),
+                format!("{:.1}%", p.hit_fraction_at(1536) * 100.0),
+            );
+            report.row(
+                format!("{label} cold fraction"),
+                format!("{:.2}%", p.cold as f64 * 100.0 / p.total.max(1) as f64),
+            );
+        }
+        report.line("");
+    }
+    report.finish();
+}

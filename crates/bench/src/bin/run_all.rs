@@ -1,0 +1,48 @@
+//! Regenerates every reproduced table and figure, writing text reports to
+//! `target/experiments/`.
+//!
+//! ```sh
+//! ITPX_WORKLOADS=16 ITPX_INSTRUCTIONS=600000 \
+//!     cargo run -p itpx-bench --release --bin run_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "calibrate",
+        "fig01",
+        "fig02",
+        "fig03",
+        "fig04",
+        "fig08",
+        "fig09",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "ablations",
+        "ext_emissary",
+        "ext_tship",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("==== {bin} ====");
+        let status = Command::new(dir.join(bin)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("{bin} failed: {other:?}");
+                failures.push(bin);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("all experiments completed; reports in target/experiments/");
+    } else {
+        eprintln!("failed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

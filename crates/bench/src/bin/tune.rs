@@ -1,0 +1,71 @@
+//! Profile-parameter sweep: for candidate workload shapes, prints the
+//! baseline characterization metrics next to the iTP / iTP+xPTP uplift,
+//! so the synthetic suite can be calibrated against the paper's bands
+//! (see DESIGN.md substitution 2 and EXPERIMENTS.md).
+//!
+//! ```sh
+//! ITPX_INSTRUCTIONS=600000 cargo run -p itpx-bench --release --bin tune
+//! ```
+
+use itpx_bench::RunScale;
+use itpx_core::Preset;
+use itpx_cpu::{Simulation, SystemConfig};
+use itpx_trace::WorkloadSpec;
+
+fn main() {
+    let scale = RunScale::from_env();
+    let config = SystemConfig::asplos25();
+    println!(
+        "instructions={} warmup={}",
+        scale.instructions, scale.warmup
+    );
+    println!(
+        "{:<44} {:>6} {:>6} {:>6} {:>6} {:>7} {:>7} {:>7} {:>8} {:>8} {:>8}",
+        "profile",
+        "IPC",
+        "STLB",
+        "iMPKI",
+        "dMPKI",
+        "L2C",
+        "LLC",
+        "itr%",
+        "iTP%",
+        "coop%",
+        "missLat"
+    );
+    for &(dz, tr, tp, sr) in &[
+        (1.9, 0.012, 4096usize, 0.15),
+        (1.9, 0.020, 8192, 0.15),
+        (1.7, 0.020, 8192, 0.15),
+        (1.7, 0.030, 8192, 0.25),
+        (1.5, 0.020, 8192, 0.25),
+        (1.5, 0.030, 16384, 0.25),
+        (1.7, 0.030, 16384, 0.30),
+        (1.9, 0.030, 16384, 0.30),
+    ] {
+        let mut w = WorkloadSpec::server_like(7);
+        w.profile.data_zipf_s = dz;
+        w.profile.transit_ratio = tr;
+        w.profile.transit_pages = tp;
+        w.profile.stream_ratio = sr;
+        let w = scale.apply(w);
+        let base = Simulation::single_thread(&config, Preset::Lru, &w).run();
+        let itp = Simulation::single_thread(&config, Preset::Itp, &w).run();
+        let coop = Simulation::single_thread(&config, Preset::ItpXptp, &w).run();
+        let b = base.stlb_breakdown();
+        println!(
+            "dz={dz:<4} tr={tr:<5} tp={tp:<6} sr={sr:<4}      {:>6.3} {:>6.2} {:>6.2} {:>6.2} {:>7.1} {:>7.1} {:>7.1} {:>+8.2} {:>+8.2} {:>5.0}>{:<4.0}",
+            base.ipc(),
+            base.stlb_mpki(),
+            b.instr,
+            b.data,
+            base.l2c_mpki(),
+            base.llc_mpki(),
+            base.itrans_stall_fraction() * 100.0,
+            itp.speedup_pct_over(&base),
+            coop.speedup_pct_over(&base),
+            base.stlb.avg_miss_latency(),
+            coop.stlb.avg_miss_latency(),
+        );
+    }
+}

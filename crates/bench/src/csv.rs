@@ -1,0 +1,150 @@
+//! CSV export of per-workload results — the equivalent of the paper
+//! artifact's `parse_data.sh`, which collects per-run statistics into CSV
+//! files for plotting.
+
+use itpx_cpu::SimulationOutput;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Column header shared by all exports.
+pub const HEADER: &str = "experiment,policy,llc,workload,threads,ipc,speedup_pct,\
+stlb_mpki,stlb_impki,stlb_dmpki,stlb_miss_lat,l2c_mpki,l2c_dpte_mpki,l2c_miss_lat,\
+llc_mpki,llc_miss_lat,itrans_pct,walks,dram_reads";
+
+/// Accumulates per-run rows for one experiment.
+#[derive(Debug, Clone)]
+pub struct CsvSink {
+    experiment: String,
+    rows: Vec<String>,
+}
+
+impl CsvSink {
+    /// Starts a sink for `experiment`.
+    pub fn new(experiment: impl Into<String>) -> Self {
+        Self {
+            experiment: experiment.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one run; `baseline` supplies the speedup column when given.
+    pub fn push(&mut self, out: &SimulationOutput, baseline: Option<&SimulationOutput>) {
+        let b = out.stlb_breakdown();
+        let speedup = baseline
+            .map(|base| out.speedup_pct_over(base))
+            .unwrap_or(0.0);
+        let workload = out
+            .threads
+            .iter()
+            .map(|t| t.workload.as_str())
+            .collect::<Vec<_>>()
+            .join("+");
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "{},{},{},{},{},{:.5},{:.3},{:.4},{:.4},{:.4},{:.2},{:.4},{:.4},{:.2},{:.4},{:.2},{:.3},{},{}",
+            self.experiment,
+            out.preset,
+            out.llc_policy,
+            workload,
+            out.threads.len(),
+            out.ipc(),
+            speedup,
+            out.stlb_mpki(),
+            b.instr,
+            b.data,
+            out.stlb.avg_miss_latency(),
+            out.l2c_mpki(),
+            out.l2c_breakdown().data_pte,
+            out.l2c.avg_miss_latency(),
+            out.llc_mpki(),
+            out.llc.avg_miss_latency(),
+            out.itrans_stall_fraction() * 100.0,
+            out.walker.walks,
+            out.dram_reads,
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of rows accumulated.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the full CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(HEADER);
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(r);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Writes to `dir/<experiment>.csv`, creating the directory; returns
+    /// the path on success.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.experiment));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itpx_core::Preset;
+    use itpx_cpu::{Simulation, SystemConfig};
+    use itpx_trace::WorkloadSpec;
+
+    fn run() -> SimulationOutput {
+        let cfg = SystemConfig::asplos25();
+        let w = WorkloadSpec::server_like(1)
+            .instructions(5_000)
+            .warmup(1_000);
+        Simulation::single_thread(&cfg, Preset::Lru, &w).run()
+    }
+
+    #[test]
+    fn csv_shape_is_consistent() {
+        let out = run();
+        let mut sink = CsvSink::new("unit");
+        sink.push(&out, None);
+        sink.push(&out, Some(&out));
+        let csv = sink.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let cols = HEADER.split(',').count();
+        for line in &lines {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        }
+        // Self-relative speedup is zero.
+        assert!(lines[2].contains(",0.000,"));
+        assert_eq!(sink.len(), 2);
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn writes_a_file() {
+        let out = run();
+        let mut sink = CsvSink::new("unit_file");
+        sink.push(&out, None);
+        let dir = std::env::temp_dir().join("itpx_csv_test");
+        let path = sink.write_to(&dir).expect("write");
+        let content = std::fs::read_to_string(&path).expect("read back");
+        assert!(content.starts_with("experiment,"));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,86 @@
+//! Workload calibration: per-workload baseline (LRU) characteristics.
+//!
+//! Not a paper figure, but the tool that keeps the synthetic suites honest:
+//! it prints, for each workload, the metrics the paper's Section 3/5
+//! characterization fixes — STLB MPKI (total ≥ 1 was the paper's selection
+//! bar), its instruction/data split, L2C/LLC MPKI, the fraction of cycles
+//! spent on instruction address translation, and IPC — so that profile
+//! tuning can be checked against the paper's reported ranges.
+
+use crate::harness::{RunScale, Sweep};
+use itpx_core::Preset;
+use itpx_cpu::{Simulation, SimulationOutput, SystemConfig};
+use itpx_trace::WorkloadSpec;
+
+/// One row of the calibration table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationRow {
+    /// Workload name.
+    pub workload: String,
+    /// Baseline IPC.
+    pub ipc: f64,
+    /// Total STLB MPKI.
+    pub stlb_mpki: f64,
+    /// STLB MPKI due to instruction translations.
+    pub stlb_impki: f64,
+    /// STLB MPKI due to data translations.
+    pub stlb_dmpki: f64,
+    /// L2C MPKI.
+    pub l2c_mpki: f64,
+    /// LLC MPKI.
+    pub llc_mpki: f64,
+    /// Fraction of cycles stalled on instruction translation.
+    pub itrans_frac: f64,
+}
+
+impl CalibrationRow {
+    fn from(out: &SimulationOutput) -> Self {
+        let b = out.stlb_breakdown();
+        Self {
+            workload: out.threads[0].workload.clone(),
+            ipc: out.ipc(),
+            stlb_mpki: out.stlb_mpki(),
+            stlb_impki: b.instr,
+            stlb_dmpki: b.data,
+            l2c_mpki: out.l2c_mpki(),
+            llc_mpki: out.llc_mpki(),
+            itrans_frac: out.itrans_stall_fraction(),
+        }
+    }
+}
+
+/// Runs the LRU baseline over `specs` and returns one row per workload.
+pub fn calibration_table(
+    config: &SystemConfig,
+    specs: &[WorkloadSpec],
+    scale: &RunScale,
+) -> Vec<CalibrationRow> {
+    let jobs: Vec<WorkloadSpec> = specs.iter().map(|w| scale.apply(w.clone())).collect();
+    Sweep::new(scale.host_threads)
+        .run(jobs, |w| {
+            Simulation::single_thread(config, Preset::Lru, w).run()
+        })
+        .iter()
+        .map(CalibrationRow::from)
+        .collect()
+}
+
+/// Formats rows as an aligned table.
+pub fn format_rows(rows: &[CalibrationRow]) -> String {
+    let mut s = String::new();
+    s.push_str("workload     IPC     STLB    iMPKI   dMPKI   L2C      LLC      itrans%\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{:<12} {:<7.3} {:<7.2} {:<7.3} {:<7.2} {:<8.2} {:<8.2} {:<6.2}\n",
+            r.workload,
+            r.ipc,
+            r.stlb_mpki,
+            r.stlb_impki,
+            r.stlb_dmpki,
+            r.l2c_mpki,
+            r.llc_mpki,
+            r.itrans_frac * 100.0
+        ));
+    }
+    s
+}

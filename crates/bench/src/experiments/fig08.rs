@@ -1,0 +1,115 @@
+//! Figure 8: IPC improvement of every Table 2 policy combination over the
+//! LRU baseline, for single-thread workloads (8a) and SMT pairs (8b).
+
+use crate::csv::CsvSink;
+use crate::harness::{RunScale, Sweep};
+use crate::report::Distribution;
+use itpx_core::Preset;
+use itpx_cpu::{Simulation, SystemConfig};
+use itpx_trace::{qualcomm_like_suite, smt_suite};
+
+/// Result of one policy column: per-workload improvements plus summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyColumn {
+    /// Policy name (paper's x-axis label).
+    pub policy: String,
+    /// Per-workload IPC improvement over LRU, percent.
+    pub improvements: Vec<f64>,
+    /// Distribution summary (the violin + geomean dot).
+    pub summary: Distribution,
+}
+
+/// Runs Figure 8a (single hardware thread), also exporting per-run rows
+/// to `target/experiments/fig08a.csv` (the artifact's `parse_data`
+/// equivalent).
+pub fn single_thread(config: &SystemConfig, scale: &RunScale) -> Vec<PolicyColumn> {
+    let workloads: Vec<_> = qualcomm_like_suite(scale.workloads)
+        .into_iter()
+        .map(|w| scale.apply(w))
+        .collect();
+    let sweep = Sweep::new(scale.host_threads);
+    // Baselines first.
+    let base = sweep.run(workloads.clone(), |w| {
+        Simulation::single_thread(config, Preset::Lru, w).run()
+    });
+    let mut csv = CsvSink::new("fig08a");
+    for out in &base {
+        csv.push(out, None);
+    }
+    let columns = Preset::EVALUATED[1..]
+        .iter()
+        .map(|&preset| {
+            let outs = sweep.run(workloads.clone(), |w| {
+                Simulation::single_thread(config, preset, w).run()
+            });
+            let improvements: Vec<f64> = outs
+                .iter()
+                .zip(&base)
+                .map(|(o, b)| {
+                    csv.push(o, Some(b));
+                    o.speedup_pct_over(b)
+                })
+                .collect();
+            PolicyColumn {
+                policy: preset.name().to_string(),
+                summary: Distribution::of(&improvements),
+                improvements,
+            }
+        })
+        .collect();
+    let _ = csv.write_to("target/experiments");
+    columns
+}
+
+/// Runs Figure 8b (two hardware threads).
+pub fn two_threads(config: &SystemConfig, scale: &RunScale) -> Vec<PolicyColumn> {
+    let pairs: Vec<_> = smt_suite(scale.smt_pairs)
+        .into_iter()
+        .map(|p| scale.apply_pair(p))
+        .collect();
+    let sweep = Sweep::new(scale.host_threads);
+    let base = sweep.run(pairs.clone(), |p| {
+        Simulation::smt(config, Preset::Lru, p).run()
+    });
+    let mut csv = CsvSink::new("fig08b");
+    for out in &base {
+        csv.push(out, None);
+    }
+    let columns = Preset::EVALUATED[1..]
+        .iter()
+        .map(|&preset| {
+            let outs = sweep.run(pairs.clone(), |p| Simulation::smt(config, preset, p).run());
+            let improvements: Vec<f64> = outs
+                .iter()
+                .zip(&base)
+                .map(|(o, b)| {
+                    csv.push(o, Some(b));
+                    o.speedup_pct_over(b)
+                })
+                .collect();
+            PolicyColumn {
+                policy: preset.name().to_string(),
+                summary: Distribution::of(&improvements),
+                improvements,
+            }
+        })
+        .collect();
+    let _ = csv.write_to("target/experiments");
+    columns
+}
+
+/// Formats columns as the figure's table plus a violin panel (the text
+/// rendering of the paper's violin plots).
+pub fn format_columns(columns: &[PolicyColumn]) -> String {
+    let mut s = String::new();
+    for c in columns {
+        s.push_str(&format!("{:<14} {}\n", c.policy, c.summary));
+    }
+    s.push('\n');
+    let rows: Vec<(&str, crate::report::Distribution)> = columns
+        .iter()
+        .map(|c| (c.policy.as_str(), c.summary))
+        .collect();
+    s.push_str(&crate::plot::violin_panel(&rows, 56));
+    s
+}

@@ -1,0 +1,112 @@
+//! Figures 9 and 10: MPKI and average miss latency at the STLB/L2C/LLC
+//! per policy (9a/9b), and the STLB instruction/data MPKI breakdown under
+//! LRU vs iTP (10).
+
+use crate::harness::{RunScale, Sweep};
+use itpx_core::Preset;
+use itpx_cpu::{Simulation, SimulationOutput, SystemConfig};
+use itpx_trace::{qualcomm_like_suite, smt_suite};
+
+/// Per-structure averages for one policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructureRow {
+    /// Policy name.
+    pub policy: String,
+    /// Mean STLB MPKI.
+    pub stlb_mpki: f64,
+    /// Mean STLB miss latency (cycles).
+    pub stlb_lat: f64,
+    /// Mean L2C MPKI.
+    pub l2c_mpki: f64,
+    /// Mean L2C miss latency.
+    pub l2c_lat: f64,
+    /// Mean L2C MPKI due to data-PTE accesses (the paper's §6.2 claim:
+    /// 1.0 → 0.4 under iTP+xPTP).
+    pub l2c_data_pte_mpki: f64,
+    /// Mean LLC MPKI.
+    pub llc_mpki: f64,
+    /// Mean LLC miss latency.
+    pub llc_lat: f64,
+    /// Mean STLB instruction MPKI (Figure 10).
+    pub stlb_impki: f64,
+    /// Mean STLB data MPKI (Figure 10).
+    pub stlb_dmpki: f64,
+}
+
+fn averages(policy: &str, outs: &[SimulationOutput]) -> StructureRow {
+    let n = outs.len() as f64;
+    let mut r = StructureRow {
+        policy: policy.to_string(),
+        stlb_mpki: 0.0,
+        stlb_lat: 0.0,
+        l2c_mpki: 0.0,
+        l2c_lat: 0.0,
+        l2c_data_pte_mpki: 0.0,
+        llc_mpki: 0.0,
+        llc_lat: 0.0,
+        stlb_impki: 0.0,
+        stlb_dmpki: 0.0,
+    };
+    for o in outs {
+        let sb = o.stlb_breakdown();
+        r.stlb_mpki += o.stlb_mpki() / n;
+        r.stlb_lat += o.stlb.avg_miss_latency() / n;
+        r.l2c_mpki += o.l2c_mpki() / n;
+        r.l2c_lat += o.l2c.avg_miss_latency() / n;
+        r.l2c_data_pte_mpki += o.l2c_breakdown().data_pte / n;
+        r.llc_mpki += o.llc_mpki() / n;
+        r.llc_lat += o.llc.avg_miss_latency() / n;
+        r.stlb_impki += sb.instr / n;
+        r.stlb_dmpki += sb.data / n;
+    }
+    r
+}
+
+/// Runs the per-structure characterization for every evaluated preset.
+pub fn run(config: &SystemConfig, scale: &RunScale, smt: bool) -> Vec<StructureRow> {
+    let sweep = Sweep::new(scale.host_threads);
+    Preset::EVALUATED
+        .iter()
+        .map(|&preset| {
+            let outs = if smt {
+                let pairs: Vec<_> = smt_suite(scale.smt_pairs)
+                    .into_iter()
+                    .map(|p| scale.apply_pair(p))
+                    .collect();
+                sweep.run(pairs, |p| Simulation::smt(config, preset, p).run())
+            } else {
+                let suite: Vec<_> = qualcomm_like_suite(scale.workloads)
+                    .into_iter()
+                    .map(|w| scale.apply(w))
+                    .collect();
+                sweep.run(suite, |w| {
+                    Simulation::single_thread(config, preset, w).run()
+                })
+            };
+            averages(preset.name(), &outs)
+        })
+        .collect()
+}
+
+/// Formats the Figure 9/10 table.
+pub fn format_rows(rows: &[StructureRow]) -> String {
+    let mut s = String::from(
+        "policy          STLB_MPKI  lat     i/d-MPKI        L2C_MPKI  lat     dPTE   LLC_MPKI  lat\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:<15} {:<10.2} {:<7.1} {:<6.2}/{:<8.2} {:<9.2} {:<7.1} {:<6.2} {:<9.2} {:<7.1}\n",
+            r.policy,
+            r.stlb_mpki,
+            r.stlb_lat,
+            r.stlb_impki,
+            r.stlb_dmpki,
+            r.l2c_mpki,
+            r.l2c_lat,
+            r.l2c_data_pte_mpki,
+            r.llc_mpki,
+            r.llc_lat,
+        ));
+    }
+    s
+}

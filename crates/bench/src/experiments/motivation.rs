@@ -1,0 +1,216 @@
+//! The motivation studies of Section 3 (Figures 1–4).
+
+use crate::harness::{RunScale, Sweep};
+use itpx_core::presets::PolicyBundle;
+use itpx_core::Preset;
+use itpx_cpu::{Simulation, SimulationOutput, SystemConfig};
+use itpx_policy::{Lru, ProbKeepInstrLru};
+use itpx_trace::{qualcomm_like_suite, spec_like_suite, WorkloadSpec};
+use itpx_types::MpkiBreakdown;
+
+/// The ITLB sizes swept by Figure 1.
+pub const FIG1_ITLB_SIZES: [usize; 5] = [8, 64, 128, 512, 1024];
+
+/// The keep-instruction probabilities of Figure 3.
+pub const FIG3_PROBABILITIES: [f64; 4] = [0.2, 0.4, 0.6, 0.8];
+
+/// One Figure 1 cell: mean fraction of cycles spent on instruction
+/// address translation for a suite at one ITLB size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Cell {
+    /// Suite name (`server` / `spec`).
+    pub suite: &'static str,
+    /// ITLB entries.
+    pub itlb_entries: usize,
+    /// Per-workload stall fractions.
+    pub fractions: Vec<f64>,
+    /// Mean stall fraction.
+    pub mean: f64,
+}
+
+/// Runs Figure 1: instruction-address-translation cycles vs ITLB size.
+pub fn fig01(config: &SystemConfig, scale: &RunScale) -> Vec<Fig1Cell> {
+    let sweep = Sweep::new(scale.host_threads);
+    let suites: [(&'static str, Vec<WorkloadSpec>); 2] = [
+        ("server", qualcomm_like_suite(scale.workloads)),
+        ("spec", spec_like_suite((scale.workloads / 2).max(2))),
+    ];
+    let mut cells = Vec::new();
+    for (name, suite) in suites {
+        let suite: Vec<_> = suite.into_iter().map(|w| scale.apply(w)).collect();
+        for entries in FIG1_ITLB_SIZES {
+            let cfg = config.with_itlb_entries(entries);
+            let outs = sweep.run(suite.clone(), |w| {
+                Simulation::single_thread(&cfg, Preset::Lru, w).run()
+            });
+            let fractions: Vec<f64> = outs.iter().map(|o| o.itrans_stall_fraction()).collect();
+            let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+            cells.push(Fig1Cell {
+                suite: name,
+                itlb_entries: entries,
+                fractions,
+                mean,
+            });
+        }
+    }
+    cells
+}
+
+/// One Figure 2 row: per-workload STLB instruction MPKI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Row {
+    /// Suite name.
+    pub suite: &'static str,
+    /// Per-workload instruction MPKI at the STLB.
+    pub impki: Vec<f64>,
+    /// Mean.
+    pub mean: f64,
+}
+
+/// Runs Figure 2: STLB MPKI for instruction references, server vs SPEC.
+pub fn fig02(config: &SystemConfig, scale: &RunScale) -> Vec<Fig2Row> {
+    let sweep = Sweep::new(scale.host_threads);
+    let suites: [(&'static str, Vec<WorkloadSpec>); 2] = [
+        ("server", qualcomm_like_suite(scale.workloads)),
+        ("spec", spec_like_suite((scale.workloads / 2).max(2))),
+    ];
+    suites
+        .into_iter()
+        .map(|(name, suite)| {
+            let suite: Vec<_> = suite.into_iter().map(|w| scale.apply(w)).collect();
+            let outs = sweep.run(suite, |w| {
+                Simulation::single_thread(config, Preset::Lru, w).run()
+            });
+            let impki: Vec<f64> = outs.iter().map(|o| o.stlb_breakdown().instr).collect();
+            let mean = impki.iter().sum::<f64>() / impki.len() as f64;
+            Fig2Row {
+                suite: name,
+                impki,
+                mean,
+            }
+        })
+        .collect()
+}
+
+fn prob_bundle(config: &SystemConfig, p: f64, seed: u64) -> PolicyBundle {
+    let d = config.dims();
+    PolicyBundle {
+        stlb: Box::new(ProbKeepInstrLru::new(d.stlb.0, d.stlb.1, p, seed)),
+        l2c: Box::new(Lru::new(d.l2c.0, d.l2c.1)),
+        llc: Box::new(Lru::new(d.llc.0, d.llc.1)),
+        monitor: None,
+    }
+}
+
+/// One Figure 3 column: IPC improvement of probability-P keep-instruction
+/// LRU over plain LRU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Column {
+    /// The probability `P` of victimizing a data translation.
+    pub p: f64,
+    /// Per-workload IPC improvements, percent.
+    pub improvements: Vec<f64>,
+    /// Geometric-mean improvement, percent.
+    pub geomean: f64,
+}
+
+/// Runs Figure 3 on the server suite.
+pub fn fig03(config: &SystemConfig, scale: &RunScale) -> Vec<Fig3Column> {
+    let sweep = Sweep::new(scale.host_threads);
+    let suite: Vec<_> = qualcomm_like_suite(scale.workloads)
+        .into_iter()
+        .map(|w| scale.apply(w))
+        .collect();
+    let base = sweep.run(suite.clone(), |w| {
+        Simulation::single_thread(config, Preset::Lru, w).run()
+    });
+    FIG3_PROBABILITIES
+        .iter()
+        .map(|&p| {
+            let outs = sweep.run(suite.clone(), |w| {
+                let bundle = prob_bundle(config, p, w.seed ^ 0x9);
+                Simulation::custom(config, bundle, format!("P={p}"), std::slice::from_ref(w)).run()
+            });
+            let improvements: Vec<f64> = outs
+                .iter()
+                .zip(&base)
+                .map(|(o, b)| o.speedup_pct_over(b))
+                .collect();
+            let geomean = itpx_types::stats::geomean_speedup(
+                &improvements.iter().map(|x| x / 100.0).collect::<Vec<_>>(),
+            ) * 100.0;
+            Fig3Column {
+                p,
+                improvements,
+                geomean,
+            }
+        })
+        .collect()
+}
+
+/// One Figure 4 bar group: the four-class MPKI breakdown of a cache level
+/// under one STLB policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Bar {
+    /// `"L2C"` or `"LLC"`.
+    pub level: &'static str,
+    /// `"LRU"` or `"KeepInstr(P=0.8)"`.
+    pub stlb_policy: &'static str,
+    /// Mean MPKI breakdown across the suite.
+    pub breakdown: MpkiBreakdown,
+}
+
+fn mean_breakdown(
+    outs: &[SimulationOutput],
+    f: impl Fn(&SimulationOutput) -> MpkiBreakdown,
+) -> MpkiBreakdown {
+    let n = outs.len() as f64;
+    let mut acc = MpkiBreakdown::default();
+    for o in outs {
+        let b = f(o);
+        acc.data += b.data / n;
+        acc.instr += b.instr / n;
+        acc.data_pte += b.data_pte / n;
+        acc.instr_pte += b.instr_pte / n;
+    }
+    acc
+}
+
+/// Runs Figure 4: L2C/LLC MPKI breakdowns under LRU vs keep-instructions
+/// (P = 0.8) at the STLB.
+pub fn fig04(config: &SystemConfig, scale: &RunScale) -> Vec<Fig4Bar> {
+    let sweep = Sweep::new(scale.host_threads);
+    let suite: Vec<_> = qualcomm_like_suite(scale.workloads)
+        .into_iter()
+        .map(|w| scale.apply(w))
+        .collect();
+    let lru = sweep.run(suite.clone(), |w| {
+        Simulation::single_thread(config, Preset::Lru, w).run()
+    });
+    let keep = sweep.run(suite, |w| {
+        let bundle = prob_bundle(config, 0.8, w.seed ^ 0x4);
+        Simulation::custom(config, bundle, "KeepInstr(P=0.8)", std::slice::from_ref(w)).run()
+    });
+    vec![
+        Fig4Bar {
+            level: "L2C",
+            stlb_policy: "LRU",
+            breakdown: mean_breakdown(&lru, |o| o.l2c_breakdown()),
+        },
+        Fig4Bar {
+            level: "L2C",
+            stlb_policy: "KeepInstr(P=0.8)",
+            breakdown: mean_breakdown(&keep, |o| o.l2c_breakdown()),
+        },
+        Fig4Bar {
+            level: "LLC",
+            stlb_policy: "LRU",
+            breakdown: mean_breakdown(&lru, |o| o.llc_breakdown()),
+        },
+        Fig4Bar {
+            level: "LLC",
+            stlb_policy: "KeepInstr(P=0.8)",
+            breakdown: mean_breakdown(&keep, |o| o.llc_breakdown()),
+        },
+    ]
+}

@@ -1,0 +1,325 @@
+//! The sensitivity studies of Sections 6.3–6.6 (Figures 11–14) and the
+//! parameter ablations DESIGN.md calls out.
+
+use crate::harness::{RunScale, Sweep};
+use itpx_core::presets::{BuildConfig, LlcChoice};
+use itpx_core::{ItpParams, Preset, XptpParams};
+use itpx_cpu::{Simulation, SystemConfig};
+use itpx_trace::{qualcomm_like_suite, smt_suite, SmtPairSpec, WorkloadSpec};
+use itpx_types::stats::geomean_speedup;
+
+fn geomean_pct(improvements: &[f64]) -> f64 {
+    geomean_speedup(&improvements.iter().map(|x| x / 100.0).collect::<Vec<_>>()) * 100.0
+}
+
+fn suite(scale: &RunScale) -> Vec<WorkloadSpec> {
+    qualcomm_like_suite(scale.workloads)
+        .into_iter()
+        .map(|w| scale.apply(w))
+        .collect()
+}
+
+fn pairs(scale: &RunScale) -> Vec<SmtPairSpec> {
+    smt_suite(scale.smt_pairs)
+        .into_iter()
+        .map(|p| scale.apply_pair(p))
+        .collect()
+}
+
+/// Geomean uplift of `preset` over LRU under one configuration/build.
+fn uplift(
+    config: &SystemConfig,
+    build: &BuildConfig,
+    preset: Preset,
+    scale: &RunScale,
+    smt: bool,
+) -> f64 {
+    let sweep = Sweep::new(scale.host_threads);
+    if smt {
+        let ps = pairs(scale);
+        let base = sweep.run(ps.clone(), |p| {
+            Simulation::smt(config, Preset::Lru, p)
+                .build_config(*build)
+                .run()
+        });
+        let outs = sweep.run(ps, |p| {
+            Simulation::smt(config, preset, p)
+                .build_config(*build)
+                .run()
+        });
+        geomean_pct(
+            &outs
+                .iter()
+                .zip(&base)
+                .map(|(o, b)| o.speedup_pct_over(b))
+                .collect::<Vec<_>>(),
+        )
+    } else {
+        let ws = suite(scale);
+        let base = sweep.run(ws.clone(), |w| {
+            Simulation::single_thread(config, Preset::Lru, w)
+                .build_config(*build)
+                .run()
+        });
+        let outs = sweep.run(ws, |w| {
+            Simulation::single_thread(config, preset, w)
+                .build_config(*build)
+                .run()
+        });
+        geomean_pct(
+            &outs
+                .iter()
+                .zip(&base)
+                .map(|(o, b)| o.speedup_pct_over(b))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// One Figure 11 cell: geomean uplift of a proposal under an LLC policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11Cell {
+    /// LLC replacement policy.
+    pub llc: LlcChoice,
+    /// Proposal (iTP or iTP+xPTP).
+    pub preset: Preset,
+    /// Whether this is the SMT scenario.
+    pub smt: bool,
+    /// Geomean IPC uplift over LRU-STLB/LRU-L2C with the same LLC policy.
+    pub geomean_pct: f64,
+}
+
+/// Runs Figure 11: sensitivity to the LLC replacement policy.
+pub fn fig11(config: &SystemConfig, scale: &RunScale, smt: bool) -> Vec<Fig11Cell> {
+    let mut cells = Vec::new();
+    for llc in LlcChoice::ALL {
+        let build = BuildConfig {
+            llc,
+            ..BuildConfig::default()
+        };
+        for preset in [Preset::Itp, Preset::ItpXptp] {
+            cells.push(Fig11Cell {
+                llc,
+                preset,
+                smt,
+                geomean_pct: uplift(config, &build, preset, scale, smt),
+            });
+        }
+    }
+    cells
+}
+
+/// The ITLB sizes of Figure 12.
+pub const FIG12_ITLB_SIZES: [usize; 4] = [1024, 512, 128, 64];
+
+/// One Figure 12 cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12Cell {
+    /// ITLB entries.
+    pub itlb_entries: usize,
+    /// Proposal.
+    pub preset: Preset,
+    /// SMT scenario?
+    pub smt: bool,
+    /// Geomean uplift over LRU at the same ITLB size.
+    pub geomean_pct: f64,
+}
+
+/// Runs Figure 12: sensitivity to ITLB size.
+pub fn fig12(config: &SystemConfig, scale: &RunScale, smt: bool) -> Vec<Fig12Cell> {
+    let mut cells = Vec::new();
+    for entries in FIG12_ITLB_SIZES {
+        let cfg = config.with_itlb_entries(entries);
+        for preset in [Preset::Itp, Preset::ItpXptp] {
+            cells.push(Fig12Cell {
+                itlb_entries: entries,
+                preset,
+                smt,
+                geomean_pct: uplift(&cfg, &BuildConfig::default(), preset, scale, smt),
+            });
+        }
+    }
+    cells
+}
+
+/// The 2 MiB-page footprint fractions of Figure 13.
+pub const FIG13_FRACTIONS: [f64; 4] = [0.0, 0.1, 0.5, 1.0];
+
+/// One Figure 13 cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13Cell {
+    /// Fraction of code+data footprint on 2 MiB pages.
+    pub fraction: f64,
+    /// Policy.
+    pub preset: Preset,
+    /// SMT scenario?
+    pub smt: bool,
+    /// Geomean uplift over LRU at the same page-size mix.
+    pub geomean_pct: f64,
+}
+
+/// Runs Figure 13: performance with part of the footprint on 2 MiB pages.
+pub fn fig13(config: &SystemConfig, scale: &RunScale, smt: bool) -> Vec<Fig13Cell> {
+    let mut cells = Vec::new();
+    for fraction in FIG13_FRACTIONS {
+        let cfg = config.with_huge_pages(itpx_vm::HugePagePolicy::uniform(
+            fraction,
+            0x2025 ^ (fraction * 1000.0) as u64,
+        ));
+        for preset in [Preset::Tdrrip, Preset::Ptp, Preset::Chirp, Preset::ItpXptp] {
+            cells.push(Fig13Cell {
+                fraction,
+                preset,
+                smt,
+                geomean_pct: uplift(&cfg, &BuildConfig::default(), preset, scale, smt),
+            });
+        }
+    }
+    cells
+}
+
+/// One Figure 14 bar: an STLB organization's geomean uplift over the
+/// baseline 1536-entry unified STLB with LRU everywhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig14Bar {
+    /// Organization label.
+    pub label: String,
+    /// SMT scenario?
+    pub smt: bool,
+    /// Geomean uplift, percent.
+    pub geomean_pct: f64,
+}
+
+/// Runs Figure 14: unified STLB + iTP+xPTP vs split STLB designs.
+pub fn fig14(config: &SystemConfig, scale: &RunScale, smt: bool) -> Vec<Fig14Bar> {
+    let sweep = Sweep::new(scale.host_threads);
+    let run_one = |cfg: &SystemConfig, preset: Preset| -> Vec<f64> {
+        if smt {
+            sweep
+                .run(pairs(scale), |p| Simulation::smt(cfg, preset, p).run())
+                .iter()
+                .map(|o| o.ipc())
+                .collect()
+        } else {
+            sweep
+                .run(suite(scale), |w| {
+                    Simulation::single_thread(cfg, preset, w).run()
+                })
+                .iter()
+                .map(|o| o.ipc())
+                .collect()
+        }
+    };
+    let base = run_one(config, Preset::Lru);
+    let cases = [
+        ("Unified 1536 iTP+xPTP", *config, Preset::ItpXptp),
+        (
+            "Split 1536 (768i+768d) LRU",
+            config.with_split_stlb(true),
+            Preset::Lru,
+        ),
+        (
+            "Unified 3072 iTP+xPTP",
+            config.with_stlb_entries(3072),
+            Preset::ItpXptp,
+        ),
+        (
+            "Split 3072 (1536i+1536d) LRU",
+            config.with_stlb_entries(3072).with_split_stlb(true),
+            Preset::Lru,
+        ),
+    ];
+    cases
+        .into_iter()
+        .map(|(label, cfg, preset)| {
+            let ipcs = run_one(&cfg, preset);
+            let improvements: Vec<f64> = ipcs
+                .iter()
+                .zip(&base)
+                .map(|(i, b)| (i / b - 1.0) * 100.0)
+                .collect();
+            Fig14Bar {
+                label: label.to_string(),
+                smt,
+                geomean_pct: geomean_pct(&improvements),
+            }
+        })
+        .collect()
+}
+
+/// One ablation cell: a parameter setting and the geomean uplift of the
+/// proposal using it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationCell {
+    /// Human-readable parameter setting.
+    pub setting: String,
+    /// Geomean uplift of iTP+xPTP over LRU, percent.
+    pub geomean_pct: f64,
+}
+
+/// Ablation: iTP's N (insertion depth) and M (data promotion height).
+pub fn ablation_nm(config: &SystemConfig, scale: &RunScale) -> Vec<AblationCell> {
+    [(2usize, 6usize), (4, 8), (6, 10), (2, 10), (4, 6)]
+        .into_iter()
+        .map(|(n, m)| {
+            let build = BuildConfig {
+                itp: ItpParams {
+                    n,
+                    m,
+                    ..ItpParams::default()
+                },
+                ..BuildConfig::default()
+            };
+            AblationCell {
+                setting: format!("N={n} M={m}"),
+                geomean_pct: uplift(config, &build, Preset::ItpXptp, scale, false),
+            }
+        })
+        .collect()
+}
+
+/// Ablation: xPTP's K threshold.
+pub fn ablation_k(config: &SystemConfig, scale: &RunScale) -> Vec<AblationCell> {
+    [2usize, 4, 6, 8]
+        .into_iter()
+        .map(|k| {
+            let build = BuildConfig {
+                xptp: XptpParams { k },
+                ..BuildConfig::default()
+            };
+            AblationCell {
+                setting: format!("K={k}"),
+                geomean_pct: uplift(config, &build, Preset::ItpXptp, scale, false),
+            }
+        })
+        .collect()
+}
+
+/// Ablation: the adaptive threshold T1 (misses per 1000-instruction
+/// epoch), plus the non-adaptive variant.
+pub fn ablation_t1(config: &SystemConfig, scale: &RunScale) -> Vec<AblationCell> {
+    let mut cells: Vec<AblationCell> = [0u64, 1, 2, 4, 16]
+        .into_iter()
+        .map(|t1| {
+            let build = BuildConfig {
+                t1,
+                ..BuildConfig::default()
+            };
+            AblationCell {
+                setting: format!("T1={t1}"),
+                geomean_pct: uplift(config, &build, Preset::ItpXptp, scale, false),
+            }
+        })
+        .collect();
+    cells.push(AblationCell {
+        setting: "static (always on)".to_string(),
+        geomean_pct: uplift(
+            config,
+            &BuildConfig::default(),
+            Preset::ItpXptpStatic,
+            scale,
+            false,
+        ),
+    });
+    cells
+}

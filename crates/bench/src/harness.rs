@@ -1,0 +1,164 @@
+//! Parallel sweep machinery shared by all figure reproductions.
+
+use itpx_cpu::SimulationOutput;
+use std::sync::Mutex;
+
+/// How big an experiment run should be.
+///
+/// The paper simulates 50 M warmup + 100 M measured instructions across
+/// 120 single-thread workloads and 75 SMT pairs. The default scale here
+/// keeps the full campaign in laptop territory; environment variables
+/// raise it toward the paper's:
+///
+/// * `ITPX_WORKLOADS` — single-thread workloads per suite (default 16),
+/// * `ITPX_SMT_PAIRS` — SMT pairs (default 9),
+/// * `ITPX_INSTRUCTIONS` — measured instructions (default 300 000),
+/// * `ITPX_WARMUP` — warmup instructions (default 100 000),
+/// * `ITPX_THREADS` — host threads for parallel runs (default: available
+///   parallelism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunScale {
+    /// Single-thread workloads per suite.
+    pub workloads: usize,
+    /// SMT pairs.
+    pub smt_pairs: usize,
+    /// Measured instructions per workload.
+    pub instructions: u64,
+    /// Warmup instructions per workload.
+    pub warmup: u64,
+    /// Host threads used to parallelize independent simulations.
+    pub host_threads: usize,
+}
+
+impl RunScale {
+    /// Reads the scale from the environment, falling back to defaults.
+    pub fn from_env() -> Self {
+        let get = |k: &str, d: u64| -> u64 {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        Self {
+            workloads: get("ITPX_WORKLOADS", 16) as usize,
+            smt_pairs: get("ITPX_SMT_PAIRS", 9) as usize,
+            instructions: get("ITPX_INSTRUCTIONS", 300_000),
+            warmup: get("ITPX_WARMUP", 100_000),
+            host_threads: get(
+                "ITPX_THREADS",
+                std::thread::available_parallelism()
+                    .map(|n| n.get() as u64)
+                    .unwrap_or(4),
+            ) as usize,
+        }
+    }
+
+    /// A minimal scale for tests.
+    pub fn smoke() -> Self {
+        Self {
+            workloads: 2,
+            smt_pairs: 2,
+            instructions: 20_000,
+            warmup: 5_000,
+            host_threads: 2,
+        }
+    }
+
+    /// Applies this scale's run lengths to a workload spec.
+    pub fn apply(&self, w: itpx_trace::WorkloadSpec) -> itpx_trace::WorkloadSpec {
+        w.instructions(self.instructions).warmup(self.warmup)
+    }
+
+    /// Applies this scale's run lengths to both members of an SMT pair.
+    pub fn apply_pair(&self, mut p: itpx_trace::SmtPairSpec) -> itpx_trace::SmtPairSpec {
+        p.a = self.apply(p.a);
+        p.b = self.apply(p.b);
+        p
+    }
+}
+
+/// Runs a set of independent jobs across host threads, preserving order.
+#[derive(Debug)]
+pub struct Sweep {
+    host_threads: usize,
+}
+
+impl Sweep {
+    /// Creates a sweep runner using `host_threads` threads.
+    pub fn new(host_threads: usize) -> Self {
+        Self {
+            host_threads: host_threads.max(1),
+        }
+    }
+
+    /// Maps `jobs` through `f` in parallel, returning results in job order.
+    pub fn run<J, F>(&self, jobs: Vec<J>, f: F) -> Vec<SimulationOutput>
+    where
+        J: Send,
+        F: Fn(&J) -> SimulationOutput + Sync,
+    {
+        self.run_generic(jobs, f)
+    }
+
+    /// Generic parallel map preserving input order.
+    pub fn run_generic<J, R, F>(&self, jobs: Vec<J>, f: F) -> Vec<R>
+    where
+        J: Send,
+        R: Send,
+        F: Fn(&J) -> R + Sync,
+    {
+        let n = jobs.len();
+        let queue: Mutex<std::collections::VecDeque<(usize, J)>> =
+            Mutex::new(jobs.into_iter().enumerate().collect());
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..self.host_threads.min(n.max(1)) {
+                scope.spawn(|| loop {
+                    let job = queue.lock().expect("queue poisoned").pop_front();
+                    match job {
+                        Some((i, j)) => {
+                            let r = f(&j);
+                            results.lock().expect("results poisoned")[i] = Some(r);
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("results poisoned")
+            .into_iter()
+            .map(|r| r.expect("job completed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_preserves_order() {
+        let sweep = Sweep::new(4);
+        let out: Vec<usize> = sweep.run_generic((0..32).collect(), |&j| j * 2);
+        assert_eq!(out, (0..32).map(|j| j * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scale_applies_lengths() {
+        let s = RunScale::smoke();
+        let w = s.apply(itpx_trace::WorkloadSpec::server_like(1));
+        assert_eq!(w.instructions, 20_000);
+        assert_eq!(w.warmup, 5_000);
+    }
+
+    #[test]
+    fn env_overrides_are_read() {
+        // Only checks the default path is sane; env mutation in tests
+        // would race with other tests.
+        let s = RunScale::from_env();
+        assert!(s.workloads >= 1);
+        assert!(s.host_threads >= 1);
+    }
+}

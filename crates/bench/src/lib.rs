@@ -1,0 +1,28 @@
+//! Experiment harness: reproduces every table and figure of the paper's
+//! evaluation.
+//!
+//! Each `fig*` binary in `src/bin/` regenerates one figure; `run_all`
+//! regenerates everything and writes text reports under
+//! `target/experiments/`. The shared machinery lives here:
+//!
+//! * [`harness`] — parallel sweep runner (N workloads × M configurations),
+//!   scale controls via `ITPX_*` environment variables.
+//! * [`report`] — table formatting, violin-style distribution summaries,
+//!   geomean aggregation, and report files.
+//! * [`experiments`] — one module per paper figure, returning structured
+//!   results so integration tests can assert the paper's claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod csv;
+pub mod experiments;
+pub mod harness;
+pub mod plot;
+pub mod report;
+pub mod stats_ci;
+
+pub use csv::CsvSink;
+pub use harness::{RunScale, Sweep};
+pub use report::{Distribution, Report};
+pub use stats_ci::{bootstrap_geomean_ci, Comparison, GeomeanCi};

@@ -1,0 +1,148 @@
+//! Terminal rendering of the paper's figure shapes: horizontal bars for
+//! geomean comparisons and density strips (one-line violins) for
+//! per-workload distributions.
+
+use crate::report::Distribution;
+
+/// Renders a horizontal bar chart. Values may be negative; the zero line
+/// is placed proportionally. Returns the chart as a string.
+///
+/// # Examples
+///
+/// ```
+/// use itpx_bench::plot::bar_chart;
+/// let s = bar_chart(&[("iTP+xPTP", 10.4), ("TDRRIP", 4.0)], 40);
+/// assert!(s.contains("iTP+xPTP"));
+/// ```
+pub fn bar_chart(rows: &[(&str, f64)], width: usize) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let max = rows.iter().map(|r| r.1).fold(0.0f64, f64::max).max(0.0);
+    let min = rows.iter().map(|r| r.1).fold(0.0f64, f64::min).min(0.0);
+    let span = (max - min).max(1e-9);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let zero = ((-min / span) * width as f64).round() as usize;
+    let mut out = String::new();
+    for (label, value) in rows {
+        let pos = (((value - min) / span) * width as f64).round() as usize;
+        let (lo, hi) = if *value >= 0.0 {
+            (zero, pos.max(zero))
+        } else {
+            (pos.min(zero), zero)
+        };
+        let mut bar: Vec<char> = vec![' '; width + 1];
+        for c in bar.iter_mut().take(hi.min(width)).skip(lo) {
+            *c = '#';
+        }
+        if zero <= width {
+            bar[zero] = '|';
+        }
+        out.push_str(&format!(
+            "{label:<label_w$} {} {value:+7.2}\n",
+            bar.into_iter().collect::<String>()
+        ));
+    }
+    out
+}
+
+/// Renders a one-line density strip for a distribution summary: the
+/// min..max range as a rail, the interquartile range as a box, the median
+/// as `*`, and the geomean as `o`.
+pub fn violin_strip(d: &Distribution, lo: f64, hi: f64, width: usize) -> String {
+    let span = (hi - lo).max(1e-9);
+    let clamp = |x: f64| {
+        ((x - lo) / span * (width - 1) as f64)
+            .round()
+            .clamp(0.0, (width - 1) as f64) as usize
+    };
+    let mut s: Vec<char> = vec![' '; width];
+    for c in s.iter_mut().take(clamp(d.max) + 1).skip(clamp(d.min)) {
+        *c = '-';
+    }
+    for c in s.iter_mut().take(clamp(d.p75) + 1).skip(clamp(d.p25)) {
+        *c = '=';
+    }
+    s[clamp(d.median)] = '*';
+    s[clamp(d.geomean)] = 'o';
+    s.into_iter().collect()
+}
+
+/// Renders a full violin panel: one strip per policy on a shared scale.
+pub fn violin_panel(rows: &[(&str, Distribution)], width: usize) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let lo = rows
+        .iter()
+        .map(|r| r.1.min)
+        .fold(f64::INFINITY, f64::min)
+        .min(0.0);
+    let hi = rows
+        .iter()
+        .map(|r| r.1.max)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(0.0);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, d) in rows {
+        out.push_str(&format!(
+            "{label:<label_w$} [{}] {:+6.2}\n",
+            violin_strip(d, lo, hi, width),
+            d.geomean
+        ));
+    }
+    out.push_str(&format!("{:label_w$} {:<width$.2}{:>8.2}\n", "", lo, hi));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_with_values() {
+        let s = bar_chart(&[("a", 10.0), ("b", 5.0), ("c", 0.0)], 20);
+        let lines: Vec<&str> = s.lines().collect();
+        let count = |l: &str| l.chars().filter(|&c| c == '#').count();
+        assert!(count(lines[0]) > count(lines[1]));
+        assert!(count(lines[1]) > count(lines[2]));
+    }
+
+    #[test]
+    fn negative_bars_extend_left_of_zero() {
+        let s = bar_chart(&[("neg", -5.0), ("pos", 5.0)], 20);
+        let lines: Vec<&str> = s.lines().collect();
+        let zero_neg = lines[0].find('|').unwrap();
+        let first_hash_neg = lines[0].find('#').unwrap();
+        assert!(first_hash_neg < zero_neg, "negative bar left of zero");
+        let zero_pos = lines[1].find('|').unwrap();
+        let first_hash_pos = lines[1].find('#').unwrap();
+        assert!(first_hash_pos > zero_pos, "positive bar right of zero");
+    }
+
+    #[test]
+    fn violin_orders_markers() {
+        let d = Distribution::of(&[1.0, 2.0, 3.0, 4.0, 10.0]);
+        let strip = violin_strip(&d, 0.0, 10.0, 40);
+        let med = strip.find('*');
+        assert!(med.is_some());
+        assert!(strip.contains('='), "IQR box present");
+        assert_eq!(strip.len(), 40);
+    }
+
+    #[test]
+    fn panel_includes_all_rows_and_scale() {
+        let d1 = Distribution::of(&[1.0, 2.0, 3.0]);
+        let d2 = Distribution::of(&[4.0, 5.0, 6.0]);
+        let p = violin_panel(&[("alpha", d1), ("beta", d2)], 30);
+        assert!(p.contains("alpha") && p.contains("beta"));
+        assert_eq!(p.lines().count(), 3);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_output() {
+        assert!(bar_chart(&[], 20).is_empty());
+        assert!(violin_panel(&[], 20).is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Bootstrap confidence intervals for policy comparisons.
+//!
+//! Per-workload speedups vary; a geomean alone can hide that a comparison
+//! hinges on one or two outliers. [`bootstrap_geomean_ci`] resamples the
+//! per-workload improvements with replacement and reports a percentile
+//! confidence interval for the geometric-mean speedup, and
+//! [`Comparison::summarize`] packages a full A-vs-B verdict.
+
+use itpx_types::stats::geomean_speedup;
+use itpx_types::Rng64;
+
+/// A bootstrap confidence interval for a geomean improvement (percent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeomeanCi {
+    /// Point estimate (percent).
+    pub geomean_pct: f64,
+    /// Lower bound of the interval (percent).
+    pub lo_pct: f64,
+    /// Upper bound of the interval (percent).
+    pub hi_pct: f64,
+    /// Confidence level in `[0, 1]` (e.g. 0.95).
+    pub level: f64,
+}
+
+impl GeomeanCi {
+    /// `true` if the interval excludes zero (a decisive win or loss).
+    pub fn is_decisive(&self) -> bool {
+        self.lo_pct > 0.0 || self.hi_pct < 0.0
+    }
+}
+
+/// Computes a percentile-bootstrap CI over per-workload improvements given
+/// in percent. Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `improvements` is empty, `resamples == 0`, or `level` is not
+/// in `(0, 1)`.
+pub fn bootstrap_geomean_ci(
+    improvements_pct: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> GeomeanCi {
+    assert!(!improvements_pct.is_empty(), "no samples");
+    assert!(resamples > 0, "need resamples");
+    assert!(level > 0.0 && level < 1.0, "level must be in (0,1)");
+    let fractions: Vec<f64> = improvements_pct.iter().map(|x| x / 100.0).collect();
+    let mut rng = Rng64::new(seed);
+    let mut estimates: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let sample: Vec<f64> = (0..fractions.len())
+                .map(|_| fractions[rng.index(fractions.len())])
+                .collect();
+            geomean_speedup(&sample) * 100.0
+        })
+        .collect();
+    estimates.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let tail = (1.0 - level) / 2.0;
+    let idx =
+        |p: f64| ((p * (estimates.len() - 1) as f64).round() as usize).min(estimates.len() - 1);
+    GeomeanCi {
+        geomean_pct: geomean_speedup(&fractions) * 100.0,
+        lo_pct: estimates[idx(tail)],
+        hi_pct: estimates[idx(1.0 - tail)],
+        level,
+    }
+}
+
+/// An A-vs-B comparison over matched per-workload IPCs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Name of the candidate configuration.
+    pub candidate: String,
+    /// Name of the baseline configuration.
+    pub baseline: String,
+    /// Per-workload improvements, percent.
+    pub improvements_pct: Vec<f64>,
+    /// Bootstrap interval for the geomean.
+    pub ci: GeomeanCi,
+    /// Number of workloads where the candidate won outright.
+    pub wins: usize,
+}
+
+impl Comparison {
+    /// Builds a comparison from matched IPC vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are empty or differ in length.
+    pub fn summarize(
+        candidate: impl Into<String>,
+        baseline: impl Into<String>,
+        candidate_ipc: &[f64],
+        baseline_ipc: &[f64],
+    ) -> Self {
+        assert_eq!(candidate_ipc.len(), baseline_ipc.len(), "mismatched runs");
+        assert!(!candidate_ipc.is_empty(), "no runs");
+        let improvements_pct: Vec<f64> = candidate_ipc
+            .iter()
+            .zip(baseline_ipc)
+            .map(|(c, b)| (c / b - 1.0) * 100.0)
+            .collect();
+        let wins = improvements_pct.iter().filter(|&&x| x > 0.0).count();
+        let ci = bootstrap_geomean_ci(&improvements_pct, 2000, 0.95, 0xC1);
+        Self {
+            candidate: candidate.into(),
+            baseline: baseline.into(),
+            improvements_pct,
+            ci,
+            wins,
+        }
+    }
+}
+
+impl std::fmt::Display for Comparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} vs {}: {:+.2}% (95% CI [{:+.2}, {:+.2}]), wins {}/{}{}",
+            self.candidate,
+            self.baseline,
+            self.ci.geomean_pct,
+            self.ci.lo_pct,
+            self.ci.hi_pct,
+            self.wins,
+            self.improvements_pct.len(),
+            if self.ci.is_decisive() {
+                ""
+            } else {
+                " (not decisive)"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_brackets_the_point_estimate() {
+        let ci = bootstrap_geomean_ci(&[5.0, 7.0, 9.0, 6.0, 8.0], 1000, 0.95, 1);
+        assert!(ci.lo_pct <= ci.geomean_pct && ci.geomean_pct <= ci.hi_pct);
+        assert!(ci.is_decisive(), "uniformly positive samples are decisive");
+    }
+
+    #[test]
+    fn mixed_samples_are_not_decisive() {
+        let ci = bootstrap_geomean_ci(&[-6.0, 5.0, -4.0, 6.0], 1000, 0.95, 2);
+        assert!(!ci.is_decisive(), "{ci:?}");
+    }
+
+    #[test]
+    fn ci_is_deterministic_per_seed() {
+        let a = bootstrap_geomean_ci(&[1.0, 2.0, 3.0], 500, 0.9, 7);
+        let b = bootstrap_geomean_ci(&[1.0, 2.0, 3.0], 500, 0.9, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn comparison_counts_wins() {
+        let c = Comparison::summarize("new", "old", &[1.1, 0.9, 1.2], &[1.0, 1.0, 1.0]);
+        assert_eq!(c.wins, 2);
+        assert!(c.to_string().contains("new vs old"));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn mismatched_lengths_panic() {
+        let _ = Comparison::summarize("a", "b", &[1.0], &[1.0, 2.0]);
+    }
+}

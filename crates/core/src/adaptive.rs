@@ -1,0 +1,286 @@
+//! Phase adaptability for iTP+xPTP (paper Section 4.3.1).
+//!
+//! xPTP helps while the STLB is under pressure (lots of data page walks to
+//! absorb) but can hurt during phases with low STLB pressure, when
+//! protecting data PTEs just wastes L2C capacity. The paper's fix is a tiny
+//! monitor: two counters and a 1-bit status register. Every 1000 retired
+//! instructions the STLB miss count is compared against a threshold `T1`;
+//! the status bit then selects xPTP or plain LRU victim selection for the
+//! next epoch.
+//!
+//! This module provides the three pieces:
+//!
+//! * [`XptpSwitch`] — the shared 1-bit status register,
+//! * [`StlbPressureMonitor`] — the counters, owned by the simulated system
+//!   which reports retired instructions and STLB misses,
+//! * [`AdaptiveXptp`] — an L2C policy that applies xPTP victim selection
+//!   when the switch is on and degenerates to LRU when it is off (the
+//!   paper notes xPTP *is* LRU when its steps a–d are skipped).
+
+use crate::xptp::{Xptp, XptpParams};
+use itpx_policy::{CacheMeta, Policy, RecencyStack};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The 1-bit status register shared between the monitor (which writes it)
+/// and the adaptive L2C policy (which reads it).
+#[derive(Debug, Clone, Default)]
+pub struct XptpSwitch {
+    enabled: Arc<AtomicBool>,
+}
+
+impl XptpSwitch {
+    /// Creates a switch, initially off (LRU behavior).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current state.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Sets the state (called by the monitor at epoch boundaries).
+    pub fn set(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+}
+
+/// Default epoch length: the paper compares the miss counter against `T1`
+/// every 1000 dynamic instructions.
+pub const DEFAULT_EPOCH_INSTRUCTIONS: u64 = 1000;
+
+/// Default `T1`: one STLB miss per epoch, i.e. STLB MPKI > 1.0 — the same
+/// pressure level the paper uses to select its evaluation workloads.
+pub const DEFAULT_T1: u64 = 1;
+
+/// The STLB-pressure monitor: counts retired instructions and STLB misses,
+/// and flips the [`XptpSwitch`] at each epoch boundary.
+#[derive(Debug)]
+pub struct StlbPressureMonitor {
+    switch: XptpSwitch,
+    epoch_instructions: u64,
+    t1: u64,
+    instructions: u64,
+    misses: u64,
+    epochs_enabled: u64,
+    epochs_total: u64,
+}
+
+impl StlbPressureMonitor {
+    /// Creates a monitor with the paper's defaults (epoch = 1000
+    /// instructions, `T1` = 1 miss).
+    pub fn new(switch: XptpSwitch) -> Self {
+        Self::with_params(switch, DEFAULT_EPOCH_INSTRUCTIONS, DEFAULT_T1)
+    }
+
+    /// Creates a monitor with explicit epoch length and threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_instructions == 0`.
+    pub fn with_params(switch: XptpSwitch, epoch_instructions: u64, t1: u64) -> Self {
+        assert!(epoch_instructions > 0, "epoch length must be non-zero");
+        Self {
+            switch,
+            epoch_instructions,
+            t1,
+            instructions: 0,
+            misses: 0,
+            epochs_enabled: 0,
+            epochs_total: 0,
+        }
+    }
+
+    /// Records `n` retired instructions; closes the epoch (comparing the
+    /// miss counter to `T1` and resetting both counters) when the epoch
+    /// length is reached.
+    pub fn on_retire(&mut self, n: u64) {
+        self.instructions += n;
+        while self.instructions >= self.epoch_instructions {
+            self.instructions -= self.epoch_instructions;
+            let enable = self.misses > self.t1;
+            self.switch.set(enable);
+            self.epochs_total += 1;
+            if enable {
+                self.epochs_enabled += 1;
+            }
+            self.misses = 0;
+        }
+    }
+
+    /// Records one STLB miss.
+    pub fn on_stlb_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Fraction of completed epochs during which xPTP was enabled.
+    pub fn enabled_fraction(&self) -> f64 {
+        if self.epochs_total == 0 {
+            0.0
+        } else {
+            self.epochs_enabled as f64 / self.epochs_total as f64
+        }
+    }
+
+    /// The switch this monitor drives.
+    pub fn switch(&self) -> &XptpSwitch {
+        &self.switch
+    }
+}
+
+/// xPTP with the adaptive enable bit: victim selection follows Figure 6
+/// while the switch is on and plain LRU while it is off. Insertion and
+/// promotion (including `Type`-bit maintenance) are identical in both
+/// modes, so no state is lost across phase changes.
+#[derive(Debug)]
+pub struct AdaptiveXptp {
+    params: XptpParams,
+    switch: XptpSwitch,
+    stack: RecencyStack,
+    is_data_pte: Vec<Vec<bool>>,
+}
+
+impl AdaptiveXptp {
+    /// Creates an adaptive xPTP policy controlled by `switch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.k` is 0 or exceeds `ways`.
+    pub fn new(sets: usize, ways: usize, params: XptpParams, switch: XptpSwitch) -> Self {
+        assert!(
+            params.k >= 1 && params.k <= ways,
+            "xPTP requires 1 <= K <= ways (K={}, ways={ways})",
+            params.k
+        );
+        Self {
+            params,
+            switch,
+            stack: RecencyStack::new(sets, ways),
+            is_data_pte: vec![vec![false; ways]; sets],
+        }
+    }
+
+    /// The switch controlling this policy.
+    pub fn switch(&self) -> &XptpSwitch {
+        &self.switch
+    }
+}
+
+impl Policy<CacheMeta> for AdaptiveXptp {
+    fn on_fill(&mut self, set: usize, way: usize, meta: &CacheMeta) {
+        self.is_data_pte[set][way] = meta.fill.is_data_pte();
+        self.stack.touch(set, way);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, meta: &CacheMeta) {
+        if meta.fill.is_data_pte() {
+            self.is_data_pte[set][way] = true;
+        }
+        self.stack.touch(set, way);
+    }
+
+    fn victim(&mut self, set: usize, _incoming: &CacheMeta) -> usize {
+        if self.switch.is_enabled() {
+            Xptp::select_victim(&self.stack, &self.is_data_pte[set], set, self.params.k)
+        } else {
+            self.stack.lru(set)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "xptp/lru"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itpx_types::FillClass;
+
+    fn m(b: u64, fill: FillClass) -> CacheMeta {
+        CacheMeta::demand(b, fill)
+    }
+
+    #[test]
+    fn switch_starts_off_and_toggles() {
+        let s = XptpSwitch::new();
+        assert!(!s.is_enabled());
+        s.set(true);
+        assert!(s.is_enabled());
+        let clone = s.clone();
+        clone.set(false);
+        assert!(!s.is_enabled(), "clones share the status bit");
+    }
+
+    #[test]
+    fn monitor_enables_above_t1() {
+        let s = XptpSwitch::new();
+        let mut mon = StlbPressureMonitor::with_params(s.clone(), 1000, 1);
+        for _ in 0..5 {
+            mon.on_stlb_miss();
+        }
+        mon.on_retire(1000);
+        assert!(s.is_enabled());
+        assert!((mon.enabled_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monitor_disables_at_or_below_t1() {
+        let s = XptpSwitch::new();
+        let mut mon = StlbPressureMonitor::with_params(s.clone(), 1000, 1);
+        s.set(true);
+        mon.on_stlb_miss(); // exactly T1 misses: not *exceeding* T1
+        mon.on_retire(1000);
+        assert!(!s.is_enabled());
+    }
+
+    #[test]
+    fn monitor_counts_partial_retires_across_epochs() {
+        let s = XptpSwitch::new();
+        let mut mon = StlbPressureMonitor::with_params(s.clone(), 10, 0);
+        mon.on_stlb_miss();
+        mon.on_retire(4);
+        assert!(!s.is_enabled(), "epoch not complete yet");
+        mon.on_retire(6);
+        assert!(s.is_enabled());
+        // Next epoch has zero misses → disabled again.
+        mon.on_retire(10);
+        assert!(!s.is_enabled());
+        assert!((mon.enabled_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_behaves_as_lru_enabled_as_xptp() {
+        let s = XptpSwitch::new();
+        let mut p = AdaptiveXptp::new(1, 4, XptpParams { k: 4 }, s.clone());
+        p.on_fill(0, 0, &m(0, FillClass::DataPte)); // LRU block, data PTE
+        for w in 1..4 {
+            p.on_fill(0, w, &m(w as u64, FillClass::DataPayload));
+        }
+        // Off: LRU victim, even though it is a data PTE.
+        assert_eq!(p.victim(0, &m(9, FillClass::DataPayload)), 0);
+        // On: the data PTE is protected.
+        s.set(true);
+        assert_eq!(p.victim(0, &m(9, FillClass::DataPayload)), 1);
+    }
+
+    #[test]
+    fn type_bits_survive_phase_changes() {
+        let s = XptpSwitch::new();
+        let mut p = AdaptiveXptp::new(1, 2, XptpParams { k: 2 }, s.clone());
+        p.on_fill(0, 0, &m(0, FillClass::DataPte));
+        p.on_fill(0, 1, &m(1, FillClass::DataPayload));
+        s.set(false);
+        let _ = p.victim(0, &m(2, FillClass::DataPayload));
+        s.set(true);
+        // The Type bit recorded while "off" still protects the block.
+        assert_eq!(p.victim(0, &m(3, FillClass::DataPayload)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch length")]
+    fn zero_epoch_panics() {
+        let _ = StlbPressureMonitor::with_params(XptpSwitch::new(), 0, 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Extension beyond the paper's evaluation: xPTP combined with an
+//! Emissary-style code-preserving rule at the L2C.
+//!
+//! The paper's related-work section (§7) conjectures: *"A scheme that
+//! leverages iTP as STLB replacement policy and combines xPTP with
+//! Emissary at L2C has the potential to provide larger performance gains
+//! than iTP+xPTP since it would preserve critical code blocks in the L2C."*
+//! This module implements that scheme in simplified form.
+//!
+//! Emissary (Nagendra et al., ISCA 2023) preserves L2C blocks whose
+//! instruction fetches stalled the front end. This reproduction uses
+//! big-code criticality as the proxy: *instruction payload* blocks are
+//! protected with a bounded quota (front-end misses on them are
+//! unhideable by the out-of-order core), layered on top of xPTP's strict
+//! protection of data-PTE blocks.
+
+use crate::xptp::XptpParams;
+use itpx_policy::{CacheMeta, Policy, RecencyStack};
+use itpx_types::FillClass;
+
+/// xPTP + Emissary-style code preservation at the L2C.
+#[derive(Debug, Clone)]
+pub struct XptpEmissary {
+    params: XptpParams,
+    stack: RecencyStack,
+    /// xPTP's `Type` bit: block holds a data PTE.
+    is_data_pte: Vec<Vec<bool>>,
+    /// Emissary-style criticality: block holds instruction payload.
+    is_code: Vec<Vec<bool>>,
+    /// Max code blocks protected per set.
+    code_quota: usize,
+}
+
+impl XptpEmissary {
+    /// Creates the combined policy; code protection is bounded to a
+    /// quarter of the ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.k` is 0 or exceeds `ways`.
+    pub fn new(sets: usize, ways: usize, params: XptpParams) -> Self {
+        assert!(
+            params.k >= 1 && params.k <= ways,
+            "xPTP requires 1 <= K <= ways (K={}, ways={ways})",
+            params.k
+        );
+        Self {
+            params,
+            stack: RecencyStack::new(sets, ways),
+            is_data_pte: vec![vec![false; ways]; sets],
+            is_code: vec![vec![false; ways]; sets],
+            code_quota: (ways / 4).max(1),
+        }
+    }
+
+    /// The per-set code-protection quota.
+    pub fn code_quota(&self) -> usize {
+        self.code_quota
+    }
+}
+
+impl Policy<CacheMeta> for XptpEmissary {
+    fn on_fill(&mut self, set: usize, way: usize, meta: &CacheMeta) {
+        self.is_data_pte[set][way] = meta.fill.is_data_pte();
+        self.is_code[set][way] = meta.fill == FillClass::InstrPayload;
+        self.stack.touch(set, way);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, meta: &CacheMeta) {
+        if meta.fill.is_data_pte() {
+            self.is_data_pte[set][way] = true;
+        }
+        if meta.fill == FillClass::InstrPayload {
+            self.is_code[set][way] = true;
+        }
+        self.stack.touch(set, way);
+    }
+
+    fn victim(&mut self, set: usize, _incoming: &CacheMeta) -> usize {
+        // Protect the `code_quota` most recently used code blocks.
+        let mut code_protected = [false; 64];
+        let mut protected = 0usize;
+        for w in self.stack.iter_mru_to_lru(set) {
+            if protected >= self.code_quota {
+                break;
+            }
+            if self.is_code[set][w] {
+                code_protected[w.min(63)] = true;
+                protected += 1;
+            }
+        }
+        // xPTP scan from LRUpos: skip data PTEs (strict under K = ways)
+        // and protected code; the K threshold still bounds how far up the
+        // stack we sacrifice a payload block.
+        let lru = self.stack.lru(set);
+        let alt = self
+            .stack
+            .iter_lru_to_mru(set)
+            .find(|&w| !self.is_data_pte[set][w] && !code_protected[w.min(63)]);
+        match alt {
+            Some(alt) if self.stack.height_of(set, alt) < self.params.k => alt,
+            _ => lru,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "xptp+emissary"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(b: u64, fill: FillClass) -> CacheMeta {
+        CacheMeta::demand(b, fill)
+    }
+
+    #[test]
+    fn protects_both_data_ptes_and_recent_code() {
+        let mut p = XptpEmissary::new(1, 8, XptpParams::default());
+        p.on_fill(0, 0, &m(0, FillClass::DataPte));
+        p.on_fill(0, 1, &m(1, FillClass::InstrPayload));
+        for w in 2..8 {
+            p.on_fill(0, w, &m(w as u64, FillClass::DataPayload));
+        }
+        // LRU order: 0 (pte), 1 (code), 2.. (payload). Both are spared.
+        assert_eq!(p.victim(0, &m(9, FillClass::DataPayload)), 2);
+    }
+
+    #[test]
+    fn code_protection_is_quota_bounded() {
+        let mut p = XptpEmissary::new(1, 8, XptpParams::default());
+        assert_eq!(p.code_quota(), 2);
+        for w in 0..4 {
+            p.on_fill(0, w, &m(w as u64, FillClass::InstrPayload));
+        }
+        for w in 4..8 {
+            p.on_fill(0, w, &m(w as u64, FillClass::DataPayload));
+        }
+        // Four code blocks, quota two: the two least recent code blocks
+        // are evictable; way 0 is LRU.
+        assert_eq!(p.victim(0, &m(9, FillClass::DataPayload)), 0);
+    }
+
+    #[test]
+    fn all_protected_falls_back_to_lru() {
+        let mut p = XptpEmissary::new(1, 2, XptpParams { k: 2 });
+        p.on_fill(0, 0, &m(0, FillClass::DataPte));
+        p.on_fill(0, 1, &m(1, FillClass::DataPte));
+        assert_eq!(p.victim(0, &m(9, FillClass::DataPte)), 0);
+    }
+
+    #[test]
+    fn payload_hit_does_not_mark_code() {
+        let mut p = XptpEmissary::new(1, 2, XptpParams { k: 2 });
+        p.on_fill(0, 0, &m(0, FillClass::DataPayload));
+        p.on_hit(0, 0, &m(0, FillClass::DataPayload));
+        p.on_fill(0, 1, &m(1, FillClass::DataPayload));
+        assert_eq!(p.victim(0, &m(9, FillClass::DataPayload)), 0);
+    }
+}

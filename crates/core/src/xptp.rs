@@ -1,0 +1,209 @@
+//! xPTP — extended Page Table Prioritization (paper Section 4.2).
+//!
+//! xPTP is an L2-cache replacement policy that amplifies iTP: because iTP
+//! trades data STLB hits for instruction STLB hits, the number of *data*
+//! page walks rises (Finding 3), and each walk references PTE blocks in the
+//! L2C. xPTP keeps exactly LRU's insertion and promotion but changes victim
+//! selection (Figure 6):
+//!
+//! 1. identify the `LRUpos` block (the LRU victim), and in parallel
+//! 2. identify the *alternative* victim — the block closest to `LRUpos`
+//!    that does **not** hold a data PTE;
+//! 3. if the alternative sits at or above `LRUpos + K` in the stack (i.e.
+//!    it is too recently used to sacrifice), evict the LRU block anyway;
+//! 4. otherwise evict the alternative, preserving the data PTE.
+//!
+//! Unlike PTP and T-DRRIP, xPTP protects only **data** PTEs — instruction
+//! PTEs are covered by iTP keeping their translations in the STLB, so
+//! caching them would waste L2C space.
+
+use itpx_policy::{CacheMeta, Policy, RecencyStack};
+
+/// Tunable parameters of [`Xptp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XptpParams {
+    /// Recency-stack height threshold `K`: an alternative victim at height
+    /// `>= K` is considered too recently used, and the LRU block (a data
+    /// PTE) is evicted instead. With `K` equal to the associativity the
+    /// protection is strict. Paper default (Table 1): 8 for the 8-way L2C.
+    pub k: usize,
+}
+
+impl Default for XptpParams {
+    fn default() -> Self {
+        Self { k: 8 }
+    }
+}
+
+/// The xPTP L2-cache replacement policy.
+#[derive(Debug, Clone)]
+pub struct Xptp {
+    params: XptpParams,
+    stack: RecencyStack,
+    /// The per-block `Type` bit: true when the block holds a data PTE.
+    is_data_pte: Vec<Vec<bool>>,
+}
+
+impl Xptp {
+    /// Creates an xPTP policy for `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.k == 0` or `params.k > ways`.
+    pub fn new(sets: usize, ways: usize, params: XptpParams) -> Self {
+        assert!(
+            params.k >= 1 && params.k <= ways,
+            "xPTP requires 1 <= K <= ways (K={}, ways={ways})",
+            params.k
+        );
+        Self {
+            params,
+            stack: RecencyStack::new(sets, ways),
+            is_data_pte: vec![vec![false; ways]; sets],
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &XptpParams {
+        &self.params
+    }
+
+    /// Whether `(set, way)` currently holds a data PTE (the stored `Type`
+    /// bit).
+    pub fn type_bit(&self, set: usize, way: usize) -> bool {
+        self.is_data_pte[set][way]
+    }
+
+    /// Victim selection shared with [`crate::AdaptiveXptp`]: Figure 6 steps
+    /// a–d.
+    pub(crate) fn select_victim(
+        stack: &RecencyStack,
+        is_data_pte: &[bool],
+        set: usize,
+        k: usize,
+    ) -> usize {
+        let lru = stack.lru(set);
+        // Step b: the block closest to LRUpos not holding a data PTE.
+        let alt = stack.iter_lru_to_mru(set).find(|&w| !is_data_pte[w]);
+        match alt {
+            // Step c/d: if the alternative is K or more positions above
+            // LRUpos it is too hot to evict — fall back to the LRU block.
+            Some(alt) if stack.height_of(set, alt) < k => alt,
+            _ => lru,
+        }
+    }
+}
+
+impl Policy<CacheMeta> for Xptp {
+    fn on_fill(&mut self, set: usize, way: usize, meta: &CacheMeta) {
+        // LRU insertion; the only addition is recording the Type bit
+        // (Figure 7 step 3.1: written back when the fill completes).
+        self.is_data_pte[set][way] = meta.fill.is_data_pte();
+        self.stack.touch(set, way);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, meta: &CacheMeta) {
+        // A hit by a data page walk marks the block as holding a data PTE;
+        // payload hits leave the bit unchanged (a PTE block is still a PTE
+        // block when the walker re-reads it).
+        if meta.fill.is_data_pte() {
+            self.is_data_pte[set][way] = true;
+        }
+        self.stack.touch(set, way);
+    }
+
+    fn victim(&mut self, set: usize, _incoming: &CacheMeta) -> usize {
+        Self::select_victim(&self.stack, &self.is_data_pte[set], set, self.params.k)
+    }
+
+    fn name(&self) -> &'static str {
+        "xptp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itpx_types::FillClass;
+
+    fn m(b: u64, fill: FillClass) -> CacheMeta {
+        CacheMeta::demand(b, fill)
+    }
+
+    #[test]
+    fn protects_data_pte_at_lru_pos() {
+        let mut p = Xptp::new(1, 8, XptpParams::default());
+        p.on_fill(0, 0, &m(0, FillClass::DataPte)); // becomes LRU
+        for w in 1..8 {
+            p.on_fill(0, w, &m(w as u64, FillClass::DataPayload));
+        }
+        // LRU is the data PTE; the alternative is way 1 (height 1 < K=8).
+        assert_eq!(p.victim(0, &m(9, FillClass::DataPayload)), 1);
+    }
+
+    #[test]
+    fn does_not_protect_instruction_ptes() {
+        let mut p = Xptp::new(1, 4, XptpParams { k: 4 });
+        p.on_fill(0, 0, &m(0, FillClass::InstrPte));
+        for w in 1..4 {
+            p.on_fill(0, w, &m(w as u64, FillClass::DataPayload));
+        }
+        assert_eq!(p.victim(0, &m(9, FillClass::DataPayload)), 0);
+    }
+
+    #[test]
+    fn k_threshold_falls_back_to_lru_when_alt_is_hot() {
+        let mut p = Xptp::new(1, 4, XptpParams { k: 2 });
+        // Fill: ways 0..2 hold data PTEs at the bottom, way 3 is payload
+        // and most recently used (height 3 >= K=2).
+        p.on_fill(0, 0, &m(0, FillClass::DataPte));
+        p.on_fill(0, 1, &m(1, FillClass::DataPte));
+        p.on_fill(0, 2, &m(2, FillClass::DataPte));
+        p.on_fill(0, 3, &m(3, FillClass::DataPayload));
+        assert_eq!(p.victim(0, &m(9, FillClass::DataPayload)), 0);
+    }
+
+    #[test]
+    fn all_data_pte_set_degenerates_to_lru() {
+        let mut p = Xptp::new(1, 3, XptpParams { k: 3 });
+        for w in 0..3 {
+            p.on_fill(0, w, &m(w as u64, FillClass::DataPte));
+        }
+        assert_eq!(p.victim(0, &m(9, FillClass::DataPte)), 0);
+    }
+
+    #[test]
+    fn walker_hit_sets_type_bit() {
+        let mut p = Xptp::new(1, 2, XptpParams { k: 2 });
+        p.on_fill(0, 0, &m(0, FillClass::DataPayload));
+        assert!(!p.type_bit(0, 0));
+        p.on_hit(0, 0, &m(0, FillClass::DataPte));
+        assert!(p.type_bit(0, 0));
+        // A later payload hit does not clear it.
+        p.on_hit(0, 0, &m(0, FillClass::DataPayload));
+        assert!(p.type_bit(0, 0));
+    }
+
+    #[test]
+    fn insertion_and_promotion_are_plain_lru() {
+        let mut p = Xptp::new(1, 3, XptpParams { k: 3 });
+        p.on_fill(0, 0, &m(0, FillClass::DataPayload));
+        p.on_fill(0, 1, &m(1, FillClass::DataPayload));
+        p.on_fill(0, 2, &m(2, FillClass::DataPayload));
+        p.on_hit(0, 0, &m(0, FillClass::DataPayload));
+        // LRU order now: 1 (oldest), 2, 0.
+        assert_eq!(p.victim(0, &m(9, FillClass::DataPayload)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= K <= ways")]
+    fn k_zero_panics() {
+        let _ = Xptp::new(1, 8, XptpParams { k: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= K <= ways")]
+    fn k_above_ways_panics() {
+        let _ = Xptp::new(1, 8, XptpParams { k: 9 });
+    }
+}

@@ -1,0 +1,377 @@
+//! The timing engine: a timestamp-dataflow out-of-order core.
+//!
+//! Instead of stepping every pipeline stage every cycle, each dynamic
+//! instruction is assigned the cycle at which each of its lifecycle events
+//! completes (fetch → dispatch → ready → complete → retire), with
+//! structural limits enforced along the way:
+//!
+//! * **front end** — fetch groups of `fetch_width` instructions per cycle
+//!   from one cache block; crossing into a new block performs ITLB
+//!   translation and an L1I access. Pipelining hides hit latencies; only
+//!   the *excess* latency of misses stalls fetch, and the excess caused by
+//!   instruction-translation misses is accounted separately (the paper's
+//!   Figure 1 metric). FDIP prefetches upcoming FTQ blocks into the L1I.
+//! * **back end** — ROB occupancy bounds in-flight instructions (the slot
+//!   of instruction *i* frees when instruction *i − ROB* retires);
+//!   register dependencies come from the trace; loads translate through
+//!   DTLB/STLB and access the hierarchy at their ready time, so their
+//!   latency overlaps with independent work — the out-of-order latency
+//!   hiding that makes data translation cheaper than instruction
+//!   translation, as the paper observes.
+//! * **branches** — a hashed perceptron predicts directions; a
+//!   misprediction redirects fetch after the branch resolves.
+//! * **SMT** — two threads interleave fetch cycles (each thread gets every
+//!   other fetch slot), split the ROB, and share every TLB/cache/walker
+//!   structure; the engine advances whichever thread is earliest in
+//!   simulated time.
+
+use crate::branch::HashedPerceptron;
+use crate::output::{SimulationOutput, ThreadOutput, WalkerSummary};
+use crate::system::System;
+use itpx_trace::{InstructionStream, TraceInst, WorkloadSource, WorkloadSpec};
+use itpx_types::{Cycle, ThreadId, TranslationKind, VirtAddr};
+use std::collections::VecDeque;
+
+/// Ring size for dependency tracking (dep distances are `u8`).
+const DEP_RING: usize = 256;
+
+#[derive(Debug)]
+struct ThreadPipe {
+    id: ThreadId,
+    name: String,
+    stream: Box<dyn InstructionStream>,
+    lookahead: VecDeque<TraceInst>,
+    bp: HashedPerceptron,
+    va_offset: u64,
+    // Front-end state.
+    frontend_time: Cycle,
+    cur_block: u64,
+    group_count: usize,
+    recent_pf: [u64; 64],
+    // Back-end state.
+    completions: Vec<Cycle>,
+    retire_ring: Vec<Cycle>,
+    rob_size: usize,
+    last_retire: Cycle,
+    retire_cycle: Cycle,
+    retired_this_cycle: usize,
+    produced: u64,
+    /// New-block fetches left to run without FDIP after a misprediction
+    /// (the prefetcher was off on the wrong path).
+    fdip_suppress: u8,
+    // Measurement.
+    warmup: u64,
+    target: u64,
+    meas_start_cycle: Cycle,
+    itrans_stall: u64,
+    mispredicts: u64,
+    end_cycle: Option<Cycle>,
+}
+
+impl ThreadPipe {
+    fn new(source: WorkloadSource, id: ThreadId, rob_size: usize) -> Self {
+        let name = source.name().to_string();
+        let warmup = source.warmup();
+        let target = warmup + source.instructions();
+        Self {
+            id,
+            name,
+            stream: source.into_stream(),
+            lookahead: VecDeque::new(),
+            bp: HashedPerceptron::new(),
+            va_offset: (id.0 as u64) << 44,
+            frontend_time: 0,
+            cur_block: u64::MAX,
+            group_count: 0,
+            recent_pf: [u64::MAX; 64],
+            fdip_suppress: 0,
+            completions: vec![0; DEP_RING],
+            retire_ring: vec![0; rob_size],
+            rob_size,
+            last_retire: 0,
+            retire_cycle: 0,
+            retired_this_cycle: 0,
+            produced: 0,
+            warmup,
+            target,
+            meas_start_cycle: 0,
+            itrans_stall: 0,
+            mispredicts: 0,
+            end_cycle: None,
+        }
+    }
+
+    fn warmed(&self) -> bool {
+        self.produced >= self.warmup
+    }
+
+    fn finished(&self) -> bool {
+        self.produced >= self.target
+    }
+}
+
+/// The multi-thread simulation engine.
+#[derive(Debug)]
+pub struct Engine {
+    system: System,
+    threads: Vec<ThreadPipe>,
+}
+
+impl Engine {
+    /// Creates an engine running `specs` (one per hardware thread, 1 or 2)
+    /// on `system`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty or has more than two entries.
+    pub fn new(system: System, specs: &[WorkloadSpec]) -> Self {
+        Self::from_sources(
+            system,
+            specs.iter().cloned().map(WorkloadSource::from).collect(),
+        )
+    }
+
+    /// Creates an engine from arbitrary instruction sources (synthetic
+    /// generators or recorded-trace replays).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty or has more than two entries.
+    pub fn from_sources(system: System, sources: Vec<WorkloadSource>) -> Self {
+        assert!(
+            (1..=2).contains(&sources.len()),
+            "1 or 2 hardware threads supported"
+        );
+        let rob_per_thread = system.config.rob_entries / sources.len();
+        let threads = sources
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| ThreadPipe::new(s, ThreadId(i as u8), rob_per_thread))
+            .collect();
+        Self { system, threads }
+    }
+
+    /// Executes one instruction on thread `ti`.
+    fn step(&mut self, ti: usize, smt_active: bool) {
+        let cfg = self.system.config;
+        let sys = &mut self.system;
+        let t = &mut self.threads[ti];
+
+        // Keep the FTQ lookahead full.
+        while t.lookahead.len() < cfg.ftq_entries {
+            let next = t.stream.next_inst();
+            t.lookahead.push_back(next);
+        }
+        let inst = t.lookahead.pop_front().expect("non-empty lookahead");
+        let pc = inst.pc + t.va_offset;
+
+        // ---- Fetch ----
+        let quantum: u64 = if smt_active { 2 } else { 1 };
+        let block = pc >> 6;
+        if block != t.cur_block {
+            t.cur_block = block;
+            t.group_count = 1;
+            t.frontend_time += quantum;
+            let tr = sys.translate(
+                VirtAddr::new(pc),
+                TranslationKind::Instruction,
+                pc,
+                t.id,
+                t.frontend_time,
+            );
+            // Stall attributable to instruction address translation: the
+            // excess beyond a pipelined ITLB hit.
+            let tstall = tr.done.saturating_sub(t.frontend_time + cfg.itlb.latency);
+            t.itrans_stall += tstall;
+            let fdone = sys.hierarchy.instr_fetch(tr.pa, pc, t.id, tr.done);
+            let fstall = fdone.saturating_sub(tr.done + cfg.hierarchy.l1i.latency);
+            t.frontend_time += tstall + fstall;
+
+            // FDIP: prefetch upcoming distinct blocks along the FTQ —
+            // unless a recent misprediction means the prefetcher was
+            // running down the wrong path.
+            if t.fdip_suppress > 0 {
+                t.fdip_suppress -= 1;
+            } else {
+                let mut seen = block;
+                let mut depth = 0usize;
+                let mut nominations: [u64; 16] = [u64::MAX; 16];
+                for la in t.lookahead.iter() {
+                    let b = (la.pc + t.va_offset) >> 6;
+                    if b != seen {
+                        seen = b;
+                        let slot = (b as usize) & 63;
+                        if t.recent_pf[slot] != b {
+                            t.recent_pf[slot] = b;
+                            nominations[depth.min(15)] = b;
+                        }
+                        depth += 1;
+                        if depth >= cfg.fdip_depth {
+                            break;
+                        }
+                    }
+                }
+                for &b in nominations.iter().filter(|&&b| b != u64::MAX) {
+                    let pa = sys.fdip_target(VirtAddr::new(b << 6), t.id);
+                    sys.hierarchy.prefetch_instr(pa, t.id, t.frontend_time);
+                }
+            }
+        } else {
+            t.group_count += 1;
+            if t.group_count > cfg.fetch_width {
+                t.frontend_time += quantum;
+                t.group_count = 1;
+            }
+        }
+        let fetch_done = t.frontend_time;
+
+        // ---- Dispatch: ROB slot of instruction (produced - rob_size). ----
+        let rob_idx = (t.produced % t.rob_size as u64) as usize;
+        let dispatch = fetch_done.max(t.retire_ring[rob_idx]);
+
+        // ---- Ready: register dependencies. ----
+        let mut ready = dispatch;
+        for d in [inst.src1_dist, inst.src2_dist] {
+            let d = d as u64;
+            if d > 0 && d <= t.produced {
+                ready = ready.max(t.completions[((t.produced - d) % DEP_RING as u64) as usize]);
+            }
+        }
+
+        // ---- Execute. ----
+        let completion = if let Some(m) = inst.mem {
+            let va = VirtAddr::new(m.addr + t.va_offset);
+            let tr = sys.translate(va, TranslationKind::Data, pc, t.id, ready);
+            let mdone = sys
+                .hierarchy
+                .data_access(tr.pa, pc, t.id, m.store, tr.stlb_miss, tr.done);
+            if m.store {
+                // Stores complete into the store buffer; the cache access
+                // has already updated state and timing downstream.
+                ready + 1
+            } else {
+                mdone
+            }
+        } else {
+            ready + inst.exec_latency.max(1) as u64
+        };
+
+        // ---- Branch resolution. ----
+        if let Some(b) = inst.branch {
+            let correct = t.bp.update(pc, b.taken);
+            if !correct {
+                t.mispredicts += 1;
+                t.frontend_time = t.frontend_time.max(completion + cfg.mispredict_penalty);
+                t.cur_block = u64::MAX;
+                t.group_count = 0;
+                t.fdip_suppress = 2;
+            }
+        }
+
+        // ---- In-order retire with bandwidth. ----
+        let mut retire = completion.max(t.last_retire);
+        if retire == t.retire_cycle {
+            if t.retired_this_cycle >= cfg.retire_width {
+                retire += 1;
+                t.retire_cycle = retire;
+                t.retired_this_cycle = 1;
+            } else {
+                t.retired_this_cycle += 1;
+            }
+        } else {
+            t.retire_cycle = retire;
+            t.retired_this_cycle = 1;
+        }
+        t.last_retire = retire;
+        t.retire_ring[rob_idx] = retire;
+        t.completions[(t.produced % DEP_RING as u64) as usize] = completion;
+        t.produced += 1;
+        sys.on_retire(1);
+    }
+
+    /// Runs warmup and measurement, returning the collected results.
+    pub fn run(mut self, preset: &str, llc_policy: &str) -> SimulationOutput {
+        let smt = self.threads.len() == 2;
+        // Phase 1: warm every thread up, interleaved by simulated time.
+        loop {
+            let next = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.warmed())
+                .min_by_key(|(_, t)| t.frontend_time)
+                .map(|(i, _)| i);
+            match next {
+                Some(i) => self.step(i, smt),
+                None => break,
+            }
+        }
+        // Measurement boundary.
+        self.system.reset_stats();
+        for t in &mut self.threads {
+            t.meas_start_cycle = t.last_retire;
+            t.itrans_stall = 0;
+            t.mispredicts = 0;
+        }
+        // Phase 2: run to each thread's target.
+        loop {
+            let next = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.finished())
+                .min_by_key(|(_, t)| t.frontend_time)
+                .map(|(i, _)| i);
+            match next {
+                Some(i) => {
+                    self.step(i, smt);
+                    let t = &mut self.threads[i];
+                    if t.finished() && t.end_cycle.is_none() {
+                        t.end_cycle = Some(t.last_retire);
+                    }
+                }
+                None => break,
+            }
+        }
+
+        let threads = self
+            .threads
+            .iter()
+            .map(|t| ThreadOutput {
+                workload: t.name.clone(),
+                instructions: t.target - t.warmup,
+                cycles: t
+                    .end_cycle
+                    .expect("thread finished")
+                    .saturating_sub(t.meas_start_cycle)
+                    .max(1),
+                itrans_stall_cycles: t.itrans_stall,
+                mispredictions: t.mispredicts,
+            })
+            .collect();
+
+        let sys = &self.system;
+        SimulationOutput {
+            preset: preset.to_string(),
+            llc_policy: llc_policy.to_string(),
+            threads,
+            itlb: sys.itlb().stats().clone(),
+            dtlb: sys.dtlb().stats().clone(),
+            stlb: sys.stlb().stats(),
+            l1i: sys.hierarchy.l1i.stats().clone(),
+            l1d: sys.hierarchy.l1d.stats().clone(),
+            l2c: sys.hierarchy.l2.stats().clone(),
+            llc: sys.hierarchy.llc.stats().clone(),
+            walker: WalkerSummary {
+                walks: sys.walker().walks(),
+                instruction_walks: sys.walker().instruction_walks(),
+                data_walks: sys.walker().data_walks(),
+                avg_latency: sys.walker().avg_latency(),
+                avg_memory_refs: sys.walker().avg_memory_refs(),
+            },
+            dram_reads: sys.hierarchy.dram.reads(),
+            dram_writes: sys.hierarchy.dram.writes(),
+            xptp_enabled_fraction: sys.xptp_enabled_fraction(),
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! The structural model: TLBs, page tables, walker, caches, and the
+//! iTP+xPTP cooperative plumbing of the paper's Figure 7.
+
+use crate::config::SystemConfig;
+use itpx_core::presets::PolicyBundle;
+use itpx_core::StlbPressureMonitor;
+use itpx_mem::{Hierarchy, HierarchyPolicies};
+use itpx_policy::Lru;
+use itpx_types::{Cycle, PhysAddr, ThreadId, TranslationKind, VirtAddr};
+use itpx_vm::page_table::PageTable;
+use itpx_vm::psc::SplitPscs;
+use itpx_vm::tlb::{LastLevelTlb, Tlb, TlbConfig, TlbLookup};
+use itpx_vm::walker::{PageWalker, PteMemory};
+
+/// Result of a full translation: physical address, availability cycle, and
+/// whether the STLB missed (the flag T-DRRIP consumes, Figure 7 step 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translated {
+    /// Physical address of the access.
+    pub pa: PhysAddr,
+    /// Cycle at which the translation is available.
+    pub done: Cycle,
+    /// Whether the request missed in the STLB.
+    pub stlb_miss: bool,
+}
+
+/// Adapter giving the walker its L2C window (Figure 7 step 3).
+#[derive(Debug)]
+struct WalkMemory<'a> {
+    hierarchy: &'a mut Hierarchy,
+    thread: ThreadId,
+}
+
+impl PteMemory for WalkMemory<'_> {
+    fn pte_access(&mut self, pa: PhysAddr, kind: TranslationKind, now: Cycle) -> Cycle {
+        self.hierarchy.pte_access(pa, kind, self.thread, now)
+    }
+}
+
+/// The simulated machine: every structure of Table 1, wired per Figure 7.
+#[derive(Debug)]
+pub struct System {
+    /// Configuration the system was built with.
+    pub config: SystemConfig,
+    itlb: Tlb,
+    dtlb: Tlb,
+    stlb: LastLevelTlb,
+    pscs: SplitPscs,
+    walker: PageWalker,
+    page_tables: Vec<PageTable>,
+    /// The cache hierarchy (public: the engine issues fetches/accesses).
+    pub hierarchy: Hierarchy,
+    monitor: Option<StlbPressureMonitor>,
+}
+
+impl System {
+    /// Builds the machine for `threads` hardware threads using the policy
+    /// objects of `bundle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `threads` is not 1 or 2.
+    pub fn new(config: SystemConfig, bundle: PolicyBundle, threads: usize) -> Self {
+        config.validate();
+        assert!((1..=2).contains(&threads), "1 or 2 hardware threads");
+        let PolicyBundle {
+            stlb: stlb_policy,
+            l2c,
+            llc,
+            monitor,
+        } = bundle;
+        let stlb = if config.split_stlb {
+            // Section 6.6: split designs use LRU on each half (the paper
+            // pairs iTP+xPTP only with unified STLBs).
+            let half = TlbConfig {
+                sets: config.stlb.sets / 2,
+                ..config.stlb
+            };
+            LastLevelTlb::Split {
+                instr: Tlb::new(half, Box::new(Lru::new(half.sets, half.ways))),
+                data: Tlb::new(half, Box::new(Lru::new(half.sets, half.ways))),
+            }
+        } else {
+            LastLevelTlb::Unified(Tlb::new(config.stlb, stlb_policy))
+        };
+        let hierarchy = Hierarchy::new(
+            &config.hierarchy,
+            HierarchyPolicies {
+                l1i: Box::new(Lru::new(
+                    config.hierarchy.l1i.sets,
+                    config.hierarchy.l1i.ways,
+                )),
+                l1d: Box::new(Lru::new(
+                    config.hierarchy.l1d.sets,
+                    config.hierarchy.l1d.ways,
+                )),
+                l2: l2c,
+                llc,
+            },
+        );
+        let page_tables = (0..threads)
+            .map(|t| {
+                PageTable::with_region_offset(
+                    config.huge_pages,
+                    config.seed ^ (t as u64).wrapping_mul(0x1234_5677),
+                    (t as u64) << 44,
+                )
+            })
+            .collect();
+        Self {
+            itlb: Tlb::new(
+                config.itlb,
+                Box::new(Lru::new(config.itlb.sets, config.itlb.ways)),
+            ),
+            dtlb: Tlb::new(
+                config.dtlb,
+                Box::new(Lru::new(config.dtlb.sets, config.dtlb.ways)),
+            ),
+            stlb,
+            pscs: SplitPscs::asplos25(),
+            walker: PageWalker::new(config.walker_concurrency),
+            page_tables,
+            hierarchy,
+            monitor,
+            config,
+        }
+    }
+
+    /// Translates `va` for `thread`, modeling the full ITLB/DTLB → STLB →
+    /// page-walk path with all timing side effects.
+    pub fn translate(
+        &mut self,
+        va: VirtAddr,
+        kind: TranslationKind,
+        pc: u64,
+        thread: ThreadId,
+        now: Cycle,
+    ) -> Translated {
+        let Self {
+            itlb,
+            dtlb,
+            stlb,
+            pscs,
+            walker,
+            page_tables,
+            hierarchy,
+            monitor,
+            ..
+        } = self;
+        let l1 = if kind.is_instruction() { itlb } else { dtlb };
+
+        match l1.lookup(va, kind, pc, thread, now) {
+            TlbLookup::Hit { done, frame, size } => Translated {
+                pa: frame.offset(va.page_offset(size)),
+                done,
+                stlb_miss: false,
+            },
+            TlbLookup::Miss => {
+                // The physical mapping itself is deterministic; timing
+                // comes from the structures below.
+                let tr = page_tables[thread.0 as usize].translate(va, kind);
+                let pa = tr.pa;
+                // Merge under an in-flight L1-TLB miss.
+                if let Some(ready) = l1.merge(va, now) {
+                    return Translated {
+                        pa,
+                        done: ready,
+                        stlb_miss: false,
+                    };
+                }
+                let t_miss = now + l1.config().latency;
+                let t_alloc = l1.mshr_alloc(va, kind, t_miss);
+                let s = stlb.for_kind(kind);
+                match s.lookup(va, kind, pc, thread, t_alloc) {
+                    TlbLookup::Hit { done, frame, size } => {
+                        l1.fill(
+                            tr.vpn,
+                            tr.size,
+                            tr.frame,
+                            kind,
+                            pc,
+                            thread,
+                            done - now,
+                            done,
+                        );
+                        l1.mshr_complete(va, done);
+                        Translated {
+                            pa: frame.offset(va.page_offset(size)),
+                            done,
+                            stlb_miss: false,
+                        }
+                    }
+                    TlbLookup::Miss => {
+                        if let Some(m) = monitor.as_mut() {
+                            m.on_stlb_miss();
+                        }
+                        // Merge under an in-flight STLB miss (walk).
+                        if let Some(ready) = s.merge(va, t_alloc) {
+                            l1.fill(
+                                tr.vpn,
+                                tr.size,
+                                tr.frame,
+                                kind,
+                                pc,
+                                thread,
+                                ready - now,
+                                ready,
+                            );
+                            l1.mshr_complete(va, ready);
+                            return Translated {
+                                pa,
+                                done: ready,
+                                stlb_miss: true,
+                            };
+                        }
+                        let t_stlb = t_alloc + s.config().latency;
+                        // Figure 7 step 2: the STLB MSHR records the Type.
+                        let walk_start = s.mshr_alloc(va, kind, t_stlb);
+                        let mem = WalkMemory { hierarchy, thread };
+                        let outcome = walker.walk(&tr, kind, pscs, mem, walk_start);
+                        // Figure 7 step 4: insertion consumes the MSHR's
+                        // Type bit (iTP keys on `kind` here).
+                        s.fill(
+                            tr.vpn,
+                            tr.size,
+                            tr.frame,
+                            kind,
+                            pc,
+                            thread,
+                            outcome.done - now,
+                            outcome.done,
+                        );
+                        s.mshr_complete(va, outcome.done);
+                        l1.fill(
+                            tr.vpn,
+                            tr.size,
+                            tr.frame,
+                            kind,
+                            pc,
+                            thread,
+                            outcome.done - now,
+                            outcome.done,
+                        );
+                        l1.mshr_complete(va, outcome.done);
+                        Translated {
+                            pa,
+                            done: outcome.done,
+                            stlb_miss: true,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// FDIP translation for an instruction prefetch: resolves the physical
+    /// block functionally (the FTQ caches physical fetch addresses) without
+    /// touching TLB state, so demand fetches still expose every ITLB/STLB
+    /// miss — the bottleneck the paper targets.
+    pub fn fdip_target(&mut self, va: VirtAddr, thread: ThreadId) -> PhysAddr {
+        self.page_tables[thread.0 as usize]
+            .translate(va, TranslationKind::Instruction)
+            .pa
+    }
+
+    /// Reports `n` retired instructions to the adaptive monitor
+    /// (Figure 7 step 5).
+    pub fn on_retire(&mut self, n: u64) {
+        if let Some(m) = self.monitor.as_mut() {
+            m.on_retire(n);
+        }
+    }
+
+    /// Fraction of epochs with xPTP enabled, if the adaptive monitor runs.
+    pub fn xptp_enabled_fraction(&self) -> Option<f64> {
+        self.monitor.as_ref().map(|m| m.enabled_fraction())
+    }
+
+    /// The first-level instruction TLB.
+    pub fn itlb(&self) -> &Tlb {
+        &self.itlb
+    }
+
+    /// The first-level data TLB.
+    pub fn dtlb(&self) -> &Tlb {
+        &self.dtlb
+    }
+
+    /// The last-level TLB organization.
+    pub fn stlb(&self) -> &LastLevelTlb {
+        &self.stlb
+    }
+
+    /// The page-table walker.
+    pub fn walker(&self) -> &PageWalker {
+        &self.walker
+    }
+
+    /// Clears every statistic (warmup/measurement boundary); structure
+    /// contents and replacement state are preserved.
+    pub fn reset_stats(&mut self) {
+        self.itlb.reset_stats();
+        self.dtlb.reset_stats();
+        self.stlb.reset_stats();
+        self.walker.reset_stats();
+        self.hierarchy.l1i.reset_stats();
+        self.hierarchy.l1d.reset_stats();
+        self.hierarchy.l2.reset_stats();
+        self.hierarchy.llc.reset_stats();
+        self.hierarchy.dram.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itpx_core::presets::BuildConfig;
+    use itpx_core::Preset;
+
+    fn system(preset: Preset) -> System {
+        let cfg = SystemConfig::asplos25();
+        let bundle = preset.build(&cfg.dims(), &BuildConfig::default());
+        System::new(cfg, bundle, 1)
+    }
+
+    #[test]
+    fn cold_translation_walks_and_fills_tlbs() {
+        let mut s = system(Preset::Lru);
+        let va = VirtAddr::new(0x10_0000_1000);
+        let t0 = s.translate(va, TranslationKind::Instruction, va.0, ThreadId(0), 0);
+        assert!(t0.stlb_miss);
+        assert!(t0.done > 50, "cold walk takes real time: {}", t0.done);
+        assert_eq!(s.walker().walks(), 1);
+        assert_eq!(s.walker().instruction_walks(), 1);
+        // Second access: ITLB hit, 1 cycle.
+        let t1 = s.translate(va, TranslationKind::Instruction, va.0, ThreadId(0), 1000);
+        assert!(!t1.stlb_miss);
+        assert_eq!(t1.done, 1001);
+        assert_eq!(t1.pa, t0.pa);
+    }
+
+    #[test]
+    fn stlb_catches_itlb_capacity_misses() {
+        let mut s = system(Preset::Lru);
+        // Touch 65 instruction pages in the same ITLB set region to push
+        // the first one out of the 64-entry ITLB but keep it in the STLB.
+        let base = 0x10_0000_0000u64;
+        for i in 0..80u64 {
+            let va = VirtAddr::new(base + i * 4096);
+            s.translate(
+                va,
+                TranslationKind::Instruction,
+                va.0,
+                ThreadId(0),
+                i * 10_000,
+            );
+        }
+        let walks_before = s.walker().walks();
+        let t = s.translate(
+            VirtAddr::new(base),
+            TranslationKind::Instruction,
+            base,
+            ThreadId(0),
+            10_000_000,
+        );
+        assert!(!t.stlb_miss, "STLB should hold the entry");
+        assert_eq!(s.walker().walks(), walks_before, "no extra walk");
+    }
+
+    #[test]
+    fn page_walk_traffic_reaches_l2() {
+        let mut s = system(Preset::Lru);
+        let va = VirtAddr::new(0x20_0000_0000);
+        s.translate(va, TranslationKind::Data, 0x99, ThreadId(0), 0);
+        let b = s.hierarchy.l2.stats().mpki_breakdown(1000);
+        assert!(
+            b.data_pte > 0.0,
+            "walk refs must appear as L2 data-PTE traffic"
+        );
+    }
+
+    #[test]
+    fn smt_threads_have_disjoint_address_spaces() {
+        let cfg = SystemConfig::asplos25();
+        let bundle = Preset::Lru.build(&cfg.dims(), &BuildConfig::default());
+        let mut s = System::new(cfg, bundle, 2);
+        let va = VirtAddr::new(0x10_0000_0000);
+        let a = s.translate(va, TranslationKind::Data, 0, ThreadId(0), 0);
+        let b = s.translate(
+            VirtAddr::new(va.0 | 1 << 44),
+            TranslationKind::Data,
+            0,
+            ThreadId(1),
+            0,
+        );
+        assert_ne!(a.pa, b.pa, "threads must not share frames");
+    }
+
+    #[test]
+    fn monitor_is_fed_by_stlb_misses() {
+        let mut s = system(Preset::ItpXptp);
+        assert_eq!(s.xptp_enabled_fraction(), Some(0.0));
+        for i in 0..64u64 {
+            let va = VirtAddr::new(0x20_0000_0000 + i * (1 << 21));
+            s.translate(va, TranslationKind::Data, 0, ThreadId(0), i * 1000);
+        }
+        s.on_retire(1000);
+        assert!(s.xptp_enabled_fraction().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn split_stlb_builds_and_routes() {
+        let cfg = SystemConfig::asplos25().with_split_stlb(true);
+        let bundle = Preset::Lru.build(&cfg.dims(), &BuildConfig::default());
+        let mut s = System::new(cfg, bundle, 1);
+        let va = VirtAddr::new(0x10_0000_2000);
+        s.translate(va, TranslationKind::Instruction, va.0, ThreadId(0), 0);
+        match s.stlb() {
+            LastLevelTlb::Split { instr, data } => {
+                assert_eq!(instr.stats().accesses(), 1);
+                assert_eq!(data.stats().accesses(), 0);
+            }
+            _ => panic!("expected split"),
+        }
+    }
+
+    #[test]
+    fn merged_misses_share_the_walk() {
+        let mut s = system(Preset::Lru);
+        let va = VirtAddr::new(0x30_0000_0000);
+        let first = s.translate(va, TranslationKind::Data, 0, ThreadId(0), 0);
+        // Different VA on the same page while the walk is in flight: the
+        // DTLB MSHR merge returns the same completion.
+        let second = s.translate(
+            VirtAddr::new(va.0 + 8),
+            TranslationKind::Data,
+            0,
+            ThreadId(0),
+            2,
+        );
+        assert_eq!(second.done, first.done);
+        assert_eq!(s.walker().walks(), 1, "no duplicate walk");
+    }
+}

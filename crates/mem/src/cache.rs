@@ -1,0 +1,361 @@
+//! One set-associative cache level with pluggable replacement and
+//! MSHR-aware fill timing.
+
+use itpx_policy::{CacheMeta, CachePolicy};
+use itpx_types::{Cycle, StructStats};
+
+/// Geometry and timing of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Lookup latency in cycles.
+    pub latency: u64,
+    /// Miss-status-holding-register capacity.
+    pub mshr_entries: usize,
+}
+
+impl CacheConfig {
+    /// Capacity in bytes (64-byte blocks).
+    pub fn bytes(&self) -> usize {
+        self.sets * self.ways * 64
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    block: u64,
+    ready: Cycle,
+    dirty: bool,
+    meta: CacheMeta,
+}
+
+/// Result of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Present: the access completes at the given cycle (waiting for an
+    /// in-flight fill if necessary).
+    Hit(Cycle),
+    /// Absent: the miss may proceed to the next level at the given cycle
+    /// (delayed past `now` if all MSHRs are busy).
+    Miss(Cycle),
+}
+
+/// A dirty block displaced by a fill, to be written toward memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Writeback {
+    /// Block index of the displaced dirty block.
+    pub block: u64,
+}
+
+/// One set-associative cache level.
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Vec<Option<Line>>>,
+    policy: CachePolicy,
+    stats: StructStats,
+    /// Completion times of outstanding misses (lazy-cleaned MSHR model).
+    inflight: Vec<Cycle>,
+    prefetch_issued: u64,
+    prefetch_useful: u64,
+    writebacks: u64,
+}
+
+impl Cache {
+    /// Creates a cache with the given geometry and replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate.
+    pub fn new(cfg: CacheConfig, policy: CachePolicy) -> Self {
+        assert!(
+            cfg.sets > 0 && cfg.ways > 0,
+            "cache needs sets > 0, ways > 0"
+        );
+        assert!(cfg.mshr_entries > 0, "cache needs at least one MSHR");
+        Self {
+            lines: vec![vec![None; cfg.ways]; cfg.sets],
+            policy,
+            stats: StructStats::new(),
+            inflight: Vec::new(),
+            prefetch_issued: 0,
+            prefetch_useful: 0,
+            writebacks: 0,
+            cfg,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Lookup latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.cfg.latency
+    }
+
+    /// Demand access/miss statistics with per-class breakdown.
+    pub fn stats(&self) -> &StructStats {
+        &self.stats
+    }
+
+    /// Name of the replacement policy in use.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Number of dirty blocks displaced so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Prefetches issued into this cache.
+    pub fn prefetches_issued(&self) -> u64 {
+        self.prefetch_issued
+    }
+
+    /// Prefetched blocks that later served a demand hit.
+    pub fn prefetches_useful(&self) -> u64 {
+        self.prefetch_useful
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        (block as usize) % self.cfg.sets
+    }
+
+    /// Probes for `meta.block` at `now`. `demand` controls whether the
+    /// access is recorded in the demand statistics (prefetch and writeback
+    /// probes are not).
+    pub fn probe(&mut self, meta: &CacheMeta, now: Cycle, demand: bool) -> Probe {
+        let set = self.set_of(meta.block);
+        let way = self.lines[set]
+            .iter()
+            .position(|l| matches!(l, Some(l) if l.block == meta.block));
+        match way {
+            Some(way) => {
+                if demand {
+                    self.stats.record(meta.fill, false);
+                    let line = self.lines[set][way].as_mut().expect("hit line");
+                    if line.meta.pc == u64::MAX {
+                        // First demand touch of a prefetched block.
+                        line.meta.pc = meta.pc;
+                        self.prefetch_useful += 1;
+                    }
+                }
+                self.policy.on_hit(set, way, meta);
+                let ready = self.lines[set][way].expect("hit line").ready;
+                Probe::Hit(ready.max(now + self.cfg.latency))
+            }
+            None => {
+                if demand {
+                    self.stats.record(meta.fill, true);
+                }
+                Probe::Miss(self.mshr_allocate(now))
+            }
+        }
+    }
+
+    /// Reserves an MSHR: returns the cycle the miss may proceed.
+    fn mshr_allocate(&mut self, now: Cycle) -> Cycle {
+        self.inflight.retain(|&r| r > now);
+        if self.inflight.len() >= self.cfg.mshr_entries {
+            self.inflight.iter().copied().min().unwrap_or(now).max(now)
+        } else {
+            now
+        }
+    }
+
+    /// Installs `meta.block`, becoming readable at `ready`. Returns the
+    /// displaced dirty block, if any. `demand` records the end-to-end miss
+    /// latency (`ready - miss_start`).
+    pub fn fill(
+        &mut self,
+        meta: &CacheMeta,
+        miss_start: Cycle,
+        ready: Cycle,
+        demand: bool,
+    ) -> Option<Writeback> {
+        if demand {
+            self.stats
+                .record_miss_latency(ready.saturating_sub(miss_start));
+        } else {
+            self.prefetch_issued += 1;
+        }
+        self.inflight.push(ready);
+        let set = self.set_of(meta.block);
+        // Refill of a resident block (e.g. racing prefetch): refresh only.
+        if let Some(way) = self.lines[set]
+            .iter()
+            .position(|l| matches!(l, Some(l) if l.block == meta.block))
+        {
+            self.policy.on_hit(set, way, meta);
+            return None;
+        }
+        let mut stored = *meta;
+        if !demand {
+            // Mark prefetched lines so the first demand touch is counted.
+            stored.pc = u64::MAX;
+        }
+        let (way, wb) = match self.lines[set].iter().position(|l| l.is_none()) {
+            Some(w) => (w, None),
+            None => {
+                let v = self.policy.victim(set, meta);
+                assert!(v < self.cfg.ways, "policy returned way out of range");
+                self.policy.on_evict(set, v);
+                let victim = self.lines[set][v].expect("occupied way");
+                let wb = victim.dirty.then(|| {
+                    self.writebacks += 1;
+                    Writeback {
+                        block: victim.block,
+                    }
+                });
+                (v, wb)
+            }
+        };
+        self.lines[set][way] = Some(Line {
+            block: meta.block,
+            ready,
+            dirty: false,
+            meta: stored,
+        });
+        self.policy.on_fill(set, way, meta);
+        wb
+    }
+
+    /// Marks `block` dirty if resident (stores; dirty writeback landing).
+    pub fn mark_dirty(&mut self, block: u64) {
+        let set = self.set_of(block);
+        if let Some(l) = self.lines[set]
+            .iter_mut()
+            .flatten()
+            .find(|l| l.block == block)
+        {
+            l.dirty = true;
+        }
+    }
+
+    /// Clears statistics (tags and replacement state are preserved), for
+    /// the warmup/measurement boundary.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.prefetch_issued = 0;
+        self.prefetch_useful = 0;
+        self.writebacks = 0;
+    }
+
+    /// Whether `block` is resident.
+    pub fn contains(&self, block: u64) -> bool {
+        let set = self.set_of(block);
+        self.lines[set]
+            .iter()
+            .any(|l| matches!(l, Some(l) if l.block == block))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itpx_policy::Lru;
+    use itpx_types::FillClass;
+
+    fn cache(sets: usize, ways: usize) -> Cache {
+        Cache::new(
+            CacheConfig {
+                sets,
+                ways,
+                latency: 4,
+                mshr_entries: 4,
+            },
+            Box::new(Lru::new(sets, ways)),
+        )
+    }
+
+    fn m(block: u64) -> CacheMeta {
+        CacheMeta::demand(block, FillClass::DataPayload)
+    }
+
+    #[test]
+    fn miss_fill_hit_cycle() {
+        let mut c = cache(4, 2);
+        assert!(matches!(c.probe(&m(8), 0, true), Probe::Miss(0)));
+        c.fill(&m(8), 0, 100, true);
+        // Hit before the fill completes waits for it.
+        assert_eq!(c.probe(&m(8), 50, true), Probe::Hit(100));
+        // Hit after completion pays only the lookup latency.
+        assert_eq!(c.probe(&m(8), 200, true), Probe::Hit(204));
+        assert_eq!(c.stats().misses(), 1);
+        assert_eq!(c.stats().accesses(), 3);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_blocks_only() {
+        let mut c = cache(1, 2);
+        c.fill(&m(1), 0, 0, true);
+        c.fill(&m(2), 0, 0, true);
+        c.mark_dirty(1);
+        // Filling block 3 evicts LRU block 1 (dirty).
+        let wb = c.fill(&m(3), 0, 0, true);
+        assert_eq!(wb, Some(Writeback { block: 1 }));
+        // Filling block 4 evicts block 2 (clean).
+        let wb2 = c.fill(&m(4), 0, 0, true);
+        assert_eq!(wb2, None);
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn mshr_saturation_delays_misses() {
+        let mut c = Cache::new(
+            CacheConfig {
+                sets: 4,
+                ways: 2,
+                latency: 1,
+                mshr_entries: 2,
+            },
+            Box::new(Lru::new(4, 2)),
+        );
+        assert!(matches!(c.probe(&m(1), 0, true), Probe::Miss(0)));
+        c.fill(&m(1), 0, 50, true);
+        assert!(matches!(c.probe(&m(2), 0, true), Probe::Miss(0)));
+        c.fill(&m(2), 0, 80, true);
+        // Two fills in flight: the third miss waits for the earliest (50).
+        assert!(matches!(c.probe(&m(3), 10, true), Probe::Miss(50)));
+    }
+
+    #[test]
+    fn prefetch_accounting() {
+        let mut c = cache(4, 2);
+        c.fill(&m(4), 0, 10, false); // prefetch fill
+        assert_eq!(c.prefetches_issued(), 1);
+        assert_eq!(c.prefetches_useful(), 0);
+        assert_eq!(c.stats().accesses(), 0, "prefetches are not demand");
+        // First demand touch counts the prefetch as useful.
+        assert!(matches!(c.probe(&m(4), 20, true), Probe::Hit(_)));
+        assert_eq!(c.prefetches_useful(), 1);
+        // Second touch does not double-count.
+        let _ = c.probe(&m(4), 30, true);
+        assert_eq!(c.prefetches_useful(), 1);
+    }
+
+    #[test]
+    fn refill_of_resident_block_does_not_evict() {
+        let mut c = cache(1, 2);
+        c.fill(&m(1), 0, 0, true);
+        c.fill(&m(2), 0, 0, true);
+        c.fill(&m(1), 0, 0, true); // resident refresh
+        assert!(c.contains(1) && c.contains(2));
+    }
+
+    #[test]
+    fn per_class_stats() {
+        let mut c = cache(4, 2);
+        let pte = CacheMeta::demand(3, FillClass::DataPte);
+        let _ = c.probe(&pte, 0, true);
+        let b = c.stats().mpki_breakdown(1000);
+        assert!(b.data_pte > 0.0);
+        assert_eq!(b.instr, 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! A simple DRAM timing model: fixed access latency plus a shared data-bus
+//! with finite bandwidth (Table 1: tRP = tRCD = tCAS = 12 DRAM cycles,
+//! 12.8 GB/s, against a 4 GHz core clock).
+
+use itpx_types::Cycle;
+
+/// DRAM timing parameters, in core cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Access latency (activate + CAS) in core cycles.
+    pub latency: u64,
+    /// Core cycles the data bus is occupied per 64-byte transfer
+    /// (64 B / 12.8 GB/s = 5 ns = 20 cycles at 4 GHz).
+    pub bus_interval: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        // tRP + tRCD + tCAS = 36 DRAM cycles ≈ 22.5 ns ≈ 90 core cycles.
+        Self {
+            latency: 90,
+            bus_interval: 20,
+        }
+    }
+}
+
+/// The DRAM device: every read occupies the bus, so bandwidth contention
+/// (e.g. between two SMT threads, or demand vs page-walk traffic) emerges
+/// naturally.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    cfg: DramConfig,
+    next_free: Cycle,
+    reads: u64,
+    writes: u64,
+    wait: u64,
+}
+
+impl Dram {
+    /// Creates a DRAM model.
+    pub fn new(cfg: DramConfig) -> Self {
+        Self {
+            cfg,
+            next_free: 0,
+            reads: 0,
+            writes: 0,
+            wait: 0,
+        }
+    }
+
+    /// Performs a 64-byte read; returns the data-available cycle.
+    pub fn read(&mut self, now: Cycle) -> Cycle {
+        let start = now.max(self.next_free);
+        self.wait += start - now;
+        self.next_free = start + self.cfg.bus_interval;
+        self.reads += 1;
+        start + self.cfg.latency
+    }
+
+    /// Performs a 64-byte writeback; occupies the bus but nothing waits
+    /// for it.
+    pub fn write(&mut self, now: Cycle) {
+        let start = now.max(self.next_free);
+        self.next_free = start + self.cfg.bus_interval;
+        self.writes += 1;
+    }
+
+    /// Total reads served.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total writebacks absorbed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Clears traffic counters (bus state is preserved).
+    pub fn reset_counters(&mut self) {
+        self.reads = 0;
+        self.writes = 0;
+        self.wait = 0;
+    }
+
+    /// Mean cycles reads waited for the bus.
+    pub fn avg_queue_wait(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.wait as f64 / self.reads as f64
+        }
+    }
+}
+
+impl Default for Dram {
+    fn default() -> Self {
+        Self::new(DramConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_read_pays_latency() {
+        let mut d = Dram::default();
+        assert_eq!(d.read(100), 190);
+    }
+
+    #[test]
+    fn back_to_back_reads_queue_on_the_bus() {
+        let mut d = Dram::default();
+        let a = d.read(0);
+        let b = d.read(0);
+        assert_eq!(a, 90);
+        assert_eq!(b, 20 + 90, "second read waits one bus interval");
+        assert!(d.avg_queue_wait() > 0.0);
+    }
+
+    #[test]
+    fn writes_occupy_bus_but_do_not_block_caller() {
+        let mut d = Dram::default();
+        d.write(0);
+        let r = d.read(0);
+        assert_eq!(r, 20 + 90);
+        assert_eq!(d.writes(), 1);
+        assert_eq!(d.reads(), 1);
+    }
+
+    #[test]
+    fn idle_gaps_do_not_accumulate_bandwidth() {
+        let mut d = Dram::default();
+        let a = d.read(0);
+        let b = d.read(1000);
+        assert_eq!(a, 90);
+        assert_eq!(b, 1090, "bus long since free");
+    }
+}

@@ -1,0 +1,446 @@
+//! The three-level cache hierarchy of Table 1, with prefetchers and DRAM.
+//!
+//! Three access paths exist, matching the paper's system diagram
+//! (Figure 7):
+//!
+//! * [`Hierarchy::instr_fetch`] — front-end fetches: L1I → L2C → LLC → DRAM,
+//! * [`Hierarchy::data_access`] — loads/stores: L1D → L2C → LLC → DRAM,
+//! * [`Hierarchy::pte_access`] — page-walk references, which enter **at the
+//!   L2C** carrying their translation kind as a [`FillClass`]; this is
+//!   where xPTP's `Type` bit is produced and consumed.
+
+use crate::cache::{Cache, CacheConfig, Probe};
+use crate::dram::{Dram, DramConfig};
+use crate::prefetch::{NextLinePrefetcher, StridePrefetcher};
+use itpx_policy::{CacheMeta, CachePolicy};
+use itpx_types::{Cycle, FillClass, PhysAddr, ThreadId, TranslationKind};
+
+/// Geometry of every level plus DRAM timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2 cache (where xPTP operates).
+    pub l2: CacheConfig,
+    /// Last-level cache.
+    pub llc: CacheConfig,
+    /// DRAM timing.
+    pub dram: DramConfig,
+}
+
+impl HierarchyConfig {
+    /// The paper's Table 1 configuration (32 KiB L1s, 512 KiB 8-way L2C,
+    /// 2 MiB 16-way LLC per core, 64 B blocks).
+    pub fn asplos25() -> Self {
+        Self {
+            l1i: CacheConfig {
+                sets: 64,
+                ways: 8,
+                latency: 4,
+                mshr_entries: 8,
+            },
+            l1d: CacheConfig {
+                sets: 42,
+                ways: 12,
+                latency: 5,
+                mshr_entries: 8,
+            },
+            l2: CacheConfig {
+                sets: 1024,
+                ways: 8,
+                latency: 5,
+                mshr_entries: 32,
+            },
+            llc: CacheConfig {
+                sets: 2048,
+                ways: 16,
+                latency: 10,
+                mshr_entries: 64,
+            },
+            dram: DramConfig::default(),
+        }
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self::asplos25()
+    }
+}
+
+/// The replacement policy at each level.
+#[derive(Debug)]
+pub struct HierarchyPolicies {
+    /// L1I policy (LRU in every configuration the paper evaluates).
+    pub l1i: CachePolicy,
+    /// L1D policy (LRU in every configuration the paper evaluates).
+    pub l1d: CachePolicy,
+    /// L2C policy — LRU, PTP, T-DRRIP, or (adaptive) xPTP.
+    pub l2: CachePolicy,
+    /// LLC policy — LRU, SHiP, or Mockingjay.
+    pub llc: CachePolicy,
+}
+
+/// The full cache hierarchy plus DRAM.
+#[derive(Debug)]
+pub struct Hierarchy {
+    /// L1 instruction cache.
+    pub l1i: Cache,
+    /// L1 data cache.
+    pub l1d: Cache,
+    /// Unified L2.
+    pub l2: Cache,
+    /// Last-level cache.
+    pub llc: Cache,
+    /// DRAM device.
+    pub dram: Dram,
+    next_line: NextLinePrefetcher,
+    stride: StridePrefetcher,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy.
+    pub fn new(cfg: &HierarchyConfig, policies: HierarchyPolicies) -> Self {
+        Self {
+            l1i: Cache::new(cfg.l1i, policies.l1i),
+            l1d: Cache::new(cfg.l1d, policies.l1d),
+            l2: Cache::new(cfg.l2, policies.l2),
+            llc: Cache::new(cfg.llc, policies.llc),
+            dram: Dram::new(cfg.dram),
+            next_line: NextLinePrefetcher::new(),
+            stride: StridePrefetcher::default(),
+        }
+    }
+
+    fn meta(
+        pa: PhysAddr,
+        pc: u64,
+        fill: FillClass,
+        stlb_miss: bool,
+        thread: ThreadId,
+    ) -> CacheMeta {
+        CacheMeta {
+            block: pa.block().index(),
+            pc,
+            fill,
+            stlb_miss,
+            thread,
+        }
+    }
+
+    /// Front-end instruction fetch of the block at `pa`.
+    pub fn instr_fetch(&mut self, pa: PhysAddr, pc: u64, thread: ThreadId, now: Cycle) -> Cycle {
+        let meta = Self::meta(pa, pc, FillClass::InstrPayload, false, thread);
+        match self.l1i.probe(&meta, now, true) {
+            Probe::Hit(t) => t,
+            Probe::Miss(start) => {
+                let below = self.l2_chain(&meta, start + self.l1i.latency(), true);
+                self.l1i.fill(&meta, start, below, true);
+                below
+            }
+        }
+    }
+
+    /// FDIP-style instruction prefetch issued by the front end along the
+    /// fetch target queue.
+    pub fn prefetch_instr(&mut self, pa: PhysAddr, thread: ThreadId, now: Cycle) {
+        let meta = Self::meta(pa, 0, FillClass::InstrPayload, false, thread);
+        if self.l1i.contains(meta.block) {
+            return;
+        }
+        let below = self.l2_chain(&meta, now, false);
+        self.l1i.fill(&meta, now, below, false);
+    }
+
+    /// Data load/store to `pa`. `stlb_miss` flags an access whose
+    /// translation missed the STLB (consumed by T-DRRIP).
+    #[allow(clippy::too_many_arguments)]
+    pub fn data_access(
+        &mut self,
+        pa: PhysAddr,
+        pc: u64,
+        thread: ThreadId,
+        store: bool,
+        stlb_miss: bool,
+        now: Cycle,
+    ) -> Cycle {
+        let meta = Self::meta(pa, pc, FillClass::DataPayload, stlb_miss, thread);
+        let done = match self.l1d.probe(&meta, now, true) {
+            Probe::Hit(t) => t,
+            Probe::Miss(start) => {
+                let below = self.l2_chain(&meta, start + self.l1d.latency(), true);
+                let wb = self.l1d.fill(&meta, start, below, true);
+                self.handle_l1d_writeback(wb, below);
+                below
+            }
+        };
+        if store {
+            self.l1d.mark_dirty(meta.block);
+        }
+        // Next-line prefetch into the L1D.
+        if let Some(cand) = self.next_line.observe(meta.block) {
+            self.prefetch_into_l1d(cand, &meta, now);
+        }
+        done
+    }
+
+    /// Page-walk reference to the PTE at `pa`, entering at the L2C.
+    pub fn pte_access(
+        &mut self,
+        pa: PhysAddr,
+        kind: TranslationKind,
+        thread: ThreadId,
+        now: Cycle,
+    ) -> Cycle {
+        let meta = Self::meta(pa, 0, FillClass::pte_for(kind), false, thread);
+        self.l2_chain(&meta, now, true)
+    }
+
+    fn prefetch_into_l1d(&mut self, block: u64, demand: &CacheMeta, now: Cycle) {
+        if self.l1d.contains(block) {
+            return;
+        }
+        let meta = CacheMeta {
+            block,
+            pc: demand.pc,
+            fill: FillClass::DataPayload,
+            stlb_miss: false,
+            thread: demand.thread,
+        };
+        let below = self.l2_chain(&meta, now, false);
+        let wb = self.l1d.fill(&meta, now, below, false);
+        self.handle_l1d_writeback(wb, now);
+    }
+
+    fn handle_l1d_writeback(&mut self, wb: Option<crate::cache::Writeback>, now: Cycle) {
+        if let Some(wb) = wb {
+            if self.l2.contains(wb.block) {
+                self.l2.mark_dirty(wb.block);
+            } else if self.llc.contains(wb.block) {
+                self.llc.mark_dirty(wb.block);
+            } else {
+                self.dram.write(now);
+            }
+        }
+    }
+
+    /// L2C access (and below). Demand accesses update statistics; data
+    /// payload demand accesses train the stride prefetcher.
+    fn l2_chain(&mut self, meta: &CacheMeta, now: Cycle, demand: bool) -> Cycle {
+        let done = match self.l2.probe(meta, now, demand) {
+            Probe::Hit(t) => t,
+            Probe::Miss(start) => {
+                let below = self.llc_chain(meta, start + self.l2.latency(), demand);
+                let wb = self.l2.fill(meta, start, below, demand);
+                if let Some(wb) = wb {
+                    if self.llc.contains(wb.block) {
+                        self.llc.mark_dirty(wb.block);
+                    } else {
+                        self.dram.write(below);
+                    }
+                }
+                below
+            }
+        };
+        if demand && meta.fill == FillClass::DataPayload && meta.pc != 0 {
+            let candidates = self.stride.observe(meta.pc, meta.block);
+            for cand in candidates {
+                self.prefetch_into_l2(cand, meta, now);
+            }
+        }
+        done
+    }
+
+    fn prefetch_into_l2(&mut self, block: u64, demand: &CacheMeta, now: Cycle) {
+        if self.l2.contains(block) {
+            return;
+        }
+        let meta = CacheMeta {
+            block,
+            pc: demand.pc,
+            fill: FillClass::DataPayload,
+            stlb_miss: false,
+            thread: demand.thread,
+        };
+        let below = self.llc_chain(&meta, now, false);
+        let wb = self.l2.fill(&meta, now, below, false);
+        if let Some(wb) = wb {
+            if self.llc.contains(wb.block) {
+                self.llc.mark_dirty(wb.block);
+            } else {
+                self.dram.write(below);
+            }
+        }
+    }
+
+    fn llc_chain(&mut self, meta: &CacheMeta, now: Cycle, demand: bool) -> Cycle {
+        match self.llc.probe(meta, now, demand) {
+            Probe::Hit(t) => t,
+            Probe::Miss(start) => {
+                let below = self.dram.read(start + self.llc.latency());
+                let wb = self.llc.fill(meta, start, below, demand);
+                if wb.is_some() {
+                    self.dram.write(below);
+                }
+                below
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itpx_policy::Lru;
+
+    fn small() -> HierarchyConfig {
+        HierarchyConfig {
+            l1i: CacheConfig {
+                sets: 8,
+                ways: 2,
+                latency: 4,
+                mshr_entries: 8,
+            },
+            l1d: CacheConfig {
+                sets: 8,
+                ways: 2,
+                latency: 5,
+                mshr_entries: 8,
+            },
+            l2: CacheConfig {
+                sets: 32,
+                ways: 4,
+                latency: 5,
+                mshr_entries: 16,
+            },
+            llc: CacheConfig {
+                sets: 64,
+                ways: 8,
+                latency: 10,
+                mshr_entries: 32,
+            },
+            dram: DramConfig::default(),
+        }
+    }
+
+    fn hierarchy(cfg: &HierarchyConfig) -> Hierarchy {
+        Hierarchy::new(
+            cfg,
+            HierarchyPolicies {
+                l1i: Box::new(Lru::new(cfg.l1i.sets, cfg.l1i.ways)),
+                l1d: Box::new(Lru::new(cfg.l1d.sets, cfg.l1d.ways)),
+                l2: Box::new(Lru::new(cfg.l2.sets, cfg.l2.ways)),
+                llc: Box::new(Lru::new(cfg.llc.sets, cfg.llc.ways)),
+            },
+        )
+    }
+
+    #[test]
+    fn cold_fetch_goes_to_dram_and_warms_all_levels() {
+        let cfg = small();
+        let mut h = hierarchy(&cfg);
+        let pa = PhysAddr::new(0x4000);
+        let t = h.instr_fetch(pa, 0x400, ThreadId(0), 0);
+        // L1I lat 4 + L2 lat 5 + LLC lat 10 + DRAM 90 = 109.
+        assert_eq!(t, 109);
+        // Warm everywhere now.
+        let t2 = h.instr_fetch(pa, 0x400, ThreadId(0), 200);
+        assert_eq!(t2, 204);
+        assert_eq!(h.l1i.stats().misses(), 1);
+        assert_eq!(h.l2.stats().misses(), 1);
+        assert_eq!(h.llc.stats().misses(), 1);
+        assert_eq!(h.dram.reads(), 1);
+    }
+
+    #[test]
+    fn l2_hit_short_circuits() {
+        let cfg = small();
+        let mut h = hierarchy(&cfg);
+        let pa = PhysAddr::new(0x8000);
+        h.pte_access(pa, TranslationKind::Data, ThreadId(0), 0);
+        // Same block via the data path: L1D miss, L2 hit.
+        let t = h.data_access(pa, 0x99, ThreadId(0), false, false, 1000);
+        assert_eq!(t, 1000 + 5 + 5);
+        // The only *demand* L2 miss is the cold PTE access (the data access
+        // also spawned a next-line prefetch, which does not count).
+        assert_eq!(h.l2.stats().misses(), 1);
+    }
+
+    #[test]
+    fn pte_accesses_carry_their_class_into_l2_stats() {
+        let cfg = small();
+        let mut h = hierarchy(&cfg);
+        h.pte_access(PhysAddr::new(0x100), TranslationKind::Data, ThreadId(0), 0);
+        h.pte_access(
+            PhysAddr::new(0x10000),
+            TranslationKind::Instruction,
+            ThreadId(0),
+            0,
+        );
+        let b = h.l2.stats().mpki_breakdown(1000);
+        assert!(b.data_pte > 0.0);
+        assert!(b.instr_pte > 0.0);
+        assert_eq!(b.data, 0.0);
+    }
+
+    #[test]
+    fn next_line_prefetch_warms_l1d() {
+        let cfg = small();
+        let mut h = hierarchy(&cfg);
+        let pa = PhysAddr::new(0);
+        h.data_access(pa, 0x10, ThreadId(0), false, false, 0);
+        // Block 1 was prefetched; a demand access to it hits in L1D.
+        let t = h.data_access(PhysAddr::new(64), 0x10, ThreadId(0), false, false, 500);
+        assert_eq!(t, 505);
+        assert!(h.l1d.prefetches_issued() >= 1);
+        assert_eq!(h.l1d.prefetches_useful(), 1);
+    }
+
+    #[test]
+    fn stores_mark_dirty_and_eventually_write_back() {
+        let cfg = small();
+        let mut h = hierarchy(&cfg);
+        // Store to a block, then displace it with 2 more blocks in its set.
+        let set_stride = 64 * cfg.l1d.sets as u64;
+        h.data_access(PhysAddr::new(0), 0x30, ThreadId(0), true, false, 0);
+        let wb_before = h.l1d.writebacks();
+        for i in 1..=2 {
+            h.data_access(
+                PhysAddr::new(i * set_stride),
+                0x30 + i,
+                ThreadId(0),
+                false,
+                false,
+                1000 * i,
+            );
+        }
+        assert!(h.l1d.writebacks() > wb_before, "dirty block displaced");
+    }
+
+    #[test]
+    fn fdip_prefetch_is_idempotent_for_resident_blocks() {
+        let cfg = small();
+        let mut h = hierarchy(&cfg);
+        let pa = PhysAddr::new(0x2000);
+        h.prefetch_instr(pa, ThreadId(0), 0);
+        let issued = h.l1i.prefetches_issued();
+        h.prefetch_instr(pa, ThreadId(0), 10);
+        assert_eq!(h.l1i.prefetches_issued(), issued);
+        // Demand fetch hits the prefetched block.
+        let t = h.instr_fetch(pa, 0x1, ThreadId(0), 500);
+        assert_eq!(t, 504);
+    }
+
+    #[test]
+    fn smt_threads_share_capacity() {
+        let cfg = small();
+        let mut h = hierarchy(&cfg);
+        let pa = PhysAddr::new(0x7000);
+        h.data_access(pa, 0x1, ThreadId(0), false, false, 0);
+        // The other thread hits the block thread 0 brought in.
+        let t = h.data_access(pa, 0x2, ThreadId(1), false, false, 500);
+        assert_eq!(t, 505);
+    }
+}

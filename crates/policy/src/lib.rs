@@ -1,0 +1,75 @@
+//! Baseline TLB and cache replacement policies, and the trait they share
+//! with the paper's contributions.
+//!
+//! The paper ("Instruction-Aware Cooperative TLB and Cache Replacement
+//! Policies", ASPLOS 2025) compares its proposals (iTP, xPTP — implemented
+//! in `itpx-core`) against a field of prior policies. This crate implements
+//! that field:
+//!
+//! | Policy | Structure | Reference |
+//! |---|---|---|
+//! | [`Lru`] | any | textbook true-LRU |
+//! | [`TreePlru`] | any | tree pseudo-LRU |
+//! | [`RandomEvict`] | any | random |
+//! | [`Srrip`] / [`Brrip`] / [`Drrip`] | caches | Jaleel et al., ISCA'10 |
+//! | [`Dip`] | caches | Qureshi et al., ISCA'07 |
+//! | [`Ship`] | caches | Wu et al., MICRO'11 |
+//! | [`Mockingjay`] | caches | Shah et al., HPCA'22 (simplified) |
+//! | [`Ptp`] | L2C | Park et al., ASPLOS'22 |
+//! | [`Tdrrip`] | L2C | Vasudha & Panda, ISPASS'22 |
+//! | [`TShip`] | LLC | Vasudha & Panda, ISPASS'22 (extension; the paper applies only T-DRRIP) |
+//! | [`Chirp`] | STLB | Mirbagher-Ajorpaz et al., MICRO'20 (simplified) |
+//! | [`ProbKeepInstrLru`] | STLB | the Figure-3 motivation policy |
+//!
+//! Every policy implements [`Policy`] over either [`CacheMeta`] or
+//! [`TlbMeta`], so the cache and TLB models in `itpx-mem`/`itpx-vm` accept
+//! any of them as trait objects ([`CachePolicy`], [`TlbPolicy`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use itpx_policy::{Lru, Policy, TlbMeta, TlbPolicy};
+//! use itpx_types::TranslationKind;
+//!
+//! let mut policy: TlbPolicy = Box::new(Lru::new(4, 2));
+//! let meta = TlbMeta::demand(0x10, TranslationKind::Data);
+//! policy.on_fill(0, 0, &meta);
+//! policy.on_fill(0, 1, &meta);
+//! policy.on_hit(0, 0, &meta);
+//! assert_eq!(policy.victim(0, &meta), 1); // way 0 was touched more recently
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod chirp;
+pub mod dip;
+pub mod lru;
+pub mod meta;
+pub mod mockingjay;
+pub mod plru;
+pub mod prob_lru;
+pub mod ptp;
+pub mod random;
+pub mod recency;
+pub mod rrip;
+pub mod ship;
+pub mod tdrrip;
+pub mod traits;
+pub mod tship;
+
+pub use chirp::Chirp;
+pub use dip::Dip;
+pub use lru::Lru;
+pub use meta::{CacheMeta, TlbMeta};
+pub use mockingjay::Mockingjay;
+pub use plru::TreePlru;
+pub use prob_lru::ProbKeepInstrLru;
+pub use ptp::Ptp;
+pub use random::RandomEvict;
+pub use recency::RecencyStack;
+pub use rrip::{Brrip, Drrip, Srrip};
+pub use ship::Ship;
+pub use tdrrip::Tdrrip;
+pub use traits::{CachePolicy, Policy, TlbPolicy};
+pub use tship::TShip;

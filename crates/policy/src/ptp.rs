@@ -1,0 +1,135 @@
+//! PTP — Page Table Prioritization (Park et al., ASPLOS 2022): an L2C/LLC
+//! policy that favors keeping blocks containing page-table entries,
+//! without distinguishing instruction PTEs from data PTEs (the limitation
+//! the paper's xPTP removes).
+//!
+//! This reproduction models PTP as LRU with *quota-bounded* protection of
+//! PTE blocks: within each set, the most recently used PTE blocks — up to
+//! half the ways — are exempt from eviction; any PTE blocks beyond the
+//! quota age like normal payload. The quota captures the original
+//! design's concern with bounding page-table occupancy of the cache, and
+//! distinguishes PTP from xPTP's unbounded (but data-only) victim-side
+//! protection.
+
+use crate::meta::CacheMeta;
+use crate::recency::RecencyStack;
+use crate::traits::Policy;
+
+/// LRU with quota-bounded protection of PTE-holding blocks.
+#[derive(Debug, Clone)]
+pub struct Ptp {
+    stack: RecencyStack,
+    is_pte: Vec<Vec<bool>>,
+    quota: usize,
+}
+
+impl Ptp {
+    /// Creates a PTP policy protecting at most `ways / 2` PTE blocks per
+    /// set.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            stack: RecencyStack::new(sets, ways),
+            is_pte: vec![vec![false; ways]; sets],
+            quota: (ways / 2).max(1),
+        }
+    }
+
+    /// The per-set protection quota.
+    pub fn quota(&self) -> usize {
+        self.quota
+    }
+}
+
+impl Policy<CacheMeta> for Ptp {
+    fn on_fill(&mut self, set: usize, way: usize, meta: &CacheMeta) {
+        self.is_pte[set][way] = meta.fill.is_pte();
+        self.stack.touch(set, way);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, meta: &CacheMeta) {
+        if meta.fill.is_pte() {
+            self.is_pte[set][way] = true;
+        }
+        self.stack.touch(set, way);
+    }
+
+    fn victim(&mut self, set: usize, _incoming: &CacheMeta) -> usize {
+        // Protect the `quota` most recently used PTE ways; everything else
+        // (payload and excess PTEs) is fair game in LRU order.
+        let mut protected = [false; 64];
+        let mut count = 0usize;
+        for w in self.stack.iter_mru_to_lru(set) {
+            if count >= self.quota {
+                break;
+            }
+            if self.is_pte[set][w] {
+                protected[w.min(63)] = true;
+                count += 1;
+            }
+        }
+        self.stack
+            .iter_lru_to_mru(set)
+            .find(|&w| !protected[w.min(63)])
+            .unwrap_or_else(|| self.stack.lru(set))
+    }
+
+    fn name(&self) -> &'static str {
+        "ptp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itpx_types::FillClass;
+
+    fn m(b: u64, fill: FillClass) -> CacheMeta {
+        CacheMeta::demand(b, fill)
+    }
+
+    #[test]
+    fn protects_pte_blocks_of_both_kinds_within_quota() {
+        let mut p = Ptp::new(1, 4); // quota = 2
+        p.on_fill(0, 0, &m(0, FillClass::DataPte));
+        p.on_fill(0, 1, &m(1, FillClass::InstrPte));
+        p.on_fill(0, 2, &m(2, FillClass::DataPayload));
+        p.on_fill(0, 3, &m(3, FillClass::DataPayload));
+        // Both PTEs fit the quota: the LRU payload block goes.
+        assert_eq!(p.victim(0, &m(9, FillClass::DataPayload)), 2);
+    }
+
+    #[test]
+    fn excess_ptes_beyond_quota_age_normally() {
+        let mut p = Ptp::new(1, 4); // quota = 2
+        for w in 0..3 {
+            p.on_fill(0, w, &m(w as u64, FillClass::DataPte));
+        }
+        p.on_fill(0, 3, &m(3, FillClass::DataPayload));
+        // Three PTEs, quota two: the least recent PTE (way 0) is evictable
+        // and sits at the bottom of the stack.
+        assert_eq!(p.victim(0, &m(9, FillClass::DataPayload)), 0);
+    }
+
+    #[test]
+    fn all_pte_set_still_yields_a_victim() {
+        let mut p = Ptp::new(1, 2); // quota = 1
+        p.on_fill(0, 0, &m(0, FillClass::DataPte));
+        p.on_fill(0, 1, &m(1, FillClass::InstrPte));
+        assert_eq!(p.victim(0, &m(9, FillClass::DataPte)), 0);
+    }
+
+    #[test]
+    fn refill_with_payload_clears_priority() {
+        let mut p = Ptp::new(1, 2);
+        p.on_fill(0, 0, &m(0, FillClass::DataPte));
+        p.on_fill(0, 0, &m(5, FillClass::DataPayload)); // way reused
+        p.on_fill(0, 1, &m(1, FillClass::DataPayload));
+        assert_eq!(p.victim(0, &m(9, FillClass::DataPayload)), 0);
+    }
+
+    #[test]
+    fn quota_is_half_the_ways() {
+        assert_eq!(Ptp::new(4, 8).quota(), 4);
+        assert_eq!(Ptp::new(4, 2).quota(), 1);
+    }
+}

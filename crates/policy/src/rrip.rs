@@ -1,0 +1,331 @@
+//! The RRIP family (Jaleel et al., ISCA 2010): SRRIP, BRRIP, and the
+//! set-dueling hybrid DRRIP. These are the translation-oblivious baselines
+//! T-DRRIP builds on and a common vendor-grade cache policy.
+
+use crate::meta::CacheMeta;
+use crate::traits::Policy;
+use itpx_types::Rng64;
+
+/// Maximum re-reference prediction value for 2-bit RRIP.
+pub(crate) const RRPV_MAX: u8 = 3;
+/// "Long re-reference interval" insertion value.
+pub(crate) const RRPV_LONG: u8 = 2;
+
+/// Shared RRPV bookkeeping for the RRIP family.
+#[derive(Debug, Clone)]
+pub(crate) struct RripState {
+    rrpv: Vec<Vec<u8>>,
+}
+
+impl RripState {
+    pub(crate) fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "RRIP needs sets > 0, ways > 0");
+        Self {
+            rrpv: vec![vec![RRPV_MAX; ways]; sets],
+        }
+    }
+
+    pub(crate) fn set_rrpv(&mut self, set: usize, way: usize, v: u8) {
+        self.rrpv[set][way] = v;
+    }
+
+    #[cfg(test)]
+    pub(crate) fn rrpv(&self, set: usize, way: usize) -> u8 {
+        self.rrpv[set][way]
+    }
+
+    /// Standard RRIP victim search: the first way at `RRPV_MAX`, aging the
+    /// whole set until one exists.
+    pub(crate) fn victim(&mut self, set: usize) -> usize {
+        loop {
+            if let Some(w) = self.rrpv[set].iter().position(|&v| v == RRPV_MAX) {
+                return w;
+            }
+            for v in &mut self.rrpv[set] {
+                *v += 1;
+            }
+        }
+    }
+}
+
+/// Static RRIP: inserts at a long re-reference interval, promotes hits to
+/// near-immediate.
+#[derive(Debug, Clone)]
+pub struct Srrip {
+    state: RripState,
+}
+
+impl Srrip {
+    /// Creates an SRRIP policy.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            state: RripState::new(sets, ways),
+        }
+    }
+}
+
+impl Policy<CacheMeta> for Srrip {
+    fn on_fill(&mut self, set: usize, way: usize, _meta: &CacheMeta) {
+        self.state.set_rrpv(set, way, RRPV_LONG);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _meta: &CacheMeta) {
+        self.state.set_rrpv(set, way, 0);
+    }
+
+    fn victim(&mut self, set: usize, _incoming: &CacheMeta) -> usize {
+        self.state.victim(set)
+    }
+
+    fn name(&self) -> &'static str {
+        "srrip"
+    }
+}
+
+/// Bimodal RRIP: inserts at the distant interval most of the time, at the
+/// long interval with probability 1/32.
+#[derive(Debug, Clone)]
+pub struct Brrip {
+    state: RripState,
+    rng: Rng64,
+}
+
+impl Brrip {
+    /// Creates a BRRIP policy with a deterministic seed.
+    pub fn new(sets: usize, ways: usize, seed: u64) -> Self {
+        Self {
+            state: RripState::new(sets, ways),
+            rng: Rng64::new(seed),
+        }
+    }
+}
+
+impl Policy<CacheMeta> for Brrip {
+    fn on_fill(&mut self, set: usize, way: usize, _meta: &CacheMeta) {
+        let v = if self.rng.below(32) == 0 {
+            RRPV_LONG
+        } else {
+            RRPV_MAX
+        };
+        self.state.set_rrpv(set, way, v);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _meta: &CacheMeta) {
+        self.state.set_rrpv(set, way, 0);
+    }
+
+    fn victim(&mut self, set: usize, _incoming: &CacheMeta) -> usize {
+        self.state.victim(set)
+    }
+
+    fn name(&self) -> &'static str {
+        "brrip"
+    }
+}
+
+/// Which insertion flavor a set-dueling policy should use for a given set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DuelRole {
+    /// Leader set pinned to the primary (SRRIP-like) flavor.
+    LeaderPrimary,
+    /// Leader set pinned to the alternate (BRRIP-like) flavor.
+    LeaderAlternate,
+    /// Follower set: uses whichever flavor the PSEL counter favors.
+    Follower,
+}
+
+/// Set-dueling selector (Qureshi et al., ISCA 2007): a handful of leader
+/// sets are pinned to each flavor and a saturating PSEL counter, bumped on
+/// leader-set fills (i.e. misses), decides what followers do.
+#[derive(Debug, Clone)]
+pub(crate) struct SetDuel {
+    psel: i32,
+    max: i32,
+    stride: usize,
+}
+
+impl SetDuel {
+    pub(crate) fn new(sets: usize) -> Self {
+        // One leader pair per 32 sets, 10-bit PSEL as in the literature.
+        let stride = (sets / 32).max(2);
+        Self {
+            psel: 0,
+            max: 512,
+            stride,
+        }
+    }
+
+    pub(crate) fn role(&self, set: usize) -> DuelRole {
+        if set.is_multiple_of(self.stride) {
+            DuelRole::LeaderPrimary
+        } else if set % self.stride == 1 {
+            DuelRole::LeaderAlternate
+        } else {
+            DuelRole::Follower
+        }
+    }
+
+    /// Records a fill (≈ miss) in `set`; leader misses move PSEL away from
+    /// their own flavor.
+    pub(crate) fn on_fill(&mut self, set: usize) {
+        match self.role(set) {
+            DuelRole::LeaderPrimary => self.psel = (self.psel + 1).min(self.max),
+            DuelRole::LeaderAlternate => self.psel = (self.psel - 1).max(-self.max),
+            DuelRole::Follower => {}
+        }
+    }
+
+    /// `true` when followers should use the primary flavor.
+    pub(crate) fn primary_wins(&self) -> bool {
+        self.psel <= 0
+    }
+
+    /// Effective flavor for `set`: leaders use their pinned flavor,
+    /// followers the current winner.
+    pub(crate) fn use_primary(&self, set: usize) -> bool {
+        match self.role(set) {
+            DuelRole::LeaderPrimary => true,
+            DuelRole::LeaderAlternate => false,
+            DuelRole::Follower => self.primary_wins(),
+        }
+    }
+}
+
+/// Dynamic RRIP: set-duels SRRIP against BRRIP insertion.
+#[derive(Debug, Clone)]
+pub struct Drrip {
+    state: RripState,
+    duel: SetDuel,
+    rng: Rng64,
+}
+
+impl Drrip {
+    /// Creates a DRRIP policy with a deterministic seed.
+    pub fn new(sets: usize, ways: usize, seed: u64) -> Self {
+        Self {
+            state: RripState::new(sets, ways),
+            duel: SetDuel::new(sets),
+            rng: Rng64::new(seed),
+        }
+    }
+
+    fn insertion_rrpv(&mut self, set: usize) -> u8 {
+        if self.duel.use_primary(set) || self.rng.below(32) == 0 {
+            // SRRIP flavor, or BRRIP's occasional long-interval insert.
+            RRPV_LONG
+        } else {
+            RRPV_MAX
+        }
+    }
+}
+
+impl Policy<CacheMeta> for Drrip {
+    fn on_fill(&mut self, set: usize, way: usize, _meta: &CacheMeta) {
+        self.duel.on_fill(set);
+        let v = self.insertion_rrpv(set);
+        self.state.set_rrpv(set, way, v);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _meta: &CacheMeta) {
+        self.state.set_rrpv(set, way, 0);
+    }
+
+    fn victim(&mut self, set: usize, _incoming: &CacheMeta) -> usize {
+        self.state.victim(set)
+    }
+
+    fn name(&self) -> &'static str {
+        "drrip"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itpx_types::FillClass;
+
+    fn m(b: u64) -> CacheMeta {
+        CacheMeta::demand(b, FillClass::DataPayload)
+    }
+
+    #[test]
+    fn srrip_victimizes_distant_blocks_first() {
+        let mut p = Srrip::new(1, 4);
+        for w in 0..4 {
+            p.on_fill(0, w, &m(w as u64)); // all at RRPV_LONG
+        }
+        p.on_hit(0, 2, &m(2)); // way 2 -> RRPV 0
+        let v = p.victim(0, &m(9));
+        assert_ne!(v, 2, "hit block should not be the first victim");
+    }
+
+    #[test]
+    fn srrip_victim_scan_ages_until_found() {
+        let mut p = Srrip::new(1, 2);
+        p.on_fill(0, 0, &m(0));
+        p.on_fill(0, 1, &m(1));
+        p.on_hit(0, 0, &m(0));
+        p.on_hit(0, 1, &m(1));
+        // Both at 0; aging should still produce a victim.
+        let v = p.victim(0, &m(9));
+        assert!(v < 2);
+    }
+
+    #[test]
+    fn brrip_mostly_inserts_distant() {
+        let mut p = Brrip::new(1, 16, 7);
+        let mut distant = 0;
+        for w in 0..16 {
+            p.on_fill(0, w, &m(w as u64));
+            if p.state.rrpv(0, w) == RRPV_MAX {
+                distant += 1;
+            }
+        }
+        assert!(distant >= 12, "BRRIP should usually insert at RRPV max");
+    }
+
+    #[test]
+    fn duel_roles_partition_sets() {
+        let d = SetDuel::new(64);
+        let mut primary = 0;
+        let mut alternate = 0;
+        for s in 0..64 {
+            match d.role(s) {
+                DuelRole::LeaderPrimary => primary += 1,
+                DuelRole::LeaderAlternate => alternate += 1,
+                DuelRole::Follower => {}
+            }
+        }
+        assert_eq!(primary, alternate);
+        assert!(primary > 0);
+    }
+
+    #[test]
+    fn duel_follows_the_less_missing_leader() {
+        let mut d = SetDuel::new(64);
+        // Hammer misses on the primary leader sets only.
+        for _ in 0..100 {
+            d.on_fill(0);
+        }
+        assert!(
+            !d.primary_wins(),
+            "primary missed a lot, alternate should win"
+        );
+        // Now hammer the alternate leader harder.
+        for _ in 0..300 {
+            d.on_fill(1);
+        }
+        assert!(d.primary_wins());
+    }
+
+    #[test]
+    fn drrip_produces_valid_victims() {
+        let mut p = Drrip::new(8, 4, 3);
+        for s in 0..8 {
+            for w in 0..4 {
+                p.on_fill(s, w, &m((s * 4 + w) as u64));
+            }
+            assert!(p.victim(s, &m(99)) < 4);
+        }
+    }
+}

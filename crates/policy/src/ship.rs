@@ -1,0 +1,136 @@
+//! SHiP-PC (Wu et al., MICRO 2011): signature-based hit prediction on top
+//! of RRIP. Used by the paper as an LLC replacement baseline (Section 6.3).
+
+use crate::meta::CacheMeta;
+use crate::rrip::{RripState, RRPV_LONG, RRPV_MAX};
+use crate::traits::Policy;
+
+const SHCT_BITS: u32 = 14;
+const SHCT_MAX: u8 = 7; // 3-bit saturating counters
+
+/// Signature-based Hit Predictor.
+///
+/// Each block remembers the PC signature that filled it and whether it was
+/// re-referenced. Evictions without reuse train the signature's counter
+/// down; hits train it up. Fills from signatures with a zero counter are
+/// predicted dead and inserted at the distant RRPV.
+#[derive(Debug, Clone)]
+pub struct Ship {
+    state: RripState,
+    shct: Vec<u8>,
+    // Per-block training state.
+    signature: Vec<Vec<u16>>,
+    outcome: Vec<Vec<bool>>,
+}
+
+impl Ship {
+    /// Creates a SHiP policy.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            state: RripState::new(sets, ways),
+            shct: vec![1; 1 << SHCT_BITS],
+            signature: vec![vec![0; ways]; sets],
+            outcome: vec![vec![false; ways]; sets],
+        }
+    }
+
+    fn sig(pc: u64) -> u16 {
+        // Fold the PC into SHCT_BITS bits.
+        let x = pc ^ (pc >> SHCT_BITS) ^ (pc >> (2 * SHCT_BITS));
+        (x as u16) & ((1 << SHCT_BITS) - 1) as u16
+    }
+
+    /// Current counter value for a PC's signature (for tests/inspection).
+    pub fn counter_for_pc(&self, pc: u64) -> u8 {
+        self.shct[Self::sig(pc) as usize]
+    }
+}
+
+impl Policy<CacheMeta> for Ship {
+    fn on_fill(&mut self, set: usize, way: usize, meta: &CacheMeta) {
+        let sig = Self::sig(meta.pc);
+        self.signature[set][way] = sig;
+        self.outcome[set][way] = false;
+        let predicted_dead = self.shct[sig as usize] == 0;
+        let v = if predicted_dead { RRPV_MAX } else { RRPV_LONG };
+        self.state.set_rrpv(set, way, v);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _meta: &CacheMeta) {
+        self.state.set_rrpv(set, way, 0);
+        if !self.outcome[set][way] {
+            self.outcome[set][way] = true;
+            let sig = self.signature[set][way] as usize;
+            self.shct[sig] = (self.shct[sig] + 1).min(SHCT_MAX);
+        }
+    }
+
+    fn victim(&mut self, set: usize, _incoming: &CacheMeta) -> usize {
+        self.state.victim(set)
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize) {
+        if !self.outcome[set][way] {
+            let sig = self.signature[set][way] as usize;
+            self.shct[sig] = self.shct[sig].saturating_sub(1);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ship"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itpx_types::FillClass;
+
+    fn m(block: u64, pc: u64) -> CacheMeta {
+        CacheMeta {
+            pc,
+            ..CacheMeta::demand(block, FillClass::DataPayload)
+        }
+    }
+
+    #[test]
+    fn dead_signature_trains_down_and_inserts_distant() {
+        let mut p = Ship::new(1, 2);
+        let pc = 0x400;
+        // Fill and evict without reuse repeatedly: counter goes to 0.
+        for i in 0..4 {
+            p.on_fill(0, 0, &m(i, pc));
+            p.on_evict(0, 0);
+        }
+        assert_eq!(p.counter_for_pc(pc), 0);
+        // Next fill from this PC is predicted dead -> distant RRPV, so it
+        // becomes the victim even against a fresh long-interval block.
+        p.on_fill(0, 0, &m(50, pc));
+        p.on_fill(0, 1, &m(51, 0x999));
+        assert_eq!(p.victim(0, &m(52, 0x999)), 0);
+    }
+
+    #[test]
+    fn reused_signature_trains_up() {
+        let mut p = Ship::new(1, 2);
+        let pc = 0x400;
+        let before = p.counter_for_pc(pc);
+        p.on_fill(0, 0, &m(1, pc));
+        p.on_hit(0, 0, &m(1, pc));
+        assert_eq!(p.counter_for_pc(pc), before + 1);
+        // A second hit on the same generation does not double-train.
+        p.on_hit(0, 0, &m(1, pc));
+        assert_eq!(p.counter_for_pc(pc), before + 1);
+    }
+
+    #[test]
+    fn eviction_after_reuse_does_not_train_down() {
+        let mut p = Ship::new(1, 1);
+        let pc = 0x8;
+        p.on_fill(0, 0, &m(1, pc));
+        p.on_hit(0, 0, &m(1, pc));
+        let c = p.counter_for_pc(pc);
+        p.on_evict(0, 0);
+        assert_eq!(p.counter_for_pc(pc), c);
+    }
+}

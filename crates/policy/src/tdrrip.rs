@@ -1,0 +1,118 @@
+//! T-DRRIP — translation-aware DRRIP (Vasudha & Panda, ISPASS 2022):
+//! prioritizes blocks containing PTEs and deprioritizes demand blocks
+//! brought in by accesses that also missed in the STLB. Like PTP, it does
+//! not distinguish instruction PTEs from data PTEs.
+
+use crate::meta::CacheMeta;
+use crate::rrip::{RripState, SetDuel, RRPV_LONG, RRPV_MAX};
+use crate::traits::Policy;
+use itpx_types::Rng64;
+
+/// Translation-aware DRRIP.
+///
+/// Insertion rules, in priority order:
+///
+/// 1. blocks holding PTEs (either kind) insert at RRPV 0 (keep),
+/// 2. demand blocks whose triggering access missed the STLB insert at the
+///    distant RRPV (evict soon — their latency is dominated by the page
+///    walk anyway),
+/// 3. everything else follows DRRIP set-dueling insertion.
+#[derive(Debug, Clone)]
+pub struct Tdrrip {
+    state: RripState,
+    duel: SetDuel,
+    rng: Rng64,
+}
+
+impl Tdrrip {
+    /// Creates a T-DRRIP policy with a deterministic seed.
+    pub fn new(sets: usize, ways: usize, seed: u64) -> Self {
+        Self {
+            state: RripState::new(sets, ways),
+            duel: SetDuel::new(sets),
+            rng: Rng64::new(seed),
+        }
+    }
+}
+
+impl Policy<CacheMeta> for Tdrrip {
+    fn on_fill(&mut self, set: usize, way: usize, meta: &CacheMeta) {
+        self.duel.on_fill(set);
+        let v = if meta.fill.is_pte() {
+            0
+        } else if meta.stlb_miss {
+            RRPV_MAX
+        } else if self.duel.use_primary(set) || self.rng.below(32) == 0 {
+            // SRRIP flavor, or BRRIP's occasional long-interval insert.
+            RRPV_LONG
+        } else {
+            RRPV_MAX
+        };
+        self.state.set_rrpv(set, way, v);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _meta: &CacheMeta) {
+        self.state.set_rrpv(set, way, 0);
+    }
+
+    fn victim(&mut self, set: usize, _incoming: &CacheMeta) -> usize {
+        self.state.victim(set)
+    }
+
+    fn name(&self) -> &'static str {
+        "tdrrip"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itpx_types::FillClass;
+
+    #[test]
+    fn pte_blocks_insert_protected() {
+        let mut p = Tdrrip::new(4, 4, 1);
+        // Follower set 3 avoids leader-set side effects.
+        p.on_fill(3, 0, &CacheMeta::demand(0, FillClass::DataPte));
+        p.on_fill(3, 1, &CacheMeta::demand(1, FillClass::InstrPte));
+        p.on_fill(3, 2, &CacheMeta::demand(2, FillClass::DataPayload));
+        p.on_fill(3, 3, &CacheMeta::demand(3, FillClass::DataPayload));
+        let v = p.victim(3, &CacheMeta::demand(9, FillClass::DataPayload));
+        assert!(v == 2 || v == 3, "PTE ways must not be victims, got {v}");
+    }
+
+    #[test]
+    fn stlb_missing_demand_blocks_are_first_victims() {
+        let mut p = Tdrrip::new(4, 2, 1);
+        p.on_fill(
+            3,
+            0,
+            &CacheMeta::demand_stlb_miss(0, FillClass::DataPayload),
+        );
+        p.on_fill(3, 1, &CacheMeta::demand(1, FillClass::DataPayload));
+        assert_eq!(
+            p.victim(3, &CacheMeta::demand(9, FillClass::DataPayload)),
+            0
+        );
+    }
+
+    #[test]
+    fn hits_promote_to_zero() {
+        let mut p = Tdrrip::new(4, 2, 1);
+        p.on_fill(
+            3,
+            0,
+            &CacheMeta::demand_stlb_miss(0, FillClass::DataPayload),
+        );
+        p.on_hit(3, 0, &CacheMeta::demand(0, FillClass::DataPayload));
+        p.on_fill(
+            3,
+            1,
+            &CacheMeta::demand_stlb_miss(1, FillClass::DataPayload),
+        );
+        assert_eq!(
+            p.victim(3, &CacheMeta::demand(9, FillClass::DataPayload)),
+            1
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! The replacement-policy trait shared by TLBs and caches.
+
+use crate::meta::{CacheMeta, TlbMeta};
+
+/// A set-associative replacement policy over per-access metadata `M`.
+///
+/// The owning structure (a TLB in `itpx-vm`, a cache in `itpx-mem`) calls:
+///
+/// * [`Policy::victim`] when a fill finds its set full — the policy picks a
+///   way to evict. The structure then calls [`Policy::on_evict`] for the
+///   victim and [`Policy::on_fill`] for the newcomer.
+/// * [`Policy::on_fill`] when a block/entry is installed (also into an
+///   invalid way, in which case no victim was requested).
+/// * [`Policy::on_hit`] when a lookup hits.
+///
+/// Implementations keep all their state (recency stacks, RRPVs, predictor
+/// tables) internally, sized at construction from `(sets, ways)`.
+pub trait Policy<M>: std::fmt::Debug + Send {
+    /// Records that `meta` was installed into `(set, way)`.
+    fn on_fill(&mut self, set: usize, way: usize, meta: &M);
+
+    /// Records a hit on `(set, way)`.
+    fn on_hit(&mut self, set: usize, way: usize, meta: &M);
+
+    /// Picks the way to evict from a full `set` so `incoming` can be
+    /// installed. Must return a value `< ways`.
+    fn victim(&mut self, set: usize, incoming: &M) -> usize;
+
+    /// Notifies the policy that `(set, way)` was evicted (used by policies
+    /// that train on reuse outcomes, e.g. SHiP, CHiRP). Default: no-op.
+    fn on_evict(&mut self, _set: usize, _way: usize) {}
+
+    /// Short, stable policy name for reports (e.g. `"lru"`, `"ship"`).
+    fn name(&self) -> &'static str;
+}
+
+/// A boxed cache replacement policy.
+pub type CachePolicy = Box<dyn Policy<CacheMeta>>;
+
+/// A boxed TLB replacement policy.
+pub type TlbPolicy = Box<dyn Policy<TlbMeta>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lru;
+
+    #[test]
+    fn policies_are_object_safe() {
+        let _c: CachePolicy = Box::new(Lru::new(2, 2));
+        let _t: TlbPolicy = Box::new(Lru::new(2, 2));
+    }
+}

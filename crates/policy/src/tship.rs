@@ -1,0 +1,146 @@
+//! T-SHiP — the translation-aware SHiP companion of T-DRRIP (Vasudha &
+//! Panda, ISPASS 2022). The original proposal pairs T-DRRIP at the L2C
+//! with T-SHiP at the LLC; the paper under reproduction applies only the
+//! L2C half (its experiments found that configuration stronger), so this
+//! policy is provided as an optional extension for completeness.
+//!
+//! T-SHiP is SHiP with two translation-aware overrides at insertion:
+//! blocks holding PTEs are predicted live regardless of their signature's
+//! counter, and demand blocks whose access missed the STLB are predicted
+//! dead regardless of it.
+
+use crate::meta::CacheMeta;
+use crate::rrip::{RripState, RRPV_LONG, RRPV_MAX};
+use crate::traits::Policy;
+
+const SHCT_BITS: u32 = 14;
+const SHCT_MAX: u8 = 7;
+
+/// Translation-aware SHiP.
+#[derive(Debug, Clone)]
+pub struct TShip {
+    state: RripState,
+    shct: Vec<u8>,
+    signature: Vec<Vec<u16>>,
+    outcome: Vec<Vec<bool>>,
+}
+
+impl TShip {
+    /// Creates a T-SHiP policy.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            state: RripState::new(sets, ways),
+            shct: vec![1; 1 << SHCT_BITS],
+            signature: vec![vec![0; ways]; sets],
+            outcome: vec![vec![false; ways]; sets],
+        }
+    }
+
+    fn sig(pc: u64) -> u16 {
+        let x = pc ^ (pc >> SHCT_BITS) ^ (pc >> (2 * SHCT_BITS));
+        (x as u16) & ((1 << SHCT_BITS) - 1) as u16
+    }
+
+    /// Current counter for a PC's signature (for tests).
+    pub fn counter_for_pc(&self, pc: u64) -> u8 {
+        self.shct[Self::sig(pc) as usize]
+    }
+}
+
+impl Policy<CacheMeta> for TShip {
+    fn on_fill(&mut self, set: usize, way: usize, meta: &CacheMeta) {
+        let sig = Self::sig(meta.pc);
+        self.signature[set][way] = sig;
+        self.outcome[set][way] = false;
+        let v = if meta.fill.is_pte() {
+            // Translation override 1: keep PTE blocks.
+            0
+        } else if meta.stlb_miss {
+            // Translation override 2: evict STLB-missing demand blocks.
+            RRPV_MAX
+        } else if self.shct[sig as usize] == 0 {
+            RRPV_MAX
+        } else {
+            RRPV_LONG
+        };
+        self.state.set_rrpv(set, way, v);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _meta: &CacheMeta) {
+        self.state.set_rrpv(set, way, 0);
+        if !self.outcome[set][way] {
+            self.outcome[set][way] = true;
+            let sig = self.signature[set][way] as usize;
+            self.shct[sig] = (self.shct[sig] + 1).min(SHCT_MAX);
+        }
+    }
+
+    fn victim(&mut self, set: usize, _incoming: &CacheMeta) -> usize {
+        self.state.victim(set)
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize) {
+        if !self.outcome[set][way] {
+            let sig = self.signature[set][way] as usize;
+            self.shct[sig] = self.shct[sig].saturating_sub(1);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "tship"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itpx_types::FillClass;
+
+    #[test]
+    fn pte_blocks_insert_protected() {
+        let mut p = TShip::new(1, 4);
+        p.on_fill(0, 0, &CacheMeta::demand(0, FillClass::DataPte));
+        p.on_fill(0, 1, &CacheMeta::demand(1, FillClass::InstrPte));
+        p.on_fill(0, 2, &CacheMeta::demand(2, FillClass::DataPayload));
+        p.on_fill(0, 3, &CacheMeta::demand(3, FillClass::DataPayload));
+        let v = p.victim(0, &CacheMeta::demand(9, FillClass::DataPayload));
+        assert!(v == 2 || v == 3, "PTE ways must not be first victims");
+    }
+
+    #[test]
+    fn stlb_missing_blocks_are_first_victims() {
+        let mut p = TShip::new(1, 2);
+        p.on_fill(
+            0,
+            0,
+            &CacheMeta::demand_stlb_miss(0, FillClass::DataPayload),
+        );
+        p.on_fill(0, 1, &CacheMeta::demand(1, FillClass::DataPayload));
+        assert_eq!(
+            p.victim(0, &CacheMeta::demand(9, FillClass::DataPayload)),
+            0
+        );
+    }
+
+    #[test]
+    fn ship_training_still_applies_to_plain_payload() {
+        let mut p = TShip::new(1, 2);
+        let pc = 0x500;
+        let m = |b: u64| CacheMeta {
+            pc,
+            ..CacheMeta::demand(b, FillClass::DataPayload)
+        };
+        for i in 0..4 {
+            p.on_fill(0, 0, &m(i));
+            p.on_evict(0, 0);
+        }
+        assert_eq!(p.counter_for_pc(pc), 0, "dead signature trained down");
+        p.on_fill(0, 0, &m(50));
+        p.on_fill(0, 1, &CacheMeta::demand(51, FillClass::DataPayload));
+        assert_eq!(
+            p.victim(0, &CacheMeta::demand(52, FillClass::DataPayload)),
+            0,
+            "dead-signature block evicted first"
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Trace analysis: footprint and reuse-distance characterization.
+//!
+//! These are the tools used to calibrate the synthetic suites against the
+//! paper's workload characterization (Section 3): page-level footprints,
+//! LRU stack (reuse) distances, and instruction-mix summaries. They work
+//! on any iterator of [`TraceInst`], so recorded trace files and live
+//! generators can both be analyzed.
+
+use crate::record::TraceInst;
+use std::collections::HashMap;
+
+/// Page-granularity reuse-distance histogram computed with an exact LRU
+/// stack (unique pages touched between consecutive uses).
+///
+/// Distances are bucketed by power of two; the bucket index for a reuse
+/// at stack depth *d* is `floor(log2(d + 1))`. Cold (first) touches are
+/// counted separately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReuseProfile {
+    /// Power-of-two bucketed reuse-distance counts.
+    pub buckets: Vec<u64>,
+    /// First-touch (compulsory) accesses.
+    pub cold: u64,
+    /// Total accesses analyzed.
+    pub total: u64,
+}
+
+impl ReuseProfile {
+    /// Fraction of (warm) reuses with stack distance below `capacity` —
+    /// the hit rate a fully-associative LRU structure of that capacity
+    /// would achieve on this stream.
+    pub fn hit_fraction_at(&self, capacity: u64) -> f64 {
+        let warm: u64 = self.buckets.iter().sum();
+        if warm == 0 {
+            return 0.0;
+        }
+        let cap_bucket = (64 - (capacity + 1).leading_zeros()).saturating_sub(1) as usize;
+        let below: u64 = self.buckets.iter().take(cap_bucket).sum();
+        below as f64 / warm as f64
+    }
+}
+
+/// Exact LRU stack-distance tracker over `u64` keys.
+#[derive(Debug, Default)]
+struct LruStack {
+    // Position list: most recent at the back. For analysis sizes (tens of
+    // thousands of pages) the O(n) update is acceptable.
+    order: Vec<u64>,
+    index: HashMap<u64, usize>,
+}
+
+impl LruStack {
+    /// Touches `key`, returning its previous stack depth (0 = MRU) or
+    /// `None` on first touch.
+    fn touch(&mut self, key: u64) -> Option<u64> {
+        if let Some(&pos) = self.index.get(&key) {
+            let depth = (self.order.len() - 1 - pos) as u64;
+            self.order.remove(pos);
+            for k in &self.order[pos..] {
+                *self.index.get_mut(k).expect("indexed") -= 1;
+            }
+            self.index.insert(key, self.order.len());
+            self.order.push(key);
+            Some(depth)
+        } else {
+            self.index.insert(key, self.order.len());
+            self.order.push(key);
+            None
+        }
+    }
+}
+
+/// Computes page-level reuse profiles for the instruction and data streams
+/// of a trace.
+pub fn page_reuse_profiles<I: IntoIterator<Item = TraceInst>>(
+    trace: I,
+) -> (ReuseProfile, ReuseProfile) {
+    let mut code = LruStack::default();
+    let mut data = LruStack::default();
+    let mut code_profile = ReuseProfile {
+        buckets: vec![0; 32],
+        cold: 0,
+        total: 0,
+    };
+    let mut data_profile = code_profile.clone();
+    let record = |profile: &mut ReuseProfile, depth: Option<u64>| {
+        profile.total += 1;
+        match depth {
+            Some(d) => {
+                let b = (64 - (d + 1).leading_zeros()).saturating_sub(1) as usize;
+                profile.buckets[b.min(31)] += 1;
+            }
+            None => profile.cold += 1,
+        }
+    };
+    let mut last_code_page = u64::MAX;
+    for inst in trace {
+        let page = inst.pc >> 12;
+        // Count one instruction-stream access per page *transition* so the
+        // profile reflects TLB-visible behavior, not per-instruction noise.
+        if page != last_code_page {
+            last_code_page = page;
+            record(&mut code_profile, code.touch(page));
+        }
+        if let Some(m) = inst.mem {
+            record(&mut data_profile, data.touch(m.addr >> 12));
+        }
+    }
+    (code_profile, data_profile)
+}
+
+/// Instruction-mix and footprint summary of a trace prefix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixSummary {
+    /// Instructions analyzed.
+    pub instructions: u64,
+    /// Distinct 4 KiB code pages.
+    pub code_pages: usize,
+    /// Distinct 4 KiB data pages.
+    pub data_pages: usize,
+    /// Load fraction.
+    pub load_ratio: f64,
+    /// Store fraction.
+    pub store_ratio: f64,
+    /// Branch fraction.
+    pub branch_ratio: f64,
+}
+
+/// Computes a [`MixSummary`].
+pub fn mix_summary<I: IntoIterator<Item = TraceInst>>(trace: I) -> MixSummary {
+    let mut code = std::collections::HashSet::new();
+    let mut data = std::collections::HashSet::new();
+    let (mut n, mut loads, mut stores, mut branches) = (0u64, 0u64, 0u64, 0u64);
+    for inst in trace {
+        n += 1;
+        code.insert(inst.pc >> 12);
+        if let Some(m) = inst.mem {
+            data.insert(m.addr >> 12);
+            if m.store {
+                stores += 1;
+            } else {
+                loads += 1;
+            }
+        }
+        branches += inst.branch.is_some() as u64;
+    }
+    let d = n.max(1) as f64;
+    MixSummary {
+        instructions: n,
+        code_pages: code.len(),
+        data_pages: data.len(),
+        load_ratio: loads as f64 / d,
+        store_ratio: stores as f64 / d,
+        branch_ratio: branches as f64 / d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceGenerator;
+    use crate::profile::WorkloadSpec;
+    use crate::record::MemRef;
+
+    fn inst(pc: u64, mem: Option<u64>) -> TraceInst {
+        TraceInst {
+            mem: mem.map(|addr| MemRef { addr, store: false }),
+            ..TraceInst::alu(pc)
+        }
+    }
+
+    #[test]
+    fn reuse_depths_are_exact() {
+        // Data pages A B C A: A's reuse sees 2 distinct pages in between.
+        let trace = vec![
+            inst(0x1000, Some(0xA000)),
+            inst(0x1004, Some(0xB000)),
+            inst(0x1008, Some(0xC000)),
+            inst(0x100c, Some(0xA000)),
+        ];
+        let (_, data) = page_reuse_profiles(trace);
+        assert_eq!(data.cold, 3);
+        assert_eq!(data.total, 4);
+        // Depth 2 lands in bucket floor(log2(3)) = 1.
+        assert_eq!(data.buckets[1], 1);
+    }
+
+    #[test]
+    fn immediate_reuse_is_depth_zero() {
+        let trace = vec![inst(0x1000, Some(0xA000)), inst(0x1004, Some(0xA000))];
+        let (_, data) = page_reuse_profiles(trace);
+        assert_eq!(data.buckets[0], 1);
+    }
+
+    #[test]
+    fn code_stream_counts_page_transitions_only() {
+        // Four instructions in one page: one code access.
+        let trace: Vec<TraceInst> = (0..4).map(|i| inst(0x1000 + i * 4, None)).collect();
+        let (code, _) = page_reuse_profiles(trace);
+        assert_eq!(code.total, 1);
+        assert_eq!(code.cold, 1);
+    }
+
+    #[test]
+    fn hit_fraction_monotone_in_capacity() {
+        let spec = WorkloadSpec::server_like(3);
+        let (code, data) = page_reuse_profiles(TraceGenerator::new(&spec).take(60_000));
+        for profile in [&code, &data] {
+            let small = profile.hit_fraction_at(64);
+            let mid = profile.hit_fraction_at(1536);
+            let large = profile.hit_fraction_at(1 << 20);
+            assert!(small <= mid + 1e-12, "{small} > {mid}");
+            assert!(mid <= large + 1e-12);
+            assert!(large <= 1.0);
+        }
+        // The server profile's code working set exceeds a 64-entry ITLB
+        // but is substantially covered by STLB-scale capacity.
+        assert!(code.hit_fraction_at(1536) > code.hit_fraction_at(64));
+    }
+
+    #[test]
+    fn mix_summary_matches_generator_parameters() {
+        let spec = WorkloadSpec::server_like(5);
+        let s = mix_summary(TraceGenerator::new(&spec).take(50_000));
+        assert_eq!(s.instructions, 50_000);
+        assert!((s.load_ratio - spec.profile.load_ratio).abs() < 0.02);
+        assert!((s.store_ratio - spec.profile.store_ratio).abs() < 0.02);
+        assert!(s.code_pages > 100);
+        assert!(s.branch_ratio > 0.05);
+    }
+}

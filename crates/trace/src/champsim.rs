@@ -1,0 +1,349 @@
+//! ChampSim trace import.
+//!
+//! The paper's artifact distributes workloads as `*.champsimtrace.xz`
+//! files: fixed 64-byte records of ChampSim's `input_instr` struct. This
+//! module decodes that format (decompressed files — pipe through `xz -d`
+//! first; this crate has no compression dependency) and converts each
+//! record into [`TraceInst`], reconstructing register-dependency
+//! *distances* with a renaming scan over the producers seen so far.
+//!
+//! ```text
+//! struct input_instr {            // little-endian, 64 bytes
+//!     uint64_t ip;
+//!     uint8_t  is_branch;
+//!     uint8_t  branch_taken;
+//!     uint8_t  destination_registers[2];
+//!     uint8_t  source_registers[4];
+//!     uint64_t destination_memory[2];
+//!     uint64_t source_memory[4];
+//! }
+//! ```
+
+use crate::record::{Branch, MemRef, TraceInst};
+use std::io::{self, Read};
+
+/// Size of one ChampSim record.
+pub const CHAMPSIM_RECORD_BYTES: usize = 64;
+
+/// One decoded ChampSim record, before conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChampSimRecord {
+    /// Instruction pointer.
+    pub ip: u64,
+    /// Branch flag.
+    pub is_branch: bool,
+    /// Taken flag (meaningful when `is_branch`).
+    pub branch_taken: bool,
+    /// Destination architectural registers (0 = unused).
+    pub dest_regs: [u8; 2],
+    /// Source architectural registers (0 = unused).
+    pub src_regs: [u8; 4],
+    /// Destination memory addresses (0 = unused).
+    pub dest_mem: [u64; 2],
+    /// Source memory addresses (0 = unused).
+    pub src_mem: [u64; 4],
+}
+
+impl ChampSimRecord {
+    /// Decodes one 64-byte record.
+    pub fn decode(buf: &[u8; CHAMPSIM_RECORD_BYTES]) -> Self {
+        let u64_at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().expect("8 bytes"));
+        Self {
+            ip: u64_at(0),
+            is_branch: buf[8] != 0,
+            branch_taken: buf[9] != 0,
+            dest_regs: [buf[10], buf[11]],
+            src_regs: [buf[12], buf[13], buf[14], buf[15]],
+            dest_mem: [u64_at(16), u64_at(24)],
+            src_mem: [u64_at(32), u64_at(40), u64_at(48), u64_at(56)],
+        }
+    }
+
+    /// Encodes back to the 64-byte wire format (used by tests and by
+    /// tools that synthesize ChampSim-format traces).
+    pub fn encode(&self) -> [u8; CHAMPSIM_RECORD_BYTES] {
+        let mut b = [0u8; CHAMPSIM_RECORD_BYTES];
+        b[0..8].copy_from_slice(&self.ip.to_le_bytes());
+        b[8] = self.is_branch as u8;
+        b[9] = self.branch_taken as u8;
+        b[10] = self.dest_regs[0];
+        b[11] = self.dest_regs[1];
+        b[12..16].copy_from_slice(&self.src_regs);
+        b[16..24].copy_from_slice(&self.dest_mem[0].to_le_bytes());
+        b[24..32].copy_from_slice(&self.dest_mem[1].to_le_bytes());
+        for (i, m) in self.src_mem.iter().enumerate() {
+            b[32 + 8 * i..40 + 8 * i].copy_from_slice(&m.to_le_bytes());
+        }
+        b
+    }
+}
+
+/// Converts a stream of ChampSim records into [`TraceInst`]s.
+///
+/// * `next_pc` chains: a record followed by a non-sequential IP becomes a
+///   taken branch to that IP (ChampSim stores taken-ness but not targets;
+///   the successor IP supplies it).
+/// * Register dependencies become distances via a last-writer table.
+/// * The first source memory address becomes a load, else the first
+///   destination memory address a store (one memory operand per
+///   instruction, like the engine models).
+#[derive(Debug)]
+pub struct ChampSimConverter {
+    /// Last writer (instruction index) of each architectural register.
+    last_writer: [u64; 256],
+    produced: u64,
+    pending: Option<ChampSimRecord>,
+}
+
+impl Default for ChampSimConverter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChampSimConverter {
+    /// Creates a converter.
+    pub fn new() -> Self {
+        Self {
+            last_writer: [0; 256],
+            produced: 0,
+            pending: None,
+        }
+    }
+
+    /// Feeds the next record; returns the `TraceInst` for the *previous*
+    /// record (its control flow needs this record's IP). Returns `None`
+    /// for the first call.
+    pub fn push(&mut self, rec: ChampSimRecord) -> Option<TraceInst> {
+        let out = self.pending.take().map(|prev| self.convert(prev, rec.ip));
+        self.pending = Some(rec);
+        out
+    }
+
+    /// Flushes the final record (fall-through control flow).
+    pub fn finish(&mut self) -> Option<TraceInst> {
+        self.pending.take().map(|prev| {
+            let next = prev.ip.wrapping_add(4);
+            self.convert(prev, next)
+        })
+    }
+
+    fn convert(&mut self, rec: ChampSimRecord, next_ip: u64) -> TraceInst {
+        let idx = self.produced;
+        // Dependency distances from the last-writer table (reg 0 = none).
+        let mut dists = [0u8; 2];
+        let mut n = 0;
+        for &r in rec.src_regs.iter() {
+            if r != 0 && n < 2 {
+                let w = self.last_writer[r as usize];
+                if w != 0 {
+                    let d = idx + 1 - w;
+                    if d <= u8::MAX as u64 {
+                        dists[n] = d as u8;
+                        n += 1;
+                    }
+                }
+            }
+        }
+        for &r in rec.dest_regs.iter() {
+            if r != 0 {
+                self.last_writer[r as usize] = idx + 1;
+            }
+        }
+        let mem = if rec.src_mem[0] != 0 {
+            Some(MemRef {
+                addr: rec.src_mem[0],
+                store: false,
+            })
+        } else if rec.dest_mem[0] != 0 {
+            Some(MemRef {
+                addr: rec.dest_mem[0],
+                store: true,
+            })
+        } else {
+            None
+        };
+        let sequential = next_ip == rec.ip.wrapping_add(4);
+        let branch = if rec.is_branch || !sequential {
+            Some(Branch {
+                taken: !sequential,
+                target: if sequential {
+                    rec.ip.wrapping_add(8)
+                } else {
+                    next_ip
+                },
+            })
+        } else {
+            None
+        };
+        self.produced += 1;
+        TraceInst {
+            pc: rec.ip,
+            exec_latency: 1,
+            src1_dist: dists[0],
+            src2_dist: dists[1],
+            mem,
+            branch,
+        }
+    }
+}
+
+/// Reads a decompressed ChampSim trace, converting up to `limit`
+/// instructions (`usize::MAX` for all).
+///
+/// # Errors
+///
+/// Returns any I/O error; a trailing partial record is ignored (ChampSim
+/// traces are frequently truncated at collection boundaries).
+pub fn read_champsim<R: Read>(mut r: R, limit: usize) -> io::Result<Vec<TraceInst>> {
+    let mut conv = ChampSimConverter::new();
+    let mut out = Vec::new();
+    let mut buf = [0u8; CHAMPSIM_RECORD_BYTES];
+    while out.len() < limit {
+        let mut filled = 0;
+        while filled < CHAMPSIM_RECORD_BYTES {
+            match r.read(&mut buf[filled..])? {
+                0 => {
+                    if filled == 0 {
+                        if let Some(last) = conv.finish() {
+                            out.push(last);
+                        }
+                    }
+                    return Ok(out);
+                }
+                n => filled += n,
+            }
+        }
+        if let Some(inst) = conv.push(ChampSimRecord::decode(&buf)) {
+            out.push(inst);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ip: u64) -> ChampSimRecord {
+        ChampSimRecord {
+            ip,
+            is_branch: false,
+            branch_taken: false,
+            dest_regs: [0; 2],
+            src_regs: [0; 4],
+            dest_mem: [0; 2],
+            src_mem: [0; 4],
+        }
+    }
+
+    #[test]
+    fn decode_encode_roundtrip() {
+        let r = ChampSimRecord {
+            ip: 0x401_000,
+            is_branch: true,
+            branch_taken: true,
+            dest_regs: [3, 0],
+            src_regs: [1, 2, 0, 0],
+            dest_mem: [0xdead_0000, 0],
+            src_mem: [0xbeef_0000, 0, 0, 0],
+        };
+        assert_eq!(ChampSimRecord::decode(&r.encode()), r);
+    }
+
+    #[test]
+    fn sequential_records_have_no_branches() {
+        let bytes: Vec<u8> = (0..4u64)
+            .flat_map(|i| rec(0x1000 + i * 4).encode())
+            .collect();
+        let insts = read_champsim(bytes.as_slice(), usize::MAX).unwrap();
+        assert_eq!(insts.len(), 4);
+        for pair in insts.windows(2) {
+            assert_eq!(pair[1].pc, pair[0].next_pc());
+        }
+        assert!(insts[..3].iter().all(|i| i.branch.is_none()));
+    }
+
+    #[test]
+    fn non_sequential_ip_becomes_taken_branch() {
+        let mut a = rec(0x1000);
+        a.is_branch = true;
+        a.branch_taken = true;
+        let b = rec(0x9000);
+        let bytes: Vec<u8> = [a, b].iter().flat_map(|r| r.encode()).collect();
+        let insts = read_champsim(bytes.as_slice(), usize::MAX).unwrap();
+        assert_eq!(
+            insts[0].branch,
+            Some(Branch {
+                taken: true,
+                target: 0x9000
+            })
+        );
+        assert_eq!(insts[0].next_pc(), 0x9000);
+    }
+
+    #[test]
+    fn register_dependencies_become_distances() {
+        let mut producer = rec(0x1000);
+        producer.dest_regs = [7, 0];
+        let middle = rec(0x1004);
+        let mut consumer = rec(0x1008);
+        consumer.src_regs = [7, 0, 0, 0];
+        let bytes: Vec<u8> = [producer, middle, consumer, rec(0x100c)]
+            .iter()
+            .flat_map(|r| r.encode())
+            .collect();
+        let insts = read_champsim(bytes.as_slice(), usize::MAX).unwrap();
+        assert_eq!(insts[2].src1_dist, 2, "consumer is 2 instructions after");
+    }
+
+    #[test]
+    fn memory_operands_map_to_loads_and_stores() {
+        let mut ld = rec(0x1000);
+        ld.src_mem[0] = 0xAAAA_0000;
+        let mut st = rec(0x1004);
+        st.dest_mem[0] = 0xBBBB_0000;
+        let bytes: Vec<u8> = [ld, st, rec(0x1008)]
+            .iter()
+            .flat_map(|r| r.encode())
+            .collect();
+        let insts = read_champsim(bytes.as_slice(), usize::MAX).unwrap();
+        assert_eq!(
+            insts[0].mem,
+            Some(MemRef {
+                addr: 0xAAAA_0000,
+                store: false
+            })
+        );
+        assert_eq!(
+            insts[1].mem,
+            Some(MemRef {
+                addr: 0xBBBB_0000,
+                store: true
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated_and_limit_respected() {
+        let mut bytes: Vec<u8> = (0..5u64)
+            .flat_map(|i| rec(0x2000 + i * 4).encode())
+            .collect();
+        bytes.truncate(bytes.len() - 10); // partial last record
+        let insts = read_champsim(bytes.as_slice(), usize::MAX).unwrap();
+        assert_eq!(
+            insts.len(),
+            3,
+            "4 full records -> 3 chained + pending dropped"
+        );
+        let limited = read_champsim(
+            (0..50u64)
+                .flat_map(|i| rec(0x3000 + i * 4).encode())
+                .collect::<Vec<_>>()
+                .as_slice(),
+            10,
+        )
+        .unwrap();
+        assert_eq!(limited.len(), 10);
+    }
+}

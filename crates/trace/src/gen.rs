@@ -1,0 +1,472 @@
+//! The deterministic trace generator.
+//!
+//! Code is modeled as a set of functions packed into a contiguous code
+//! region spanning `code_pages` 4 KiB pages. Execution runs through a
+//! function's basic blocks (with biased conditional branches and bounded
+//! loops) and transfers to the next function through a Zipf-skewed call
+//! distribution over a *scrambled* function order — hot functions are
+//! scattered across the code region, reproducing the poor code layout of
+//! large server binaries that makes their ITLB/STLB behavior painful.
+//!
+//! Data references mix Zipf-skewed page reuse with sequential streaming.
+
+use crate::profile::{Profile, WorkloadSpec, CODE_BASE, DATA_BASE, INSTS_PER_PAGE};
+
+/// Instructions per ring function: short visits so the ring cycles through
+/// its pages quickly enough for STLB-scale reuse.
+const RING_FN_MIN: u64 = 16;
+const RING_FN_MAX: u64 = 48;
+use crate::record::{Branch, MemRef, TraceInst};
+use itpx_types::Rng64;
+
+/// Samples ranks from a Zipf distribution via an explicit CDF.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always `false`: construction requires at least one rank.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n` (rank 0 is the most popular).
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
+        let u = rng.f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Function {
+    start: u64,
+    len: u32,
+}
+
+/// Deterministic instruction-stream generator for one workload.
+///
+/// Implements [`Iterator`] over [`TraceInst`]; the stream is infinite, so
+/// callers take as many instructions as they need.
+#[derive(Debug)]
+pub struct TraceGenerator {
+    profile: Profile,
+    rng: Rng64,
+    functions: Vec<Function>,
+    fn_zipf: ZipfSampler,
+    /// Scrambled map from popularity rank to function index.
+    fn_perm: Vec<u32>,
+    data_zipf: ZipfSampler,
+    data_perm: Vec<u32>,
+    /// Code-ring functions (cyclic working set) and the cursor into them.
+    ring: Vec<Function>,
+    ring_pos: usize,
+    // Execution state.
+    cur: Function,
+    idx: u32,
+    block_end: u32,
+    loop_budget: u8,
+    stream_addr: u64,
+    hot_addr: u64,
+    produced: u64,
+}
+
+impl TraceGenerator {
+    /// Builds the generator for a workload spec.
+    pub fn new(spec: &WorkloadSpec) -> Self {
+        spec.profile.validate();
+        let p = spec.profile;
+        let mut rng = Rng64::new(spec.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x17b7);
+        // Pack functions into the code region until `code_pages` are used.
+        let total_insts = p.code_pages * INSTS_PER_PAGE;
+        let mut functions = Vec::new();
+        let mut cursor = 0usize;
+        while cursor < total_insts {
+            let len = rng.range(p.fn_len_min as u64, p.fn_len_max as u64) as usize;
+            let len = len.min(total_insts - cursor).max(4);
+            functions.push(Function {
+                start: CODE_BASE + (cursor as u64) * 4,
+                len: len as u32,
+            });
+            cursor += len;
+        }
+        let n = functions.len();
+        let fn_perm = permutation(n, &mut rng);
+        let data_perm = permutation(p.data_pages, &mut rng);
+        let fn_zipf = ZipfSampler::new(n, p.code_zipf_s);
+        let data_zipf = ZipfSampler::new(p.data_pages, p.data_zipf_s);
+        // The code ring: one short function at the top of each of its
+        // pages, so every ring visit touches the next page and the ring
+        // cycles its whole footprint at STLB-relevant timescales.
+        let ring_base = CODE_BASE + (p.code_pages as u64) * 4096 + (64 << 12);
+        let ring = (0..p.ring_pages)
+            .map(|i| Function {
+                start: ring_base + (i as u64) * 4096,
+                len: rng.range(RING_FN_MIN, RING_FN_MAX) as u32,
+            })
+            .collect();
+        let first = fn_perm[0] as usize;
+        let cur = functions[first];
+        let start_stream = DATA_BASE + (p.data_pages as u64) * 4096;
+        Self {
+            profile: p,
+            functions,
+            fn_zipf,
+            fn_perm,
+            data_zipf,
+            data_perm,
+            cur,
+            ring,
+            ring_pos: 0,
+            idx: 0,
+            block_end: 0,
+            loop_budget: 0,
+            stream_addr: start_stream,
+            hot_addr: start_stream + (p.stream_blocks as u64) * 64 + (64 << 12),
+            produced: 0,
+            rng,
+        }
+    }
+
+    /// Number of functions in the code layout.
+    pub fn function_count(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Picks the next function at a transfer: the cyclic code ring with
+    /// probability `ring_ratio`, otherwise a Zipf-sampled scattered one.
+    fn pick_function(&mut self) -> Function {
+        if !self.ring.is_empty() && self.rng.chance(self.profile.ring_ratio) {
+            let f = self.ring[self.ring_pos];
+            self.ring_pos = (self.ring_pos + 1) % self.ring.len();
+            f
+        } else {
+            let rank = self.fn_zipf.sample(&mut self.rng);
+            self.functions[self.fn_perm[rank] as usize]
+        }
+    }
+
+    fn data_address(&mut self) -> u64 {
+        let roll = self.rng.f64();
+        if roll < self.profile.transit_ratio {
+            // Transit band: a VPN-contiguous region above the streaming
+            // region, touched uniformly — persistent STLB misses whose
+            // leaf PTE blocks have L2C-scale reuse.
+            let span = (self.profile.data_pages as u64 / 4 + 2) * 4096;
+            let base = DATA_BASE + (self.profile.data_pages as u64) * 4096 + span;
+            let page = self.rng.below(self.profile.transit_pages as u64);
+            // Touch only the first block of a transit page: the band
+            // exists to generate page-walk traffic, and its payload
+            // working set (one block per page) stays cache-friendly.
+            return base + page * 4096 + self.rng.below(8) * 8;
+        }
+        let hot_lo = self.profile.transit_ratio + self.profile.stream_ratio;
+        if roll >= hot_lo && roll < hot_lo + self.profile.hot_ratio {
+            // L2C-marginal circular buffer.
+            self.hot_addr += 64;
+            let base = DATA_BASE
+                + (self.profile.data_pages as u64) * 4096
+                + (self.profile.stream_blocks as u64) * 64
+                + (64 << 12);
+            let span = (self.profile.hot_blocks as u64) * 64;
+            if self.hot_addr >= base + span {
+                self.hot_addr = base;
+            }
+            return self.hot_addr;
+        }
+        if roll < self.profile.transit_ratio + self.profile.stream_ratio {
+            self.stream_addr += 64;
+            // Circular buffer: a block-level working set sized between
+            // the L2C and the LLC (see Profile::stream_blocks).
+            let span = (self.profile.stream_blocks as u64) * 64;
+            let base = DATA_BASE + (self.profile.data_pages as u64) * 4096;
+            if self.stream_addr >= base + span {
+                self.stream_addr = base;
+            }
+            self.stream_addr
+        } else {
+            let rank = self.data_zipf.sample(&mut self.rng);
+            let page = self.data_perm[rank] as u64;
+            // A handful of blocks per page keeps the block-level working
+            // set above the page-level one (caches feel more pressure
+            // than TLBs) without drowning the backend in DRAM latency.
+            DATA_BASE + page * 4096 + (self.rng.below(32) * 8)
+        }
+    }
+
+    fn new_block(&mut self) {
+        let f = self.cur;
+        let remaining = f.len - self.idx;
+        let block = self.rng.range(4, 12).min(remaining as u64) as u32;
+        self.block_end = self.idx + block;
+        self.loop_budget = self.rng.below(4) as u8;
+    }
+
+    /// Per-site branch bias derived from the branch PC, so outcomes are
+    /// learnable by a history-based predictor.
+    fn branch_bias(pc: u64) -> f64 {
+        match (pc >> 2) & 3 {
+            0 => 0.95,
+            1 => 0.85,
+            2 => 0.5,
+            _ => 0.08,
+        }
+    }
+}
+
+fn permutation(n: usize, rng: &mut Rng64) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.index(i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+impl Iterator for TraceGenerator {
+    type Item = TraceInst;
+
+    fn next(&mut self) -> Option<TraceInst> {
+        let f = self.cur;
+        if self.idx >= f.len {
+            // Shouldn't happen (transfer handled below), but recover.
+            self.idx = 0;
+        }
+        if self.block_end <= self.idx {
+            self.new_block();
+        }
+        let pc = f.start + (self.idx as u64) * 4;
+        let p = self.profile;
+
+        // Memory operand.
+        let roll = self.rng.f64();
+        let mem = if roll < p.load_ratio {
+            Some(MemRef {
+                addr: self.data_address(),
+                store: false,
+            })
+        } else if roll < p.load_ratio + p.store_ratio {
+            Some(MemRef {
+                addr: self.data_address(),
+                store: true,
+            })
+        } else {
+            None
+        };
+
+        // Dependencies and latency. Producers are mostly nearby ALU
+        // results; long-latency loads are consumed at a spread of
+        // distances, so an out-of-order window hides part (not all) of
+        // their latency — the asymmetry against front-end stalls that
+        // the paper's Finding 2 rests on.
+        let src1_dist = if self.rng.chance(0.5) {
+            1 + self.rng.below(8) as u8
+        } else {
+            0
+        };
+        let src2_dist = if self.rng.chance(0.15) {
+            1 + self.rng.below(48) as u8
+        } else {
+            0
+        };
+        let exec_latency = if self.rng.chance(p.long_latency_ratio) {
+            2 + self.rng.below(4) as u8
+        } else {
+            1
+        };
+
+        // Control flow.
+        let at_fn_end = self.idx + 1 >= f.len;
+        let at_block_end = self.idx + 1 >= self.block_end;
+        let branch = if at_fn_end {
+            // Unconditional transfer to the next function (ring or Zipf).
+            let next = self.pick_function();
+            let target = next.start;
+            self.cur = next;
+            self.idx = 0;
+            self.block_end = 0;
+            Some(Branch {
+                taken: true,
+                target,
+            })
+        } else if at_block_end {
+            let bias = Self::branch_bias(pc);
+            let mut taken = self.rng.chance(bias);
+            let backward = self.loop_budget > 0 && self.rng.chance(p.loop_prob);
+            let target = if backward {
+                self.loop_budget -= 1;
+                // Loop back a few instructions (stay in the function).
+                let back = self.rng.range(2, 8).min(self.idx as u64);
+                pc - back * 4
+            } else {
+                // Short forward skip within the function; the target must
+                // stay at or before the final instruction (index len - 1).
+                let max_fwd = (f.len - self.idx).saturating_sub(2) as u64;
+                if max_fwd == 0 {
+                    taken = false;
+                    pc + 4
+                } else {
+                    let fwd = self.rng.range(1, 4).min(max_fwd);
+                    pc + (fwd + 1) * 4
+                }
+            };
+            if taken {
+                self.idx = ((target - f.start) / 4) as u32;
+                self.block_end = 0;
+            } else {
+                self.idx += 1;
+            }
+            Some(Branch { taken, target })
+        } else {
+            self.idx += 1;
+            None
+        };
+
+        self.produced += 1;
+        Some(TraceInst {
+            pc,
+            exec_latency,
+            src1_dist,
+            src2_dist,
+            mem,
+            branch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn gen(seed: u64) -> TraceGenerator {
+        TraceGenerator::new(&WorkloadSpec::server_like(seed))
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let mut rng = Rng64::new(1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[100] && counts[0] > counts[999]);
+        assert!(counts[0] > 500, "rank 0 should dominate: {}", counts[0]);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniformish() {
+        let z = ZipfSampler::new(10, 0.0);
+        let mut rng = Rng64::new(2);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700));
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a: Vec<TraceInst> = gen(3).take(5000).collect();
+        let b: Vec<TraceInst> = gen(3).take(5000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<TraceInst> = gen(3).take(100).collect();
+        let b: Vec<TraceInst> = gen(4).take(100).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn control_flow_is_consistent() {
+        let mut g = gen(5);
+        let mut prev: Option<TraceInst> = None;
+        for inst in (&mut g).take(20_000) {
+            if let Some(p) = prev {
+                assert_eq!(inst.pc, p.next_pc(), "pc chain broken after {:x?}", p);
+            }
+            prev = Some(inst);
+        }
+    }
+
+    #[test]
+    fn server_touches_many_code_pages() {
+        let pages: HashSet<u64> = gen(6).take(200_000).map(|i| i.pc >> 12).collect();
+        assert!(pages.len() > 300, "only {} code pages touched", pages.len());
+    }
+
+    #[test]
+    fn spec_code_stays_tiny() {
+        let g = TraceGenerator::new(&WorkloadSpec::spec_like(1));
+        let pages: HashSet<u64> = g.take(100_000).map(|i| i.pc >> 12).collect();
+        assert!(pages.len() <= 12, "{} pages", pages.len());
+    }
+
+    #[test]
+    fn memory_mix_matches_profile() {
+        let spec = WorkloadSpec::server_like(7);
+        let insts: Vec<TraceInst> = TraceGenerator::new(&spec).take(100_000).collect();
+        let loads = insts
+            .iter()
+            .filter(|i| matches!(i.mem, Some(m) if !m.store))
+            .count() as f64;
+        let stores = insts
+            .iter()
+            .filter(|i| matches!(i.mem, Some(m) if m.store))
+            .count() as f64;
+        let n = insts.len() as f64;
+        assert!((loads / n - spec.profile.load_ratio).abs() < 0.02);
+        assert!((stores / n - spec.profile.store_ratio).abs() < 0.02);
+    }
+
+    #[test]
+    fn data_addresses_stay_in_data_region() {
+        for inst in gen(8).take(50_000) {
+            if let Some(m) = inst.mem {
+                assert!(m.addr >= DATA_BASE);
+                assert_eq!(m.addr % 8, 0, "8-byte aligned");
+            }
+        }
+    }
+
+    #[test]
+    fn branches_exist_and_loop_backwards_sometimes() {
+        let insts: Vec<TraceInst> = gen(9).take(50_000).collect();
+        let branches = insts.iter().filter(|i| i.branch.is_some()).count();
+        assert!(branches > 2000, "branches: {branches}");
+        let backward = insts
+            .iter()
+            .filter(|i| matches!(i.branch, Some(b) if b.taken && b.target < i.pc))
+            .count();
+        assert!(backward > 50, "backward taken: {backward}");
+    }
+}

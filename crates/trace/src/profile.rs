@@ -1,0 +1,325 @@
+//! Workload descriptions: footprints, locality, and mix parameters.
+
+/// Base of the code region in a workload's virtual address space.
+pub const CODE_BASE: u64 = 0x10_0000_0000;
+/// Base of the data region.
+pub const DATA_BASE: u64 = 0x20_0000_0000;
+/// Instructions per 4 KiB code page (4-byte instructions).
+pub const INSTS_PER_PAGE: usize = 1024;
+
+/// Statistical shape of a workload: footprints, locality skews, and
+/// instruction mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Profile {
+    /// Distinct 4 KiB code pages (the instruction footprint).
+    pub code_pages: usize,
+    /// Minimum instructions per function.
+    pub fn_len_min: usize,
+    /// Maximum instructions per function.
+    pub fn_len_max: usize,
+    /// Zipf exponent of function popularity (higher = more skewed reuse).
+    pub code_zipf_s: f64,
+    /// Fraction of function transfers that advance the *code ring*: a
+    /// cyclically-visited set of short functions spanning `ring_pages`
+    /// pages. Its reuse distance sits near STLB capacity, so instruction
+    /// entries are evicted by data churn under LRU but survive under iTP —
+    /// the capacity-contention regime of the paper's Finding 2.
+    pub ring_ratio: f64,
+    /// Pages spanned by the code ring (disjoint from the Zipf code region).
+    pub ring_pages: usize,
+    /// Probability that a basic block loops back at its end.
+    pub loop_prob: f64,
+    /// Distinct 4 KiB data pages (the data footprint).
+    pub data_pages: usize,
+    /// Zipf exponent of data-page popularity.
+    pub data_zipf_s: f64,
+    /// Fraction of instructions that are loads.
+    pub load_ratio: f64,
+    /// Fraction of instructions that are stores.
+    pub store_ratio: f64,
+    /// Fraction of memory references that stream sequentially through a
+    /// block-granularity circular buffer of `stream_blocks` cache blocks.
+    /// Sized between the L2C and the LLC, this models the intermediate
+    /// working sets of server software: it churns the L2C (evicting
+    /// unprotected PTE blocks, the pressure xPTP answers) while staying
+    /// TLB-friendly (few hundred pages) and LLC-resident (cheap misses).
+    pub stream_ratio: f64,
+    /// Cache blocks in the streaming circular buffer.
+    pub stream_blocks: usize,
+    /// Fraction of memory references walking a second, smaller circular
+    /// buffer whose block working set is *L2C-marginal*: it hits the L2C
+    /// only while enough L2C capacity is left over. Policies that protect
+    /// blocks indiscriminately (PTP keeping instruction PTEs) pay here,
+    /// which is how the paper's critique of translation-aware-but-
+    /// instruction-oblivious policies manifests.
+    pub hot_ratio: f64,
+    /// Cache blocks in the L2C-marginal buffer.
+    pub hot_blocks: usize,
+    /// Fraction of memory references hitting the *transit band*: a
+    /// VPN-contiguous region reused beyond STLB reach (its pages miss the
+    /// STLB persistently) whose leaf-PTE blocks nevertheless fit in the
+    /// L2C — the traffic xPTP's data-PTE protection accelerates.
+    pub transit_ratio: f64,
+    /// Pages in the transit band.
+    pub transit_pages: usize,
+    /// Fraction of instructions with a multi-cycle execution latency.
+    pub long_latency_ratio: f64,
+}
+
+impl Profile {
+    /// A big-code server workload in the style of the Qualcomm Server
+    /// traces: megabytes of instructions reached through skewed calls,
+    /// tens of megabytes of data.
+    pub fn server() -> Self {
+        Self {
+            code_pages: 4096,
+            fn_len_min: 16,
+            fn_len_max: 256,
+            code_zipf_s: 1.25,
+            ring_ratio: 0.35,
+            ring_pages: 448,
+            loop_prob: 0.45,
+            data_pages: 24_576,
+            data_zipf_s: 1.60,
+            load_ratio: 0.22,
+            store_ratio: 0.08,
+            stream_ratio: 0.18,
+            stream_blocks: 16_384,
+            hot_ratio: 0.14,
+            hot_blocks: 3_584,
+            transit_ratio: 0.050,
+            transit_pages: 20_480,
+            long_latency_ratio: 0.10,
+        }
+    }
+
+    /// A SPEC-CPU-like workload: tiny code footprint (fits a 64-entry
+    /// ITLB), large data footprint.
+    pub fn spec() -> Self {
+        Self {
+            code_pages: 8,
+            fn_len_min: 32,
+            fn_len_max: 256,
+            code_zipf_s: 0.9,
+            ring_ratio: 0.0,
+            ring_pages: 1,
+            loop_prob: 0.6,
+            data_pages: 24_576,
+            data_zipf_s: 1.70,
+            load_ratio: 0.25,
+            store_ratio: 0.10,
+            stream_ratio: 0.30,
+            stream_blocks: 16_384,
+            hot_ratio: 0.15,
+            hot_blocks: 4_096,
+            transit_ratio: 0.002,
+            transit_pages: 4096,
+            long_latency_ratio: 0.12,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate footprints or out-of-range ratios.
+    pub fn validate(&self) {
+        assert!(
+            self.code_pages > 0 && self.data_pages > 0,
+            "empty footprint"
+        );
+        assert!(
+            self.fn_len_min >= 4 && self.fn_len_min <= self.fn_len_max,
+            "bad function length range"
+        );
+        for r in [
+            self.ring_ratio,
+            self.loop_prob,
+            self.load_ratio,
+            self.store_ratio,
+            self.stream_ratio,
+            self.transit_ratio,
+            self.long_latency_ratio,
+        ] {
+            assert!((0.0..=1.0).contains(&r), "ratio out of range: {r}");
+        }
+        assert!(
+            self.load_ratio + self.store_ratio <= 0.9,
+            "memory mix too dense"
+        );
+        assert!(
+            self.stream_ratio + self.transit_ratio <= 1.0,
+            "reference mix exceeds 1"
+        );
+        assert!(self.transit_pages > 0, "empty transit band");
+        assert!(self.stream_blocks > 0, "empty stream buffer");
+        assert!(self.hot_blocks > 0, "empty hot buffer");
+        assert!(
+            self.stream_ratio + self.transit_ratio + self.hot_ratio <= 1.0,
+            "reference mix exceeds 1"
+        );
+        assert!(self.ring_pages > 0, "empty code ring");
+    }
+}
+
+/// One workload: a profile plus identity and run lengths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Display name (e.g. `srv_017`).
+    pub name: String,
+    /// Seed controlling every stochastic choice of the generator.
+    pub seed: u64,
+    /// Statistical shape.
+    pub profile: Profile,
+    /// Instructions to measure.
+    pub instructions: u64,
+    /// Instructions to warm up structures before measuring.
+    pub warmup: u64,
+}
+
+impl WorkloadSpec {
+    /// A server-like workload with slight per-seed parameter variation
+    /// (footprints and skews are jittered so a suite of seeds spans a
+    /// range of STLB pressures, as the real trace set does).
+    pub fn server_like(seed: u64) -> Self {
+        let mut p = Profile::server();
+        let mut r = itpx_types::Rng64::new(seed ^ 0x5e7_5eed);
+        p.code_pages = (p.code_pages as f64 * (0.5 + 1.5 * r.f64())) as usize;
+        p.data_pages = (p.data_pages as f64 * (0.5 + 1.5 * r.f64())) as usize;
+        p.code_zipf_s = 1.15 + 0.20 * r.f64();
+        p.data_zipf_s = 1.50 + 0.30 * r.f64();
+        p.transit_ratio = 0.040 + 0.020 * r.f64();
+        p.transit_pages = 18_432 + (r.below(6) as usize) * 1024;
+        p.ring_pages = 384 + (r.below(4) as usize) * 64;
+        p.ring_ratio = 0.25 + 0.20 * r.f64();
+        Self {
+            name: format!("srv_{seed:03}"),
+            seed,
+            profile: p,
+            instructions: 1_000_000,
+            warmup: 200_000,
+        }
+    }
+
+    /// A SPEC-like workload.
+    pub fn spec_like(seed: u64) -> Self {
+        let mut p = Profile::spec();
+        let mut r = itpx_types::Rng64::new(seed ^ 0x0bad_5eed);
+        p.data_pages = (p.data_pages as f64 * (0.5 + 1.5 * r.f64())) as usize;
+        p.code_pages = 4 + (r.below(8) as usize);
+        Self {
+            name: format!("spec_{seed:03}"),
+            seed,
+            profile: p,
+            instructions: 1_000_000,
+            warmup: 200_000,
+        }
+    }
+
+    /// Sets the measured instruction count.
+    #[must_use]
+    pub fn instructions(mut self, n: u64) -> Self {
+        self.instructions = n;
+        self
+    }
+
+    /// Sets the warmup instruction count.
+    #[must_use]
+    pub fn warmup(mut self, n: u64) -> Self {
+        self.warmup = n;
+        self
+    }
+}
+
+/// SMT co-location pressure category (Section 5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SmtCategory {
+    /// Two workloads with high STLB MPKI.
+    Intense,
+    /// One high + one medium STLB MPKI workload.
+    Medium,
+    /// One high + one low STLB MPKI workload.
+    Relaxed,
+}
+
+impl SmtCategory {
+    /// All categories, in paper order.
+    pub const ALL: [SmtCategory; 3] = [
+        SmtCategory::Intense,
+        SmtCategory::Medium,
+        SmtCategory::Relaxed,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SmtCategory::Intense => "intense",
+            SmtCategory::Medium => "medium",
+            SmtCategory::Relaxed => "relaxed",
+        }
+    }
+}
+
+/// Two workloads co-located on one SMT core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmtPairSpec {
+    /// Workload on hardware thread 0.
+    pub a: WorkloadSpec,
+    /// Workload on hardware thread 1.
+    pub b: WorkloadSpec,
+    /// Pressure category of the pair.
+    pub category: SmtCategory,
+}
+
+impl SmtPairSpec {
+    /// Display name of the pair.
+    pub fn name(&self) -> String {
+        format!("{}+{}", self.a.name, self.b.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canned_profiles_validate() {
+        Profile::server().validate();
+        Profile::spec().validate();
+    }
+
+    #[test]
+    fn spec_code_fits_a_64_entry_itlb() {
+        for seed in 0..20 {
+            let w = WorkloadSpec::spec_like(seed);
+            assert!(w.profile.code_pages <= 64, "{}", w.profile.code_pages);
+            w.profile.validate();
+        }
+    }
+
+    #[test]
+    fn server_code_footprint_is_large_and_varies() {
+        let sizes: Vec<usize> = (0..20)
+            .map(|s| WorkloadSpec::server_like(s).profile.code_pages)
+            .collect();
+        assert!(sizes.iter().all(|&s| s >= 1024), "{sizes:?}");
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max > min, "seeds must vary the footprint");
+    }
+
+    #[test]
+    fn builders_override_lengths() {
+        let w = WorkloadSpec::server_like(1).instructions(5000).warmup(100);
+        assert_eq!(w.instructions, 5000);
+        assert_eq!(w.warmup, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio out of range")]
+    fn bad_ratio_panics() {
+        let mut p = Profile::server();
+        p.loop_prob = 1.5;
+        p.validate();
+    }
+}

@@ -1,0 +1,243 @@
+//! The trace instruction record and its binary serialization.
+
+use std::io::{self, Read, Write};
+
+/// A memory operand of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Virtual address accessed.
+    pub addr: u64,
+    /// `true` for stores, `false` for loads.
+    pub store: bool,
+}
+
+/// Control-flow information of a branch instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Branch {
+    /// Whether the branch was taken.
+    pub taken: bool,
+    /// Target if taken (the fall-through is `pc + 4`).
+    pub target: u64,
+}
+
+/// One dynamic instruction of a trace.
+///
+/// The representation is deliberately small (`Copy`) — generators produce
+/// hundreds of millions of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceInst {
+    /// Program counter (virtual).
+    pub pc: u64,
+    /// Execution latency class in cycles (1 = simple ALU).
+    pub exec_latency: u8,
+    /// Distance (in instructions) to the first source-operand producer;
+    /// 0 = no register dependency.
+    pub src1_dist: u8,
+    /// Distance to the second producer; 0 = none.
+    pub src2_dist: u8,
+    /// Memory operand, if any.
+    pub mem: Option<MemRef>,
+    /// Branch information, if this is a branch.
+    pub branch: Option<Branch>,
+}
+
+impl TraceInst {
+    /// A plain 1-cycle ALU instruction at `pc`.
+    pub fn alu(pc: u64) -> Self {
+        Self {
+            pc,
+            exec_latency: 1,
+            src1_dist: 0,
+            src2_dist: 0,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// The address of the next sequential instruction.
+    pub fn next_pc(&self) -> u64 {
+        match self.branch {
+            Some(b) if b.taken => b.target,
+            _ => self.pc + 4,
+        }
+    }
+}
+
+const FLAG_MEM: u8 = 1 << 0;
+const FLAG_STORE: u8 = 1 << 1;
+const FLAG_BRANCH: u8 = 1 << 2;
+const FLAG_TAKEN: u8 = 1 << 3;
+
+/// Magic bytes heading every trace file.
+const MAGIC: &[u8; 8] = b"ITPXTRC1";
+
+/// Writes a trace in the `itpx` binary format.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+pub fn write_trace<W: Write>(mut w: W, insts: &[TraceInst]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(insts.len() as u64).to_le_bytes())?;
+    for i in insts {
+        let mut flags = 0u8;
+        if let Some(m) = i.mem {
+            flags |= FLAG_MEM;
+            if m.store {
+                flags |= FLAG_STORE;
+            }
+        }
+        if let Some(b) = i.branch {
+            flags |= FLAG_BRANCH;
+            if b.taken {
+                flags |= FLAG_TAKEN;
+            }
+        }
+        w.write_all(&[flags, i.exec_latency, i.src1_dist, i.src2_dist])?;
+        w.write_all(&i.pc.to_le_bytes())?;
+        if let Some(m) = i.mem {
+            w.write_all(&m.addr.to_le_bytes())?;
+        }
+        if let Some(b) = i.branch {
+            w.write_all(&b.target.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad header or a truncated stream, and any
+/// I/O error from the underlying reader.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<TraceInst>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an itpx trace (bad magic)",
+        ));
+    }
+    let mut lenb = [0u8; 8];
+    r.read_exact(&mut lenb)?;
+    let len = u64::from_le_bytes(lenb) as usize;
+    let mut out = Vec::with_capacity(len.min(1 << 24));
+    for _ in 0..len {
+        let mut head = [0u8; 4];
+        r.read_exact(&mut head)?;
+        let [flags, exec_latency, src1_dist, src2_dist] = head;
+        let mut pcb = [0u8; 8];
+        r.read_exact(&mut pcb)?;
+        let pc = u64::from_le_bytes(pcb);
+        let mem = if flags & FLAG_MEM != 0 {
+            let mut a = [0u8; 8];
+            r.read_exact(&mut a)?;
+            Some(MemRef {
+                addr: u64::from_le_bytes(a),
+                store: flags & FLAG_STORE != 0,
+            })
+        } else {
+            None
+        };
+        let branch = if flags & FLAG_BRANCH != 0 {
+            let mut t = [0u8; 8];
+            r.read_exact(&mut t)?;
+            Some(Branch {
+                taken: flags & FLAG_TAKEN != 0,
+                target: u64::from_le_bytes(t),
+            })
+        } else {
+            None
+        };
+        out.push(TraceInst {
+            pc,
+            exec_latency,
+            src1_dist,
+            src2_dist,
+            mem,
+            branch,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceInst> {
+        vec![
+            TraceInst::alu(0x1000),
+            TraceInst {
+                pc: 0x1004,
+                exec_latency: 3,
+                src1_dist: 1,
+                src2_dist: 0,
+                mem: Some(MemRef {
+                    addr: 0xbeef_0000,
+                    store: false,
+                }),
+                branch: None,
+            },
+            TraceInst {
+                pc: 0x1008,
+                exec_latency: 1,
+                src1_dist: 2,
+                src2_dist: 1,
+                mem: Some(MemRef {
+                    addr: 0xbeef_4000,
+                    store: true,
+                }),
+                branch: Some(Branch {
+                    taken: true,
+                    target: 0x9000,
+                }),
+            },
+            TraceInst {
+                pc: 0x9000,
+                exec_latency: 1,
+                src1_dist: 0,
+                src2_dist: 0,
+                mem: None,
+                branch: Some(Branch {
+                    taken: false,
+                    target: 0x1000,
+                }),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let insts = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &insts).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(insts, back);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&b"NOTATRCE\0\0\0\0\0\0\0\0"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let insts = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &insts).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn next_pc_follows_taken_branches() {
+        let insts = sample();
+        assert_eq!(insts[0].next_pc(), 0x1004);
+        assert_eq!(insts[2].next_pc(), 0x9000);
+        assert_eq!(insts[3].next_pc(), 0x9004, "not-taken falls through");
+    }
+}

@@ -1,0 +1,185 @@
+//! Instruction-stream abstraction: the simulator consumes instructions
+//! from either a live synthetic generator or a recorded trace file.
+
+use crate::gen::TraceGenerator;
+use crate::profile::WorkloadSpec;
+use crate::record::TraceInst;
+
+/// An endless source of dynamic instructions for one hardware thread.
+///
+/// Implementations must be infinite — the engine draws exactly as many
+/// instructions as the run needs.
+pub trait InstructionStream: std::fmt::Debug + Send {
+    /// Produces the next dynamic instruction.
+    fn next_inst(&mut self) -> TraceInst;
+}
+
+impl InstructionStream for TraceGenerator {
+    fn next_inst(&mut self) -> TraceInst {
+        self.next().expect("generator is infinite")
+    }
+}
+
+/// Replays a recorded trace in a loop.
+///
+/// Because a finite trace ends mid-control-flow, the replay stitches the
+/// wrap-around by rewriting the last instruction into an unconditional
+/// branch back to the first instruction's PC — keeping the PC chain
+/// consistent for the front end.
+#[derive(Debug, Clone)]
+pub struct TraceLoop {
+    insts: Vec<TraceInst>,
+    pos: usize,
+}
+
+impl TraceLoop {
+    /// Creates a looping replay over `insts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insts` is empty.
+    pub fn new(mut insts: Vec<TraceInst>) -> Self {
+        assert!(!insts.is_empty(), "cannot replay an empty trace");
+        let first_pc = insts[0].pc;
+        let last = insts.last_mut().expect("non-empty");
+        last.branch = Some(crate::record::Branch {
+            taken: true,
+            target: first_pc,
+        });
+        Self { insts, pos: 0 }
+    }
+
+    /// Number of instructions in one loop iteration.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Always `false` (construction requires a non-empty trace).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+impl InstructionStream for TraceLoop {
+    fn next_inst(&mut self) -> TraceInst {
+        let inst = self.insts[self.pos];
+        self.pos = (self.pos + 1) % self.insts.len();
+        inst
+    }
+}
+
+/// A workload from either source, with the identity/run-length metadata
+/// the engine needs.
+#[derive(Debug)]
+pub enum WorkloadSource {
+    /// Synthesize instructions from a seeded spec.
+    Synthetic(WorkloadSpec),
+    /// Replay a recorded trace in a loop.
+    Replay {
+        /// Display name (e.g. the trace file name).
+        name: String,
+        /// The looping replayer.
+        stream: TraceLoop,
+        /// Instructions to measure.
+        instructions: u64,
+        /// Warmup instructions.
+        warmup: u64,
+    },
+}
+
+impl WorkloadSource {
+    /// Display name.
+    pub fn name(&self) -> &str {
+        match self {
+            WorkloadSource::Synthetic(w) => &w.name,
+            WorkloadSource::Replay { name, .. } => name,
+        }
+    }
+
+    /// Measured instruction count.
+    pub fn instructions(&self) -> u64 {
+        match self {
+            WorkloadSource::Synthetic(w) => w.instructions,
+            WorkloadSource::Replay { instructions, .. } => *instructions,
+        }
+    }
+
+    /// Warmup instruction count.
+    pub fn warmup(&self) -> u64 {
+        match self {
+            WorkloadSource::Synthetic(w) => w.warmup,
+            WorkloadSource::Replay { warmup, .. } => *warmup,
+        }
+    }
+
+    /// Consumes the source, producing the boxed stream.
+    pub fn into_stream(self) -> Box<dyn InstructionStream> {
+        match self {
+            WorkloadSource::Synthetic(w) => Box::new(TraceGenerator::new(&w)),
+            WorkloadSource::Replay { stream, .. } => Box::new(stream),
+        }
+    }
+}
+
+impl From<WorkloadSpec> for WorkloadSource {
+    fn from(w: WorkloadSpec) -> Self {
+        WorkloadSource::Synthetic(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceGenerator;
+
+    #[test]
+    fn generator_stream_matches_iterator() {
+        let spec = WorkloadSpec::server_like(1);
+        let mut a = TraceGenerator::new(&spec);
+        let b: Vec<TraceInst> = TraceGenerator::new(&spec).take(100).collect();
+        for expect in b {
+            assert_eq!(a.next_inst(), expect);
+        }
+    }
+
+    #[test]
+    fn trace_loop_wraps_with_consistent_pc_chain() {
+        let spec = WorkloadSpec::server_like(2);
+        let insts: Vec<TraceInst> = TraceGenerator::new(&spec).take(500).collect();
+        let mut replay = TraceLoop::new(insts.clone());
+        let mut prev: Option<TraceInst> = None;
+        for _ in 0..1500 {
+            let i = replay.next_inst();
+            if let Some(p) = prev {
+                assert_eq!(i.pc, p.next_pc(), "chain broken at wrap");
+            }
+            prev = Some(i);
+        }
+    }
+
+    #[test]
+    fn replay_is_periodic() {
+        let spec = WorkloadSpec::server_like(3);
+        let insts: Vec<TraceInst> = TraceGenerator::new(&spec).take(64).collect();
+        let mut replay = TraceLoop::new(insts);
+        let first: Vec<TraceInst> = (0..64).map(|_| replay.next_inst()).collect();
+        let second: Vec<TraceInst> = (0..64).map(|_| replay.next_inst()).collect();
+        assert_eq!(first, second);
+        assert_eq!(replay.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_trace_panics() {
+        let _ = TraceLoop::new(Vec::new());
+    }
+
+    #[test]
+    fn source_metadata_passthrough() {
+        let spec = WorkloadSpec::spec_like(1).instructions(1234).warmup(56);
+        let src = WorkloadSource::from(spec);
+        assert_eq!(src.instructions(), 1234);
+        assert_eq!(src.warmup(), 56);
+        assert!(src.name().starts_with("spec_"));
+    }
+}

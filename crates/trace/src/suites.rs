@@ -1,0 +1,94 @@
+//! The workload suites of Section 5.2.
+//!
+//! The paper evaluates 120 single-thread Qualcomm Server workloads (all
+//! with STLB MPKI ≥ 1) and 75 SMT pairs in three pressure categories.
+//! These builders produce seeded suites of any size with the same
+//! structure; the experiment harness defaults to a reduced count
+//! (see EXPERIMENTS.md) and accepts the full 120/75 when given the budget.
+
+use crate::profile::{SmtCategory, SmtPairSpec, WorkloadSpec};
+use itpx_types::Rng64;
+
+/// Builds `n` server-like single-thread workloads (the Qualcomm Server
+/// stand-ins). Seeds are consecutive so suites of different sizes share
+/// their prefix.
+pub fn qualcomm_like_suite(n: usize) -> Vec<WorkloadSpec> {
+    (0..n as u64).map(WorkloadSpec::server_like).collect()
+}
+
+/// Builds `n` SPEC-CPU-like single-thread workloads.
+pub fn spec_like_suite(n: usize) -> Vec<WorkloadSpec> {
+    (0..n as u64).map(WorkloadSpec::spec_like).collect()
+}
+
+/// Builds `n` SMT pairs split evenly across the three categories.
+///
+/// * `Intense` — two high-pressure server workloads,
+/// * `Medium` — one high-pressure server workload plus one with a reduced
+///   footprint,
+/// * `Relaxed` — one high-pressure server workload plus a SPEC-like one.
+pub fn smt_suite(n: usize) -> Vec<SmtPairSpec> {
+    let mut rng = Rng64::new(0x50a7);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let category = SmtCategory::ALL[i % 3];
+        let a = WorkloadSpec::server_like(rng.below(1000));
+        let b = match category {
+            SmtCategory::Intense => WorkloadSpec::server_like(rng.below(1000)),
+            SmtCategory::Medium => {
+                let mut w = WorkloadSpec::server_like(rng.below(1000));
+                // Halve the pressure: smaller footprints.
+                w.profile.code_pages = (w.profile.code_pages / 4).max(256);
+                w.profile.data_pages = (w.profile.data_pages / 4).max(1024);
+                w.name = format!("med_{}", w.seed);
+                w
+            }
+            SmtCategory::Relaxed => WorkloadSpec::spec_like(rng.below(1000)),
+        };
+        out.push(SmtPairSpec { a, b, category });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes() {
+        assert_eq!(qualcomm_like_suite(120).len(), 120);
+        assert_eq!(spec_like_suite(30).len(), 30);
+        assert_eq!(smt_suite(75).len(), 75);
+    }
+
+    #[test]
+    fn suites_share_prefixes() {
+        let small = qualcomm_like_suite(4);
+        let big = qualcomm_like_suite(12);
+        assert_eq!(small[..], big[..4]);
+    }
+
+    #[test]
+    fn smt_categories_cycle() {
+        let pairs = smt_suite(9);
+        for chunk in pairs.chunks(3) {
+            assert_eq!(chunk[0].category, SmtCategory::Intense);
+            assert_eq!(chunk[1].category, SmtCategory::Medium);
+            assert_eq!(chunk[2].category, SmtCategory::Relaxed);
+        }
+    }
+
+    #[test]
+    fn smt_pairs_are_deterministic() {
+        assert_eq!(smt_suite(6), smt_suite(6));
+    }
+
+    #[test]
+    fn relaxed_pairs_mix_server_with_spec() {
+        let pairs = smt_suite(3);
+        let relaxed = &pairs[2];
+        assert!(relaxed.a.name.starts_with("srv_"));
+        assert!(relaxed.b.name.starts_with("spec_"));
+        assert!(relaxed.name().contains('+'));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for trace generation and serialization.
+
+use itpx_trace::{read_trace, write_trace, TraceGenerator, WorkloadSpec, ZipfSampler};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pc_chains_are_consistent_for_any_seed(seed in 0u64..500) {
+        let spec = WorkloadSpec::server_like(seed);
+        let mut prev: Option<itpx_trace::TraceInst> = None;
+        for inst in TraceGenerator::new(&spec).take(3000) {
+            if let Some(p) = prev {
+                prop_assert_eq!(inst.pc, p.next_pc(), "broken chain, seed {}", seed);
+            }
+            prev = Some(inst);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..500) {
+        let spec = WorkloadSpec::spec_like(seed);
+        let a: Vec<_> = TraceGenerator::new(&spec).take(500).collect();
+        let b: Vec<_> = TraceGenerator::new(&spec).take(500).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serialization_roundtrips(seed in 0u64..200, n in 1usize..400) {
+        let spec = WorkloadSpec::server_like(seed);
+        let insts: Vec<_> = TraceGenerator::new(&spec).take(n).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &insts).unwrap();
+        prop_assert_eq!(read_trace(buf.as_slice()).unwrap(), insts);
+    }
+
+    #[test]
+    fn zipf_samples_in_range(n in 1usize..5000, s in 0.0f64..2.5, seed in any::<u64>()) {
+        let z = ZipfSampler::new(n, s);
+        let mut rng = itpx_types::Rng64::new(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn dep_distances_fit_the_engine_ring(seed in 0u64..100) {
+        let spec = WorkloadSpec::server_like(seed);
+        for inst in TraceGenerator::new(&spec).take(2000) {
+            prop_assert!(inst.src1_dist as usize <= 255);
+            prop_assert!(inst.src2_dist as usize <= 255);
+            prop_assert!(inst.exec_latency >= 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn belady_min_never_exceeds_lru(
+        keys in prop::collection::vec(0u64..64, 1..400),
+        sets in 1usize..4,
+        ways in 1usize..6,
+    ) {
+        let r = itpx_trace::replay_min_and_lru(&keys, sets, ways);
+        prop_assert!(r.min_misses <= r.lru_misses);
+        prop_assert!(r.min_misses >= 1, "at least one compulsory miss");
+        prop_assert_eq!(r.accesses, keys.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&r.headroom()));
+    }
+
+    #[test]
+    fn champsim_roundtrip_preserves_records(
+        ips in prop::collection::vec(1u64..1_000_000, 2..64),
+    ) {
+        use itpx_trace::ChampSimRecord;
+        let recs: Vec<ChampSimRecord> = ips
+            .iter()
+            .map(|&ip| ChampSimRecord {
+                ip: ip * 4,
+                is_branch: ip % 3 == 0,
+                branch_taken: ip % 6 == 0,
+                dest_regs: [(ip % 16) as u8, 0],
+                src_regs: [((ip + 1) % 16) as u8, 0, 0, 0],
+                dest_mem: [0; 2],
+                src_mem: [if ip % 2 == 0 { ip << 12 } else { 0 }, 0, 0, 0],
+            })
+            .collect();
+        for r in &recs {
+            prop_assert_eq!(ChampSimRecord::decode(&r.encode()), *r);
+        }
+        // The converted stream has a consistent pc chain.
+        let bytes: Vec<u8> = recs.iter().flat_map(|r| r.encode()).collect();
+        let insts = itpx_trace::read_champsim(bytes.as_slice(), usize::MAX).unwrap();
+        for pair in insts.windows(2) {
+            prop_assert_eq!(pair[1].pc, pair[0].next_pc());
+        }
+    }
+}

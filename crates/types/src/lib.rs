@@ -1,0 +1,56 @@
+//! Shared primitive types for the `itpx` simulator family.
+//!
+//! This crate defines the vocabulary used across every other `itpx` crate:
+//!
+//! * [`addr`] — strongly-typed virtual/physical addresses and cache-block
+//!   arithmetic ([`VirtAddr`], [`PhysAddr`], [`BlockAddr`]).
+//! * [`access`] — classification of memory traffic ([`AccessKind`],
+//!   [`TranslationKind`], [`FillClass`]): the distinctions the paper's
+//!   policies key on (instruction vs data, payload vs page-table entry).
+//! * [`page`] — page sizes and virtual-page-number arithmetic for the
+//!   4 KiB / 2 MiB pages used in the evaluation.
+//! * [`rng`] — a small deterministic PRNG so every simulation is exactly
+//!   reproducible from a seed.
+//! * [`stats`] — counters, online means, and histograms used for MPKI and
+//!   miss-latency reporting.
+//!
+//! # Examples
+//!
+//! ```
+//! use itpx_types::{VirtAddr, PageSize, AccessKind};
+//!
+//! let va = VirtAddr::new(0x7f12_3456_789a);
+//! assert_eq!(va.vpn(PageSize::Base4K).0, 0x7f12_3456_789a >> 12);
+//! assert!(AccessKind::InstrFetch.is_instruction());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod access;
+pub mod addr;
+pub mod page;
+pub mod rng;
+pub mod stats;
+
+pub use access::{AccessKind, FillClass, TranslationKind};
+pub use addr::{BlockAddr, PhysAddr, VirtAddr, Vpn, BLOCK_BYTES, BLOCK_SHIFT};
+pub use page::PageSize;
+pub use rng::Rng64;
+pub use stats::{Histogram, MpkiBreakdown, OnlineMean, StructStats};
+
+/// Identifier of a hardware thread (SMT context) within a simulated core.
+///
+/// The simulator supports one or two hardware threads; `ThreadId(0)` always
+/// exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u8);
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A simulation timestamp in core clock cycles.
+pub type Cycle = u64;

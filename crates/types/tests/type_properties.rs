@@ -1,0 +1,67 @@
+//! Property tests for the primitive types.
+
+use itpx_types::{PageSize, PhysAddr, Rng64, VirtAddr, BLOCK_BYTES};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn vpn_offset_roundtrip(raw in any::<u64>(), huge in any::<bool>()) {
+        let size = if huge { PageSize::Huge2M } else { PageSize::Base4K };
+        let va = VirtAddr::new(raw);
+        let rebuilt = va.vpn(size).base(size).0 + va.page_offset(size);
+        prop_assert_eq!(rebuilt, raw);
+    }
+
+    #[test]
+    fn block_alignment_holds(raw in any::<u64>()) {
+        let b = PhysAddr::new(raw).block();
+        prop_assert_eq!(b.0 % BLOCK_BYTES, 0);
+        prop_assert!(b.0 <= raw);
+        prop_assert!(raw - b.0 < BLOCK_BYTES);
+    }
+
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = Rng64::new(seed);
+        for _ in 0..32 {
+            prop_assert!(r.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_range_inclusive(seed in any::<u64>(), lo in 0u64..1000, span in 0u64..1000) {
+        let mut r = Rng64::new(seed);
+        let hi = lo + span;
+        for _ in 0..16 {
+            let v = r.range(lo, hi);
+            prop_assert!((lo..=hi).contains(&v));
+        }
+    }
+
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>()) {
+        let mut a = Rng64::new(seed);
+        let mut b = Rng64::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn histogram_total_matches_inserts(values in prop::collection::vec(0u64..100_000, 1..100)) {
+        let mut h = itpx_types::Histogram::new(20);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+        prop_assert!(h.percentile(1.0) >= h.percentile(0.0));
+    }
+
+    #[test]
+    fn geomean_between_min_and_max(xs in prop::collection::vec(-0.5f64..2.0, 1..20)) {
+        let g = itpx_types::stats::geomean_speedup(&xs);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+    }
+}

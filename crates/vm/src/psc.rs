@@ -1,0 +1,219 @@
+//! Split page-structure caches (MMU caches).
+//!
+//! A PSC at level *L* caches the physical location of the page-table node
+//! entered at level *L*, letting a walk skip every level above it. The
+//! simulated configuration is the paper's Table 1: a split design with
+//! PSCL5 (2 entries, fully associative), PSCL4 (4, fully), PSCL3 (8-entry
+//! 2-way), PSCL2 (32-entry 4-way), 2-cycle access.
+//!
+//! Functionally the simulator only needs *which level the walk may start
+//! at*: the node addresses themselves are recomputed from the page table.
+
+use itpx_policy::{Lru, Policy, TlbMeta};
+use itpx_types::TranslationKind;
+
+/// Index bits per page-table level.
+const LEVEL_BITS: u32 = 9;
+
+/// One set-associative MMU cache covering a single page-table level.
+#[derive(Debug)]
+pub struct PageStructureCache {
+    level: u8,
+    sets: usize,
+    ways: usize,
+    tags: Vec<Vec<Option<u64>>>,
+    policy: Lru,
+}
+
+impl PageStructureCache {
+    /// Creates a PSC for `level` with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not in `2..=5` or the geometry is degenerate.
+    pub fn new(level: u8, sets: usize, ways: usize) -> Self {
+        assert!((2..=5).contains(&level), "PSC levels are 2..=5");
+        assert!(sets > 0 && ways > 0, "PSC needs sets > 0, ways > 0");
+        Self {
+            level,
+            sets,
+            ways,
+            tags: vec![vec![None; ways]; sets],
+            policy: Lru::new(sets, ways),
+        }
+    }
+
+    /// The page-table level this PSC covers.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Tag for a 4 KiB VPN at this PSC's level: the VPN bits above the
+    /// level's index.
+    fn tag(&self, vpn4k: u64) -> u64 {
+        vpn4k >> (LEVEL_BITS * (self.level as u32 - 1))
+    }
+
+    fn set_of(&self, tag: u64) -> usize {
+        (tag as usize) % self.sets
+    }
+
+    fn meta(tag: u64) -> TlbMeta {
+        TlbMeta::demand(tag, TranslationKind::Data)
+    }
+
+    /// Looks up the node for `vpn4k`, updating recency on hit.
+    pub fn lookup(&mut self, vpn4k: u64) -> bool {
+        let tag = self.tag(vpn4k);
+        let set = self.set_of(tag);
+        if let Some(way) = self.tags[set].iter().position(|&t| t == Some(tag)) {
+            self.policy.on_hit(set, way, &Self::meta(tag));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Installs the node for `vpn4k` after a walk resolves it.
+    pub fn fill(&mut self, vpn4k: u64) {
+        let tag = self.tag(vpn4k);
+        let set = self.set_of(tag);
+        if self.tags[set].contains(&Some(tag)) {
+            return;
+        }
+        let way = match self.tags[set].iter().position(|t| t.is_none()) {
+            Some(w) => w,
+            None => {
+                let v = self.policy.victim(set, &Self::meta(tag));
+                Policy::<TlbMeta>::on_evict(&mut self.policy, set, v);
+                v
+            }
+        };
+        self.tags[set][way] = Some(tag);
+        self.policy.on_fill(set, way, &Self::meta(tag));
+        let _ = self.ways;
+    }
+}
+
+/// The split PSC hierarchy of Table 1.
+#[derive(Debug)]
+pub struct SplitPscs {
+    pscl5: PageStructureCache,
+    pscl4: PageStructureCache,
+    pscl3: PageStructureCache,
+    pscl2: PageStructureCache,
+    /// Access latency charged per walk for consulting the PSCs, in cycles.
+    pub latency: u64,
+}
+
+impl Default for SplitPscs {
+    fn default() -> Self {
+        Self::asplos25()
+    }
+}
+
+impl SplitPscs {
+    /// The paper's Table 1 configuration.
+    pub fn asplos25() -> Self {
+        Self {
+            pscl5: PageStructureCache::new(5, 1, 2),
+            pscl4: PageStructureCache::new(4, 1, 4),
+            pscl3: PageStructureCache::new(3, 4, 2),
+            pscl2: PageStructureCache::new(2, 8, 4),
+            latency: 2,
+        }
+    }
+
+    /// The deepest level a walk for `vpn4k` can *start at*: checking
+    /// PSCL2 first (skipping levels 5–3), then PSCL3, PSCL4, PSCL5. With
+    /// no PSC hit the walk starts at the root (level 5).
+    ///
+    /// `leaf_level` bounds the answer for huge pages: a 2 MiB walk ends at
+    /// level 2, so a PSCL2 hit resolves it without memory accesses only in
+    /// the sense that just the leaf remains.
+    pub fn start_level(&mut self, vpn4k: u64) -> u8 {
+        if self.pscl2.lookup(vpn4k) {
+            2
+        } else if self.pscl3.lookup(vpn4k) {
+            3
+        } else if self.pscl4.lookup(vpn4k) {
+            4
+        } else {
+            // PSCL5 hit or full miss: either way the walk starts at the
+            // root (PSCL5 caches the root node, which is architectural).
+            let _ = self.pscl5.lookup(vpn4k);
+            5
+        }
+    }
+
+    /// Fills all PSC levels after a walk that reached `leaf_level`.
+    ///
+    /// The PSC at level `L` caches the node *entered at* level `L`, learned
+    /// by reading the level-`L+1` entry. Walks for both 4 KiB (leaf 1) and
+    /// 2 MiB (leaf 2) pages read every entry from the root down to at least
+    /// level 2, so every PSC level can be filled in either case.
+    pub fn fill(&mut self, vpn4k: u64, leaf_level: u8) {
+        debug_assert!(leaf_level <= 2, "leaves live at level 1 or 2");
+        self.pscl2.fill(vpn4k);
+        self.pscl3.fill(vpn4k);
+        self.pscl4.fill(vpn4k);
+        self.pscl5.fill(vpn4k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_walk_starts_at_root() {
+        let mut p = SplitPscs::asplos25();
+        assert_eq!(p.start_level(0x1234), 5);
+    }
+
+    #[test]
+    fn filled_walk_starts_at_level_2() {
+        let mut p = SplitPscs::asplos25();
+        p.fill(0x1234, 1);
+        assert_eq!(p.start_level(0x1234), 2);
+    }
+
+    #[test]
+    fn huge_page_walks_fill_all_levels() {
+        let mut p = SplitPscs::asplos25();
+        p.fill(0x1234, 2); // 2 MiB walk: leaf at level 2
+                           // The walk read the level-3 entry, so PSCL2 knows the level-2 node:
+                           // the next walk starts at level 2 (where the huge leaf lives).
+        assert_eq!(p.start_level(0x1234), 2);
+    }
+
+    #[test]
+    fn neighbouring_pages_in_same_level2_node_share_pscl2_entry() {
+        let mut p = SplitPscs::asplos25();
+        p.fill(0x1000, 1);
+        // Same level-2 node: vpn4k differing only in the low 9 bits.
+        assert_eq!(p.start_level(0x1000 + 5), 2);
+        // Different level-2 node.
+        assert_eq!(p.start_level(0x1000 + (1 << 9)), 3);
+    }
+
+    #[test]
+    fn pscl2_capacity_evicts_lru() {
+        let mut c = PageStructureCache::new(2, 1, 2);
+        c.fill(0);
+        c.fill(1 << 9);
+        assert!(c.lookup(0));
+        c.fill(2 << 9); // evicts 1<<9 (LRU after lookup(0))
+        assert!(!c.lookup(1 << 9));
+        assert!(c.lookup(0));
+        assert!(c.lookup(2 << 9));
+    }
+
+    #[test]
+    fn duplicate_fill_is_idempotent() {
+        let mut c = PageStructureCache::new(3, 2, 2);
+        c.fill(7);
+        c.fill(7);
+        assert!(c.lookup(7));
+    }
+}

@@ -1,0 +1,532 @@
+//! Set-associative TLBs with pluggable replacement and MSHR `Type` bits.
+//!
+//! One [`Tlb`] models any level (ITLB, DTLB, STLB). Entries for 4 KiB and
+//! 2 MiB pages coexist in the same structure (both VPN granularities are
+//! probed on lookup). Misses are tracked in an MSHR-like table that carries
+//! the paper's per-entry `Type` bit — the translation kind of the miss —
+//! so the iTP insertion at walk completion knows what it is inserting
+//! (Figure 7, steps 2 and 4).
+//!
+//! [`LastLevelTlb`] provides the unified vs split STLB organizations
+//! compared in Section 6.6.
+
+use itpx_policy::{TlbMeta, TlbPolicy};
+use itpx_types::{
+    Cycle, FillClass, PageSize, PhysAddr, StructStats, ThreadId, TranslationKind, VirtAddr,
+};
+use std::collections::HashMap;
+
+/// Geometry and timing of one TLB level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Lookup latency in cycles.
+    pub latency: u64,
+    /// Miss-status-holding-register capacity.
+    pub mshr_entries: usize,
+}
+
+impl TlbConfig {
+    /// Total entry count.
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    vpn: u64,
+    size: PageSize,
+    frame: PhysAddr,
+    /// Cycle at which the entry's fill completes; lookups before this wait
+    /// for it (the timing an MSHR merge produces).
+    ready: Cycle,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Mshr {
+    ready: Cycle,
+    /// The paper's 1-bit `Type` field per TLB MSHR entry.
+    kind: TranslationKind,
+}
+
+/// Result of a TLB lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbLookup {
+    /// The translation was resident; the access completes at `done`.
+    Hit {
+        /// Cycle at which the translated access may proceed.
+        done: Cycle,
+        /// Physical frame base.
+        frame: PhysAddr,
+        /// Page size of the hit entry.
+        size: PageSize,
+    },
+    /// Not resident; the caller must consult the next level / walker and
+    /// then call [`Tlb::fill`].
+    Miss,
+}
+
+/// One set-associative TLB level.
+#[derive(Debug)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    entries: Vec<Vec<Option<Entry>>>,
+    policy: TlbPolicy,
+    stats: StructStats,
+    outstanding: HashMap<u64, Mshr>,
+}
+
+impl Tlb {
+    /// Creates a TLB with the given geometry and replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate.
+    pub fn new(cfg: TlbConfig, policy: TlbPolicy) -> Self {
+        assert!(cfg.sets > 0 && cfg.ways > 0, "TLB needs sets > 0, ways > 0");
+        assert!(cfg.mshr_entries > 0, "TLB needs at least one MSHR");
+        Self {
+            entries: vec![vec![None; cfg.ways]; cfg.sets],
+            policy,
+            stats: StructStats::new(),
+            outstanding: HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> &TlbConfig {
+        &self.cfg
+    }
+
+    /// Access/miss statistics (instruction vs data translations are the
+    /// `instr`/`data` classes of the breakdown).
+    pub fn stats(&self) -> &StructStats {
+        &self.stats
+    }
+
+    /// The replacement policy driving this TLB.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    fn stat_class(kind: TranslationKind) -> FillClass {
+        match kind {
+            TranslationKind::Instruction => FillClass::InstrPayload,
+            TranslationKind::Data => FillClass::DataPayload,
+        }
+    }
+
+    fn set_of(&self, vpn: u64) -> usize {
+        (vpn as usize) % self.cfg.sets
+    }
+
+    fn meta(&self, vpn: u64, pc: u64, kind: TranslationKind, thread: ThreadId) -> TlbMeta {
+        TlbMeta {
+            vpn,
+            pc,
+            kind,
+            thread,
+        }
+    }
+
+    /// Looks up `va`, charging the access latency. Records statistics.
+    pub fn lookup(
+        &mut self,
+        va: VirtAddr,
+        kind: TranslationKind,
+        pc: u64,
+        thread: ThreadId,
+        now: Cycle,
+    ) -> TlbLookup {
+        let done = now + self.cfg.latency;
+        for size in [PageSize::Base4K, PageSize::Huge2M] {
+            let vpn = va.vpn(size).0;
+            let set = self.set_of(vpn);
+            let hit_way = self.entries[set]
+                .iter()
+                .position(|e| matches!(e, Some(e) if e.vpn == vpn && e.size == size));
+            if let Some(way) = hit_way {
+                let meta = self.meta(vpn, pc, kind, thread);
+                self.policy.on_hit(set, way, &meta);
+                self.stats.record(Self::stat_class(kind), false);
+                let entry = self.entries[set][way].expect("hit entry");
+                return TlbLookup::Hit {
+                    done: done.max(entry.ready),
+                    frame: entry.frame,
+                    size,
+                };
+            }
+        }
+        self.stats.record(Self::stat_class(kind), true);
+        TlbLookup::Miss
+    }
+
+    /// If a miss for the page containing `va` is already outstanding,
+    /// returns the cycle its walk completes (MSHR merge).
+    pub fn merge(&mut self, va: VirtAddr, now: Cycle) -> Option<Cycle> {
+        let key = va.vpn(PageSize::Base4K).0;
+        match self.outstanding.get(&key) {
+            Some(m) if m.ready > now => Some(m.ready),
+            _ => None,
+        }
+    }
+
+    /// Allocates an MSHR for the miss, returning the cycle at which the
+    /// allocation succeeds (delayed past `now` if all MSHRs are busy).
+    /// The `Type` bit of the miss is stored alongside.
+    pub fn mshr_alloc(&mut self, va: VirtAddr, kind: TranslationKind, now: Cycle) -> Cycle {
+        let key = va.vpn(PageSize::Base4K).0;
+        // Retire completed entries.
+        self.outstanding.retain(|_, m| m.ready > now);
+        let start = if self.outstanding.len() >= self.cfg.mshr_entries {
+            // Wait for the earliest in-flight miss to free its register.
+            self.outstanding
+                .values()
+                .map(|m| m.ready)
+                .min()
+                .unwrap_or(now)
+                .max(now)
+        } else {
+            now
+        };
+        self.outstanding.insert(
+            key,
+            Mshr {
+                ready: Cycle::MAX,
+                kind,
+            },
+        );
+        start
+    }
+
+    /// The `Type` bit stored for an outstanding miss.
+    pub fn mshr_kind(&self, va: VirtAddr) -> Option<TranslationKind> {
+        self.outstanding
+            .get(&va.vpn(PageSize::Base4K).0)
+            .map(|m| m.kind)
+    }
+
+    /// Completes the MSHR for `va`: later merged requests observe `ready`.
+    pub fn mshr_complete(&mut self, va: VirtAddr, ready: Cycle) {
+        if let Some(m) = self.outstanding.get_mut(&va.vpn(PageSize::Base4K).0) {
+            m.ready = ready;
+        }
+    }
+
+    /// Installs a translation, evicting per the policy if the set is full,
+    /// and records the end-to-end miss latency. The entry becomes usable at
+    /// `ready`; lookups before that cycle wait for it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fill(
+        &mut self,
+        vpn: u64,
+        size: PageSize,
+        frame: PhysAddr,
+        kind: TranslationKind,
+        pc: u64,
+        thread: ThreadId,
+        miss_latency: u64,
+        ready: Cycle,
+    ) {
+        self.stats.record_miss_latency(miss_latency);
+        let set = self.set_of(vpn);
+        // Already present (filled by a merged miss): just refresh.
+        if let Some(way) = self.entries[set]
+            .iter()
+            .position(|e| matches!(e, Some(e) if e.vpn == vpn && e.size == size))
+        {
+            let meta = self.meta(vpn, pc, kind, thread);
+            self.policy.on_hit(set, way, &meta);
+            return;
+        }
+        let meta = self.meta(vpn, pc, kind, thread);
+        let way = match self.entries[set].iter().position(|e| e.is_none()) {
+            Some(w) => w,
+            None => {
+                let v = self.policy.victim(set, &meta);
+                assert!(v < self.cfg.ways, "policy returned way out of range");
+                self.policy.on_evict(set, v);
+                v
+            }
+        };
+        self.entries[set][way] = Some(Entry {
+            vpn,
+            size,
+            frame,
+            ready,
+        });
+        self.policy.on_fill(set, way, &meta);
+    }
+
+    /// Clears statistics (entries and replacement state are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Number of resident entries translating `kind` pages cannot be
+    /// derived (entries do not store their kind) — but residency of a
+    /// specific page can: used by tests.
+    pub fn contains(&self, va: VirtAddr, size: PageSize) -> bool {
+        let vpn = va.vpn(size).0;
+        let set = self.set_of(vpn);
+        self.entries[set]
+            .iter()
+            .any(|e| matches!(e, Some(e) if e.vpn == vpn && e.size == size))
+    }
+}
+
+/// Last-level TLB organization: the unified design the paper optimizes, or
+/// the split design it compares against in Section 6.6.
+#[derive(Debug)]
+pub enum LastLevelTlb {
+    /// One shared structure for instruction and data translations.
+    Unified(Tlb),
+    /// Separate instruction and data STLBs.
+    Split {
+        /// Instruction-translation STLB.
+        instr: Tlb,
+        /// Data-translation STLB.
+        data: Tlb,
+    },
+}
+
+impl LastLevelTlb {
+    /// The structure responsible for `kind` translations.
+    pub fn for_kind(&mut self, kind: TranslationKind) -> &mut Tlb {
+        match self {
+            LastLevelTlb::Unified(t) => t,
+            LastLevelTlb::Split { instr, data } => match kind {
+                TranslationKind::Instruction => instr,
+                TranslationKind::Data => data,
+            },
+        }
+    }
+
+    /// Aggregated statistics across the organization.
+    pub fn stats(&self) -> StructStats {
+        match self {
+            LastLevelTlb::Unified(t) => t.stats().clone(),
+            LastLevelTlb::Split { instr, data } => {
+                let mut s = instr.stats().clone();
+                s.merge(data.stats());
+                s
+            }
+        }
+    }
+
+    /// Clears statistics on every member structure.
+    pub fn reset_stats(&mut self) {
+        match self {
+            LastLevelTlb::Unified(t) => t.reset_stats(),
+            LastLevelTlb::Split { instr, data } => {
+                instr.reset_stats();
+                data.reset_stats();
+            }
+        }
+    }
+
+    /// Total entries across the organization.
+    pub fn entries(&self) -> usize {
+        match self {
+            LastLevelTlb::Unified(t) => t.config().entries(),
+            LastLevelTlb::Split { instr, data } => {
+                instr.config().entries() + data.config().entries()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itpx_policy::Lru;
+
+    fn cfg() -> TlbConfig {
+        TlbConfig {
+            sets: 16,
+            ways: 4,
+            latency: 1,
+            mshr_entries: 8,
+        }
+    }
+
+    fn tlb() -> Tlb {
+        Tlb::new(cfg(), Box::new(Lru::new(16, 4)))
+    }
+
+    fn fill4k(t: &mut Tlb, va: VirtAddr, frame: u64) {
+        t.fill(
+            va.vpn(PageSize::Base4K).0,
+            PageSize::Base4K,
+            PhysAddr::new(frame),
+            TranslationKind::Data,
+            0,
+            ThreadId(0),
+            10,
+            0,
+        );
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut t = tlb();
+        let va = VirtAddr::new(0x1234_5678);
+        assert_eq!(
+            t.lookup(va, TranslationKind::Data, 0, ThreadId(0), 0),
+            TlbLookup::Miss
+        );
+        fill4k(&mut t, va, 0xaaaa_0000);
+        match t.lookup(va, TranslationKind::Data, 0, ThreadId(0), 5) {
+            TlbLookup::Hit { done, frame, size } => {
+                assert_eq!(done, 6); // latency 1
+                assert_eq!(frame.0, 0xaaaa_0000);
+                assert_eq!(size, PageSize::Base4K);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(t.stats().misses(), 1);
+        assert_eq!(t.stats().accesses(), 2);
+    }
+
+    #[test]
+    fn huge_page_hits_via_2m_vpn() {
+        let mut t = tlb();
+        let base = VirtAddr::new(0x4000_0000);
+        t.fill(
+            base.vpn(PageSize::Huge2M).0,
+            PageSize::Huge2M,
+            PhysAddr::new(0x8000_0000),
+            TranslationKind::Data,
+            0,
+            ThreadId(0),
+            10,
+            0,
+        );
+        // Any address inside the 2 MiB region hits.
+        let inside = VirtAddr::new(0x4000_0000 + 0x12_3456);
+        assert!(matches!(
+            t.lookup(inside, TranslationKind::Data, 0, ThreadId(0), 0),
+            TlbLookup::Hit {
+                size: PageSize::Huge2M,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn eviction_follows_policy() {
+        let mut t = tlb();
+        // Fill one set (vpn ≡ 0 mod 16) beyond capacity.
+        for i in 0..5u64 {
+            fill4k(&mut t, VirtAddr::new(i * 16 * 4096), i + 1);
+        }
+        // The first-filled entry (LRU) must be gone.
+        assert!(!t.contains(VirtAddr::new(0), PageSize::Base4K));
+        assert!(t.contains(VirtAddr::new(4 * 16 * 4096), PageSize::Base4K));
+    }
+
+    #[test]
+    fn mshr_merge_returns_ready_cycle() {
+        let mut t = tlb();
+        let va = VirtAddr::new(0x7000);
+        assert_eq!(t.merge(va, 0), None);
+        let start = t.mshr_alloc(va, TranslationKind::Instruction, 10);
+        assert_eq!(start, 10);
+        assert_eq!(t.mshr_kind(va), Some(TranslationKind::Instruction));
+        t.mshr_complete(va, 150);
+        assert_eq!(t.merge(va, 20), Some(150));
+        // After completion time passes, the entry no longer merges.
+        assert_eq!(t.merge(va, 151), None);
+    }
+
+    #[test]
+    fn mshr_capacity_delays_allocation() {
+        let mut t = Tlb::new(
+            TlbConfig {
+                sets: 4,
+                ways: 2,
+                latency: 1,
+                mshr_entries: 2,
+            },
+            Box::new(Lru::new(4, 2)),
+        );
+        let a = VirtAddr::new(0x1000);
+        let b = VirtAddr::new(0x2000);
+        let c = VirtAddr::new(0x3000);
+        t.mshr_alloc(a, TranslationKind::Data, 0);
+        t.mshr_complete(a, 100);
+        t.mshr_alloc(b, TranslationKind::Data, 0);
+        t.mshr_complete(b, 200);
+        // Both MSHRs busy at cycle 10: the new miss waits for the earliest.
+        let start = t.mshr_alloc(c, TranslationKind::Data, 10);
+        assert_eq!(start, 100);
+    }
+
+    #[test]
+    fn fill_of_resident_entry_does_not_duplicate() {
+        let mut t = tlb();
+        let va = VirtAddr::new(0x9000);
+        fill4k(&mut t, va, 0x1);
+        fill4k(&mut t, va, 0x1);
+        // Still resident and set not polluted: other ways still free for
+        // three more distinct pages without evicting it.
+        for i in 1..4u64 {
+            fill4k(&mut t, VirtAddr::new(0x9000 + i * 16 * 4096), i);
+        }
+        assert!(t.contains(va, PageSize::Base4K));
+    }
+
+    #[test]
+    fn split_stlb_routes_by_kind() {
+        let mk = || Tlb::new(cfg(), Box::new(Lru::new(16, 4)) as TlbPolicy);
+        let mut s = LastLevelTlb::Split {
+            instr: mk(),
+            data: mk(),
+        };
+        let va = VirtAddr::new(0x5000);
+        s.for_kind(TranslationKind::Instruction).fill(
+            va.vpn(PageSize::Base4K).0,
+            PageSize::Base4K,
+            PhysAddr::new(0x1000),
+            TranslationKind::Instruction,
+            0,
+            ThreadId(0),
+            1,
+            0,
+        );
+        assert!(s
+            .for_kind(TranslationKind::Instruction)
+            .contains(va, PageSize::Base4K));
+        assert!(!s
+            .for_kind(TranslationKind::Data)
+            .contains(va, PageSize::Base4K));
+        assert_eq!(s.entries(), 128);
+    }
+
+    #[test]
+    fn stats_split_by_translation_kind() {
+        let mut t = tlb();
+        let _ = t.lookup(
+            VirtAddr::new(0x1000),
+            TranslationKind::Instruction,
+            0,
+            ThreadId(0),
+            0,
+        );
+        let _ = t.lookup(
+            VirtAddr::new(0x2000),
+            TranslationKind::Data,
+            0,
+            ThreadId(0),
+            0,
+        );
+        let b = t.stats().mpki_breakdown(1000);
+        assert!(b.instr > 0.0 && b.data > 0.0);
+        assert_eq!(t.stats().misses(), 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! TLB edge cases: mixed page sizes, MSHR `Type` bits, and split
+//! organizations under contention.
+
+use itpx_policy::Lru;
+use itpx_types::{PageSize, PhysAddr, ThreadId, TranslationKind, VirtAddr};
+use itpx_vm::tlb::{LastLevelTlb, Tlb, TlbConfig, TlbLookup};
+
+fn tlb(sets: usize, ways: usize) -> Tlb {
+    Tlb::new(
+        TlbConfig {
+            sets,
+            ways,
+            latency: 8,
+            mshr_entries: 4,
+        },
+        Box::new(Lru::new(sets, ways)),
+    )
+}
+
+fn fill(t: &mut Tlb, va: u64, size: PageSize, kind: TranslationKind, ready: u64) {
+    t.fill(
+        VirtAddr::new(va).vpn(size).0,
+        size,
+        PhysAddr::new(0xF000_0000 + va),
+        kind,
+        va,
+        ThreadId(0),
+        50,
+        ready,
+    );
+}
+
+#[test]
+fn mixed_page_sizes_coexist_in_one_set_structure() {
+    let mut t = tlb(16, 4);
+    fill(
+        &mut t,
+        0x40_0000,
+        PageSize::Huge2M,
+        TranslationKind::Data,
+        0,
+    );
+    fill(
+        &mut t,
+        0x40_0000,
+        PageSize::Base4K,
+        TranslationKind::Data,
+        0,
+    );
+    // The 4 KiB probe is tried first; both sizes are resident.
+    match t.lookup(
+        VirtAddr::new(0x40_0000),
+        TranslationKind::Data,
+        0,
+        ThreadId(0),
+        0,
+    ) {
+        TlbLookup::Hit { size, .. } => assert_eq!(size, PageSize::Base4K),
+        other => panic!("expected a hit, got {other:?}"),
+    }
+    // An address inside the huge page but outside the 4 KiB page hits 2M.
+    match t.lookup(
+        VirtAddr::new(0x40_0000 + 8192),
+        TranslationKind::Data,
+        0,
+        ThreadId(0),
+        0,
+    ) {
+        TlbLookup::Hit { size, .. } => assert_eq!(size, PageSize::Huge2M),
+        other => panic!("expected a 2M hit, got {other:?}"),
+    }
+}
+
+#[test]
+fn mshr_type_bits_survive_until_completion() {
+    let mut t = tlb(16, 4);
+    let va = VirtAddr::new(0x7_0000);
+    t.mshr_alloc(va, TranslationKind::Instruction, 0);
+    assert_eq!(t.mshr_kind(va), Some(TranslationKind::Instruction));
+    t.mshr_complete(va, 400);
+    // Still inspectable while the walk is outstanding.
+    assert_eq!(t.mshr_kind(va), Some(TranslationKind::Instruction));
+    // A second miss to a different page carries its own bit.
+    let vb = VirtAddr::new(0x9_0000);
+    t.mshr_alloc(vb, TranslationKind::Data, 10);
+    assert_eq!(t.mshr_kind(vb), Some(TranslationKind::Data));
+    assert_eq!(t.mshr_kind(va), Some(TranslationKind::Instruction));
+}
+
+#[test]
+fn entry_ready_time_gates_early_hits() {
+    let mut t = tlb(16, 4);
+    fill(&mut t, 0x1000, PageSize::Base4K, TranslationKind::Data, 500);
+    match t.lookup(
+        VirtAddr::new(0x1000),
+        TranslationKind::Data,
+        0,
+        ThreadId(0),
+        100,
+    ) {
+        TlbLookup::Hit { done, .. } => assert_eq!(done, 500, "waits for the in-flight fill"),
+        other => panic!("{other:?}"),
+    }
+    match t.lookup(
+        VirtAddr::new(0x1000),
+        TranslationKind::Data,
+        0,
+        ThreadId(0),
+        1000,
+    ) {
+        TlbLookup::Hit { done, .. } => assert_eq!(done, 1008, "normal latency once filled"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn split_stlb_capacities_are_independent() {
+    let mk = || tlb(8, 2); // 16 entries per side
+    let mut s = LastLevelTlb::Split {
+        instr: mk(),
+        data: mk(),
+    };
+    // Overflow the data side with 32 pages; the instruction side keeps
+    // its single entry.
+    s.for_kind(TranslationKind::Instruction).fill(
+        0x123,
+        PageSize::Base4K,
+        PhysAddr::new(0x1),
+        TranslationKind::Instruction,
+        0,
+        ThreadId(0),
+        1,
+        0,
+    );
+    for i in 0..32u64 {
+        s.for_kind(TranslationKind::Data).fill(
+            0x1000 + i,
+            PageSize::Base4K,
+            PhysAddr::new(i),
+            TranslationKind::Data,
+            0,
+            ThreadId(0),
+            1,
+            0,
+        );
+    }
+    assert!(s
+        .for_kind(TranslationKind::Instruction)
+        .contains(VirtAddr::new(0x123 << 12), PageSize::Base4K));
+    let stats = s.stats();
+    assert_eq!(stats.accesses(), 0, "fills alone do not count as accesses");
+}
+
+#[test]
+fn per_thread_entries_do_not_alias() {
+    // Two SMT threads present disjoint VAs (the engine offsets them); the
+    // shared STLB must keep both.
+    let mut t = tlb(16, 4);
+    let va0 = 0x5000u64;
+    let va1 = va0 | (1 << 44);
+    fill(&mut t, va0, PageSize::Base4K, TranslationKind::Data, 0);
+    fill(&mut t, va1, PageSize::Base4K, TranslationKind::Data, 0);
+    assert!(t.contains(VirtAddr::new(va0), PageSize::Base4K));
+    assert!(t.contains(VirtAddr::new(va1), PageSize::Base4K));
+}

@@ -1,0 +1,90 @@
+//! Authoring a custom replacement policy against the `itpx` API.
+//!
+//! Implements a toy "pin instructions" STLB policy — instruction
+//! translations are simply never victimized while any data translation is
+//! resident — plugs it into the full simulator next to LRU and iTP, and
+//! compares. Handy as a template for experimenting with new policies.
+//!
+//! ```sh
+//! cargo run --release --example custom_policy
+//! ```
+
+use itpx::prelude::*;
+use itpx_core::presets::PolicyBundle;
+use itpx_policy::{Lru, Policy, RecencyStack, TlbMeta};
+
+/// A deliberately extreme variant of the paper's idea: strict instruction
+/// pinning (iTP without the frequency nuance or the data promotion band).
+#[derive(Debug)]
+struct PinInstructions {
+    stack: RecencyStack,
+    is_instr: Vec<Vec<bool>>,
+}
+
+impl PinInstructions {
+    fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            stack: RecencyStack::new(sets, ways),
+            is_instr: vec![vec![false; ways]; sets],
+        }
+    }
+}
+
+impl Policy<TlbMeta> for PinInstructions {
+    fn on_fill(&mut self, set: usize, way: usize, meta: &TlbMeta) {
+        self.is_instr[set][way] = meta.kind.is_instruction();
+        self.stack.touch(set, way);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, meta: &TlbMeta) {
+        self.is_instr[set][way] = meta.kind.is_instruction();
+        self.stack.touch(set, way);
+    }
+
+    fn victim(&mut self, set: usize, _incoming: &TlbMeta) -> usize {
+        self.stack
+            .iter_lru_to_mru(set)
+            .find(|&w| !self.is_instr[set][w])
+            .unwrap_or_else(|| self.stack.lru(set))
+    }
+
+    fn name(&self) -> &'static str {
+        "pin-instructions"
+    }
+}
+
+fn main() {
+    let config = SystemConfig::asplos25();
+    let workload = WorkloadSpec::server_like(3)
+        .instructions(300_000)
+        .warmup(80_000);
+
+    let dims = config.dims();
+    let custom = PolicyBundle {
+        stlb: Box::new(PinInstructions::new(dims.stlb.0, dims.stlb.1)),
+        l2c: Box::new(Lru::new(dims.l2c.0, dims.l2c.1)),
+        llc: Box::new(Lru::new(dims.llc.0, dims.llc.1)),
+        monitor: None,
+    };
+
+    let lru = Simulation::single_thread(&config, Preset::Lru, &workload).run();
+    let itp = Simulation::single_thread(&config, Preset::Itp, &workload).run();
+    let pin =
+        Simulation::custom(&config, custom, "PinInstr", std::slice::from_ref(&workload)).run();
+
+    println!("policy        IPC      iMPKI   dMPKI   (uplift vs LRU)");
+    for out in [&lru, &itp, &pin] {
+        let b = out.stlb_breakdown();
+        println!(
+            "{:<12} {:.4}   {:<7.2} {:<7.2} ({:+.2}%)",
+            out.preset,
+            out.ipc(),
+            b.instr,
+            b.data,
+            out.speedup_pct_over(&lru)
+        );
+    }
+    println!("\nStrict pinning kills even more instruction misses than iTP, but its");
+    println!("data translations churn harder; iTP's measured insertion depths (N/M)");
+    println!("and frequency gate are what keep the trade profitable.");
+}

@@ -1,0 +1,39 @@
+//! Huge-page sensitivity (the paper's Section 6.5): how the value of
+//! cooperative replacement shrinks as the OS backs more of the footprint
+//! with 2 MiB pages.
+//!
+//! ```sh
+//! cargo run --release --example hugepages
+//! ```
+
+use itpx::prelude::*;
+use itpx_vm::HugePagePolicy;
+
+fn main() {
+    let workload = WorkloadSpec::server_like(11)
+        .instructions(300_000)
+        .warmup(80_000);
+
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "2MB%", "LRU IPC", "coop IPC", "uplift", "walks/1k"
+    );
+    for fraction in [0.0, 0.1, 0.5, 1.0] {
+        let config =
+            SystemConfig::asplos25().with_huge_pages(HugePagePolicy::uniform(fraction, 77));
+        let base = Simulation::single_thread(&config, Preset::Lru, &workload).run();
+        let coop = Simulation::single_thread(&config, Preset::ItpXptp, &workload).run();
+        println!(
+            "{:>5.0}% {:>10.4} {:>10.4} {:>+9.2}% {:>10.2}",
+            fraction * 100.0,
+            base.ipc(),
+            coop.ipc(),
+            coop.speedup_pct_over(&base),
+            base.walker.walks as f64 * 1000.0 / base.instructions() as f64,
+        );
+    }
+    println!("\n2 MiB pages widen TLB reach, so STLB misses — and with them the");
+    println!("opportunity for instruction-aware replacement — fade as the fraction");
+    println!("grows; the paper argues 4 KiB-heavy deployments remain the common");
+    println!("case on long-uptime servers (fragmentation defeats huge pages).");
+}

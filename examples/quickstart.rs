@@ -1,0 +1,52 @@
+//! Quickstart: run the paper's headline comparison on one workload.
+//!
+//! Simulates a server-like workload (large instruction footprint) on the
+//! Table 1 machine under the LRU baseline and under iTP+xPTP, and prints
+//! the IPC uplift plus the STLB/L2C effects that produce it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use itpx::prelude::*;
+
+fn main() {
+    let config = SystemConfig::asplos25();
+    let workload = WorkloadSpec::server_like(7)
+        .instructions(400_000)
+        .warmup(100_000);
+
+    println!(
+        "workload: {} (code ~{} KiB)",
+        workload.name,
+        workload.profile.code_pages * 4
+    );
+
+    let base = Simulation::single_thread(&config, Preset::Lru, &workload).run();
+    let itp = Simulation::single_thread(&config, Preset::Itp, &workload).run();
+    let coop = Simulation::single_thread(&config, Preset::ItpXptp, &workload).run();
+
+    for out in [&base, &itp, &coop] {
+        let b = out.stlb_breakdown();
+        println!(
+            "{:<10} IPC {:.4} | STLB MPKI {:6.2} (i {:5.2} / d {:5.2}, avg miss {:6.1} cy) | \
+             L2C MPKI {:6.2} (dPTE {:5.2}) | LLC MPKI {:6.2}",
+            out.preset,
+            out.ipc(),
+            out.stlb_mpki(),
+            b.instr,
+            b.data,
+            out.stlb.avg_miss_latency(),
+            out.l2c_mpki(),
+            out.l2c_breakdown().data_pte,
+            out.llc_mpki(),
+        );
+    }
+
+    println!(
+        "\niTP      vs LRU: {:+.1}%\niTP+xPTP vs LRU: {:+.1}%  (xPTP active {:.0}% of epochs)",
+        itp.speedup_pct_over(&base),
+        coop.speedup_pct_over(&base),
+        coop.xptp_enabled_fraction.unwrap_or(0.0) * 100.0
+    );
+}

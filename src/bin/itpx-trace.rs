@@ -1,0 +1,213 @@
+//! `itpx-trace` — generate, inspect, and convert synthetic traces.
+//!
+//! ```text
+//! itpx-trace gen     --seed N [--spec-like] [--instructions N] --out FILE
+//! itpx-trace info    FILE
+//! itpx-trace convert CHAMPSIM_FILE --out FILE [--limit N]
+//! ```
+//!
+//! `convert` ingests a *decompressed* ChampSim trace (`xz -d` the
+//! artifact's `.champsimtrace.xz` first) into the `itpx` format.
+//!
+//! Traces use the `itpx` binary format (see `itpx_trace::record`); `info`
+//! prints footprint and mix statistics for any trace file.
+
+use itpx_trace::{read_trace, write_trace, TraceGenerator, TraceInst, WorkloadSpec};
+use std::collections::HashSet;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn summarize(insts: &[TraceInst]) {
+    let n = insts.len().max(1) as f64;
+    let code_pages: HashSet<u64> = insts.iter().map(|i| i.pc >> 12).collect();
+    let (mut loads, mut stores, mut branches, mut taken) = (0u64, 0u64, 0u64, 0u64);
+    let mut data_pages = HashSet::new();
+    for i in insts {
+        if let Some(m) = i.mem {
+            data_pages.insert(m.addr >> 12);
+            if m.store {
+                stores += 1;
+            } else {
+                loads += 1;
+            }
+        }
+        if let Some(b) = i.branch {
+            branches += 1;
+            taken += b.taken as u64;
+        }
+    }
+    println!("instructions   {}", insts.len());
+    println!(
+        "code pages     {} ({} KiB touched)",
+        code_pages.len(),
+        code_pages.len() * 4
+    );
+    println!(
+        "data pages     {} ({} KiB touched)",
+        data_pages.len(),
+        data_pages.len() * 4
+    );
+    println!(
+        "loads          {} ({:.1}%)",
+        loads,
+        loads as f64 * 100.0 / n
+    );
+    println!(
+        "stores         {} ({:.1}%)",
+        stores,
+        stores as f64 * 100.0 / n
+    );
+    println!(
+        "branches       {} ({:.1}%, {:.1}% taken)",
+        branches,
+        branches as f64 * 100.0 / n,
+        if branches > 0 {
+            taken as f64 * 100.0 / branches as f64
+        } else {
+            0.0
+        }
+    );
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("gen") => {
+            let mut seed = 0u64;
+            let mut instructions = 1_000_000usize;
+            let mut spec_like = false;
+            let mut out = None;
+            let mut it = argv[1..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+                    "--instructions" => {
+                        instructions = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or(instructions)
+                    }
+                    "--spec-like" => spec_like = true,
+                    "--out" => out = it.next().cloned(),
+                    other => {
+                        eprintln!("unknown flag {other}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let Some(path) = out else {
+                eprintln!("gen requires --out FILE");
+                return ExitCode::FAILURE;
+            };
+            let spec = if spec_like {
+                WorkloadSpec::spec_like(seed)
+            } else {
+                WorkloadSpec::server_like(seed)
+            };
+            let insts: Vec<TraceInst> = TraceGenerator::new(&spec).take(instructions).collect();
+            let file = match File::create(&path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = write_trace(BufWriter::new(file), &insts) {
+                eprintln!("write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {} instructions of {} to {path}",
+                insts.len(),
+                spec.name
+            );
+            summarize(&insts);
+            ExitCode::SUCCESS
+        }
+        Some("info") => {
+            let Some(path) = argv.get(1) else {
+                eprintln!("info requires a FILE");
+                return ExitCode::FAILURE;
+            };
+            let file = match File::open(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot open {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match read_trace(BufReader::new(file)) {
+                Ok(insts) => {
+                    summarize(&insts);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("not a valid itpx trace: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("convert") => {
+            let Some(input) = argv.get(1) else {
+                eprintln!("convert requires a CHAMPSIM_FILE");
+                return ExitCode::FAILURE;
+            };
+            let mut out = None;
+            let mut limit = usize::MAX;
+            let mut it = argv[2..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--out" => out = it.next().cloned(),
+                    "--limit" => {
+                        limit = it.next().and_then(|v| v.parse().ok()).unwrap_or(usize::MAX)
+                    }
+                    other => {
+                        eprintln!("unknown flag {other}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let Some(path) = out else {
+                eprintln!("convert requires --out FILE");
+                return ExitCode::FAILURE;
+            };
+            let file = match File::open(input) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot open {input}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let insts = match itpx_trace::read_champsim(BufReader::new(file), limit) {
+                Ok(i) => i,
+                Err(e) => {
+                    eprintln!("cannot read ChampSim trace: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if insts.is_empty() {
+                eprintln!("no instructions decoded (is the file decompressed?)");
+                return ExitCode::FAILURE;
+            }
+            let outfile = match File::create(&path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = write_trace(BufWriter::new(outfile), &insts) {
+                eprintln!("write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("converted {} instructions to {path}", insts.len());
+            summarize(&insts);
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: itpx-trace <gen|info|convert> ...");
+            ExitCode::FAILURE
+        }
+    }
+}

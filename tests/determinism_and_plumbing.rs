@@ -1,0 +1,159 @@
+//! Cross-crate plumbing tests: determinism, statistics consistency, and
+//! the Figure 7 dataflow (Type bits from STLB MSHRs to L2C blocks).
+
+use itpx::prelude::*;
+use itpx_trace::suites::smt_suite;
+
+const INSTR: u64 = 80_000;
+const WARMUP: u64 = 20_000;
+
+fn w(seed: u64) -> WorkloadSpec {
+    WorkloadSpec::server_like(seed)
+        .instructions(INSTR)
+        .warmup(WARMUP)
+}
+
+#[test]
+fn simulations_are_bit_deterministic() {
+    let cfg = SystemConfig::asplos25();
+    for preset in [Preset::Lru, Preset::ItpXptp, Preset::Tdrrip] {
+        let a = Simulation::single_thread(&cfg, preset, &w(9)).run();
+        let b = Simulation::single_thread(&cfg, preset, &w(9)).run();
+        assert_eq!(a, b, "{preset} not deterministic");
+    }
+}
+
+#[test]
+fn smt_runs_are_deterministic_too() {
+    let cfg = SystemConfig::asplos25();
+    let mut pair = smt_suite(1).remove(0);
+    pair.a = pair.a.instructions(INSTR).warmup(WARMUP);
+    pair.b = pair.b.instructions(INSTR).warmup(WARMUP);
+    let a = Simulation::smt(&cfg, Preset::ItpXptp, &pair).run();
+    let b = Simulation::smt(&cfg, Preset::ItpXptp, &pair).run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn walk_traffic_reaches_l2_with_type_bits() {
+    // Figure 7 steps 2–4: page-walk references carry their translation
+    // kind into L2C statistics (dt/it classes).
+    let cfg = SystemConfig::asplos25();
+    let out = Simulation::single_thread(&cfg, Preset::Lru, &w(4)).run();
+    let l2 = out.l2c_breakdown();
+    assert!(l2.data_pte > 0.0, "no data-PTE traffic at L2C");
+    assert!(l2.instr_pte > 0.0, "no instr-PTE traffic at L2C");
+    assert!(out.walker.data_walks > 0 && out.walker.instruction_walks > 0);
+}
+
+#[test]
+fn walker_and_stlb_miss_counts_are_consistent() {
+    // Every STLB miss resolves through the walker (merged misses share a
+    // walk, so walks <= misses).
+    let cfg = SystemConfig::asplos25();
+    let out = Simulation::single_thread(&cfg, Preset::Lru, &w(12)).run();
+    assert!(out.walker.walks > 0);
+    assert!(
+        out.walker.walks <= out.stlb.misses() + 16,
+        "more walks ({}) than STLB misses ({})",
+        out.walker.walks,
+        out.stlb.misses()
+    );
+    // Walks come from both kinds and sum up.
+    assert_eq!(
+        out.walker.walks,
+        out.walker.data_walks + out.walker.instruction_walks
+    );
+}
+
+#[test]
+fn measurement_excludes_warmup() {
+    // Same measured length, different warmup: cycle counts must be for
+    // the measured region only (within noise, more warmup => warmer
+    // caches => no slower).
+    let cfg = SystemConfig::asplos25();
+    let cold = Simulation::single_thread(
+        &cfg,
+        Preset::Lru,
+        &WorkloadSpec::server_like(2)
+            .instructions(INSTR)
+            .warmup(1_000),
+    )
+    .run();
+    let warm = Simulation::single_thread(
+        &cfg,
+        Preset::Lru,
+        &WorkloadSpec::server_like(2)
+            .instructions(INSTR)
+            .warmup(100_000),
+    )
+    .run();
+    assert_eq!(cold.instructions(), warm.instructions());
+    assert!(
+        warm.ipc() > cold.ipc() * 0.95,
+        "warmup should not hurt: warm {:.4} vs cold {:.4}",
+        warm.ipc(),
+        cold.ipc()
+    );
+}
+
+#[test]
+fn trace_serialization_roundtrips_through_disk() {
+    use itpx_trace::{read_trace, write_trace, TraceGenerator};
+    let spec = w(3);
+    let insts: Vec<_> = TraceGenerator::new(&spec).take(5_000).collect();
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &insts).expect("write");
+    let back = read_trace(buf.as_slice()).expect("read");
+    assert_eq!(insts, back);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The `itpx` facade exposes everything the README quickstart needs.
+    let _ = itpx::core::ItpParams::default();
+    let _ = itpx::policy::Lru::new(2, 2);
+    let _ = itpx::types::Rng64::new(1);
+    let _ = itpx::vm::HugePagePolicy::none();
+    let _ = itpx::mem::DramConfig::default();
+    let _ = itpx::trace::WorkloadSpec::server_like(0);
+}
+
+#[test]
+fn replayed_traces_drive_the_full_simulator() {
+    use itpx_trace::TraceGenerator;
+    let cfg = SystemConfig::asplos25();
+    let spec = w(6);
+    let insts: Vec<_> = TraceGenerator::new(&spec).take(60_000).collect();
+    let out =
+        itpx_cpu::Simulation::replay(&cfg, Preset::ItpXptp, "loop", insts, 50_000, 10_000).run();
+    assert_eq!(out.instructions(), 50_000);
+    assert!(out.ipc() > 0.01);
+    assert!(out.stlb.accesses() > 0);
+    // Replay of the same trace is deterministic too.
+    let spec2 = w(6);
+    let insts2: Vec<_> = TraceGenerator::new(&spec2).take(60_000).collect();
+    let out2 =
+        itpx_cpu::Simulation::replay(&cfg, Preset::ItpXptp, "loop", insts2, 50_000, 10_000).run();
+    assert_eq!(out, out2);
+}
+
+#[test]
+fn smt_replay_pairs_run_end_to_end() {
+    use itpx_trace::TraceGenerator;
+    let cfg = SystemConfig::asplos25();
+    let a: Vec<_> = TraceGenerator::new(&w(1)).take(40_000).collect();
+    let b: Vec<_> = TraceGenerator::new(&w(2)).take(40_000).collect();
+    let out = itpx_cpu::Simulation::replay_pair(
+        &cfg,
+        Preset::ItpXptp,
+        ("a".into(), a),
+        ("b".into(), b),
+        30_000,
+        8_000,
+    )
+    .run();
+    assert_eq!(out.threads.len(), 2);
+    assert_eq!(out.instructions(), 60_000);
+    assert!(out.ipc() > 0.01);
+}

@@ -1,0 +1,101 @@
+//! Microarchitectural scaling sanity: making a resource bigger/faster
+//! must help (or at least not hurt), and crippling it must hurt. These
+//! pin down the engine's structural modeling.
+
+use itpx::prelude::*;
+
+const INSTR: u64 = 80_000;
+const WARMUP: u64 = 20_000;
+
+fn w(seed: u64) -> WorkloadSpec {
+    WorkloadSpec::server_like(seed)
+        .instructions(INSTR)
+        .warmup(WARMUP)
+}
+
+fn ipc(cfg: &SystemConfig, seed: u64) -> f64 {
+    Simulation::single_thread(cfg, Preset::Lru, &w(seed))
+        .run()
+        .ipc()
+}
+
+#[test]
+fn tiny_rob_throttles_the_backend() {
+    let base = SystemConfig::asplos25();
+    let mut tiny = base;
+    tiny.rob_entries = 16;
+    assert!(
+        ipc(&tiny, 1) < ipc(&base, 1) * 0.97,
+        "a 16-entry ROB must hurt: {} vs {}",
+        ipc(&tiny, 1),
+        ipc(&base, 1)
+    );
+}
+
+#[test]
+fn narrow_fetch_throttles_the_frontend() {
+    let base = SystemConfig::asplos25();
+    let mut narrow = base;
+    narrow.fetch_width = 1;
+    narrow.retire_width = 1;
+    assert!(
+        ipc(&narrow, 2) < ipc(&base, 2),
+        "1-wide fetch/retire must hurt"
+    );
+    // And IPC can never exceed the width.
+    let out = Simulation::single_thread(&narrow, Preset::Lru, &w(2)).run();
+    assert!(out.ipc() <= 1.0);
+}
+
+#[test]
+fn slower_dram_hurts() {
+    let base = SystemConfig::asplos25();
+    let mut slow = base;
+    slow.hierarchy.dram.latency = 400;
+    assert!(ipc(&slow, 3) < ipc(&base, 3));
+}
+
+#[test]
+fn bigger_llc_does_not_hurt() {
+    let base = SystemConfig::asplos25();
+    let mut big = base;
+    big.hierarchy.llc.sets *= 4; // 8 MiB LLC
+    assert!(
+        ipc(&big, 4) >= ipc(&base, 4) * 0.995,
+        "quadrupling the LLC should not hurt: {} vs {}",
+        ipc(&big, 4),
+        ipc(&base, 4)
+    );
+}
+
+#[test]
+fn fdip_depth_zero_exposes_l1i_misses() {
+    let base = SystemConfig::asplos25();
+    let mut nofdip = base;
+    nofdip.fdip_depth = 0;
+    let with = Simulation::single_thread(&base, Preset::Lru, &w(5)).run();
+    let without = Simulation::single_thread(&nofdip, Preset::Lru, &w(5)).run();
+    assert!(
+        without.l1i.misses() > with.l1i.misses() * 2,
+        "disabling FDIP must expose demand L1I misses: {} vs {}",
+        without.l1i.misses(),
+        with.l1i.misses()
+    );
+    assert!(without.ipc() <= with.ipc() * 1.005);
+}
+
+#[test]
+fn more_walker_concurrency_does_not_hurt() {
+    let base = SystemConfig::asplos25();
+    let mut serial = base;
+    serial.walker_concurrency = 1;
+    let fast = Simulation::single_thread(&base, Preset::Lru, &w(6)).run();
+    let slow = Simulation::single_thread(&serial, Preset::Lru, &w(6)).run();
+    assert!(
+        slow.walker.avg_latency >= fast.walker.avg_latency * 0.98,
+        "a single walk register cannot give lower walk latency: {} vs {}",
+        slow.walker.avg_latency,
+        fast.walker.avg_latency
+    );
+    assert!(slow.ipc() <= fast.ipc() * 1.005);
+}
