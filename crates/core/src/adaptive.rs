@@ -191,6 +191,12 @@ impl Policy<CacheMeta> for AdaptiveXptp {
     fn name(&self) -> &'static str {
         "xptp/lru"
     }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        // xPTP storage + the shared 1-bit status register (the monitor's
+        // counters belong to the core, not the replacement policy).
+        sets as u64 * ways as u64 * (itpx_policy::traits::rank_bits(ways) + 1) + 1
+    }
 }
 
 #[cfg(test)]

@@ -85,6 +85,7 @@ impl Policy<CacheMeta> for XptpEmissary {
                 break;
             }
             if self.is_code[set][w] {
+                // .min(63) clamps into the fixed 64-way bitmap
                 code_protected[w.min(63)] = true;
                 protected += 1;
             }
@@ -96,6 +97,7 @@ impl Policy<CacheMeta> for XptpEmissary {
         let alt = self
             .stack
             .iter_lru_to_mru(set)
+            // .min(63) clamps into the fixed 64-way bitmap
             .find(|&w| !self.is_data_pte[set][w] && !code_protected[w.min(63)]);
         match alt {
             Some(alt) if self.stack.height_of(set, alt) < self.params.k => alt,
@@ -105,6 +107,11 @@ impl Policy<CacheMeta> for XptpEmissary {
 
     fn name(&self) -> &'static str {
         "xptp+emissary"
+    }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        // xPTP's Type bit plus the Emissary-style code bit per entry.
+        sets as u64 * ways as u64 * (itpx_policy::traits::rank_bits(ways) + 2)
     }
 }
 

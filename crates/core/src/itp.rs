@@ -175,6 +175,14 @@ impl Policy<TlbMeta> for Itp {
     fn name(&self) -> &'static str {
         "itp"
     }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        // LRU ranks plus the paper's additions: 1 Type bit + freq_bits per
+        // entry (Section 4.1.3: 4 bits/entry over the LRU baseline).
+        sets as u64
+            * ways as u64
+            * (itpx_policy::traits::rank_bits(ways) + 1 + self.params.freq_bits as u64)
+    }
 }
 
 #[cfg(test)]

@@ -45,10 +45,12 @@ pub mod adaptive;
 pub mod extension;
 pub mod itp;
 pub mod presets;
+pub mod registry;
 pub mod xptp;
 
 pub use adaptive::{AdaptiveXptp, StlbPressureMonitor, XptpSwitch};
 pub use extension::XptpEmissary;
 pub use itp::{Itp, ItpParams};
 pub use presets::{LlcChoice, PolicyBundle, Preset};
+pub use registry::{cache_policies, tlb_policies, PolicyEntry};
 pub use xptp::{Xptp, XptpParams};

@@ -119,6 +119,11 @@ impl Policy<CacheMeta> for Xptp {
     fn name(&self) -> &'static str {
         "xptp"
     }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        // LRU ranks + the per-block Type bit (Figure 6's only addition).
+        sets as u64 * ways as u64 * (itpx_policy::traits::rank_bits(ways) + 1)
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@ impl HashedPerceptron {
 
     fn sum(&self, pc: u64) -> i32 {
         (0..NUM_TABLES)
+            // index() masks into each table's power-of-two length
             .map(|t| self.tables[t][self.index(t, pc)] as i32)
             .sum()
     }

@@ -162,6 +162,7 @@ impl Engine {
             let next = t.stream.next_inst();
             t.lookahead.push_back(next);
         }
+        // the refill loop above guarantees ftq_entries >= 1 elements
         let inst = t.lookahead.pop_front().expect("non-empty lookahead");
         let pc = inst.pc + t.va_offset;
 
@@ -203,6 +204,7 @@ impl Engine {
                         let slot = (b as usize) & 63;
                         if t.recent_pf[slot] != b {
                             t.recent_pf[slot] = b;
+                            // .min(15) clamps into the 16-slot array
                             nominations[depth.min(15)] = b;
                         }
                         depth += 1;
@@ -234,6 +236,7 @@ impl Engine {
         for d in [inst.src1_dist, inst.src2_dist] {
             let d = d as u64;
             if d > 0 && d <= t.produced {
+                // % DEP_RING keeps the index inside the ring
                 ready = ready.max(t.completions[((t.produced - d) % DEP_RING as u64) as usize]);
             }
         }
@@ -284,6 +287,7 @@ impl Engine {
         }
         t.last_retire = retire;
         t.retire_ring[rob_idx] = retire;
+        // % DEP_RING keeps the index inside the ring
         t.completions[(t.produced % DEP_RING as u64) as usize] = completion;
         t.produced += 1;
         sys.on_retire(1);
@@ -342,6 +346,7 @@ impl Engine {
                 instructions: t.target - t.warmup,
                 cycles: t
                     .end_cycle
+                    // reports are only built after every thread finished
                     .expect("thread finished")
                     .saturating_sub(t.meas_start_cycle)
                     .max(1),

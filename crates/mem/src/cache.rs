@@ -139,6 +139,7 @@ impl Cache {
             Some(way) => {
                 if demand {
                     self.stats.record(meta.fill, false);
+                    // lookup only returns ways holding Some line
                     let line = self.lines[set][way].as_mut().expect("hit line");
                     if line.meta.pc == u64::MAX {
                         // First demand touch of a prefetched block.
@@ -147,6 +148,7 @@ impl Cache {
                     }
                 }
                 self.policy.on_hit(set, way, meta);
+                // lookup only returns ways holding Some line
                 let ready = self.lines[set][way].expect("hit line").ready;
                 Probe::Hit(ready.max(now + self.cfg.latency))
             }
@@ -206,6 +208,7 @@ impl Cache {
                 let v = self.policy.victim(set, meta);
                 assert!(v < self.cfg.ways, "policy returned way out of range");
                 self.policy.on_evict(set, v);
+                // the set had no free way, so every way holds Some line
                 let victim = self.lines[set][v].expect("occupied way");
                 let wb = victim.dirty.then(|| {
                     self.writebacks += 1;

@@ -57,6 +57,7 @@ impl Chirp {
     /// Confidence currently associated with the signature this access would
     /// produce (exposed for tests).
     pub fn confidence_for(&self, meta: &TlbMeta) -> u8 {
+        // sig() masks to TABLE_BITS, within conf's 2^TABLE_BITS entries
         self.conf[self.sig(meta) as usize]
     }
 }
@@ -99,6 +100,14 @@ impl Policy<TlbMeta> for Chirp {
 
     fn name(&self) -> &'static str {
         "chirp"
+    }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        // LRU ranks + per-entry signature and reuse bit; global confidence
+        // table (3-bit counters) and the 64-bit folded history register.
+        sets as u64 * ways as u64 * (crate::traits::rank_bits(ways) + TABLE_BITS as u64 + 1)
+            + 3 * (1u64 << TABLE_BITS)
+            + 64
     }
 }
 

@@ -58,6 +58,12 @@ impl Policy<CacheMeta> for Dip {
     fn name(&self) -> &'static str {
         "dip"
     }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        sets as u64 * ways as u64 * crate::traits::rank_bits(ways)
+            + crate::traits::PSEL_BITS
+            + crate::traits::RNG_STATE_BITS
+    }
 }
 
 #[cfg(test)]

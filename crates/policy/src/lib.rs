@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod checked;
 pub mod chirp;
 pub mod dip;
 pub mod lru;
@@ -58,6 +59,7 @@ pub mod tdrrip;
 pub mod traits;
 pub mod tship;
 
+pub use checked::CheckedPolicy;
 pub use chirp::Chirp;
 pub use dip::Dip;
 pub use lru::Lru;

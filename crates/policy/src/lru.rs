@@ -44,6 +44,11 @@ impl<M> Policy<M> for Lru {
     fn name(&self) -> &'static str {
         "lru"
     }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        // One recency rank per entry (the full MRU→LRU ordering).
+        sets as u64 * ways as u64 * crate::traits::rank_bits(ways)
+    }
 }
 
 #[cfg(test)]

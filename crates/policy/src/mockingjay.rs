@@ -12,7 +12,7 @@
 
 use crate::meta::CacheMeta;
 use crate::traits::Policy;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const RDP_BITS: u32 = 12;
 const SAMPLE_STRIDE: usize = 8;
@@ -36,7 +36,10 @@ pub struct Mockingjay {
     /// Reuse-distance predictor indexed by PC signature.
     rdp: Vec<i32>,
     /// Sampled per-set history: block -> (last access time, signature).
-    samples: Vec<HashMap<u64, SampleEntry>>,
+    /// Ordered map so expiry scans are deterministic (std `HashMap`
+    /// iteration order varies per process and would fail the determinism
+    /// lint).
+    samples: Vec<BTreeMap<u64, SampleEntry>>,
 }
 
 impl Mockingjay {
@@ -48,7 +51,7 @@ impl Mockingjay {
             etr: vec![vec![MAX_RD; ways]; sets],
             clock: vec![0; sets],
             rdp: vec![DEFAULT_RD; 1 << RDP_BITS],
-            samples: vec![HashMap::new(); sets.div_ceil(SAMPLE_STRIDE)],
+            samples: vec![BTreeMap::new(); sets.div_ceil(SAMPLE_STRIDE)],
         }
     }
 
@@ -75,6 +78,7 @@ impl Mockingjay {
         }
         let now = self.clock[set];
         let sig = Self::sig(meta.pc);
+        // samples holds ceil(sets / SAMPLE_STRIDE) histories
         let hist = &mut self.samples[set / SAMPLE_STRIDE];
         if let Some(prev) = hist.get(&meta.block).copied() {
             let observed = (now.wrapping_sub(prev.time) as i32).min(MAX_RD);
@@ -102,6 +106,7 @@ impl Mockingjay {
     }
 
     fn predict(&self, pc: u64) -> i32 {
+        // sig() masks to RDP_BITS, within rdp's 2^RDP_BITS entries
         self.rdp[Self::sig(pc) as usize]
     }
 
@@ -141,6 +146,18 @@ impl Policy<CacheMeta> for Mockingjay {
 
     fn name(&self) -> &'static str {
         "mockingjay"
+    }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        // Per line: 8-bit signed ETR. Per set: 32-bit clock. Global: the
+        // 7-bit RDP table plus the sampler — one in SAMPLE_STRIDE sets keeps
+        // a nominal 4×ways-entry history of (block tag, time, signature).
+        let (sets, ways) = (sets as u64, ways as u64);
+        let sampler_sets = sets.div_ceil(SAMPLE_STRIDE as u64);
+        sets * ways * 8
+            + sets * 32
+            + 7 * (1u64 << RDP_BITS)
+            + sampler_sets * 4 * ways * (64 + 32 + RDP_BITS as u64)
     }
 }
 

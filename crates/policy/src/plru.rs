@@ -93,6 +93,11 @@ impl<M> Policy<M> for TreePlru {
     fn name(&self) -> &'static str {
         "tree-plru"
     }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        // ways − 1 direction bits per set.
+        sets as u64 * ways.saturating_sub(1) as u64
+    }
 }
 
 #[cfg(test)]

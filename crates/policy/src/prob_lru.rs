@@ -77,6 +77,12 @@ impl Policy<TlbMeta> for ProbKeepInstrLru {
     fn name(&self) -> &'static str {
         "prob-keep-instr-lru"
     }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        // LRU ranks + the per-entry Type bit + the shared generator.
+        sets as u64 * ways as u64 * (crate::traits::rank_bits(ways) + 1)
+            + crate::traits::RNG_STATE_BITS
+    }
 }
 
 #[cfg(test)]

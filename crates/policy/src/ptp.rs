@@ -63,18 +63,25 @@ impl Policy<CacheMeta> for Ptp {
                 break;
             }
             if self.is_pte[set][w] {
+                // .min(63) clamps into the fixed 64-way bitmap
                 protected[w.min(63)] = true;
                 count += 1;
             }
         }
         self.stack
             .iter_lru_to_mru(set)
+            // .min(63) clamps into the fixed 64-way bitmap
             .find(|&w| !protected[w.min(63)])
             .unwrap_or_else(|| self.stack.lru(set))
     }
 
     fn name(&self) -> &'static str {
         "ptp"
+    }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        // LRU ranks + one PTE flag per entry.
+        sets as u64 * ways as u64 * (crate::traits::rank_bits(ways) + 1)
     }
 }
 

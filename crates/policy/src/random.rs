@@ -34,6 +34,11 @@ impl<M> Policy<M> for RandomEvict {
     fn name(&self) -> &'static str {
         "random"
     }
+
+    fn meta_bits(&self, _sets: usize, _ways: usize) -> u64 {
+        // No per-entry state; only the shared generator.
+        crate::traits::RNG_STATE_BITS
+    }
 }
 
 #[cfg(test)]

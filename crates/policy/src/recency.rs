@@ -67,6 +67,7 @@ impl RecencyStack {
         self.order[set]
             .iter()
             .position(|&w| w as usize == way)
+            // every way 0..ways is permanently present in the stack
             .expect("way not present in recency stack")
     }
 
@@ -77,6 +78,7 @@ impl RecencyStack {
 
     /// The way currently at `LRUpos`.
     pub fn lru(&self, set: usize) -> usize {
+        // order rows are built with ways >= 1 entries and never shrink
         *self.order[set].last().expect("non-empty stack") as usize
     }
 
@@ -87,6 +89,7 @@ impl RecencyStack {
 
     /// The way at the given depth.
     pub fn at_depth(&self, set: usize, depth: usize) -> usize {
+        // .min(ways - 1) clamps the depth into the row
         self.order[set][depth.min(self.ways - 1)] as usize
     }
 

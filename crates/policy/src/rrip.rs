@@ -8,6 +8,8 @@ use itpx_types::Rng64;
 
 /// Maximum re-reference prediction value for 2-bit RRIP.
 pub(crate) const RRPV_MAX: u8 = 3;
+/// Architectural width of one RRPV counter.
+pub(crate) const RRPV_BITS: u64 = 2;
 /// "Long re-reference interval" insertion value.
 pub(crate) const RRPV_LONG: u8 = 2;
 
@@ -80,6 +82,10 @@ impl Policy<CacheMeta> for Srrip {
     fn name(&self) -> &'static str {
         "srrip"
     }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        sets as u64 * ways as u64 * RRPV_BITS
+    }
 }
 
 /// Bimodal RRIP: inserts at the distant interval most of the time, at the
@@ -120,6 +126,10 @@ impl Policy<CacheMeta> for Brrip {
 
     fn name(&self) -> &'static str {
         "brrip"
+    }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        sets as u64 * ways as u64 * RRPV_BITS + crate::traits::RNG_STATE_BITS
     }
 }
 
@@ -236,6 +246,12 @@ impl Policy<CacheMeta> for Drrip {
 
     fn name(&self) -> &'static str {
         "drrip"
+    }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        sets as u64 * ways as u64 * RRPV_BITS
+            + crate::traits::PSEL_BITS
+            + crate::traits::RNG_STATE_BITS
     }
 }
 

@@ -42,6 +42,7 @@ impl Ship {
 
     /// Current counter value for a PC's signature (for tests/inspection).
     pub fn counter_for_pc(&self, pc: u64) -> u8 {
+        // sig() masks to SHCT_BITS, within shct's 2^SHCT_BITS entries
         self.shct[Self::sig(pc) as usize]
     }
 }
@@ -78,6 +79,12 @@ impl Policy<CacheMeta> for Ship {
 
     fn name(&self) -> &'static str {
         "ship"
+    }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        // Per entry: 2-bit RRPV + SHCT_BITS signature + 1 outcome bit;
+        // global: the 3-bit SHCT table.
+        sets as u64 * ways as u64 * (2 + SHCT_BITS as u64 + 1) + 3 * (1u64 << SHCT_BITS)
     }
 }
 

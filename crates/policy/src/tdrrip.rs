@@ -62,6 +62,11 @@ impl Policy<CacheMeta> for Tdrrip {
     fn name(&self) -> &'static str {
         "tdrrip"
     }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        // DRRIP storage; the PTE/STLB-miss inputs ride the fill metadata.
+        sets as u64 * ways as u64 * 2 + crate::traits::PSEL_BITS + crate::traits::RNG_STATE_BITS
+    }
 }
 
 #[cfg(test)]

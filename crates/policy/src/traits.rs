@@ -2,6 +2,25 @@
 
 use crate::meta::{CacheMeta, TlbMeta};
 
+/// Bits needed to encode a recency rank among `ways` ways (true LRU keeps
+/// one rank per entry).
+pub fn rank_bits(ways: usize) -> u64 {
+    if ways <= 1 {
+        0
+    } else {
+        (usize::BITS - (ways - 1).leading_zeros()) as u64
+    }
+}
+
+/// Architectural state of one [`itpx_types::Rng64`] (4 × 64-bit xoshiro
+/// words). Stochastic policies charge this against their budget; a hardware
+/// implementation would use a comparably sized LFSR.
+pub const RNG_STATE_BITS: u64 = 256;
+
+/// Width of the set-dueling PSEL counter (see `SetDuel`: 10-bit as in
+/// Qureshi et al., ISCA 2007).
+pub const PSEL_BITS: u64 = 10;
+
 /// A set-associative replacement policy over per-access metadata `M`.
 ///
 /// The owning structure (a TLB in `itpx-vm`, a cache in `itpx-mem`) calls:
@@ -32,6 +51,44 @@ pub trait Policy<M>: std::fmt::Debug + Send {
 
     /// Short, stable policy name for reports (e.g. `"lru"`, `"ship"`).
     fn name(&self) -> &'static str;
+
+    /// Total architectural metadata this policy keeps for a structure of
+    /// `sets × ways` entries, in bits.
+    ///
+    /// This is the hardware cost audited by `cargo xtask analyze`: every
+    /// field of the policy's state counted at its *architectural* width
+    /// (a 2-bit RRPV counts 2 bits even though the model stores a `u8`),
+    /// including global predictor tables, PSEL counters, and PRNG state.
+    /// The audit cross-checks the returned value against an independently
+    /// coded formula and against the declared per-entry budget (paper
+    /// Section 4.1.3 for iTP, Figure 6 for xPTP).
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64;
+}
+
+impl<M> Policy<M> for Box<dyn Policy<M>> {
+    fn on_fill(&mut self, set: usize, way: usize, meta: &M) {
+        (**self).on_fill(set, way, meta);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, meta: &M) {
+        (**self).on_hit(set, way, meta);
+    }
+
+    fn victim(&mut self, set: usize, incoming: &M) -> usize {
+        (**self).victim(set, incoming)
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize) {
+        (**self).on_evict(set, way);
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        (**self).meta_bits(sets, ways)
+    }
 }
 
 /// A boxed cache replacement policy.

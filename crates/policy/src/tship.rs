@@ -43,6 +43,7 @@ impl TShip {
 
     /// Current counter for a PC's signature (for tests).
     pub fn counter_for_pc(&self, pc: u64) -> u8 {
+        // sig() masks to SHCT_BITS, within shct's 2^SHCT_BITS entries
         self.shct[Self::sig(pc) as usize]
     }
 }
@@ -88,6 +89,12 @@ impl Policy<CacheMeta> for TShip {
 
     fn name(&self) -> &'static str {
         "tship"
+    }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        // Identical storage to SHiP: the translation overrides reuse the
+        // fill-class wires, costing no extra bits.
+        sets as u64 * ways as u64 * (2 + SHCT_BITS as u64 + 1) + 3 * (1u64 << SHCT_BITS)
     }
 }
 

@@ -1,0 +1,78 @@
+//! A deterministic, dependency-free subset of the `proptest` API.
+//!
+//! The build environment for this repository has no network access, so the
+//! real `proptest` crate cannot be fetched from crates.io. This shim
+//! implements exactly the surface the workspace's property suites use —
+//! `proptest!`, `prop_oneof!`, `prop_assert!`/`prop_assert_eq!`, range and
+//! tuple strategies, `prop::collection::vec`, `any::<T>()`, `Strategy::
+//! prop_map` — on top of a seeded SplitMix64 generator, so every run of the
+//! suite explores the same cases. No shrinking is performed: on failure the
+//! offending inputs are printed verbatim.
+//!
+//! The seed for each test is derived from the test's name (FNV-1a), so
+//! adding cases to one test does not perturb another.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the property suites import.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Mirror of `proptest::prop` (only `collection` is provided).
+pub mod prop {
+    /// Mirror of `proptest::collection`.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Deterministic generator state used by strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    x: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            x: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Seeds a generator from a test name so suites are independent.
+    pub fn from_name(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self::new(h ^ case.wrapping_mul(0x2545_f491_4f6c_dd1d))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.x = self.x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -57,6 +57,7 @@ impl LruStack {
             let depth = (self.order.len() - 1 - pos) as u64;
             self.order.remove(pos);
             for k in &self.order[pos..] {
+                // index holds every key present in order
                 *self.index.get_mut(k).expect("indexed") -= 1;
             }
             self.index.insert(key, self.order.len());
@@ -88,6 +89,7 @@ pub fn page_reuse_profiles<I: IntoIterator<Item = TraceInst>>(
         match depth {
             Some(d) => {
                 let b = (64 - (d + 1).leading_zeros()).saturating_sub(1) as usize;
+                // .min(31) clamps into the 32 histogram buckets
                 profile.buckets[b.min(31)] += 1;
             }
             None => profile.cold += 1,

@@ -47,6 +47,7 @@ pub struct ChampSimRecord {
 impl ChampSimRecord {
     /// Decodes one 64-byte record.
     pub fn decode(buf: &[u8; CHAMPSIM_RECORD_BYTES]) -> Self {
+        // every call site passes o <= 56, so o..o+8 stays in the record
         let u64_at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().expect("8 bytes"));
         Self {
             ip: u64_at(0),

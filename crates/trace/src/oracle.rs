@@ -7,7 +7,7 @@
 //! *any* STLB replacement policy has on a workload, which contextualizes
 //! iTP's gains.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Result of an oracle replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,8 +54,11 @@ pub fn replay_min_and_lru(keys: &[u64], sets: usize, ways: usize) -> OracleResul
     let mut min_misses = 0u64;
     let mut lru_misses = 0u64;
     // Per-set resident maps: key -> next use (MIN) / last use (LRU).
-    let mut min_sets: Vec<HashMap<u64, u64>> = vec![HashMap::new(); sets];
-    let mut lru_sets: Vec<HashMap<u64, u64>> = vec![HashMap::new(); sets];
+    // Ordered maps: `max_by_key`/`min_by_key` break ties by iteration
+    // order, which for a `HashMap` differs between processes. `BTreeMap`
+    // iteration is key-ordered, so tie-breaks (and miss counts) are stable.
+    let mut min_sets: Vec<BTreeMap<u64, u64>> = vec![BTreeMap::new(); sets];
+    let mut lru_sets: Vec<BTreeMap<u64, u64>> = vec![BTreeMap::new(); sets];
     for (i, &k) in keys.iter().enumerate() {
         let s = (k as usize) % sets;
 
@@ -71,6 +74,7 @@ pub fn replay_min_and_lru(keys: &[u64], sets: usize, ways: usize) -> OracleResul
                     .iter()
                     .max_by_key(|&(_, &nu)| nu)
                     .map(|(key, _)| key)
+                    // len() >= ways >= 1: the set is non-empty
                     .expect("full set");
                 min_sets[s].remove(&victim);
             }
@@ -87,6 +91,7 @@ pub fn replay_min_and_lru(keys: &[u64], sets: usize, ways: usize) -> OracleResul
                     .iter()
                     .min_by_key(|&(_, &lu)| lu)
                     .map(|(key, _)| key)
+                    // len() >= ways >= 1: the set is non-empty
                     .expect("full set");
                 lru_sets[s].remove(&victim);
             }

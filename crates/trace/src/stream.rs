@@ -16,6 +16,7 @@ pub trait InstructionStream: std::fmt::Debug + Send {
 
 impl InstructionStream for TraceGenerator {
     fn next_inst(&mut self) -> TraceInst {
+        // the Iterator impl below always returns Some
         self.next().expect("generator is infinite")
     }
 }
@@ -41,6 +42,7 @@ impl TraceLoop {
     pub fn new(mut insts: Vec<TraceInst>) -> Self {
         assert!(!insts.is_empty(), "cannot replay an empty trace");
         let first_pc = insts[0].pc;
+        // asserted non-empty above
         let last = insts.last_mut().expect("non-empty");
         last.branch = Some(crate::record::Branch {
             taken: true,

@@ -31,6 +31,7 @@ pub fn smt_suite(n: usize) -> Vec<SmtPairSpec> {
     let mut rng = Rng64::new(0x50a7);
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
+        // SmtCategory::ALL has exactly 3 entries
         let category = SmtCategory::ALL[i % 3];
         let a = WorkloadSpec::server_like(rng.below(1000));
         let b = match category {

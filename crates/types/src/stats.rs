@@ -179,11 +179,13 @@ impl StructStats {
 
     /// Misses of one class.
     pub fn misses_of(&self, class: FillClass) -> u64 {
+        // stat_index() < 4, the counter arrays' fixed length
         self.misses[class.stat_index()]
     }
 
     /// Accesses of one class.
     pub fn accesses_of(&self, class: FillClass) -> u64 {
+        // stat_index() < 4, the counter arrays' fixed length
         self.accesses[class.stat_index()]
     }
 
@@ -208,10 +210,10 @@ impl StructStats {
         }
         let k = 1000.0 / instructions as f64;
         MpkiBreakdown {
-            data: self.misses[FillClass::DataPayload.stat_index()] as f64 * k,
-            instr: self.misses[FillClass::InstrPayload.stat_index()] as f64 * k,
-            data_pte: self.misses[FillClass::DataPte.stat_index()] as f64 * k,
-            instr_pte: self.misses[FillClass::InstrPte.stat_index()] as f64 * k,
+            data: self.misses_of(FillClass::DataPayload) as f64 * k,
+            instr: self.misses_of(FillClass::InstrPayload) as f64 * k,
+            data_pte: self.misses_of(FillClass::DataPte) as f64 * k,
+            instr_pte: self.misses_of(FillClass::InstrPte) as f64 * k,
         }
     }
 

@@ -175,6 +175,7 @@ impl WalkPath {
 
     /// Level of the leaf PTE (1 for 4 KiB pages, 2 for 2 MiB pages).
     pub fn leaf_level(&self) -> u8 {
+        // walks always record at least the leaf step
         self.steps.last().expect("non-empty walk").0
     }
 }

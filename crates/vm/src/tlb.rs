@@ -14,7 +14,7 @@ use itpx_policy::{TlbMeta, TlbPolicy};
 use itpx_types::{
     Cycle, FillClass, PageSize, PhysAddr, StructStats, ThreadId, TranslationKind, VirtAddr,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Geometry and timing of one TLB level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,7 +77,10 @@ pub struct Tlb {
     entries: Vec<Vec<Option<Entry>>>,
     policy: TlbPolicy,
     stats: StructStats,
-    outstanding: HashMap<u64, Mshr>,
+    /// In-flight misses by 4 KiB VPN. Ordered map: `retain` and the
+    /// `values().min()` scan below iterate it, and `HashMap` iteration
+    /// order is per-process nondeterministic.
+    outstanding: BTreeMap<u64, Mshr>,
 }
 
 impl Tlb {
@@ -93,7 +96,7 @@ impl Tlb {
             entries: vec![vec![None; cfg.ways]; cfg.sets],
             policy,
             stats: StructStats::new(),
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             cfg,
         }
     }
@@ -154,6 +157,7 @@ impl Tlb {
                 let meta = self.meta(vpn, pc, kind, thread);
                 self.policy.on_hit(set, way, &meta);
                 self.stats.record(Self::stat_class(kind), false);
+                // hit_way only reports ways holding Some entry
                 let entry = self.entries[set][way].expect("hit entry");
                 return TlbLookup::Hit {
                     done: done.max(entry.ready),

@@ -89,6 +89,7 @@ impl PageWalker {
             .enumerate()
             .min_by_key(|&(_, &busy)| busy)
             .map(|(i, _)| i)
+            // cfg validation guarantees at least one walker slot
             .expect("non-empty slots");
         let start = now.max(self.slots[slot]);
 

@@ -1,0 +1,376 @@
+//! The hardware-budget auditor.
+//!
+//! Every policy reports its architectural metadata cost through
+//! [`Policy::meta_bits`]. This pass cross-checks that self-report three
+//! ways at the paper's structure geometries (Table 1: 1536-entry 12-way
+//! STLB, 1 MB 8-way L2C):
+//!
+//! 1. **Differential check** — the reported total must equal an
+//!    independently coded expected formula, so a struct-layout change that
+//!    forgets to update `meta_bits` (or vice versa) fails the audit.
+//! 2. **Budget check** — for the paper's proposals and the LRU-derived
+//!    baselines, the *overhead over the declared baseline policy* must fit
+//!    the declared per-entry budget (plus a global slack for PSEL/PRNG/
+//!    predictor-table state): iTP ≤ 4 bits/entry over LRU (Section 4.1.3),
+//!    xPTP ≤ 1 bit/entry over LRU (the Figure 6 `Type` bit).
+//! 3. The results are written to `docs/hardware-budget.md`.
+
+use itpx_core::registry::{self, PolicyEntry};
+use itpx_policy::Policy;
+use std::path::Path;
+
+/// STLB geometry audited (Table 1: 1536 entries, 12-way).
+pub const STLB_DIMS: (usize, usize) = (128, 12);
+/// L2C geometry audited (Table 1: 1 MB, 8-way, 64 B blocks → 2048 sets).
+pub const L2C_DIMS: (usize, usize) = (2048, 8);
+
+/// Declared budget for one policy's overhead over its baseline.
+#[derive(Debug, Clone, Copy)]
+struct BudgetRow {
+    name: &'static str,
+    /// Maximum overhead per entry, in bits.
+    per_entry_bits: u64,
+    /// Global state excluded from the per-entry figure (PSEL counters,
+    /// PRNG state, predictor tables).
+    global_slack_bits: u64,
+}
+
+/// Budgets for TLB policies (overhead over the entry's declared baseline).
+const TLB_BUDGETS: &[BudgetRow] = &[
+    // Section 4.1.3: "iTP requires 4 additional bits per STLB entry".
+    BudgetRow {
+        name: "itp",
+        per_entry_bits: 4,
+        global_slack_bits: 0,
+    },
+    // CHiRP: 12-bit signature + 1 control bit per entry, plus the global
+    // confidence table (3 × 2^12) and the 64-bit history register.
+    BudgetRow {
+        name: "chirp",
+        per_entry_bits: 13,
+        global_slack_bits: 3 * (1 << 12) + 64,
+    },
+    // Figure-3 motivation policy: 1 Type bit per entry + PRNG state.
+    BudgetRow {
+        name: "prob-keep-instr-lru",
+        per_entry_bits: 1,
+        global_slack_bits: 256,
+    },
+];
+
+/// Budgets for cache policies.
+const CACHE_BUDGETS: &[BudgetRow] = &[
+    // Figure 6: xPTP adds exactly the 1-bit `Type` field per block.
+    BudgetRow {
+        name: "xptp",
+        per_entry_bits: 1,
+        global_slack_bits: 0,
+    },
+    // Adaptive variant: same per-block cost + the 1-bit status register.
+    BudgetRow {
+        name: "xptp/lru",
+        per_entry_bits: 1,
+        global_slack_bits: 1,
+    },
+    // Extension: Type bit + Emissary-style code bit.
+    BudgetRow {
+        name: "xptp+emissary",
+        per_entry_bits: 2,
+        global_slack_bits: 0,
+    },
+    // PTP: 1 PTE bit per block over LRU.
+    BudgetRow {
+        name: "ptp",
+        per_entry_bits: 1,
+        global_slack_bits: 0,
+    },
+    // DIP is LRU + set dueling: PSEL + PRNG only.
+    BudgetRow {
+        name: "dip",
+        per_entry_bits: 0,
+        global_slack_bits: 10 + 256,
+    },
+    // T-DRRIP is DRRIP with a different insertion rule: no storage over
+    // SRRIP beyond PSEL + PRNG.
+    BudgetRow {
+        name: "tdrrip",
+        per_entry_bits: 0,
+        global_slack_bits: 10 + 256,
+    },
+    // T-SHiP reuses SHiP's storage unchanged.
+    BudgetRow {
+        name: "tship",
+        per_entry_bits: 0,
+        global_slack_bits: 0,
+    },
+];
+
+/// Recoded here on purpose: the audit must not share code with
+/// `itpx_policy::traits::rank_bits`.
+fn rank(ways: u64) -> u64 {
+    let mut bits = 0;
+    while (1u64 << bits) < ways {
+        bits += 1;
+    }
+    bits
+}
+
+/// Independently coded expected totals, per policy name. Any change to a
+/// policy's state must update both its `meta_bits` and this table.
+fn expected_bits(name: &str, sets: u64, ways: u64) -> Option<u64> {
+    let e = sets * ways;
+    Some(match name {
+        "lru" => e * rank(ways),
+        "tree-plru" => sets * (ways - 1),
+        "random" => 256,
+        "srrip" => e * 2,
+        "brrip" => e * 2 + 256,
+        "drrip" => e * 2 + 10 + 256,
+        "dip" => e * rank(ways) + 10 + 256,
+        "ship" | "tship" => e * (2 + 14 + 1) + 3 * (1 << 14),
+        "mockingjay" => {
+            e * 8 + sets * 32 + 7 * (1 << 12) + sets.div_ceil(8) * 4 * ways * (64 + 32 + 12)
+        }
+        "ptp" | "xptp" => e * (rank(ways) + 1),
+        "xptp/lru" => e * (rank(ways) + 1) + 1,
+        "xptp+emissary" => e * (rank(ways) + 2),
+        "tdrrip" => e * 2 + 10 + 256,
+        "chirp" => e * (rank(ways) + 12 + 1) + 3 * (1 << 12) + 64,
+        "prob-keep-instr-lru" => e * (rank(ways) + 1) + 256,
+        "itp" => e * (rank(ways) + 1 + 3),
+        _ => return None,
+    })
+}
+
+/// One audited policy, for the report.
+#[derive(Debug)]
+pub struct AuditRow {
+    /// Policy name.
+    pub name: String,
+    /// `"stlb"` or `"l2c"`.
+    pub structure: &'static str,
+    /// Geometry the policy was audited at (tree PLRU rounds the STLB's
+    /// 12 ways up to its power-of-two requirement).
+    pub dims: (usize, usize),
+    /// Reported total metadata, in bits.
+    pub total_bits: u64,
+    /// Overhead over the baseline, in bits (total when no baseline).
+    pub overhead_bits: Option<u64>,
+    /// Overhead per entry after subtracting the global slack.
+    pub overhead_per_entry: Option<f64>,
+    /// Declared per-entry budget, if any.
+    pub budget_per_entry: Option<u64>,
+}
+
+/// Audit outcome.
+#[derive(Debug, Default)]
+pub struct BudgetReport {
+    /// Per-policy rows, in registry order (TLB first).
+    pub rows: Vec<AuditRow>,
+    /// Differential or budget failures.
+    pub failures: Vec<String>,
+}
+
+fn audit_side<M: 'static>(
+    entries: &[PolicyEntry<M>],
+    budgets: &[BudgetRow],
+    structure: &'static str,
+    (sets, ways): (usize, usize),
+    report: &mut BudgetReport,
+) {
+    for e in entries {
+        // Policies with geometry constraints are audited at the nearest
+        // supported associativity (tree PLRU: 12 → 16 ways).
+        let (sets, ways) = if e.supports_ways(ways) {
+            (sets, ways)
+        } else {
+            (sets, ways.next_power_of_two())
+        };
+        let entry_count = (sets * ways) as u64;
+        let policy = (e.build)(sets, ways);
+        let total = policy.meta_bits(sets, ways);
+        match expected_bits(e.name, sets as u64, ways as u64) {
+            Some(expected) if expected != total => report.failures.push(format!(
+                "{structure}/{}: meta_bits reports {total} bits but the audit \
+                 formula expects {expected} (update both together)",
+                e.name
+            )),
+            Some(_) => {}
+            None => report.failures.push(format!(
+                "{structure}/{}: no expected-bits formula registered in the audit",
+                e.name
+            )),
+        }
+        let overhead = e.baseline.map(|base| {
+            let base_entry = entries
+                .iter()
+                .find(|o| o.name == base)
+                .unwrap_or_else(|| panic!("{}: unknown baseline {base}", e.name));
+            let base_bits = (base_entry.build)(sets, ways).meta_bits(sets, ways);
+            total.saturating_sub(base_bits)
+        });
+        let budget = budgets.iter().find(|b| b.name == e.name);
+        let overhead_per_entry = overhead.map(|o| {
+            let slack = budget.map_or(0, |b| b.global_slack_bits);
+            o.saturating_sub(slack) as f64 / entry_count as f64
+        });
+        if let (Some(o), Some(b)) = (overhead, budget) {
+            let allowed = b.per_entry_bits * entry_count + b.global_slack_bits;
+            if o > allowed {
+                report.failures.push(format!(
+                    "{structure}/{}: overhead {o} bits exceeds budget \
+                     ({} bits/entry × {entry_count} + {} slack = {allowed})",
+                    e.name, b.per_entry_bits, b.global_slack_bits
+                ));
+            }
+        } else if budget.is_some() && overhead.is_none() {
+            report.failures.push(format!(
+                "{structure}/{}: has a budget row but no baseline in the registry",
+                e.name
+            ));
+        }
+        report.rows.push(AuditRow {
+            name: e.name.to_string(),
+            structure,
+            dims: (sets, ways),
+            total_bits: total,
+            overhead_bits: overhead,
+            overhead_per_entry,
+            budget_per_entry: budget.map(|b| b.per_entry_bits),
+        });
+    }
+}
+
+/// Runs the audit; when `write_report` is set, renders
+/// `docs/hardware-budget.md` under `root`.
+pub fn run(root: &Path, write_report: bool) -> Result<BudgetReport, String> {
+    let mut report = BudgetReport::default();
+    audit_side(
+        &registry::tlb_policies(),
+        TLB_BUDGETS,
+        "stlb",
+        STLB_DIMS,
+        &mut report,
+    );
+    audit_side(
+        &registry::cache_policies(),
+        CACHE_BUDGETS,
+        "l2c",
+        L2C_DIMS,
+        &mut report,
+    );
+    if write_report {
+        let path = root.join("docs").join("hardware-budget.md");
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        }
+        std::fs::write(&path, render_markdown(&report))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    Ok(report)
+}
+
+fn render_markdown(report: &BudgetReport) -> String {
+    let mut out = String::new();
+    out.push_str("# Hardware metadata budget\n\n");
+    out.push_str(
+        "Generated by `cargo xtask analyze` (pass 2, the hardware-budget \
+         auditor).\nEach policy's `Policy::meta_bits` self-report is checked \
+         against an\nindependently coded formula and, where the paper \
+         declares a budget, against\nthat budget as overhead over the \
+         baseline policy.\n\n",
+    );
+    out.push_str(&format!(
+        "Audited geometries — STLB: {} sets × {} ways; L2C: {} sets × {} ways.\n\n",
+        STLB_DIMS.0, STLB_DIMS.1, L2C_DIMS.0, L2C_DIMS.1
+    ));
+    out.push_str(
+        "| Structure | Policy | Sets × ways | Total bits | Total KiB | Overhead vs \
+         baseline | Budget (bits/entry) | Status |\n|---|---|---|---:|---:|---:|---:|---|\n",
+    );
+    for r in &report.rows {
+        let kib = r.total_bits as f64 / 8.0 / 1024.0;
+        let overhead = match (r.overhead_bits, r.overhead_per_entry) {
+            (Some(bits), Some(per)) => format!("{bits} ({per:.2}/entry)"),
+            _ => "—".to_string(),
+        };
+        let budget = r
+            .budget_per_entry
+            .map_or("—".to_string(), |b| format!("≤ {b}"));
+        let ok = !report
+            .failures
+            .iter()
+            .any(|f| f.starts_with(&format!("{}/{}:", r.structure, r.name)));
+        out.push_str(&format!(
+            "| {} | {} | {}×{} | {} | {:.2} | {} | {} | {} |\n",
+            r.structure,
+            r.name,
+            r.dims.0,
+            r.dims.1,
+            r.total_bits,
+            kib,
+            overhead,
+            budget,
+            if ok { "ok" } else { "FAIL" }
+        ));
+    }
+    if !report.failures.is_empty() {
+        out.push_str("\n## Failures\n\n");
+        for f in &report.failures {
+            out.push_str(&format!("- {f}\n"));
+        }
+    }
+    out.push_str(
+        "\nPer-entry overheads exclude declared global state (PSEL counters, \
+         PRNG\nstate, predictor tables) — see the budget table in \
+         `crates/xtask/src/budget.rs`\nand the DESIGN.md \"Hardware budget \
+         audit\" section.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_registry_passes() {
+        let report = run(Path::new("/nonexistent-unused"), false).expect("runs");
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(
+            report.rows.len(),
+            registry::tlb_policies().len() + registry::cache_policies().len()
+        );
+    }
+
+    #[test]
+    fn itp_overhead_is_exactly_four_bits_per_entry() {
+        let report = run(Path::new("/nonexistent-unused"), false).expect("runs");
+        let itp = report
+            .rows
+            .iter()
+            .find(|r| r.name == "itp")
+            .expect("itp row");
+        assert_eq!(itp.overhead_per_entry, Some(4.0));
+    }
+
+    #[test]
+    fn xptp_overhead_is_one_bit_per_entry() {
+        let report = run(Path::new("/nonexistent-unused"), false).expect("runs");
+        let x = report
+            .rows
+            .iter()
+            .find(|r| r.name == "xptp" && r.structure == "l2c")
+            .expect("xptp row");
+        assert_eq!(x.overhead_per_entry, Some(1.0));
+    }
+
+    #[test]
+    fn rank_matches_ceil_log2() {
+        assert_eq!(rank(1), 0);
+        assert_eq!(rank(2), 1);
+        assert_eq!(rank(8), 3);
+        assert_eq!(rank(12), 4);
+        assert_eq!(rank(16), 4);
+    }
+}

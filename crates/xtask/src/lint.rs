@@ -1,0 +1,563 @@
+//! The determinism lint: a source scanner that rejects constructs known to
+//! make simulation runs irreproducible or to crash them.
+//!
+//! Rules (see DESIGN.md "Determinism rules"):
+//!
+//! * `std-time` — wall-clock reads (`std::time`, `Instant::now`,
+//!   `SystemTime`). Simulated time must come from the model's own clocks.
+//! * `entropy` — ambient randomness (`rand::`, `thread_rng`,
+//!   `RandomState`, `from_entropy`). All randomness must flow from
+//!   `itpx_types::Rng64` seeds.
+//! * `map-iter` — iteration over a `std::collections::HashMap`/`HashSet`.
+//!   Their iteration order changes between processes (`RandomState`), so
+//!   any statistic or eviction decision derived from it is nondeterministic.
+//!   Use `BTreeMap`/`BTreeSet` or sort first.
+//! * `panicking-index` — `.unwrap()`/`.expect(...)` and computed indexing
+//!   (`a[i + 1]`, `a[f(x)]`) without a justifying `//` comment on the same
+//!   or preceding line.
+//!
+//! Lines inside `#[cfg(test)]` modules are exempt. Audited exceptions live
+//! in `crates/xtask/allowlist.txt`, one per line: `rule|path-suffix|needle`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crate directories (under `crates/`) the lint covers. `bench` and
+/// `xtask` are excluded: neither runs inside a simulation.
+pub const LINTED_CRATES: &[&str] = &["types", "policy", "core", "vm", "mem", "cpu", "trace"];
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`std-time`, `entropy`, `map-iter`,
+    /// `panicking-index`).
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line, trimmed.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// One allowlist entry: `rule|path-suffix|needle`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    rule: String,
+    path_suffix: String,
+    needle: String,
+    /// Original line, for the unused-entry report.
+    raw: String,
+}
+
+/// Result of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings that survived the allowlist.
+    pub findings: Vec<Finding>,
+    /// Allowlist entries that suppressed nothing (stale exceptions).
+    pub unused_allowlist: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Parses the allowlist format: `#` comments and blank lines ignored.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '|');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(path), Some(needle)) if !rule.is_empty() && !path.is_empty() => {
+                entries.push(AllowEntry {
+                    rule: rule.trim().to_string(),
+                    path_suffix: path.trim().to_string(),
+                    needle: needle.trim().to_string(),
+                    raw: line.to_string(),
+                });
+            }
+            _ => {
+                return Err(format!(
+                    "allowlist line {}: expected `rule|path-suffix|needle`, got `{line}`",
+                    i + 1
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Runs the lint over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Result<LintReport, String> {
+    let allow_path = root.join("crates/xtask/allowlist.txt");
+    let allowlist = match fs::read_to_string(&allow_path) {
+        Ok(text) => parse_allowlist(&text)?,
+        Err(_) => Vec::new(),
+    };
+    let mut report = LintReport::default();
+    let mut used = vec![false; allowlist.len()];
+    for krate in LINTED_CRATES {
+        let dir = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &mut files)
+            .map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        files.sort();
+        for file in files {
+            let src = fs::read_to_string(&file)
+                .map_err(|e| format!("reading {}: {e}", file.display()))?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            report.files_scanned += 1;
+            for f in lint_source(&rel, &src) {
+                let mut suppressed = false;
+                for (i, a) in allowlist.iter().enumerate() {
+                    if (a.rule == "*" || a.rule == f.rule)
+                        && f.path.ends_with(&a.path_suffix)
+                        && f.excerpt.contains(&a.needle)
+                    {
+                        used[i] = true;
+                        suppressed = true;
+                        break;
+                    }
+                }
+                if !suppressed {
+                    report.findings.push(f);
+                }
+            }
+        }
+    }
+    for (i, a) in allowlist.iter().enumerate() {
+        if !used[i] {
+            report.unused_allowlist.push(a.raw.clone());
+        }
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one source file; pure so fixtures can be tested inline.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = src.lines().collect();
+    let in_test = test_module_mask(&lines);
+    let tracked = tracked_hash_idents(&lines, &in_test);
+    let mut out = Vec::new();
+    for (i, &line) in lines.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let code = code_part(line);
+        let has_comment = line.len() > code.len()
+            || i.checked_sub(1)
+                .map(|p| lines[p].trim().starts_with("//"))
+                .unwrap_or(false);
+        let mut push = |rule: &'static str| {
+            out.push(Finding {
+                rule,
+                path: path.to_string(),
+                line: i + 1,
+                excerpt: trimmed.to_string(),
+            });
+        };
+        if code.contains("std::time")
+            || code.contains("Instant::now")
+            || code.contains("SystemTime")
+        {
+            push("std-time");
+        }
+        if code.contains("thread_rng")
+            || code.contains("RandomState")
+            || code.contains("from_entropy")
+            || code.contains("rand::")
+        {
+            push("entropy");
+        }
+        if iterates_tracked_map(code, &tracked) {
+            push("map-iter");
+        }
+        if !has_comment && (code.contains(".unwrap()") || code.contains(".expect(")) {
+            push("panicking-index");
+        }
+        if !has_comment && has_computed_index(code) {
+            push("panicking-index");
+        }
+    }
+    out
+}
+
+/// The part of a line before a `//` comment (naive: ignores `//` inside
+/// string literals, which the linted crates do not contain in practice).
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Marks lines belonging to `#[cfg(test)] mod ... { ... }` blocks.
+fn test_module_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].trim() == "#[cfg(test)]" {
+            // Find the item this attribute decorates (skip further attrs).
+            let mut j = i + 1;
+            while j < lines.len() && lines[j].trim().starts_with("#[") {
+                j += 1;
+            }
+            if j < lines.len() && lines[j].trim_start().starts_with("mod ") {
+                let mut depth = 0i64;
+                let mut opened = false;
+                for (k, l) in lines.iter().enumerate().take(lines.len()).skip(i) {
+                    mask[k] = true;
+                    for c in l.chars() {
+                        match c {
+                            '{' => {
+                                depth += 1;
+                                opened = true;
+                            }
+                            '}' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    if opened && depth <= 0 {
+                        i = k;
+                        break;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Identifiers bound to `HashMap`/`HashSet` values in non-test code:
+/// `name: HashMap<...>` (fields, params, also behind `&`/`&mut`),
+/// `let [mut] name = HashMap::...`, `let [mut] name: HashMap<...>`.
+fn tracked_hash_idents(lines: &[&str], in_test: &[bool]) -> Vec<String> {
+    let mut idents = Vec::new();
+    for (i, &line) in lines.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let code = code_part(line);
+        if !code.contains("HashMap") && !code.contains("HashSet") {
+            continue;
+        }
+        // `name: HashMap<` / `name: HashSet<`, including reference params
+        // like `m: &HashMap<..>` / `m: &mut HashSet<..>`.
+        for marker in [
+            ": HashMap",
+            ": HashSet",
+            ": &HashMap",
+            ": &HashSet",
+            ": &mut HashMap",
+            ": &mut HashSet",
+        ] {
+            let mut rest = code;
+            while let Some(pos) = rest.find(marker) {
+                if let Some(id) = ident_ending_at(&rest[..pos]) {
+                    idents.push(id);
+                }
+                rest = &rest[pos + marker.len()..];
+            }
+        }
+        // `let [mut] name = HashMap::` / `= HashSet::`
+        if let Some(eq) = code.find('=') {
+            let rhs = &code[eq..];
+            if rhs.contains("HashMap::") || rhs.contains("HashSet::") {
+                if let Some(id) = let_binding_name(&code[..eq]) {
+                    idents.push(id);
+                }
+            }
+        }
+    }
+    idents.sort();
+    idents.dedup();
+    idents
+}
+
+/// The identifier whose last character ends `prefix` (e.g. for
+/// `pub samples` returns `samples`).
+fn ident_ending_at(prefix: &str) -> Option<String> {
+    let id: String = prefix
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if id.is_empty() || id.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(id)
+    }
+}
+
+/// Extracts `name` from `let [mut] name` (possibly with a type ascription
+/// already stripped by the caller).
+fn let_binding_name(lhs: &str) -> Option<String> {
+    let lhs = lhs.trim();
+    let after_let = lhs.strip_prefix("let ")?.trim_start();
+    let after_mut = after_let.strip_prefix("mut ").unwrap_or(after_let).trim();
+    let name: String = after_mut
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// `true` if `code` iterates one of the tracked map/set identifiers.
+fn iterates_tracked_map(code: &str, tracked: &[String]) -> bool {
+    for id in tracked {
+        for call in [
+            ".iter()",
+            ".iter_mut()",
+            ".keys()",
+            ".values()",
+            ".values_mut()",
+            ".into_iter()",
+            ".drain(",
+            ".retain(",
+        ] {
+            if code.contains(&format!("{id}{call}")) {
+                return true;
+            }
+        }
+        if code.contains("for ")
+            && (code.contains(&format!("in &{id}"))
+                || code.contains(&format!("in &mut {id}"))
+                || code.contains(&format!("in {id} ")))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// `true` if `code` contains an index expression whose content involves
+/// arithmetic or a call — the cases where an off-by-one can panic. Plain
+/// `a[i]` is the drive protocol's bread and butter and is left to
+/// `CheckedPolicy`/tests.
+fn has_computed_index(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'[' {
+            let prev = code[..i].chars().next_back();
+            let indexable =
+                matches!(prev, Some(c) if c.is_alphanumeric() || c == '_' || c == ')' || c == ']');
+            if indexable {
+                // Find the matching bracket.
+                let mut depth = 1;
+                let mut j = i + 1;
+                while j < bytes.len() && depth > 0 {
+                    match bytes[j] {
+                        b'[' => depth += 1,
+                        b']' => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let inner = &code[i + 1..j.saturating_sub(1).max(i + 1)];
+                let computed = inner.contains('(')
+                    || ["+", "-", "*", "/", "%"]
+                        .iter()
+                        .any(|op| contains_arith(inner, op));
+                if computed && !inner.contains("..") {
+                    return true;
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Arithmetic-operator check that ignores `->`, `=>`, unary minus on
+/// literals at the start, and path separators.
+fn contains_arith(inner: &str, op: &str) -> bool {
+    let inner = inner.trim();
+    for (pos, _) in inner.match_indices(op) {
+        let before = inner[..pos].chars().next_back();
+        let after = inner[pos + op.len()..].chars().next();
+        // `->` / `=>` / `::` neighbors disqualify; a bare leading `-` is a
+        // unary sign, not arithmetic on an index.
+        if op == "-" && (pos == 0 || matches!(before, Some('=') | Some('<'))) {
+            continue;
+        }
+        if op == "*" && pos == 0 {
+            continue; // deref
+        }
+        if matches!(after, Some('>') | Some('=')) {
+            continue;
+        }
+        let _ = before;
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(src: &str) -> Vec<&'static str> {
+        lint_source("fixture.rs", src)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn clean_source_passes() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 {\n    v[i]\n}\n";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_is_flagged() {
+        assert_eq!(rules("let t = std::time::Instant::now();\n"), ["std-time"]);
+        assert_eq!(rules("let t = Instant::now();\n"), ["std-time"]);
+    }
+
+    #[test]
+    fn ambient_entropy_is_flagged() {
+        assert_eq!(rules("let r = rand::thread_rng();\n"), ["entropy"]);
+        assert_eq!(rules("let s = RandomState::new();\n"), ["entropy"]);
+    }
+
+    #[test]
+    fn hashmap_iteration_is_flagged() {
+        let src = "use std::collections::HashMap;\n\
+                   struct S { counts: HashMap<u64, u64> }\n\
+                   impl S {\n\
+                       fn sum(&self) -> u64 {\n\
+                           self.counts.values().sum()\n\
+                       }\n\
+                   }\n";
+        assert_eq!(rules(src), ["map-iter"]);
+    }
+
+    #[test]
+    fn hashmap_point_lookup_is_fine() {
+        let src = "use std::collections::HashMap;\n\
+                   struct S { counts: HashMap<u64, u64> }\n\
+                   impl S {\n\
+                       fn get(&self, k: u64) -> Option<&u64> {\n\
+                           self.counts.get(&k)\n\
+                       }\n\
+                   }\n";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn let_bound_hashmap_for_loop_is_flagged() {
+        let src = "fn f() {\n\
+                   let mut seen = HashMap::new();\n\
+                   seen.insert(1, 2);\n\
+                   for (k, v) in &seen { let _ = (k, v); }\n\
+                   }\n";
+        assert_eq!(rules(src), ["map-iter"]);
+    }
+
+    #[test]
+    fn hashmap_reference_param_iteration_is_flagged() {
+        let src = "use std::collections::HashMap;\n\
+                   fn total(m: &HashMap<u64, u64>) -> u64 {\n\
+                       m.values().sum()\n\
+                   }\n";
+        assert_eq!(rules(src), ["map-iter"]);
+    }
+
+    #[test]
+    fn btreemap_iteration_is_fine() {
+        let src = "use std::collections::BTreeMap;\n\
+                   fn f(m: &BTreeMap<u64, u64>) -> u64 { m.values().sum() }\n";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn bare_unwrap_is_flagged_commented_is_not() {
+        assert_eq!(rules("let x = o.unwrap();\n"), ["panicking-index"]);
+        assert!(rules("let x = o.unwrap(); // verified non-empty above\n").is_empty());
+        assert!(rules("// set is never empty here\nlet x = o.unwrap();\n").is_empty());
+    }
+
+    #[test]
+    fn computed_index_is_flagged_plain_is_not() {
+        assert_eq!(rules("let x = v[i + 1];\n"), ["panicking-index"]);
+        assert_eq!(rules("let x = v[f(i)];\n"), ["panicking-index"]);
+        assert!(rules("let x = v[i];\n").is_empty());
+        assert!(rules("let x = &v[1..3];\n").is_empty());
+        assert!(rules("let x: [u8; 4] = [0; 4];\n").is_empty());
+        assert!(rules("let x = vec![0; n];\n").is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn prod() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { let x = std::time::Instant::now(); let _ = x; }\n\
+                   }\n";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_suppresses_matching_findings() {
+        let entries =
+            parse_allowlist("# audited\npanicking-index|fixture.rs|o.unwrap()\n").expect("parses");
+        let f = &lint_source("crates/vm/fixture.rs", "let x = o.unwrap();\n")[0];
+        let hit = entries.iter().any(|a| {
+            (a.rule == "*" || a.rule == f.rule)
+                && f.path.ends_with(&a.path_suffix)
+                && f.excerpt.contains(&a.needle)
+        });
+        assert!(hit);
+    }
+
+    #[test]
+    fn allowlist_rejects_malformed_lines() {
+        assert!(parse_allowlist("just-one-field\n").is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! `cargo xtask` — repository analysis tasks for the itpx workspace.
+//!
+//! Subcommands:
+//!
+//! * `analyze` (default) — run all three passes below; non-zero exit if
+//!   any of them finds a violation.
+//! * `lint` — the determinism lint over the simulation crates.
+//! * `budget` — the hardware-budget audit (also writes
+//!   `docs/hardware-budget.md`).
+//! * `contracts` — the randomized policy contract drive.
+//!
+//! See DESIGN.md ("Static analysis: cargo xtask analyze") for rule
+//! definitions and the allowlist format.
+
+mod budget;
+mod contracts;
+mod lint;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn repo_root() -> PathBuf {
+    // crates/xtask/ -> crates/ -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask sits two levels under the repo root")
+        .to_path_buf()
+}
+
+fn run_lint(root: &Path) -> Result<bool, String> {
+    let report = lint::run(root)?;
+    println!(
+        "lint: scanned {} files across crates/{{{}}}",
+        report.files_scanned,
+        lint::LINTED_CRATES.join(",")
+    );
+    for f in &report.findings {
+        println!("  violation: {f}");
+    }
+    for a in &report.unused_allowlist {
+        println!("  warning: unused allowlist entry `{a}`");
+    }
+    if report.findings.is_empty() {
+        println!("lint: ok");
+    } else {
+        println!(
+            "lint: {} violation(s) — fix them or add audited entries to \
+             crates/xtask/allowlist.txt",
+            report.findings.len()
+        );
+    }
+    Ok(report.findings.is_empty())
+}
+
+fn run_budget(root: &Path, write_report: bool) -> Result<bool, String> {
+    let report = budget::run(root, write_report)?;
+    println!("budget: audited {} policies", report.rows.len());
+    for f in &report.failures {
+        println!("  violation: {f}");
+    }
+    if write_report {
+        println!("budget: wrote docs/hardware-budget.md");
+    }
+    if report.failures.is_empty() {
+        println!("budget: ok (iTP ≤ 4 bits/entry, xPTP ≤ 1 bit/entry)");
+    }
+    Ok(report.failures.is_empty())
+}
+
+fn run_contracts() -> Result<bool, String> {
+    let report = contracts::run();
+    println!(
+        "contracts: drove {} policy × geometry combinations",
+        report.drives
+    );
+    for v in &report.violations {
+        println!("  violation: {v}");
+    }
+    if report.violations.is_empty() {
+        println!("contracts: ok");
+    }
+    Ok(report.violations.is_empty())
+}
+
+const USAGE: &str = "usage: cargo xtask [analyze|lint|budget|contracts]";
+
+fn main() -> ExitCode {
+    let cmd = std::env::args().nth(1).unwrap_or_else(|| "analyze".into());
+    let root = repo_root();
+    let outcome = match cmd.as_str() {
+        "analyze" => run_lint(&root)
+            .and_then(|a| Ok(a & run_budget(&root, true)?))
+            .and_then(|a| Ok(a & run_contracts()?)),
+        "lint" => run_lint(&root),
+        "budget" => run_budget(&root, true),
+        "contracts" => run_contracts(),
+        "help" | "-h" | "--help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

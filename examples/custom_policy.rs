@@ -51,6 +51,11 @@ impl Policy<TlbMeta> for PinInstructions {
     fn name(&self) -> &'static str {
         "pin-instructions"
     }
+
+    fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
+        // LRU ranks + one instruction flag per entry.
+        sets as u64 * ways as u64 * (itpx_policy::traits::rank_bits(ways) + 1)
+    }
 }
 
 fn main() {
