@@ -1,31 +1,8 @@
 //! Parameter ablations DESIGN.md calls out: iTP's N/M, xPTP's K, and the
 //! adaptive threshold T1.
 
-use itpx_bench::experiments::sensitivity;
-use itpx_bench::{Report, RunScale};
-use itpx_cpu::SystemConfig;
+use itpx_bench::{figures, Campaign};
 
 fn main() {
-    let scale = RunScale::from_env();
-    let config = SystemConfig::asplos25();
-    let mut report = Report::new("Ablations - iTP N/M, xPTP K, adaptive T1");
-    report.line(
-        "paper: N/M have little effect; K matters most (mid-stack best); iTP+xPTP geomean shown",
-    );
-    report.line("");
-    report.line("-- iTP insertion/promotion depths --");
-    for c in sensitivity::ablation_nm(&config, &scale) {
-        report.row(c.setting.clone(), format!("{:+.2}%", c.geomean_pct));
-    }
-    report.line("");
-    report.line("-- xPTP protection threshold K --");
-    for c in sensitivity::ablation_k(&config, &scale) {
-        report.row(c.setting.clone(), format!("{:+.2}%", c.geomean_pct));
-    }
-    report.line("");
-    report.line("-- adaptive threshold T1 (misses per 1000-instruction epoch) --");
-    for c in sensitivity::ablation_t1(&config, &scale) {
-        report.row(c.setting.clone(), format!("{:+.2}%", c.geomean_pct));
-    }
-    report.finish();
+    figures::ablations(&Campaign::from_env()).finish();
 }

@@ -1,0 +1,158 @@
+//! Times the figure campaign cold vs warm-cache at smoke scale and writes
+//! `BENCH_campaign.json`.
+//!
+//! Two passes run the full figure set through fresh [`Campaign`]s sharing
+//! one on-disk cache directory (`target/simcache-bench/`, wiped first).
+//! The cold pass simulates everything; the warm pass must execute zero
+//! simulations for the cacheable figures and reproduce every report
+//! byte-for-byte, or this binary exits non-zero — CI runs it as the
+//! campaign-engine regression gate.
+//!
+//! ```sh
+//! cargo run -p itpx-bench --release --bin bench_campaign
+//! ```
+
+use itpx_bench::{figures, Campaign, RunScale, SimCache};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct FigTiming {
+    name: &'static str,
+    ms: f64,
+    hits: u64,
+    misses: u64,
+}
+
+struct Pass {
+    total_ms: f64,
+    figures: Vec<FigTiming>,
+    texts: Vec<String>,
+    hits: u64,
+    misses: u64,
+}
+
+fn run_pass(scale: RunScale, dir: &Path) -> Pass {
+    let campaign = Campaign::new(scale, SimCache::new(Some(dir.to_path_buf())));
+    let start = Instant::now();
+    let mut figures_out = Vec::new();
+    let mut texts = Vec::new();
+    for fig in figures::ALL {
+        let (h0, m0) = (campaign.cache().hits(), campaign.cache().misses());
+        let t0 = Instant::now();
+        let report = (fig.build)(&campaign);
+        figures_out.push(FigTiming {
+            name: fig.name,
+            ms: t0.elapsed().as_secs_f64() * 1e3,
+            hits: campaign.cache().hits() - h0,
+            misses: campaign.cache().misses() - m0,
+        });
+        texts.push(report.text().to_string());
+    }
+    Pass {
+        total_ms: start.elapsed().as_secs_f64() * 1e3,
+        figures: figures_out,
+        texts,
+        hits: campaign.cache().hits(),
+        misses: campaign.cache().misses(),
+    }
+}
+
+fn pass_json(p: &Pass) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"total_ms\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \"figures\": [",
+        p.total_ms, p.hits, p.misses
+    );
+    for (i, f) in p.figures.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}{{\"name\": \"{}\", \"ms\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+            if i == 0 { "" } else { ", " },
+            f.name,
+            f.ms,
+            f.hits,
+            f.misses
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+fn main() {
+    // Fixed smoke scale so the two passes are comparable and fast; only
+    // the host-thread count follows the environment.
+    let scale = RunScale {
+        host_threads: RunScale::from_env().host_threads,
+        ..RunScale::smoke()
+    };
+    let dir = PathBuf::from("target/simcache-bench");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!("cold pass (empty cache)...");
+    let cold = run_pass(scale, &dir);
+    println!(
+        "  {:.0} ms, {} simulations executed, {} served",
+        cold.total_ms, cold.misses, cold.hits
+    );
+
+    println!("warm pass (disk cache from cold pass)...");
+    let warm = run_pass(scale, &dir);
+    println!(
+        "  {:.0} ms, {} simulations executed, {} served",
+        warm.total_ms, warm.misses, warm.hits
+    );
+
+    let identical = cold.texts == warm.texts;
+    let cache_served = warm
+        .figures
+        .iter()
+        .filter(|f| f.misses == 0 && f.hits > 0)
+        .count();
+
+    let json = format!(
+        "{{\n  \"scale\": {{\"workloads\": {}, \"smt_pairs\": {}, \"instructions\": {}, \"warmup\": {}, \"host_threads\": {}}},\n  \"cold\": {},\n  \"warm\": {},\n  \"identical_reports\": {},\n  \"cache_served_figures\": {}\n}}\n",
+        scale.workloads,
+        scale.smt_pairs,
+        scale.instructions,
+        scale.warmup,
+        scale.host_threads,
+        pass_json(&cold),
+        pass_json(&warm),
+        identical,
+        cache_served
+    );
+    std::fs::write("BENCH_campaign.json", &json).expect("write BENCH_campaign.json");
+    println!("wrote BENCH_campaign.json");
+
+    let mut ok = true;
+    if warm.misses != 0 {
+        eprintln!(
+            "FAIL: warm pass executed {} simulations; expected 0 (all cacheable work served)",
+            warm.misses
+        );
+        ok = false;
+    }
+    if !identical {
+        for (i, fig) in figures::ALL.iter().enumerate() {
+            if cold.texts[i] != warm.texts[i] {
+                eprintln!("FAIL: report bytes differ between passes for {}", fig.name);
+            }
+        }
+        ok = false;
+    }
+    if cache_served == 0 {
+        eprintln!("FAIL: no figure was served entirely from cache on the warm pass");
+        ok = false;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!(
+        "warm pass: {}/{} figures served from cache, reports byte-identical, {:.1}x speedup",
+        cache_served,
+        figures::ALL.len(),
+        cold.total_ms / warm.total_ms.max(0.001)
+    );
+}

@@ -5,34 +5,8 @@
 //! cargo run -p itpx-bench --release --bin calibrate
 //! ```
 
-use itpx_bench::experiments::calibrate::{calibration_table, format_rows};
-use itpx_bench::{Report, RunScale};
-use itpx_cpu::SystemConfig;
-use itpx_trace::{qualcomm_like_suite, spec_like_suite};
+use itpx_bench::{figures, Campaign};
 
 fn main() {
-    let scale = RunScale::from_env();
-    let config = SystemConfig::asplos25();
-    let mut report = Report::new("Workload calibration (LRU baseline)");
-    report.line(format!(
-        "scale: {} workloads x {} instructions (+{} warmup), {} host threads",
-        scale.workloads, scale.instructions, scale.warmup, scale.host_threads
-    ));
-    report.line("");
-    report.line("targets (paper): server STLB MPKI >= 1, iMPKI up to ~0.9 (Fig 2),");
-    report.line("itrans ~12.5% at 64-entry ITLB (Fig 1); SPEC: iMPKI ~0, itrans ~0%.");
-    report.line("");
-
-    report.line("-- Qualcomm-Server-like suite --");
-    let rows = calibration_table(&config, &qualcomm_like_suite(scale.workloads), &scale);
-    report.line(format_rows(&rows));
-
-    report.line("-- SPEC-CPU-like suite --");
-    let rows = calibration_table(
-        &config,
-        &spec_like_suite((scale.workloads / 2).max(2)),
-        &scale,
-    );
-    report.line(format_rows(&rows));
-    report.finish();
+    figures::calibrate_report(&Campaign::from_env()).finish();
 }

@@ -2,50 +2,8 @@
 //! xPTP with an Emissary-style code-preserving rule at the L2C outperforms
 //! plain iTP+xPTP on big-code workloads.
 
-use itpx_bench::{Report, RunScale, Sweep};
-use itpx_core::Preset;
-use itpx_cpu::{Simulation, SystemConfig};
-use itpx_trace::qualcomm_like_suite;
-use itpx_types::stats::geomean_speedup;
+use itpx_bench::{figures, Campaign};
 
 fn main() {
-    let scale = RunScale::from_env();
-    let config = SystemConfig::asplos25();
-    let sweep = Sweep::new(scale.host_threads);
-    let suite: Vec<_> = qualcomm_like_suite(scale.workloads)
-        .into_iter()
-        .map(|w| scale.apply(w))
-        .collect();
-    let base = sweep.run(suite.clone(), |w| {
-        Simulation::single_thread(&config, Preset::Lru, w).run()
-    });
-
-    let mut report = Report::new("Extension - iTP plus xPTP with Emissary-style code preservation");
-    report.line("paper section 7: preserving critical code blocks at L2C on top of xPTP");
-    report.line("\"has the potential to provide larger performance gains than iTP+xPTP\"");
-    report.line("");
-    for preset in [Preset::ItpXptp, Preset::ItpXptpEmissary] {
-        let outs = sweep.run(suite.clone(), |w| {
-            Simulation::single_thread(&config, preset, w).run()
-        });
-        let ups: Vec<f64> = outs
-            .iter()
-            .zip(&base)
-            .map(|(o, b)| o.speedup_pct_over(b) / 100.0)
-            .collect();
-        let l1i_mpki: f64 = outs
-            .iter()
-            .map(|o| o.l1i.mpki(o.instructions()))
-            .sum::<f64>()
-            / outs.len() as f64;
-        report.row(
-            preset.name(),
-            format!(
-                "geomean {:+.2}%   L1I MPKI {:.2}",
-                geomean_speedup(&ups) * 100.0,
-                l1i_mpki
-            ),
-        );
-    }
-    report.finish();
+    figures::ext_emissary(&Campaign::from_env()).finish();
 }

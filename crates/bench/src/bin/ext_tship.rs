@@ -4,53 +4,8 @@
 //! workloads); this binary checks the complete original configuration,
 //! and iTP+xPTP against it.
 
-use itpx_bench::{Report, RunScale, Sweep};
-use itpx_core::presets::{BuildConfig, LlcChoice};
-use itpx_core::Preset;
-use itpx_cpu::{Simulation, SystemConfig};
-use itpx_trace::qualcomm_like_suite;
-use itpx_types::stats::geomean_speedup;
+use itpx_bench::{figures, Campaign};
 
 fn main() {
-    let scale = RunScale::from_env();
-    let config = SystemConfig::asplos25();
-    let sweep = Sweep::new(scale.host_threads);
-    let suite: Vec<_> = qualcomm_like_suite(scale.workloads)
-        .into_iter()
-        .map(|w| scale.apply(w))
-        .collect();
-    let base = sweep.run(suite.clone(), |w| {
-        Simulation::single_thread(&config, Preset::Lru, w).run()
-    });
-
-    let mut report = Report::new("Extension - full TDRRIP plus T-SHiP at the LLC");
-    report.line("the original ISPASS'22 proposal pairs T-DRRIP (L2C) with T-SHiP (LLC);");
-    report.line("the reproduced paper uses only the L2C half. Geomean over LRU:");
-    report.line("");
-    let cases = [
-        (Preset::Tdrrip, LlcChoice::Lru, "TDRRIP (paper config)"),
-        (Preset::Lru, LlcChoice::Ship, "SHiP LLC only (control)"),
-        (Preset::Tdrrip, LlcChoice::TShip, "TDRRIP + T-SHiP LLC"),
-        (Preset::ItpXptp, LlcChoice::Ship, "iTP+xPTP + SHiP LLC"),
-        (Preset::ItpXptp, LlcChoice::TShip, "iTP+xPTP + T-SHiP LLC"),
-        (Preset::ItpXptp, LlcChoice::Lru, "iTP+xPTP"),
-    ];
-    for (preset, llc, label) in cases {
-        let build = BuildConfig {
-            llc,
-            ..BuildConfig::default()
-        };
-        let outs = sweep.run(suite.clone(), |w| {
-            Simulation::single_thread(&config, preset, w)
-                .build_config(build)
-                .run()
-        });
-        let ups: Vec<f64> = outs
-            .iter()
-            .zip(&base)
-            .map(|(o, b)| o.speedup_pct_over(b) / 100.0)
-            .collect();
-        report.row(label, format!("{:+.2}%", geomean_speedup(&ups) * 100.0));
-    }
-    report.finish();
+    figures::ext_tship(&Campaign::from_env()).finish();
 }

@@ -1,25 +1,8 @@
 //! Reproduces Figure 1: cycles spent on instruction address translation
 //! as a function of ITLB size, server vs SPEC suites.
 
-use itpx_bench::experiments::motivation;
-use itpx_bench::{Report, RunScale};
-use itpx_cpu::SystemConfig;
+use itpx_bench::{figures, Campaign};
 
 fn main() {
-    let scale = RunScale::from_env();
-    let config = SystemConfig::asplos25();
-    let mut report = Report::new("Figure 1 - instruction address translation cycles vs ITLB size");
-    report
-        .line("paper: server ~12.5% at 64-128 entries, needs >1024 entries to vanish; SPEC ~0.03%");
-    report.line("");
-    report.line(format!("{:<8} {:>6} {:>10}", "suite", "ITLB", "itrans%"));
-    for cell in motivation::fig01(&config, &scale) {
-        report.line(format!(
-            "{:<8} {:>6} {:>9.2}%",
-            cell.suite,
-            cell.itlb_entries,
-            cell.mean * 100.0
-        ));
-    }
-    report.finish();
+    figures::fig01(&Campaign::from_env()).finish();
 }

@@ -1,24 +1,7 @@
 //! Reproduces Figure 2: STLB MPKI for instruction references.
 
-use itpx_bench::experiments::motivation;
-use itpx_bench::{Distribution, Report, RunScale};
-use itpx_cpu::SystemConfig;
+use itpx_bench::{figures, Campaign};
 
 fn main() {
-    let scale = RunScale::from_env();
-    let config = SystemConfig::asplos25();
-    let mut report = Report::new("Figure 2 - STLB instruction MPKI per suite");
-    report.line("paper: server up to ~0.9 iMPKI (scaled runs sit higher); SPEC ~0");
-    report.line("");
-    for row in motivation::fig02(&config, &scale) {
-        report.row(
-            format!("{} mean iMPKI", row.suite),
-            format!("{:.3}", row.mean),
-        );
-        report.row(
-            format!("{} distribution", row.suite),
-            Distribution::of(&row.impki),
-        );
-    }
-    report.finish();
+    figures::fig02(&Campaign::from_env()).finish();
 }

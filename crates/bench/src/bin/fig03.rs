@@ -1,22 +1,8 @@
 //! Reproduces Figure 3: IPC improvement when the STLB victimizes data
 //! translations with probability P.
 
-use itpx_bench::experiments::motivation;
-use itpx_bench::{Report, RunScale};
-use itpx_cpu::SystemConfig;
+use itpx_bench::{figures, Campaign};
 
 fn main() {
-    let scale = RunScale::from_env();
-    let config = SystemConfig::asplos25();
-    let mut report = Report::new("Figure 3 - probabilistic keep-instructions LRU vs LRU");
-    report
-        .line("paper: higher P (keep instructions) helps, lower P hurts; range roughly -2.5..+5%");
-    report.line("");
-    for col in motivation::fig03(&config, &scale) {
-        report.row(
-            format!("P = {:.1}", col.p),
-            format!("geomean {:+.2}%", col.geomean),
-        );
-    }
-    report.finish();
+    figures::fig03(&Campaign::from_env()).finish();
 }

@@ -1,21 +1,8 @@
 //! Reproduces Figure 4: L2C/LLC MPKI breakdown, LRU vs keep-instructions
 //! (P = 0.8) at the STLB.
 
-use itpx_bench::experiments::motivation;
-use itpx_bench::{Report, RunScale};
-use itpx_cpu::SystemConfig;
+use itpx_bench::{figures, Campaign};
 
 fn main() {
-    let scale = RunScale::from_env();
-    let config = SystemConfig::asplos25();
-    let mut report = Report::new("Figure 4 - cache MPKI breakdown under instruction-keeping STLB");
-    report.line("paper: keeping instructions raises dtMPKI (data page-walk misses) at L2C/LLC");
-    report.line("");
-    for bar in motivation::fig04(&config, &scale) {
-        report.row(
-            format!("{} / {}", bar.level, bar.stlb_policy),
-            bar.breakdown,
-        );
-    }
-    report.finish();
+    figures::fig04(&Campaign::from_env()).finish();
 }

@@ -5,28 +5,8 @@
 //! cargo run -p itpx-bench --release --bin fig08
 //! ```
 
-use itpx_bench::experiments::fig08;
-use itpx_bench::{Report, RunScale};
-use itpx_cpu::SystemConfig;
+use itpx_bench::{figures, Campaign};
 
 fn main() {
-    let scale = RunScale::from_env();
-    let config = SystemConfig::asplos25();
-
-    let mut report = Report::new("Figure 8 - IPC improvement over LRU (violin summaries, %)");
-    report.line(format!(
-        "scale: {} workloads / {} SMT pairs x {} instructions",
-        scale.workloads, scale.smt_pairs, scale.instructions
-    ));
-    report.line("paper geomeans (1T): TDRRIP +9.3, PTP +7.1, CHiRP ~0, iTP +2.2, iTP+xPTP +18.9");
-    report.line("");
-    report.line("(a) single hardware thread");
-    report.line(fig08::format_columns(&fig08::single_thread(
-        &config, &scale,
-    )));
-    report.line("paper geomeans (2T): TDRRIP +8.5, PTP ~0, iTP +0.3, iTP+xPTP +11.4");
-    report.line("");
-    report.line("(b) two hardware threads");
-    report.line(fig08::format_columns(&fig08::two_threads(&config, &scale)));
-    report.finish();
+    figures::fig08(&Campaign::from_env()).finish();
 }

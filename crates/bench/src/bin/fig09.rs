@@ -1,20 +1,8 @@
 //! Reproduces Figures 9 and 10: per-structure MPKI, miss latencies, and
 //! the STLB instruction/data breakdown for every policy.
 
-use itpx_bench::experiments::fig09;
-use itpx_bench::{Report, RunScale};
-use itpx_cpu::SystemConfig;
+use itpx_bench::{figures, Campaign};
 
 fn main() {
-    let scale = RunScale::from_env();
-    let config = SystemConfig::asplos25();
-    let mut report = Report::new("Figure 9+10 - structure MPKI and miss latency per policy");
-    report.line("paper (1T): iTP+xPTP cuts STLB miss latency ~46%, L2C dPTE MPKI 1.0->0.4,");
-    report.line("raises L2C MPKI, lowers LLC MPKI; iTP trades iMPKI down for dMPKI up (Fig 10)");
-    report.line("");
-    report.line("(a) single hardware thread");
-    report.line(fig09::format_rows(&fig09::run(&config, &scale, false)));
-    report.line("(b) two hardware threads");
-    report.line(fig09::format_rows(&fig09::run(&config, &scale, true)));
-    report.finish();
+    figures::fig09(&Campaign::from_env()).finish();
 }

@@ -1,29 +1,8 @@
 //! Reproduces Figure 11: iTP and iTP+xPTP under LRU / SHiP / Mockingjay
 //! LLC replacement.
 
-use itpx_bench::experiments::sensitivity;
-use itpx_bench::{Report, RunScale};
-use itpx_cpu::SystemConfig;
+use itpx_bench::{figures, Campaign};
 
 fn main() {
-    let scale = RunScale::from_env();
-    let config = SystemConfig::asplos25();
-    let mut report = Report::new("Figure 11 - sensitivity to LLC replacement policy");
-    report.line("paper (1T): iTP consistent +1.4..2.3; iTP+xPTP +18.9 (LRU), +15.8 (SHiP), +1.6 (Mockingjay)");
-    report.line("");
-    for smt in [false, true] {
-        report.line(if smt {
-            "(b) two hardware threads"
-        } else {
-            "(a) single hardware thread"
-        });
-        for cell in sensitivity::fig11(&config, &scale, smt) {
-            report.row(
-                format!("LLC={:<11} {}", cell.llc.name(), cell.preset),
-                format!("{:+.2}%", cell.geomean_pct),
-            );
-        }
-        report.line("");
-    }
-    report.finish();
+    figures::fig11(&Campaign::from_env()).finish();
 }

@@ -1,28 +1,7 @@
 //! Reproduces Figure 12: iTP and iTP+xPTP across ITLB sizes.
 
-use itpx_bench::experiments::sensitivity;
-use itpx_bench::{Report, RunScale};
-use itpx_cpu::SystemConfig;
+use itpx_bench::{figures, Campaign};
 
 fn main() {
-    let scale = RunScale::from_env();
-    let config = SystemConfig::asplos25();
-    let mut report = Report::new("Figure 12 - sensitivity to ITLB size");
-    report.line("paper: gains consistent for <=512-entry ITLBs, shrink at 1024 (1T)");
-    report.line("");
-    for smt in [false, true] {
-        report.line(if smt {
-            "(b) two hardware threads"
-        } else {
-            "(a) single hardware thread"
-        });
-        for cell in sensitivity::fig12(&config, &scale, smt) {
-            report.row(
-                format!("ITLB={:<5} {}", cell.itlb_entries, cell.preset),
-                format!("{:+.2}%", cell.geomean_pct),
-            );
-        }
-        report.line("");
-    }
-    report.finish();
+    figures::fig12(&Campaign::from_env()).finish();
 }

@@ -1,28 +1,7 @@
 //! Reproduces Figure 13: policies under 4 KiB + 2 MiB page mixes.
 
-use itpx_bench::experiments::sensitivity;
-use itpx_bench::{Report, RunScale};
-use itpx_cpu::SystemConfig;
+use itpx_bench::{figures, Campaign};
 
 fn main() {
-    let scale = RunScale::from_env();
-    let config = SystemConfig::asplos25();
-    let mut report = Report::new("Figure 13 - allocating code and data on 2MB pages");
-    report.line("paper: all gains shrink as the 2MB fraction grows; iTP+xPTP stays on top");
-    report.line("");
-    for smt in [false, true] {
-        report.line(if smt {
-            "(b) two hardware threads"
-        } else {
-            "(a) single hardware thread"
-        });
-        for cell in sensitivity::fig13(&config, &scale, smt) {
-            report.row(
-                format!("2MB={:>3.0}% {}", cell.fraction * 100.0, cell.preset),
-                format!("{:+.2}%", cell.geomean_pct),
-            );
-        }
-        report.line("");
-    }
-    report.finish();
+    figures::fig13(&Campaign::from_env()).finish();
 }

@@ -1,26 +1,7 @@
 //! Reproduces Figure 14: unified STLB with iTP+xPTP vs split STLBs.
 
-use itpx_bench::experiments::sensitivity;
-use itpx_bench::{Report, RunScale};
-use itpx_cpu::SystemConfig;
+use itpx_bench::{figures, Campaign};
 
 fn main() {
-    let scale = RunScale::from_env();
-    let config = SystemConfig::asplos25();
-    let mut report = Report::new("Figure 14 - unified vs split STLB");
-    report.line("paper: same-size split slightly behind unified+iTP+xPTP; 3072 unified+iTP+xPTP");
-    report.line("beats 3072 split; improvements over 1536-entry unified LRU baseline");
-    report.line("");
-    for smt in [false, true] {
-        report.line(if smt {
-            "(b) two hardware threads"
-        } else {
-            "(a) single hardware thread"
-        });
-        for bar in sensitivity::fig14(&config, &scale, smt) {
-            report.row(bar.label.clone(), format!("{:+.2}%", bar.geomean_pct));
-        }
-        report.line("");
-    }
-    report.finish();
+    figures::fig14(&Campaign::from_env()).finish();
 }

@@ -1,48 +1,38 @@
-//! Regenerates every reproduced table and figure, writing text reports to
-//! `target/experiments/`.
+//! Regenerates every reproduced table and figure in-process, writing text
+//! reports to `target/experiments/`.
+//!
+//! All figures share one [`Campaign`]: a single job queue across
+//! `ITPX_THREADS` host threads and one simulation cache, so baselines
+//! repeated between figures (the LRU columns of fig08/fig09/fig11/..., the
+//! calibration table) simulate exactly once per campaign — and zero times
+//! on a warm cache.
 //!
 //! ```sh
 //! ITPX_WORKLOADS=16 ITPX_INSTRUCTIONS=600000 \
 //!     cargo run -p itpx-bench --release --bin run_all
 //! ```
 
-use std::process::Command;
+use itpx_bench::{figures, Campaign};
 
 fn main() {
-    let bins = [
-        "calibrate",
-        "fig01",
-        "fig02",
-        "fig03",
-        "fig04",
-        "fig08",
-        "fig09",
-        "fig11",
-        "fig12",
-        "fig13",
-        "fig14",
-        "ablations",
-        "ext_emissary",
-        "ext_tship",
-    ];
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
+    let campaign = Campaign::from_env();
     let mut failures = Vec::new();
-    for bin in bins {
-        println!("==== {bin} ====");
-        let status = Command::new(dir.join(bin)).status();
-        match status {
-            Ok(s) if s.success() => {}
-            other => {
-                eprintln!("{bin} failed: {other:?}");
-                failures.push(bin);
-            }
+    for fig in figures::ALL {
+        println!("==== {} ====", fig.name);
+        if (fig.build)(&campaign).finish().is_none() {
+            failures.push(fig.name);
         }
     }
+    let cache = campaign.cache();
+    println!(
+        "cache: {} simulations served, {} executed",
+        cache.hits(),
+        cache.misses()
+    );
     if failures.is_empty() {
         println!("all experiments completed; reports in target/experiments/");
     } else {
-        eprintln!("failed experiments: {failures:?}");
+        eprintln!("failed to write reports: {failures:?}");
         std::process::exit(1);
     }
 }

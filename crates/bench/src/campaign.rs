@@ -1,0 +1,344 @@
+//! The campaign engine: batched, cached, globally scheduled simulations.
+//!
+//! Figures submit every `(preset × workload)` simulation they need as a
+//! batch of [`SimRequest`]s. The [`Campaign`] deduplicates the batch by
+//! content fingerprint, serves repeats from the [`SimCache`] (fig08,
+//! fig09, fig11, fig12 and the calibration table all share their LRU
+//! baselines), and executes only the residue — one flat job list across
+//! `ITPX_THREADS` host threads with no per-column barrier.
+//!
+//! Requests with hand-built policy bundles ([`itpx_cpu::Simulation::custom`])
+//! have no stable identity and stay outside the cache; figures run those
+//! through [`crate::harness::Sweep`] directly.
+
+use crate::harness::{RunScale, Sweep};
+use crate::simcache::SimCache;
+use itpx_core::presets::BuildConfig;
+use itpx_core::Preset;
+use itpx_cpu::{Simulation, SimulationOutput, SystemConfig};
+use itpx_trace::{SmtPairSpec, WorkloadSpec};
+use itpx_types::fingerprint::{Fingerprint, Fnv1a};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Version tag mixed into every request key; bump when the simulator
+/// changes behavior without changing any configuration field.
+const KEY_SCHEMA: &str = "itpx-simrequest-v1";
+
+/// What runs on the simulated core.
+#[derive(Debug, Clone)]
+pub enum SimUnit {
+    /// One workload on one hardware thread.
+    Single(WorkloadSpec),
+    /// Two workloads co-located under SMT.
+    Pair(SmtPairSpec),
+}
+
+impl Fingerprint for SimUnit {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        match self {
+            SimUnit::Single(w) => {
+                h.write_u8(0);
+                w.fingerprint(h);
+            }
+            SimUnit::Pair(p) => {
+                h.write_u8(1);
+                p.fingerprint(h);
+            }
+        }
+    }
+}
+
+/// One simulation the campaign may run or serve from cache.
+#[derive(Debug, Clone)]
+pub struct SimRequest {
+    /// Machine configuration.
+    pub config: SystemConfig,
+    /// Policy preset.
+    pub preset: Preset,
+    /// Policy build knobs (LLC choice, iTP/xPTP parameters).
+    pub build: BuildConfig,
+    /// Workload(s).
+    pub unit: SimUnit,
+}
+
+impl SimRequest {
+    /// A single-thread request with default build knobs.
+    pub fn single(config: &SystemConfig, preset: Preset, w: &WorkloadSpec) -> Self {
+        Self {
+            config: *config,
+            preset,
+            build: BuildConfig::default(),
+            unit: SimUnit::Single(w.clone()),
+        }
+    }
+
+    /// An SMT request with default build knobs.
+    pub fn smt(config: &SystemConfig, preset: Preset, pair: &SmtPairSpec) -> Self {
+        Self {
+            config: *config,
+            preset,
+            build: BuildConfig::default(),
+            unit: SimUnit::Pair(pair.clone()),
+        }
+    }
+
+    /// Overrides the build knobs.
+    #[must_use]
+    pub fn with_build(mut self, build: BuildConfig) -> Self {
+        self.build = build;
+        self
+    }
+
+    /// The content-addressed cache key: a stable hash over every input
+    /// that determines this request's [`SimulationOutput`] — machine
+    /// configuration, preset identity, build knobs, and workload
+    /// parameters including run lengths. Never includes wall-clock time,
+    /// host thread counts, or anything else that cannot change the
+    /// simulated result.
+    pub fn key(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str(KEY_SCHEMA);
+        self.config.fingerprint(&mut h);
+        self.preset.fingerprint(&mut h);
+        self.build.fingerprint(&mut h);
+        self.unit.fingerprint(&mut h);
+        h.finish()
+    }
+
+    /// Runs the simulation (no cache involvement).
+    pub fn execute(&self) -> SimulationOutput {
+        match &self.unit {
+            SimUnit::Single(w) => Simulation::single_thread(&self.config, self.preset, w)
+                .build_config(self.build)
+                .run(),
+            SimUnit::Pair(p) => Simulation::smt(&self.config, self.preset, p)
+                .build_config(self.build)
+                .run(),
+        }
+    }
+}
+
+/// Shared scheduler + cache for a whole campaign of figures.
+#[derive(Debug)]
+pub struct Campaign {
+    scale: RunScale,
+    sweep: Sweep,
+    cache: SimCache,
+}
+
+impl Campaign {
+    /// A campaign at `scale` backed by `cache`.
+    pub fn new(scale: RunScale, cache: SimCache) -> Self {
+        Self {
+            sweep: Sweep::new(scale.host_threads),
+            scale,
+            cache,
+        }
+    }
+
+    /// The standard configuration: scale and cache from the environment.
+    pub fn from_env() -> Self {
+        Self::new(RunScale::from_env(), SimCache::from_env())
+    }
+
+    /// The run scale figures should size their suites with.
+    pub fn scale(&self) -> &RunScale {
+        &self.scale
+    }
+
+    /// The underlying result cache (hit/miss counters live here).
+    pub fn cache(&self) -> &SimCache {
+        &self.cache
+    }
+
+    /// The sweep runner, for non-cacheable (custom-bundle) jobs.
+    pub fn sweep(&self) -> &Sweep {
+        &self.sweep
+    }
+
+    /// Resolves a batch of requests, in request order.
+    ///
+    /// The batch is deduplicated by [`SimRequest::key`]: each distinct key
+    /// is looked up in the cache exactly once (counting one hit or miss),
+    /// and the misses execute as one flat job list across the host
+    /// threads. Repeated keys — within the batch or across batches — never
+    /// simulate twice.
+    pub fn run_batch(&self, requests: Vec<SimRequest>) -> Vec<SimulationOutput> {
+        let keys: Vec<u64> = requests.iter().map(|r| r.key()).collect();
+        let mut resolved: BTreeMap<u64, SimulationOutput> = BTreeMap::new();
+        let mut queued: BTreeSet<u64> = BTreeSet::new();
+        let mut jobs: Vec<(u64, SimRequest)> = Vec::new();
+        for (req, &key) in requests.into_iter().zip(&keys) {
+            if resolved.contains_key(&key) || queued.contains(&key) {
+                continue;
+            }
+            match self.cache.get(key) {
+                Some(out) => {
+                    resolved.insert(key, out);
+                }
+                None => {
+                    queued.insert(key);
+                    jobs.push((key, req));
+                }
+            }
+        }
+        let job_keys: Vec<u64> = jobs.iter().map(|(k, _)| *k).collect();
+        let outputs = self.sweep.run_generic(jobs, |(_, req)| req.execute());
+        for (key, out) in job_keys.into_iter().zip(outputs) {
+            self.cache.insert(key, &out);
+            resolved.insert(key, out);
+        }
+        keys.iter()
+            .map(|k| {
+                resolved
+                    .get(k)
+                    // every key was either resolved from cache or executed
+                    .expect("request resolved")
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// Convenience: resolves one request.
+    pub fn run_one(&self, request: SimRequest) -> SimulationOutput {
+        self.run_batch(vec![request])
+            .pop()
+            // run_batch returns exactly one output per request
+            .expect("one output")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itpx_core::presets::LlcChoice;
+    use itpx_trace::{smt_suite, SmtCategory};
+
+    fn smoke_workload(seed: u64) -> WorkloadSpec {
+        WorkloadSpec::server_like(seed)
+            .instructions(5_000)
+            .warmup(1_000)
+    }
+
+    fn base_request() -> SimRequest {
+        SimRequest::single(&SystemConfig::asplos25(), Preset::Lru, &smoke_workload(1))
+    }
+
+    #[test]
+    fn same_request_same_key() {
+        assert_eq!(base_request().key(), base_request().key());
+    }
+
+    #[test]
+    fn every_field_changes_the_key() {
+        let base = base_request().key();
+        let mut seen = vec![base];
+
+        // Machine configuration fields.
+        let mut r = base_request();
+        r.config.seed ^= 1;
+        seen.push(r.key());
+        let mut r = base_request();
+        r.config = r.config.with_itlb_entries(128);
+        seen.push(r.key());
+        let mut r = base_request();
+        r.config = r.config.with_split_stlb(true);
+        seen.push(r.key());
+        let mut r = base_request();
+        r.config.hierarchy.l2.mshr_entries += 1;
+        seen.push(r.key());
+        let mut r = base_request();
+        r.config.huge_pages = itpx_vm::page_table::HugePagePolicy::uniform(0.5, 3);
+        seen.push(r.key());
+
+        // Preset and build knobs.
+        let mut r = base_request();
+        r.preset = Preset::ItpXptp;
+        seen.push(r.key());
+        let r = base_request().with_build(BuildConfig {
+            llc: LlcChoice::Ship,
+            ..BuildConfig::default()
+        });
+        seen.push(r.key());
+        let r = base_request().with_build(BuildConfig {
+            t1: 999,
+            ..BuildConfig::default()
+        });
+        seen.push(r.key());
+
+        // Workload parameters, including run lengths.
+        let r = SimRequest::single(&SystemConfig::asplos25(), Preset::Lru, &smoke_workload(2));
+        seen.push(r.key());
+        let r = SimRequest::single(
+            &SystemConfig::asplos25(),
+            Preset::Lru,
+            &smoke_workload(1).instructions(6_000),
+        );
+        seen.push(r.key());
+        let r = SimRequest::single(
+            &SystemConfig::asplos25(),
+            Preset::Lru,
+            &smoke_workload(1).warmup(2_000),
+        );
+        seen.push(r.key());
+
+        // Single vs pair on overlapping content.
+        let pair = SmtPairSpec {
+            a: smoke_workload(1),
+            b: smoke_workload(1),
+            category: SmtCategory::Intense,
+        };
+        let r = SimRequest::smt(&SystemConfig::asplos25(), Preset::Lru, &pair);
+        seen.push(r.key());
+
+        let unique: BTreeSet<u64> = seen.iter().copied().collect();
+        assert_eq!(
+            unique.len(),
+            seen.len(),
+            "every varied field must produce a distinct key: {seen:x?}"
+        );
+    }
+
+    #[test]
+    fn smt_category_is_part_of_the_key() {
+        let mk = |cat| {
+            let pair = SmtPairSpec {
+                a: smoke_workload(1),
+                b: smoke_workload(2),
+                category: cat,
+            };
+            SimRequest::smt(&SystemConfig::asplos25(), Preset::Lru, &pair).key()
+        };
+        assert_ne!(mk(SmtCategory::Intense), mk(SmtCategory::Relaxed));
+    }
+
+    #[test]
+    fn batch_deduplicates_and_caches() {
+        let campaign = Campaign::new(RunScale::smoke(), SimCache::new(None));
+        let req = base_request();
+        let outs = campaign.run_batch(vec![req.clone(), req.clone(), req.clone()]);
+        assert_eq!(outs.len(), 3);
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[1], outs[2]);
+        // One unique key: one miss (executed once), no hits yet.
+        assert_eq!((campaign.cache().hits(), campaign.cache().misses()), (0, 1));
+        // A second batch is served entirely from cache.
+        let again = campaign.run_one(req);
+        assert_eq!(again, outs[0]);
+        assert_eq!((campaign.cache().hits(), campaign.cache().misses()), (1, 1));
+    }
+
+    #[test]
+    fn cached_and_fresh_results_are_identical() {
+        let campaign = Campaign::new(RunScale::smoke(), SimCache::new(None));
+        let mut pair = smt_suite(1).remove(0);
+        pair.a = pair.a.instructions(5_000).warmup(1_000);
+        pair.b = pair.b.instructions(5_000).warmup(1_000);
+        let req = SimRequest::smt(&SystemConfig::asplos25(), Preset::ItpXptp, &pair);
+        let fresh = req.execute();
+        let via_campaign_cold = campaign.run_one(req.clone());
+        let via_campaign_warm = campaign.run_one(req);
+        assert_eq!(fresh, via_campaign_cold);
+        assert_eq!(fresh, via_campaign_warm);
+    }
+}

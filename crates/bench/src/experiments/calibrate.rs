@@ -7,9 +7,9 @@
 //! spent on instruction address translation, and IPC — so that profile
 //! tuning can be checked against the paper's reported ranges.
 
-use crate::harness::{RunScale, Sweep};
+use crate::campaign::{Campaign, SimRequest};
 use itpx_core::Preset;
-use itpx_cpu::{Simulation, SimulationOutput, SystemConfig};
+use itpx_cpu::{SimulationOutput, SystemConfig};
 use itpx_trace::WorkloadSpec;
 
 /// One row of the calibration table.
@@ -51,15 +51,17 @@ impl CalibrationRow {
 
 /// Runs the LRU baseline over `specs` and returns one row per workload.
 pub fn calibration_table(
+    campaign: &Campaign,
     config: &SystemConfig,
     specs: &[WorkloadSpec],
-    scale: &RunScale,
 ) -> Vec<CalibrationRow> {
-    let jobs: Vec<WorkloadSpec> = specs.iter().map(|w| scale.apply(w.clone())).collect();
-    Sweep::new(scale.host_threads)
-        .run(jobs, |w| {
-            Simulation::single_thread(config, Preset::Lru, w).run()
-        })
+    let scale = campaign.scale();
+    let requests: Vec<SimRequest> = specs
+        .iter()
+        .map(|w| SimRequest::single(config, Preset::Lru, &scale.apply(w.clone())))
+        .collect();
+    campaign
+        .run_batch(requests)
         .iter()
         .map(CalibrationRow::from)
         .collect()

@@ -1,11 +1,11 @@
 //! Figure 8: IPC improvement of every Table 2 policy combination over the
 //! LRU baseline, for single-thread workloads (8a) and SMT pairs (8b).
 
+use crate::campaign::{Campaign, SimRequest};
 use crate::csv::CsvSink;
-use crate::harness::{RunScale, Sweep};
 use crate::report::Distribution;
 use itpx_core::Preset;
-use itpx_cpu::{Simulation, SystemConfig};
+use itpx_cpu::{SimulationOutput, SystemConfig};
 use itpx_trace::{qualcomm_like_suite, smt_suite};
 
 /// Result of one policy column: per-workload improvements plus summary.
@@ -19,32 +19,27 @@ pub struct PolicyColumn {
     pub summary: Distribution,
 }
 
-/// Runs Figure 8a (single hardware thread), also exporting per-run rows
-/// to `target/experiments/fig08a.csv` (the artifact's `parse_data`
-/// equivalent).
-pub fn single_thread(config: &SystemConfig, scale: &RunScale) -> Vec<PolicyColumn> {
-    let workloads: Vec<_> = qualcomm_like_suite(scale.workloads)
-        .into_iter()
-        .map(|w| scale.apply(w))
-        .collect();
-    let sweep = Sweep::new(scale.host_threads);
-    // Baselines first.
-    let base = sweep.run(workloads.clone(), |w| {
-        Simulation::single_thread(config, Preset::Lru, w).run()
-    });
-    let mut csv = CsvSink::new("fig08a");
-    for out in &base {
+/// Slices one batch of `(LRU base block, then one block per evaluated
+/// preset)` outputs into policy columns, exporting per-run CSV rows in
+/// the same order the per-column code used to (base rows first).
+fn columns_from(
+    outputs: &[SimulationOutput],
+    per_column: usize,
+    csv_name: &str,
+) -> Vec<PolicyColumn> {
+    let base = &outputs[..per_column];
+    let mut csv = CsvSink::new(csv_name);
+    for out in base {
         csv.push(out, None);
     }
     let columns = Preset::EVALUATED[1..]
         .iter()
-        .map(|&preset| {
-            let outs = sweep.run(workloads.clone(), |w| {
-                Simulation::single_thread(config, preset, w).run()
-            });
+        .enumerate()
+        .map(|(i, preset)| {
+            let outs = &outputs[(i + 1) * per_column..(i + 2) * per_column];
             let improvements: Vec<f64> = outs
                 .iter()
-                .zip(&base)
+                .zip(base)
                 .map(|(o, b)| {
                     csv.push(o, Some(b));
                     o.speedup_pct_over(b)
@@ -61,41 +56,40 @@ pub fn single_thread(config: &SystemConfig, scale: &RunScale) -> Vec<PolicyColum
     columns
 }
 
+/// Runs Figure 8a (single hardware thread), also exporting per-run rows
+/// to `target/experiments/fig08a.csv` (the artifact's `parse_data`
+/// equivalent).
+pub fn single_thread(campaign: &Campaign, config: &SystemConfig) -> Vec<PolicyColumn> {
+    let scale = campaign.scale();
+    let workloads: Vec<_> = qualcomm_like_suite(scale.workloads)
+        .into_iter()
+        .map(|w| scale.apply(w))
+        .collect();
+    // All (preset × workload) jobs of the figure go up in one batch —
+    // EVALUATED[0] is the LRU baseline block.
+    let requests: Vec<SimRequest> = Preset::EVALUATED
+        .iter()
+        .flat_map(|&preset| workloads.iter().map(move |w| (preset, w)))
+        .map(|(preset, w)| SimRequest::single(config, preset, w))
+        .collect();
+    let outputs = campaign.run_batch(requests);
+    columns_from(&outputs, workloads.len(), "fig08a")
+}
+
 /// Runs Figure 8b (two hardware threads).
-pub fn two_threads(config: &SystemConfig, scale: &RunScale) -> Vec<PolicyColumn> {
+pub fn two_threads(campaign: &Campaign, config: &SystemConfig) -> Vec<PolicyColumn> {
+    let scale = campaign.scale();
     let pairs: Vec<_> = smt_suite(scale.smt_pairs)
         .into_iter()
         .map(|p| scale.apply_pair(p))
         .collect();
-    let sweep = Sweep::new(scale.host_threads);
-    let base = sweep.run(pairs.clone(), |p| {
-        Simulation::smt(config, Preset::Lru, p).run()
-    });
-    let mut csv = CsvSink::new("fig08b");
-    for out in &base {
-        csv.push(out, None);
-    }
-    let columns = Preset::EVALUATED[1..]
+    let requests: Vec<SimRequest> = Preset::EVALUATED
         .iter()
-        .map(|&preset| {
-            let outs = sweep.run(pairs.clone(), |p| Simulation::smt(config, preset, p).run());
-            let improvements: Vec<f64> = outs
-                .iter()
-                .zip(&base)
-                .map(|(o, b)| {
-                    csv.push(o, Some(b));
-                    o.speedup_pct_over(b)
-                })
-                .collect();
-            PolicyColumn {
-                policy: preset.name().to_string(),
-                summary: Distribution::of(&improvements),
-                improvements,
-            }
-        })
+        .flat_map(|&preset| pairs.iter().map(move |p| (preset, p)))
+        .map(|(preset, p)| SimRequest::smt(config, preset, p))
         .collect();
-    let _ = csv.write_to("target/experiments");
-    columns
+    let outputs = campaign.run_batch(requests);
+    columns_from(&outputs, pairs.len(), "fig08b")
 }
 
 /// Formats columns as the figure's table plus a violin panel (the text

@@ -2,9 +2,9 @@
 //! per policy (9a/9b), and the STLB instruction/data MPKI breakdown under
 //! LRU vs iTP (10).
 
-use crate::harness::{RunScale, Sweep};
+use crate::campaign::{Campaign, SimRequest};
 use itpx_core::Preset;
-use itpx_cpu::{Simulation, SimulationOutput, SystemConfig};
+use itpx_cpu::{SimulationOutput, SystemConfig};
 use itpx_trace::{qualcomm_like_suite, smt_suite};
 
 /// Per-structure averages for one policy.
@@ -63,28 +63,41 @@ fn averages(policy: &str, outs: &[SimulationOutput]) -> StructureRow {
 }
 
 /// Runs the per-structure characterization for every evaluated preset.
-pub fn run(config: &SystemConfig, scale: &RunScale, smt: bool) -> Vec<StructureRow> {
-    let sweep = Sweep::new(scale.host_threads);
+pub fn run(campaign: &Campaign, config: &SystemConfig, smt: bool) -> Vec<StructureRow> {
+    let scale = campaign.scale();
+    let requests: Vec<SimRequest> = if smt {
+        let pairs: Vec<_> = smt_suite(scale.smt_pairs)
+            .into_iter()
+            .map(|p| scale.apply_pair(p))
+            .collect();
+        Preset::EVALUATED
+            .iter()
+            .flat_map(|&preset| {
+                pairs
+                    .iter()
+                    .map(move |p| SimRequest::smt(config, preset, p))
+            })
+            .collect()
+    } else {
+        let suite: Vec<_> = qualcomm_like_suite(scale.workloads)
+            .into_iter()
+            .map(|w| scale.apply(w))
+            .collect();
+        Preset::EVALUATED
+            .iter()
+            .flat_map(|&preset| {
+                suite
+                    .iter()
+                    .map(move |w| SimRequest::single(config, preset, w))
+            })
+            .collect()
+    };
+    let per_preset = requests.len() / Preset::EVALUATED.len();
+    let outputs = campaign.run_batch(requests);
     Preset::EVALUATED
         .iter()
-        .map(|&preset| {
-            let outs = if smt {
-                let pairs: Vec<_> = smt_suite(scale.smt_pairs)
-                    .into_iter()
-                    .map(|p| scale.apply_pair(p))
-                    .collect();
-                sweep.run(pairs, |p| Simulation::smt(config, preset, p).run())
-            } else {
-                let suite: Vec<_> = qualcomm_like_suite(scale.workloads)
-                    .into_iter()
-                    .map(|w| scale.apply(w))
-                    .collect();
-                sweep.run(suite, |w| {
-                    Simulation::single_thread(config, preset, w).run()
-                })
-            };
-            averages(preset.name(), &outs)
-        })
+        .zip(outputs.chunks(per_preset))
+        .map(|(preset, outs)| averages(preset.name(), outs))
         .collect()
 }
 

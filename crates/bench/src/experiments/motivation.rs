@@ -1,6 +1,6 @@
 //! The motivation studies of Section 3 (Figures 1–4).
 
-use crate::harness::{RunScale, Sweep};
+use crate::campaign::{Campaign, SimRequest};
 use itpx_core::presets::PolicyBundle;
 use itpx_core::Preset;
 use itpx_cpu::{Simulation, SimulationOutput, SystemConfig};
@@ -13,6 +13,14 @@ pub const FIG1_ITLB_SIZES: [usize; 5] = [8, 64, 128, 512, 1024];
 
 /// The keep-instruction probabilities of Figure 3.
 pub const FIG3_PROBABILITIES: [f64; 4] = [0.2, 0.4, 0.6, 0.8];
+
+fn motivation_suites(scale: &crate::harness::RunScale) -> [(&'static str, Vec<WorkloadSpec>); 2] {
+    let apply = |ws: Vec<WorkloadSpec>| ws.into_iter().map(|w| scale.apply(w)).collect();
+    [
+        ("server", apply(qualcomm_like_suite(scale.workloads))),
+        ("spec", apply(spec_like_suite((scale.workloads / 2).max(2)))),
+    ]
+}
 
 /// One Figure 1 cell: mean fraction of cycles spent on instruction
 /// address translation for a suite at one ITLB size.
@@ -29,29 +37,38 @@ pub struct Fig1Cell {
 }
 
 /// Runs Figure 1: instruction-address-translation cycles vs ITLB size.
-pub fn fig01(config: &SystemConfig, scale: &RunScale) -> Vec<Fig1Cell> {
-    let sweep = Sweep::new(scale.host_threads);
-    let suites: [(&'static str, Vec<WorkloadSpec>); 2] = [
-        ("server", qualcomm_like_suite(scale.workloads)),
-        ("spec", spec_like_suite((scale.workloads / 2).max(2))),
-    ];
-    let mut cells = Vec::new();
-    for (name, suite) in suites {
-        let suite: Vec<_> = suite.into_iter().map(|w| scale.apply(w)).collect();
+pub fn fig01(campaign: &Campaign, config: &SystemConfig) -> Vec<Fig1Cell> {
+    let suites = motivation_suites(campaign.scale());
+    // Every (suite, ITLB size, workload) simulation goes up in one batch.
+    let mut requests = Vec::new();
+    let mut spans: Vec<(&'static str, usize, usize)> = Vec::new();
+    for (name, suite) in &suites {
         for entries in FIG1_ITLB_SIZES {
             let cfg = config.with_itlb_entries(entries);
-            let outs = sweep.run(suite.clone(), |w| {
-                Simulation::single_thread(&cfg, Preset::Lru, w).run()
-            });
-            let fractions: Vec<f64> = outs.iter().map(|o| o.itrans_stall_fraction()).collect();
-            let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
-            cells.push(Fig1Cell {
-                suite: name,
-                itlb_entries: entries,
-                fractions,
-                mean,
-            });
+            spans.push((name, entries, suite.len()));
+            requests.extend(
+                suite
+                    .iter()
+                    .map(|w| SimRequest::single(&cfg, Preset::Lru, w)),
+            );
         }
+    }
+    let outputs = campaign.run_batch(requests);
+    let mut cells = Vec::new();
+    let mut offset = 0;
+    for (name, entries, len) in spans {
+        let fractions: Vec<f64> = outputs[offset..offset + len]
+            .iter()
+            .map(|o| o.itrans_stall_fraction())
+            .collect();
+        offset += len;
+        let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+        cells.push(Fig1Cell {
+            suite: name,
+            itlb_entries: entries,
+            fractions,
+            mean,
+        });
     }
     cells
 }
@@ -68,20 +85,26 @@ pub struct Fig2Row {
 }
 
 /// Runs Figure 2: STLB MPKI for instruction references, server vs SPEC.
-pub fn fig02(config: &SystemConfig, scale: &RunScale) -> Vec<Fig2Row> {
-    let sweep = Sweep::new(scale.host_threads);
-    let suites: [(&'static str, Vec<WorkloadSpec>); 2] = [
-        ("server", qualcomm_like_suite(scale.workloads)),
-        ("spec", spec_like_suite((scale.workloads / 2).max(2))),
-    ];
+pub fn fig02(campaign: &Campaign, config: &SystemConfig) -> Vec<Fig2Row> {
+    let suites = motivation_suites(campaign.scale());
+    let requests: Vec<SimRequest> = suites
+        .iter()
+        .flat_map(|(_, suite)| {
+            suite
+                .iter()
+                .map(|w| SimRequest::single(config, Preset::Lru, w))
+        })
+        .collect();
+    let outputs = campaign.run_batch(requests);
+    let mut offset = 0;
     suites
-        .into_iter()
+        .iter()
         .map(|(name, suite)| {
-            let suite: Vec<_> = suite.into_iter().map(|w| scale.apply(w)).collect();
-            let outs = sweep.run(suite, |w| {
-                Simulation::single_thread(config, Preset::Lru, w).run()
-            });
-            let impki: Vec<f64> = outs.iter().map(|o| o.stlb_breakdown().instr).collect();
+            let impki: Vec<f64> = outputs[offset..offset + suite.len()]
+                .iter()
+                .map(|o| o.stlb_breakdown().instr)
+                .collect();
+            offset += suite.len();
             let mean = impki.iter().sum::<f64>() / impki.len() as f64;
             Fig2Row {
                 suite: name,
@@ -115,19 +138,26 @@ pub struct Fig3Column {
 }
 
 /// Runs Figure 3 on the server suite.
-pub fn fig03(config: &SystemConfig, scale: &RunScale) -> Vec<Fig3Column> {
-    let sweep = Sweep::new(scale.host_threads);
+///
+/// The LRU baseline is campaign-cached; the probability-P columns build
+/// hand-rolled policy bundles, which have no stable cache identity, so
+/// they run on the campaign's sweep directly.
+pub fn fig03(campaign: &Campaign, config: &SystemConfig) -> Vec<Fig3Column> {
+    let scale = campaign.scale();
     let suite: Vec<_> = qualcomm_like_suite(scale.workloads)
         .into_iter()
         .map(|w| scale.apply(w))
         .collect();
-    let base = sweep.run(suite.clone(), |w| {
-        Simulation::single_thread(config, Preset::Lru, w).run()
-    });
+    let base = campaign.run_batch(
+        suite
+            .iter()
+            .map(|w| SimRequest::single(config, Preset::Lru, w))
+            .collect(),
+    );
     FIG3_PROBABILITIES
         .iter()
         .map(|&p| {
-            let outs = sweep.run(suite.clone(), |w| {
+            let outs = campaign.sweep().run(suite.clone(), |w| {
                 let bundle = prob_bundle(config, p, w.seed ^ 0x9);
                 Simulation::custom(config, bundle, format!("P={p}"), std::slice::from_ref(w)).run()
             });
@@ -177,17 +207,20 @@ fn mean_breakdown(
 }
 
 /// Runs Figure 4: L2C/LLC MPKI breakdowns under LRU vs keep-instructions
-/// (P = 0.8) at the STLB.
-pub fn fig04(config: &SystemConfig, scale: &RunScale) -> Vec<Fig4Bar> {
-    let sweep = Sweep::new(scale.host_threads);
+/// (P = 0.8) at the STLB. As in [`fig03`], only the LRU side is cacheable.
+pub fn fig04(campaign: &Campaign, config: &SystemConfig) -> Vec<Fig4Bar> {
+    let scale = campaign.scale();
     let suite: Vec<_> = qualcomm_like_suite(scale.workloads)
         .into_iter()
         .map(|w| scale.apply(w))
         .collect();
-    let lru = sweep.run(suite.clone(), |w| {
-        Simulation::single_thread(config, Preset::Lru, w).run()
-    });
-    let keep = sweep.run(suite, |w| {
+    let lru = campaign.run_batch(
+        suite
+            .iter()
+            .map(|w| SimRequest::single(config, Preset::Lru, w))
+            .collect(),
+    );
+    let keep = campaign.sweep().run(suite, |w| {
         let bundle = prob_bundle(config, 0.8, w.seed ^ 0x4);
         Simulation::custom(config, bundle, "KeepInstr(P=0.8)", std::slice::from_ref(w)).run()
     });

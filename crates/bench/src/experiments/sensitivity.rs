@@ -1,10 +1,16 @@
 //! The sensitivity studies of Sections 6.3–6.6 (Figures 11–14) and the
 //! parameter ablations DESIGN.md calls out.
+//!
+//! Every cell of every figure is expressed as a block of [`SimRequest`]s;
+//! a figure submits all of its cells as one campaign batch, so the LRU
+//! baselines shared between cells (and between figures) simulate once and
+//! are cache hits everywhere else.
 
-use crate::harness::{RunScale, Sweep};
+use crate::campaign::{Campaign, SimRequest};
+use crate::harness::RunScale;
 use itpx_core::presets::{BuildConfig, LlcChoice};
 use itpx_core::{ItpParams, Preset, XptpParams};
-use itpx_cpu::{Simulation, SystemConfig};
+use itpx_cpu::{SimulationOutput, SystemConfig};
 use itpx_trace::{qualcomm_like_suite, smt_suite, SmtPairSpec, WorkloadSpec};
 use itpx_types::stats::geomean_speedup;
 
@@ -26,54 +32,60 @@ fn pairs(scale: &RunScale) -> Vec<SmtPairSpec> {
         .collect()
 }
 
-/// Geomean uplift of `preset` over LRU under one configuration/build.
-fn uplift(
+/// The requests of one uplift cell: a block of LRU baselines followed by
+/// an equal-sized block of `preset` runs, under one configuration/build.
+fn uplift_requests(
     config: &SystemConfig,
     build: &BuildConfig,
     preset: Preset,
     scale: &RunScale,
     smt: bool,
-) -> f64 {
-    let sweep = Sweep::new(scale.host_threads);
-    if smt {
-        let ps = pairs(scale);
-        let base = sweep.run(ps.clone(), |p| {
-            Simulation::smt(config, Preset::Lru, p)
-                .build_config(*build)
-                .run()
-        });
-        let outs = sweep.run(ps, |p| {
-            Simulation::smt(config, preset, p)
-                .build_config(*build)
-                .run()
-        });
-        geomean_pct(
-            &outs
-                .iter()
-                .zip(&base)
-                .map(|(o, b)| o.speedup_pct_over(b))
-                .collect::<Vec<_>>(),
-        )
-    } else {
-        let ws = suite(scale);
-        let base = sweep.run(ws.clone(), |w| {
-            Simulation::single_thread(config, Preset::Lru, w)
-                .build_config(*build)
-                .run()
-        });
-        let outs = sweep.run(ws, |w| {
-            Simulation::single_thread(config, preset, w)
-                .build_config(*build)
-                .run()
-        });
-        geomean_pct(
-            &outs
-                .iter()
-                .zip(&base)
-                .map(|(o, b)| o.speedup_pct_over(b))
-                .collect::<Vec<_>>(),
-        )
+) -> Vec<SimRequest> {
+    let mut reqs = Vec::new();
+    for p in [Preset::Lru, preset] {
+        if smt {
+            reqs.extend(
+                pairs(scale)
+                    .iter()
+                    .map(|pair| SimRequest::smt(config, p, pair).with_build(*build)),
+            );
+        } else {
+            reqs.extend(
+                suite(scale)
+                    .iter()
+                    .map(|w| SimRequest::single(config, p, w).with_build(*build)),
+            );
+        }
     }
+    reqs
+}
+
+/// Geomean uplift from one cell's outputs (first half baseline, second
+/// half proposal).
+fn uplift_from(outs: &[SimulationOutput]) -> f64 {
+    let half = outs.len() / 2;
+    let (base, prop) = outs.split_at(half);
+    geomean_pct(
+        &prop
+            .iter()
+            .zip(base)
+            .map(|(o, b)| o.speedup_pct_over(b))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Submits every cell's requests as one batch and returns per-cell
+/// uplifts, in cell order.
+fn batched_uplifts(campaign: &Campaign, cells: Vec<Vec<SimRequest>>) -> Vec<f64> {
+    let lens: Vec<usize> = cells.iter().map(Vec::len).collect();
+    let outputs = campaign.run_batch(cells.into_iter().flatten().collect());
+    let mut uplifts = Vec::with_capacity(lens.len());
+    let mut offset = 0;
+    for len in lens {
+        uplifts.push(uplift_from(&outputs[offset..offset + len]));
+        offset += len;
+    }
+    uplifts
 }
 
 /// One Figure 11 cell: geomean uplift of a proposal under an LLC policy.
@@ -90,7 +102,9 @@ pub struct Fig11Cell {
 }
 
 /// Runs Figure 11: sensitivity to the LLC replacement policy.
-pub fn fig11(config: &SystemConfig, scale: &RunScale, smt: bool) -> Vec<Fig11Cell> {
+pub fn fig11(campaign: &Campaign, config: &SystemConfig, smt: bool) -> Vec<Fig11Cell> {
+    let scale = campaign.scale();
+    let mut labels = Vec::new();
     let mut cells = Vec::new();
     for llc in LlcChoice::ALL {
         let build = BuildConfig {
@@ -98,15 +112,20 @@ pub fn fig11(config: &SystemConfig, scale: &RunScale, smt: bool) -> Vec<Fig11Cel
             ..BuildConfig::default()
         };
         for preset in [Preset::Itp, Preset::ItpXptp] {
-            cells.push(Fig11Cell {
-                llc,
-                preset,
-                smt,
-                geomean_pct: uplift(config, &build, preset, scale, smt),
-            });
+            labels.push((llc, preset));
+            cells.push(uplift_requests(config, &build, preset, scale, smt));
         }
     }
-    cells
+    labels
+        .into_iter()
+        .zip(batched_uplifts(campaign, cells))
+        .map(|((llc, preset), geomean_pct)| Fig11Cell {
+            llc,
+            preset,
+            smt,
+            geomean_pct,
+        })
+        .collect()
 }
 
 /// The ITLB sizes of Figure 12.
@@ -126,20 +145,33 @@ pub struct Fig12Cell {
 }
 
 /// Runs Figure 12: sensitivity to ITLB size.
-pub fn fig12(config: &SystemConfig, scale: &RunScale, smt: bool) -> Vec<Fig12Cell> {
+pub fn fig12(campaign: &Campaign, config: &SystemConfig, smt: bool) -> Vec<Fig12Cell> {
+    let scale = campaign.scale();
+    let mut labels = Vec::new();
     let mut cells = Vec::new();
     for entries in FIG12_ITLB_SIZES {
         let cfg = config.with_itlb_entries(entries);
         for preset in [Preset::Itp, Preset::ItpXptp] {
-            cells.push(Fig12Cell {
-                itlb_entries: entries,
+            labels.push((entries, preset));
+            cells.push(uplift_requests(
+                &cfg,
+                &BuildConfig::default(),
                 preset,
+                scale,
                 smt,
-                geomean_pct: uplift(&cfg, &BuildConfig::default(), preset, scale, smt),
-            });
+            ));
         }
     }
-    cells
+    labels
+        .into_iter()
+        .zip(batched_uplifts(campaign, cells))
+        .map(|((itlb_entries, preset), geomean_pct)| Fig12Cell {
+            itlb_entries,
+            preset,
+            smt,
+            geomean_pct,
+        })
+        .collect()
 }
 
 /// The 2 MiB-page footprint fractions of Figure 13.
@@ -159,7 +191,9 @@ pub struct Fig13Cell {
 }
 
 /// Runs Figure 13: performance with part of the footprint on 2 MiB pages.
-pub fn fig13(config: &SystemConfig, scale: &RunScale, smt: bool) -> Vec<Fig13Cell> {
+pub fn fig13(campaign: &Campaign, config: &SystemConfig, smt: bool) -> Vec<Fig13Cell> {
+    let scale = campaign.scale();
+    let mut labels = Vec::new();
     let mut cells = Vec::new();
     for fraction in FIG13_FRACTIONS {
         let cfg = config.with_huge_pages(itpx_vm::HugePagePolicy::uniform(
@@ -167,15 +201,26 @@ pub fn fig13(config: &SystemConfig, scale: &RunScale, smt: bool) -> Vec<Fig13Cel
             0x2025 ^ (fraction * 1000.0) as u64,
         ));
         for preset in [Preset::Tdrrip, Preset::Ptp, Preset::Chirp, Preset::ItpXptp] {
-            cells.push(Fig13Cell {
-                fraction,
+            labels.push((fraction, preset));
+            cells.push(uplift_requests(
+                &cfg,
+                &BuildConfig::default(),
                 preset,
+                scale,
                 smt,
-                geomean_pct: uplift(&cfg, &BuildConfig::default(), preset, scale, smt),
-            });
+            ));
         }
     }
-    cells
+    labels
+        .into_iter()
+        .zip(batched_uplifts(campaign, cells))
+        .map(|((fraction, preset), geomean_pct)| Fig13Cell {
+            fraction,
+            preset,
+            smt,
+            geomean_pct,
+        })
+        .collect()
 }
 
 /// One Figure 14 bar: an STLB organization's geomean uplift over the
@@ -191,26 +236,21 @@ pub struct Fig14Bar {
 }
 
 /// Runs Figure 14: unified STLB + iTP+xPTP vs split STLB designs.
-pub fn fig14(config: &SystemConfig, scale: &RunScale, smt: bool) -> Vec<Fig14Bar> {
-    let sweep = Sweep::new(scale.host_threads);
-    let run_one = |cfg: &SystemConfig, preset: Preset| -> Vec<f64> {
+pub fn fig14(campaign: &Campaign, config: &SystemConfig, smt: bool) -> Vec<Fig14Bar> {
+    let scale = campaign.scale();
+    let block = |cfg: &SystemConfig, preset: Preset| -> Vec<SimRequest> {
         if smt {
-            sweep
-                .run(pairs(scale), |p| Simulation::smt(cfg, preset, p).run())
+            pairs(scale)
                 .iter()
-                .map(|o| o.ipc())
+                .map(|p| SimRequest::smt(cfg, preset, p))
                 .collect()
         } else {
-            sweep
-                .run(suite(scale), |w| {
-                    Simulation::single_thread(cfg, preset, w).run()
-                })
+            suite(scale)
                 .iter()
-                .map(|o| o.ipc())
+                .map(|w| SimRequest::single(cfg, preset, w))
                 .collect()
         }
     };
-    let base = run_one(config, Preset::Lru);
     let cases = [
         ("Unified 1536 iTP+xPTP", *config, Preset::ItpXptp),
         (
@@ -229,10 +269,22 @@ pub fn fig14(config: &SystemConfig, scale: &RunScale, smt: bool) -> Vec<Fig14Bar
             Preset::Lru,
         ),
     ];
+    // One batch: the shared baseline block followed by one block per case.
+    let mut requests = block(config, Preset::Lru);
+    let per_block = requests.len();
+    for (_, cfg, preset) in &cases {
+        requests.extend(block(cfg, *preset));
+    }
+    let outputs = campaign.run_batch(requests);
+    let base: Vec<f64> = outputs[..per_block].iter().map(|o| o.ipc()).collect();
     cases
-        .into_iter()
-        .map(|(label, cfg, preset)| {
-            let ipcs = run_one(&cfg, preset);
+        .iter()
+        .enumerate()
+        .map(|(i, (label, _, _))| {
+            let ipcs: Vec<f64> = outputs[(i + 1) * per_block..(i + 2) * per_block]
+                .iter()
+                .map(|o| o.ipc())
+                .collect();
             let improvements: Vec<f64> = ipcs
                 .iter()
                 .zip(&base)
@@ -257,9 +309,29 @@ pub struct AblationCell {
     pub geomean_pct: f64,
 }
 
+fn ablation_cells(
+    campaign: &Campaign,
+    settings: Vec<(String, BuildConfig, Preset)>,
+    config: &SystemConfig,
+) -> Vec<AblationCell> {
+    let scale = campaign.scale();
+    let cells = settings
+        .iter()
+        .map(|(_, build, preset)| uplift_requests(config, build, *preset, scale, false))
+        .collect();
+    settings
+        .into_iter()
+        .zip(batched_uplifts(campaign, cells))
+        .map(|((setting, _, _), geomean_pct)| AblationCell {
+            setting,
+            geomean_pct,
+        })
+        .collect()
+}
+
 /// Ablation: iTP's N (insertion depth) and M (data promotion height).
-pub fn ablation_nm(config: &SystemConfig, scale: &RunScale) -> Vec<AblationCell> {
-    [(2usize, 6usize), (4, 8), (6, 10), (2, 10), (4, 6)]
+pub fn ablation_nm(campaign: &Campaign, config: &SystemConfig) -> Vec<AblationCell> {
+    let settings = [(2usize, 6usize), (4, 8), (6, 10), (2, 10), (4, 6)]
         .into_iter()
         .map(|(n, m)| {
             let build = BuildConfig {
@@ -270,56 +342,44 @@ pub fn ablation_nm(config: &SystemConfig, scale: &RunScale) -> Vec<AblationCell>
                 },
                 ..BuildConfig::default()
             };
-            AblationCell {
-                setting: format!("N={n} M={m}"),
-                geomean_pct: uplift(config, &build, Preset::ItpXptp, scale, false),
-            }
+            (format!("N={n} M={m}"), build, Preset::ItpXptp)
         })
-        .collect()
+        .collect();
+    ablation_cells(campaign, settings, config)
 }
 
 /// Ablation: xPTP's K threshold.
-pub fn ablation_k(config: &SystemConfig, scale: &RunScale) -> Vec<AblationCell> {
-    [2usize, 4, 6, 8]
+pub fn ablation_k(campaign: &Campaign, config: &SystemConfig) -> Vec<AblationCell> {
+    let settings = [2usize, 4, 6, 8]
         .into_iter()
         .map(|k| {
             let build = BuildConfig {
                 xptp: XptpParams { k },
                 ..BuildConfig::default()
             };
-            AblationCell {
-                setting: format!("K={k}"),
-                geomean_pct: uplift(config, &build, Preset::ItpXptp, scale, false),
-            }
+            (format!("K={k}"), build, Preset::ItpXptp)
         })
-        .collect()
+        .collect();
+    ablation_cells(campaign, settings, config)
 }
 
 /// Ablation: the adaptive threshold T1 (misses per 1000-instruction
 /// epoch), plus the non-adaptive variant.
-pub fn ablation_t1(config: &SystemConfig, scale: &RunScale) -> Vec<AblationCell> {
-    let mut cells: Vec<AblationCell> = [0u64, 1, 2, 4, 16]
+pub fn ablation_t1(campaign: &Campaign, config: &SystemConfig) -> Vec<AblationCell> {
+    let mut settings: Vec<(String, BuildConfig, Preset)> = [0u64, 1, 2, 4, 16]
         .into_iter()
         .map(|t1| {
             let build = BuildConfig {
                 t1,
                 ..BuildConfig::default()
             };
-            AblationCell {
-                setting: format!("T1={t1}"),
-                geomean_pct: uplift(config, &build, Preset::ItpXptp, scale, false),
-            }
+            (format!("T1={t1}"), build, Preset::ItpXptp)
         })
         .collect();
-    cells.push(AblationCell {
-        setting: "static (always on)".to_string(),
-        geomean_pct: uplift(
-            config,
-            &BuildConfig::default(),
-            Preset::ItpXptpStatic,
-            scale,
-            false,
-        ),
-    });
-    cells
+    settings.push((
+        "static (always on)".to_string(),
+        BuildConfig::default(),
+        Preset::ItpXptpStatic,
+    ));
+    ablation_cells(campaign, settings, config)
 }

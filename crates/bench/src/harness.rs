@@ -1,7 +1,7 @@
 //! Parallel sweep machinery shared by all figure reproductions.
 
 use itpx_cpu::SimulationOutput;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How big an experiment run should be.
 ///
@@ -94,42 +94,56 @@ impl Sweep {
     /// Maps `jobs` through `f` in parallel, returning results in job order.
     pub fn run<J, F>(&self, jobs: Vec<J>, f: F) -> Vec<SimulationOutput>
     where
-        J: Send,
+        J: Send + Sync,
         F: Fn(&J) -> SimulationOutput + Sync,
     {
         self.run_generic(jobs, f)
     }
 
     /// Generic parallel map preserving input order.
+    ///
+    /// Jobs are claimed from a frozen `Vec` through a single atomic
+    /// cursor — no lock is held while claiming or while publishing a
+    /// result. Each worker buffers `(index, result)` pairs locally and the
+    /// buffers are merged after all workers join, so execution is
+    /// contention-free regardless of how uneven the per-job runtimes are.
     pub fn run_generic<J, R, F>(&self, jobs: Vec<J>, f: F) -> Vec<R>
     where
-        J: Send,
+        J: Send + Sync,
         R: Send,
         F: Fn(&J) -> R + Sync,
     {
         let n = jobs.len();
-        let queue: Mutex<std::collections::VecDeque<(usize, J)>> =
-            Mutex::new(jobs.into_iter().enumerate().collect());
-        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-        std::thread::scope(|scope| {
-            for _ in 0..self.host_threads.min(n.max(1)) {
-                scope.spawn(|| loop {
-                    let job = queue.lock().expect("queue poisoned").pop_front();
-                    match job {
-                        Some((i, j)) => {
-                            let r = f(&j);
-                            results.lock().expect("results poisoned")[i] = Some(r);
+        let cursor = AtomicUsize::new(0);
+        let workers = self.host_threads.min(n.max(1));
+        let buffers: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(&jobs[i])));
                         }
-                        None => break,
-                    }
-                });
-            }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
         });
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in buffers.into_iter().flatten() {
+            results[i] = Some(r);
+        }
         results
-            .into_inner()
-            .expect("results poisoned")
             .into_iter()
-            .map(|r| r.expect("job completed"))
+            .map(|r| r.expect("every index below n was claimed exactly once"))
             .collect()
     }
 }

@@ -7,6 +7,13 @@
 //!
 //! * [`harness`] — parallel sweep runner (N workloads × M configurations),
 //!   scale controls via `ITPX_*` environment variables.
+//! * [`campaign`] — the campaign engine: figures submit batches of
+//!   content-addressed simulation requests that are deduplicated, served
+//!   from the [`simcache`], and scheduled as one flat job queue.
+//! * [`simcache`] — memoized simulation results, in memory and persisted
+//!   under `target/simcache/` (opt out with `ITPX_SIMCACHE=0`).
+//! * [`figures`] — one report builder per figure, all driven by a shared
+//!   [`campaign::Campaign`].
 //! * [`report`] — table formatting, violin-style distribution summaries,
 //!   geomean aggregation, and report files.
 //! * [`experiments`] — one module per paper figure, returning structured
@@ -15,14 +22,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod campaign;
 pub mod csv;
 pub mod experiments;
+pub mod figures;
 pub mod harness;
 pub mod plot;
 pub mod report;
+pub mod simcache;
 pub mod stats_ci;
 
+pub use campaign::{Campaign, SimRequest, SimUnit};
 pub use csv::CsvSink;
 pub use harness::{RunScale, Sweep};
 pub use report::{Distribution, Report};
+pub use simcache::SimCache;
 pub use stats_ci::{bootstrap_geomean_ci, Comparison, GeomeanCi};

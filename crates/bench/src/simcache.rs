@@ -1,0 +1,442 @@
+//! Content-addressed memoization of simulation results.
+//!
+//! Simulations are deterministic functions of their configuration, so the
+//! campaign engine caches each [`SimulationOutput`] under the 64-bit
+//! fingerprint of everything that determined it (see
+//! [`crate::campaign::SimRequest::key`]). Results live in an in-process
+//! map and, for reuse across `run_all` invocations, as one small binary
+//! file per key under `target/simcache/`.
+//!
+//! The on-disk format is versioned: files start with a magic tag, a schema
+//! version, and the key they claim to hold. A file that is truncated,
+//! corrupted, carries a stale version, or disagrees with its file name is
+//! ignored (the run falls back to simulating and rewrites it). Set
+//! `ITPX_SIMCACHE=0` to bypass the cache entirely.
+
+use itpx_cpu::{SimulationOutput, ThreadOutput, WalkerSummary};
+use itpx_types::{OnlineMean, StructStats};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// File magic: identifies simcache entries.
+const MAGIC: &[u8; 8] = b"ITPXSIMC";
+/// Schema version; bump on any change to the serialized layout.
+const VERSION: u32 = 1;
+
+/// A process-wide simulation-result cache with disk persistence.
+#[derive(Debug)]
+pub struct SimCache {
+    enabled: bool,
+    dir: Option<PathBuf>,
+    mem: Mutex<std::collections::BTreeMap<u64, SimulationOutput>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SimCache {
+    /// A cache persisting under `dir` (`None` keeps it memory-only).
+    pub fn new(dir: Option<PathBuf>) -> Self {
+        Self {
+            enabled: true,
+            dir,
+            mem: Mutex::new(std::collections::BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The standard configuration: persistence under `target/simcache/`,
+    /// disabled entirely when `ITPX_SIMCACHE=0`.
+    pub fn from_env() -> Self {
+        let enabled = std::env::var("ITPX_SIMCACHE").map_or(true, |v| v != "0");
+        Self {
+            enabled,
+            ..Self::new(Some(PathBuf::from("target/simcache")))
+        }
+    }
+
+    /// A cache that never stores or serves anything (every lookup misses).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::new(None)
+        }
+    }
+
+    /// Whether lookups can ever hit.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Lookups served from memory or disk so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required a fresh simulation so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn file_for(&self, key: u64) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key:016x}.bin")))
+    }
+
+    /// The cached output for `key`, consulting memory first, then disk.
+    /// Counts a hit or miss either way.
+    pub fn get(&self, key: u64) -> Option<SimulationOutput> {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if let Some(out) = self.mem.lock().expect("simcache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(out.clone());
+        }
+        if let Some(path) = self.file_for(key) {
+            if let Some(out) = read_entry(&path, key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.mem
+                    .lock()
+                    .expect("simcache poisoned")
+                    .insert(key, out.clone());
+                return Some(out);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores `out` under `key` in memory and (best-effort) on disk.
+    pub fn insert(&self, key: u64, out: &SimulationOutput) {
+        if !self.enabled {
+            return;
+        }
+        self.mem
+            .lock()
+            .expect("simcache poisoned")
+            .insert(key, out.clone());
+        if let Some(path) = self.file_for(key) {
+            // Persistence failures (read-only disk, races) only cost a
+            // re-simulation later, so they are deliberately ignored.
+            let _ = write_entry(&path, key, out);
+        }
+    }
+}
+
+fn write_entry(path: &Path, key: u64, out: &SimulationOutput) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut buf = Vec::with_capacity(512);
+    buf.extend_from_slice(MAGIC);
+    put_u32(&mut buf, VERSION);
+    put_u64(&mut buf, key);
+    encode_output(&mut buf, out);
+    std::fs::write(path, buf)
+}
+
+fn read_entry(path: &Path, key: u64) -> Option<SimulationOutput> {
+    let bytes = std::fs::read(path).ok()?;
+    let mut r = Reader { bytes: &bytes };
+    if r.take(MAGIC.len())? != MAGIC.as_slice() {
+        return None;
+    }
+    if r.u32()? != VERSION || r.u64()? != key {
+        return None;
+    }
+    let out = decode_output(&mut r)?;
+    // Trailing garbage marks a corrupted entry.
+    if r.bytes.is_empty() {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+fn encode_output(buf: &mut Vec<u8>, out: &SimulationOutput) {
+    put_str(buf, &out.preset);
+    put_str(buf, &out.llc_policy);
+    put_u32(buf, out.threads.len() as u32);
+    for t in &out.threads {
+        put_str(buf, &t.workload);
+        put_u64(buf, t.instructions);
+        put_u64(buf, t.cycles);
+        put_u64(buf, t.itrans_stall_cycles);
+        put_u64(buf, t.mispredictions);
+    }
+    for s in [
+        &out.itlb, &out.dtlb, &out.stlb, &out.l1i, &out.l1d, &out.l2c, &out.llc,
+    ] {
+        put_stats(buf, s);
+    }
+    put_u64(buf, out.walker.walks);
+    put_u64(buf, out.walker.instruction_walks);
+    put_u64(buf, out.walker.data_walks);
+    put_f64(buf, out.walker.avg_latency);
+    put_f64(buf, out.walker.avg_memory_refs);
+    put_u64(buf, out.dram_reads);
+    put_u64(buf, out.dram_writes);
+    match out.xptp_enabled_fraction {
+        Some(f) => {
+            buf.push(1);
+            put_f64(buf, f);
+        }
+        None => buf.push(0),
+    }
+}
+
+fn decode_output(r: &mut Reader<'_>) -> Option<SimulationOutput> {
+    let preset = r.string()?;
+    let llc_policy = r.string()?;
+    let n_threads = r.u32()? as usize;
+    // An implausible thread count means corruption; cap before allocating.
+    if n_threads > 16 {
+        return None;
+    }
+    let mut threads = Vec::with_capacity(n_threads);
+    for _ in 0..n_threads {
+        threads.push(ThreadOutput {
+            workload: r.string()?,
+            instructions: r.u64()?,
+            cycles: r.u64()?,
+            itrans_stall_cycles: r.u64()?,
+            mispredictions: r.u64()?,
+        });
+    }
+    let mut stats = Vec::with_capacity(7);
+    for _ in 0..7 {
+        stats.push(r.stats()?);
+    }
+    let mut stats = stats.into_iter();
+    // 7 entries were just decoded, in field order.
+    let (itlb, dtlb, stlb, l1i, l1d, l2c, llc) = (
+        stats.next()?,
+        stats.next()?,
+        stats.next()?,
+        stats.next()?,
+        stats.next()?,
+        stats.next()?,
+        stats.next()?,
+    );
+    let walker = WalkerSummary {
+        walks: r.u64()?,
+        instruction_walks: r.u64()?,
+        data_walks: r.u64()?,
+        avg_latency: r.f64()?,
+        avg_memory_refs: r.f64()?,
+    };
+    let dram_reads = r.u64()?;
+    let dram_writes = r.u64()?;
+    let xptp_enabled_fraction = match r.u8()? {
+        0 => None,
+        1 => Some(r.f64()?),
+        _ => return None,
+    };
+    Some(SimulationOutput {
+        preset,
+        llc_policy,
+        threads,
+        itlb,
+        dtlb,
+        stlb,
+        l1i,
+        l1d,
+        l2c,
+        llc,
+        walker,
+        dram_reads,
+        dram_writes,
+        xptp_enabled_fraction,
+    })
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    // Bit-exact round-trip: never format or round floats.
+    put_u64(buf, v.to_bits());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_stats(buf: &mut Vec<u8>, s: &StructStats) {
+    let (accesses, misses, latency) = s.raw_parts();
+    for v in accesses.iter().chain(misses.iter()) {
+        put_u64(buf, *v);
+    }
+    let (count, sum) = latency.raw_parts();
+    put_u64(buf, count);
+    put_f64(buf, sum);
+}
+
+/// A bounds-checked little-endian reader; every accessor returns `None`
+/// past the end, so corrupted files degrade to a cache miss.
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.bytes.len() < n {
+            return None;
+        }
+        let (head, tail) = self.bytes.split_at(n);
+        self.bytes = tail;
+        Some(head)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn stats(&mut self) -> Option<StructStats> {
+        let mut accesses = [0u64; 4];
+        let mut misses = [0u64; 4];
+        for a in &mut accesses {
+            *a = self.u64()?;
+        }
+        for m in &mut misses {
+            *m = self.u64()?;
+        }
+        let count = self.u64()?;
+        let sum = self.f64()?;
+        Some(StructStats::from_raw_parts(
+            accesses,
+            misses,
+            OnlineMean::from_raw_parts(count, sum),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itpx_core::Preset;
+    use itpx_cpu::{Simulation, SystemConfig};
+    use itpx_trace::WorkloadSpec;
+
+    fn sample_output() -> SimulationOutput {
+        let w = WorkloadSpec::server_like(3)
+            .instructions(5_000)
+            .warmup(1_000);
+        Simulation::single_thread(&SystemConfig::asplos25(), Preset::ItpXptp, &w).run()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("itpx-simcache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let out = sample_output();
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("0000000000000007.bin");
+        write_entry(&path, 7, &out).expect("write");
+        let back = read_entry(&path, 7).expect("read");
+        assert_eq!(out, back, "serialized output must round-trip exactly");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let out = sample_output();
+        let dir = temp_dir("wrongkey");
+        let path = dir.join("entry.bin");
+        write_entry(&path, 7, &out).expect("write");
+        assert!(read_entry(&path, 8).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_and_stale_files_fall_back() {
+        let out = sample_output();
+        let dir = temp_dir("corrupt");
+        let path = dir.join("entry.bin");
+        write_entry(&path, 7, &out).expect("write");
+        let good = std::fs::read(&path).expect("read bytes");
+
+        // Truncated.
+        std::fs::write(&path, &good[..good.len() / 2]).expect("truncate");
+        assert!(read_entry(&path, 7).is_none());
+
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.push(0xEE);
+        std::fs::write(&path, &long).expect("extend");
+        assert!(read_entry(&path, 7).is_none());
+
+        // Stale schema version.
+        let mut stale = good.clone();
+        stale[8] = VERSION as u8 + 1;
+        std::fs::write(&path, &stale).expect("restamp");
+        assert!(read_entry(&path, 7).is_none());
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        std::fs::write(&path, &bad).expect("remagic");
+        assert!(read_entry(&path, 7).is_none());
+
+        // The untouched bytes still decode.
+        std::fs::write(&path, &good).expect("restore");
+        assert_eq!(read_entry(&path, 7), Some(out));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_serves_from_disk_across_instances() {
+        let dir = temp_dir("instances");
+        let out = sample_output();
+        let a = SimCache::new(Some(dir.clone()));
+        assert_eq!(a.get(42), None);
+        a.insert(42, &out);
+        assert_eq!(a.get(42), Some(out.clone()));
+        assert_eq!((a.hits(), a.misses()), (1, 1));
+
+        // A fresh instance (fresh process, conceptually) reads the file.
+        let b = SimCache::new(Some(dir.clone()));
+        assert_eq!(b.get(42), Some(out));
+        assert_eq!((b.hits(), b.misses()), (1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_cache_never_serves() {
+        let c = SimCache::disabled();
+        let out = sample_output();
+        c.insert(1, &out);
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.misses(), 1);
+    }
+}

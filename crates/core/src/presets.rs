@@ -10,6 +10,7 @@ use crate::adaptive::{AdaptiveXptp, StlbPressureMonitor, XptpSwitch};
 use crate::itp::{Itp, ItpParams};
 use crate::xptp::{Xptp, XptpParams};
 use itpx_policy::{CachePolicy, Chirp, Lru, Mockingjay, Ptp, Ship, TShip, Tdrrip, TlbPolicy};
+use itpx_types::fingerprint::{Fingerprint, Fnv1a};
 
 /// One row of the paper's Table 2: the (STLB policy, L2C policy) pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -178,6 +179,20 @@ impl LlcChoice {
     }
 }
 
+impl Fingerprint for Preset {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        // The stable display name doubles as the cache-key identity.
+        h.write_str(self.name());
+    }
+}
+
+impl Fingerprint for LlcChoice {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        // The stable display name doubles as the cache-key identity.
+        h.write_str(self.name());
+    }
+}
+
 /// (sets, ways) of each structure a preset needs to size its policies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StructureDims {
@@ -216,6 +231,19 @@ impl Default for BuildConfig {
             llc: LlcChoice::Lru,
             seed: 0x1735_c0de,
         }
+    }
+}
+
+impl Fingerprint for BuildConfig {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        h.write_usize(self.itp.n);
+        h.write_usize(self.itp.m);
+        h.write_u32(self.itp.freq_bits);
+        h.write_usize(self.xptp.k);
+        h.write_u64(self.epoch_instructions);
+        h.write_u64(self.t1);
+        self.llc.fingerprint(h);
+        h.write_u64(self.seed);
     }
 }
 

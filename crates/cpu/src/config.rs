@@ -2,6 +2,7 @@
 
 use itpx_core::presets::StructureDims;
 use itpx_mem::HierarchyConfig;
+use itpx_types::fingerprint::{Fingerprint, Fnv1a};
 use itpx_vm::page_table::HugePagePolicy;
 use itpx_vm::tlb::TlbConfig;
 
@@ -157,6 +158,27 @@ impl SystemConfig {
 impl Default for SystemConfig {
     fn default() -> Self {
         Self::asplos25()
+    }
+}
+
+impl Fingerprint for SystemConfig {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        // Every field can change simulated results, so every field is
+        // hashed, in declaration order.
+        h.write_usize(self.fetch_width);
+        h.write_usize(self.rob_entries);
+        h.write_usize(self.ftq_entries);
+        h.write_usize(self.retire_width);
+        h.write_u64(self.mispredict_penalty);
+        self.itlb.fingerprint(h);
+        self.dtlb.fingerprint(h);
+        self.stlb.fingerprint(h);
+        h.write_bool(self.split_stlb);
+        self.hierarchy.fingerprint(h);
+        h.write_usize(self.walker_concurrency);
+        h.write_usize(self.fdip_depth);
+        self.huge_pages.fingerprint(h);
+        h.write_u64(self.seed);
     }
 }
 

@@ -1,0 +1,155 @@
+//! Golden statistics pinning the simulator's exact output.
+//!
+//! The values below were captured from the nested-storage implementation
+//! (`Vec<Vec<Option<_>>>` cache/TLB sets, `Vec`/`BTreeMap` MSHR lists)
+//! immediately before the flat-storage refactor. The flattened structures
+//! must reproduce them bit-for-bit — including the `f64` miss-latency
+//! means, compared by IEEE-754 bit pattern — so any divergence in probe
+//! order, victim choice, or MSHR timing shows up as a hard failure here.
+
+use itpx_core::Preset;
+use itpx_cpu::{Simulation, SystemConfig};
+use itpx_trace::{smt_suite, WorkloadSpec};
+
+struct Golden {
+    preset: Preset,
+    seed: u64,
+    cycles: u64,
+    stlb: (u64, u64),
+    l1i: (u64, u64),
+    l1d: (u64, u64),
+    l2c: (u64, u64),
+    llc: (u64, u64),
+    itlb: (u64, u64),
+    dtlb: (u64, u64),
+    walks: u64,
+    dram: (u64, u64),
+    stall: u64,
+    lat_stlb_bits: u64,
+    lat_l2c_bits: u64,
+}
+
+const GOLDENS: [Golden; 4] = [
+    Golden {
+        preset: Preset::Lru,
+        seed: 7,
+        cycles: 218_267,
+        stlb: (1309, 943),
+        l1i: (3603, 22),
+        l1d: (8932, 1061),
+        l2c: (3395, 1641),
+        llc: (1641, 1486),
+        itlb: (3603, 267),
+        dtlb: (8932, 1042),
+        walks: 943,
+        dram: (6149, 129),
+        stall: 61_108,
+        lat_stlb_bits: 4645053544909984878,
+        lat_l2c_bits: 4643337598683867190,
+    },
+    Golden {
+        preset: Preset::ItpXptp,
+        seed: 7,
+        cycles: 218_042,
+        stlb: (1309, 943),
+        l1i: (3603, 22),
+        l1d: (8932, 1061),
+        l2c: (3396, 1643),
+        llc: (1643, 1484),
+        itlb: (3603, 267),
+        dtlb: (8932, 1042),
+        walks: 943,
+        dram: (6147, 128),
+        stall: 60_996,
+        lat_stlb_bits: 4645041885189647911,
+        lat_l2c_bits: 4643330774157004473,
+    },
+    Golden {
+        preset: Preset::Tdrrip,
+        seed: 11,
+        cycles: 187_502,
+        stlb: (1066, 733),
+        l1i: (3597, 11),
+        l1d: (9031, 907),
+        l2c: (2785, 1282),
+        llc: (1282, 1200),
+        itlb: (3597, 204),
+        dtlb: (9031, 862),
+        walks: 733,
+        dram: (5634, 84),
+        stall: 45_987,
+        lat_stlb_bits: 4644843209077963973,
+        lat_l2c_bits: 4643245110280393004,
+    },
+    Golden {
+        preset: Preset::Chirp,
+        seed: 3,
+        cycles: 213_673,
+        stlb: (1402, 916),
+        l1i: (3510, 5),
+        l1d: (9002, 1203),
+        l2c: (3507, 1717),
+        llc: (1717, 1516),
+        itlb: (3510, 209),
+        dtlb: (9002, 1193),
+        walks: 916,
+        dram: (6044, 163),
+        stall: 58_026,
+        lat_stlb_bits: 4646231406212853349,
+        lat_l2c_bits: 4643620446746645918,
+    },
+];
+
+#[test]
+fn single_thread_stats_match_nested_era_goldens() {
+    let cfg = SystemConfig::asplos25();
+    for g in &GOLDENS {
+        let w = WorkloadSpec::server_like(g.seed)
+            .instructions(30_000)
+            .warmup(8_000);
+        let o = Simulation::single_thread(&cfg, g.preset, &w).run();
+        let ctx = format!("{:?} seed {}", g.preset, g.seed);
+        assert_eq!(o.threads[0].cycles, g.cycles, "cycles, {ctx}");
+        assert_eq!((o.stlb.accesses(), o.stlb.misses()), g.stlb, "stlb, {ctx}");
+        assert_eq!((o.l1i.accesses(), o.l1i.misses()), g.l1i, "l1i, {ctx}");
+        assert_eq!((o.l1d.accesses(), o.l1d.misses()), g.l1d, "l1d, {ctx}");
+        assert_eq!((o.l2c.accesses(), o.l2c.misses()), g.l2c, "l2c, {ctx}");
+        assert_eq!((o.llc.accesses(), o.llc.misses()), g.llc, "llc, {ctx}");
+        assert_eq!((o.itlb.accesses(), o.itlb.misses()), g.itlb, "itlb, {ctx}");
+        assert_eq!((o.dtlb.accesses(), o.dtlb.misses()), g.dtlb, "dtlb, {ctx}");
+        assert_eq!(o.walker.walks, g.walks, "walks, {ctx}");
+        assert_eq!((o.dram_reads, o.dram_writes), g.dram, "dram, {ctx}");
+        assert_eq!(
+            o.threads[0].itrans_stall_cycles, g.stall,
+            "itrans stall, {ctx}"
+        );
+        assert_eq!(
+            o.stlb.avg_miss_latency().to_bits(),
+            g.lat_stlb_bits,
+            "stlb miss-latency bits, {ctx}"
+        );
+        assert_eq!(
+            o.l2c.avg_miss_latency().to_bits(),
+            g.lat_l2c_bits,
+            "l2c miss-latency bits, {ctx}"
+        );
+    }
+}
+
+#[test]
+fn smt_stats_match_nested_era_goldens() {
+    let cfg = SystemConfig::asplos25();
+    let mut pair = smt_suite(2).remove(1);
+    pair.a = pair.a.instructions(20_000).warmup(5_000);
+    pair.b = pair.b.instructions(20_000).warmup(5_000);
+    let o = Simulation::smt(&cfg, Preset::ItpXptp, &pair).run();
+    assert_eq!(
+        (o.threads[0].cycles, o.threads[1].cycles),
+        (265_837, 248_897)
+    );
+    assert_eq!((o.stlb.accesses(), o.stlb.misses()), (2047, 1121));
+    assert_eq!((o.l2c.accesses(), o.l2c.misses()), (4996, 2363));
+    assert_eq!((o.llc.accesses(), o.llc.misses()), (2363, 1963));
+    assert_eq!(o.walker.walks, 1121);
+    assert_eq!((o.dram_reads, o.dram_writes), (8010, 228));
+}

@@ -2,7 +2,8 @@
 //! MSHR-aware fill timing.
 
 use itpx_policy::{CacheMeta, CachePolicy};
-use itpx_types::{Cycle, StructStats};
+use itpx_types::fingerprint::{Fingerprint, Fnv1a};
+use itpx_types::{Cycle, FillClass, SlotPool, StructStats};
 
 /// Geometry and timing of a cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +22,15 @@ impl CacheConfig {
     /// Capacity in bytes (64-byte blocks).
     pub fn bytes(&self) -> usize {
         self.sets * self.ways * 64
+    }
+}
+
+impl Fingerprint for CacheConfig {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        h.write_usize(self.sets);
+        h.write_usize(self.ways);
+        h.write_u64(self.latency);
+        h.write_usize(self.mshr_entries);
     }
 }
 
@@ -51,14 +61,26 @@ pub struct Writeback {
 }
 
 /// One set-associative cache level.
+///
+/// Tag storage is a single flat slice indexed by `set * ways + way`, with
+/// per-set validity bitmasks — the probe/fill loops below are the
+/// simulator's most-executed code, and the flat layout removes the
+/// per-access double indirection (and per-way `Option` discriminant) of a
+/// nested `Vec<Vec<Option<Line>>>`.
 #[derive(Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    lines: Vec<Vec<Option<Line>>>,
+    /// `sets * ways` line slots; a slot's content is meaningful only when
+    /// the corresponding bit of `valid` is set.
+    lines: Box<[Line]>,
+    /// Per-set validity bitmask (bit `w` ⇔ way `w` holds a line).
+    valid: Box<[u64]>,
+    /// `ways` low bits set: the mask of a fully occupied set.
+    full_mask: u64,
     policy: CachePolicy,
     stats: StructStats,
     /// Completion times of outstanding misses (lazy-cleaned MSHR model).
-    inflight: Vec<Cycle>,
+    inflight: SlotPool<Cycle>,
     prefetch_issued: u64,
     prefetch_useful: u64,
     writebacks: u64,
@@ -69,18 +91,28 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is degenerate.
+    /// Panics if the geometry is degenerate or associativity exceeds 64
+    /// (the validity-bitmask width).
     pub fn new(cfg: CacheConfig, policy: CachePolicy) -> Self {
         assert!(
             cfg.sets > 0 && cfg.ways > 0,
             "cache needs sets > 0, ways > 0"
         );
+        assert!(cfg.ways <= 64, "valid bitmask holds at most 64 ways");
         assert!(cfg.mshr_entries > 0, "cache needs at least one MSHR");
+        let placeholder = Line {
+            block: 0,
+            ready: 0,
+            dirty: false,
+            meta: CacheMeta::demand(0, FillClass::DataPayload),
+        };
         Self {
-            lines: vec![vec![None; cfg.ways]; cfg.sets],
+            lines: vec![placeholder; cfg.sets * cfg.ways].into_boxed_slice(),
+            valid: vec![0; cfg.sets].into_boxed_slice(),
+            full_mask: u64::MAX >> (64 - cfg.ways as u32),
             policy,
             stats: StructStats::new(),
-            inflight: Vec::new(),
+            inflight: SlotPool::with_capacity(cfg.mshr_entries),
             prefetch_issued: 0,
             prefetch_useful: 0,
             writebacks: 0,
@@ -127,20 +159,49 @@ impl Cache {
         (block as usize) % self.cfg.sets
     }
 
+    /// The flat-slice index of `(set, way)`.
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.cfg.ways + way
+    }
+
+    /// First valid way in `set` holding `block`, if any. Ways are scanned
+    /// in ascending order (bit order of the validity mask), matching the
+    /// nested-storage scan.
+    fn find_way(&self, set: usize, block: u64) -> Option<usize> {
+        let mut mask = self.valid[set];
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            // way < cfg.ways because only the low `ways` mask bits are set
+            if self.lines[self.slot(set, way)].block == block {
+                return Some(way);
+            }
+            mask &= mask - 1;
+        }
+        None
+    }
+
+    /// Lowest invalid way in `set`, if the set is not full.
+    fn first_free_way(&self, set: usize) -> Option<usize> {
+        let free = !self.valid[set] & self.full_mask;
+        if free == 0 {
+            None
+        } else {
+            Some(free.trailing_zeros() as usize)
+        }
+    }
+
     /// Probes for `meta.block` at `now`. `demand` controls whether the
     /// access is recorded in the demand statistics (prefetch and writeback
     /// probes are not).
     pub fn probe(&mut self, meta: &CacheMeta, now: Cycle, demand: bool) -> Probe {
         let set = self.set_of(meta.block);
-        let way = self.lines[set]
-            .iter()
-            .position(|l| matches!(l, Some(l) if l.block == meta.block));
-        match way {
+        match self.find_way(set, meta.block) {
             Some(way) => {
+                let slot = self.slot(set, way);
                 if demand {
                     self.stats.record(meta.fill, false);
-                    // lookup only returns ways holding Some line
-                    let line = self.lines[set][way].as_mut().expect("hit line");
+                    // slot indexes a valid way found above
+                    let line = &mut self.lines[slot];
                     if line.meta.pc == u64::MAX {
                         // First demand touch of a prefetched block.
                         line.meta.pc = meta.pc;
@@ -148,8 +209,8 @@ impl Cache {
                     }
                 }
                 self.policy.on_hit(set, way, meta);
-                // lookup only returns ways holding Some line
-                let ready = self.lines[set][way].expect("hit line").ready;
+                // slot indexes a valid way found above
+                let ready = self.lines[slot].ready;
                 Probe::Hit(ready.max(now + self.cfg.latency))
             }
             None => {
@@ -165,6 +226,7 @@ impl Cache {
     fn mshr_allocate(&mut self, now: Cycle) -> Cycle {
         self.inflight.retain(|&r| r > now);
         if self.inflight.len() >= self.cfg.mshr_entries {
+            // guarded: len >= mshr_entries >= 1, so a minimum exists
             self.inflight.iter().copied().min().unwrap_or(now).max(now)
         } else {
             now
@@ -187,13 +249,10 @@ impl Cache {
         } else {
             self.prefetch_issued += 1;
         }
-        self.inflight.push(ready);
+        self.inflight.insert(ready);
         let set = self.set_of(meta.block);
         // Refill of a resident block (e.g. racing prefetch): refresh only.
-        if let Some(way) = self.lines[set]
-            .iter()
-            .position(|l| matches!(l, Some(l) if l.block == meta.block))
-        {
+        if let Some(way) = self.find_way(set, meta.block) {
             self.policy.on_hit(set, way, meta);
             return None;
         }
@@ -202,14 +261,14 @@ impl Cache {
             // Mark prefetched lines so the first demand touch is counted.
             stored.pc = u64::MAX;
         }
-        let (way, wb) = match self.lines[set].iter().position(|l| l.is_none()) {
+        let (way, wb) = match self.first_free_way(set) {
             Some(w) => (w, None),
             None => {
                 let v = self.policy.victim(set, meta);
                 assert!(v < self.cfg.ways, "policy returned way out of range");
                 self.policy.on_evict(set, v);
-                // the set had no free way, so every way holds Some line
-                let victim = self.lines[set][v].expect("occupied way");
+                // the set had no free way, so every way holds a valid line
+                let victim = self.lines[self.slot(set, v)];
                 let wb = victim.dirty.then(|| {
                     self.writebacks += 1;
                     Writeback {
@@ -219,12 +278,14 @@ impl Cache {
                 (v, wb)
             }
         };
-        self.lines[set][way] = Some(Line {
+        self.valid[set] |= 1 << way;
+        // way came from first_free_way or a range-checked victim
+        self.lines[self.slot(set, way)] = Line {
             block: meta.block,
             ready,
             dirty: false,
             meta: stored,
-        });
+        };
         self.policy.on_fill(set, way, meta);
         wb
     }
@@ -232,12 +293,10 @@ impl Cache {
     /// Marks `block` dirty if resident (stores; dirty writeback landing).
     pub fn mark_dirty(&mut self, block: u64) {
         let set = self.set_of(block);
-        if let Some(l) = self.lines[set]
-            .iter_mut()
-            .flatten()
-            .find(|l| l.block == block)
-        {
-            l.dirty = true;
+        if let Some(way) = self.find_way(set, block) {
+            let slot = self.slot(set, way);
+            // slot indexes a valid way found above
+            self.lines[slot].dirty = true;
         }
     }
 
@@ -253,9 +312,7 @@ impl Cache {
     /// Whether `block` is resident.
     pub fn contains(&self, block: u64) -> bool {
         let set = self.set_of(block);
-        self.lines[set]
-            .iter()
-            .any(|l| matches!(l, Some(l) if l.block == block))
+        self.find_way(set, block).is_some()
     }
 }
 

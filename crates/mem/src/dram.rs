@@ -2,6 +2,7 @@
 //! with finite bandwidth (Table 1: tRP = tRCD = tCAS = 12 DRAM cycles,
 //! 12.8 GB/s, against a 4 GHz core clock).
 
+use itpx_types::fingerprint::{Fingerprint, Fnv1a};
 use itpx_types::Cycle;
 
 /// DRAM timing parameters, in core cycles.
@@ -21,6 +22,13 @@ impl Default for DramConfig {
             latency: 90,
             bus_interval: 20,
         }
+    }
+}
+
+impl Fingerprint for DramConfig {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        h.write_u64(self.latency);
+        h.write_u64(self.bus_interval);
     }
 }
 

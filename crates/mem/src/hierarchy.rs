@@ -13,6 +13,7 @@ use crate::cache::{Cache, CacheConfig, Probe};
 use crate::dram::{Dram, DramConfig};
 use crate::prefetch::{NextLinePrefetcher, StridePrefetcher};
 use itpx_policy::{CacheMeta, CachePolicy};
+use itpx_types::fingerprint::{Fingerprint, Fnv1a};
 use itpx_types::{Cycle, FillClass, PhysAddr, ThreadId, TranslationKind};
 
 /// Geometry of every level plus DRAM timing.
@@ -67,6 +68,16 @@ impl HierarchyConfig {
 impl Default for HierarchyConfig {
     fn default() -> Self {
         Self::asplos25()
+    }
+}
+
+impl Fingerprint for HierarchyConfig {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        self.l1i.fingerprint(h);
+        self.l1d.fingerprint(h);
+        self.l2.fingerprint(h);
+        self.llc.fingerprint(h);
+        self.dram.fingerprint(h);
     }
 }
 

@@ -1,5 +1,7 @@
 //! Workload descriptions: footprints, locality, and mix parameters.
 
+use itpx_types::fingerprint::{Fingerprint, Fnv1a};
+
 /// Base of the code region in a workload's virtual address space.
 pub const CODE_BASE: u64 = 0x10_0000_0000;
 /// Base of the data region.
@@ -162,6 +164,29 @@ impl Profile {
     }
 }
 
+impl Fingerprint for Profile {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        h.write_usize(self.code_pages);
+        h.write_usize(self.fn_len_min);
+        h.write_usize(self.fn_len_max);
+        h.write_f64(self.code_zipf_s);
+        h.write_f64(self.ring_ratio);
+        h.write_usize(self.ring_pages);
+        h.write_f64(self.loop_prob);
+        h.write_usize(self.data_pages);
+        h.write_f64(self.data_zipf_s);
+        h.write_f64(self.load_ratio);
+        h.write_f64(self.store_ratio);
+        h.write_f64(self.stream_ratio);
+        h.write_usize(self.stream_blocks);
+        h.write_f64(self.hot_ratio);
+        h.write_usize(self.hot_blocks);
+        h.write_f64(self.transit_ratio);
+        h.write_usize(self.transit_pages);
+        h.write_f64(self.long_latency_ratio);
+    }
+}
+
 /// One workload: a profile plus identity and run lengths.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
@@ -231,6 +256,18 @@ impl WorkloadSpec {
     }
 }
 
+impl Fingerprint for WorkloadSpec {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        // The name flows into SimulationOutput, so it is part of the
+        // cached result's identity, not just a label.
+        h.write_str(&self.name);
+        h.write_u64(self.seed);
+        self.profile.fingerprint(h);
+        h.write_u64(self.instructions);
+        h.write_u64(self.warmup);
+    }
+}
+
 /// SMT co-location pressure category (Section 5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SmtCategory {
@@ -275,6 +312,14 @@ impl SmtPairSpec {
     /// Display name of the pair.
     pub fn name(&self) -> String {
         format!("{}+{}", self.a.name, self.b.name)
+    }
+}
+
+impl Fingerprint for SmtPairSpec {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        self.a.fingerprint(h);
+        self.b.fingerprint(h);
+        h.write_str(self.category.name());
     }
 }
 

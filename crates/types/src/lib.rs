@@ -29,12 +29,16 @@
 
 pub mod access;
 pub mod addr;
+pub mod fingerprint;
+pub mod mshr;
 pub mod page;
 pub mod rng;
 pub mod stats;
 
 pub use access::{AccessKind, FillClass, TranslationKind};
 pub use addr::{BlockAddr, PhysAddr, VirtAddr, Vpn, BLOCK_BYTES, BLOCK_SHIFT};
+pub use fingerprint::{Fingerprint, Fnv1a};
+pub use mshr::SlotPool;
 pub use page::PageSize;
 pub use rng::Rng64;
 pub use stats::{Histogram, MpkiBreakdown, OnlineMean, StructStats};

@@ -42,6 +42,16 @@ impl OnlineMean {
         self.count += other.count;
         self.sum += other.sum;
     }
+
+    /// The raw `(count, sum)` state, for exact serialization.
+    pub fn raw_parts(&self) -> (u64, f64) {
+        (self.count, self.sum)
+    }
+
+    /// Rebuilds a mean from [`raw_parts`](Self::raw_parts) output.
+    pub fn from_raw_parts(count: u64, sum: f64) -> Self {
+        Self { count, sum }
+    }
 }
 
 /// Power-of-two bucketed histogram (bucket *i* counts values in
@@ -230,6 +240,21 @@ impl StructStats {
     /// Clears all counters (used at the warmup/measurement boundary).
     pub fn reset(&mut self) {
         *self = StructStats::default();
+    }
+
+    /// The raw per-class counter state, for exact serialization:
+    /// `(accesses, misses, miss-latency mean)`.
+    pub fn raw_parts(&self) -> ([u64; 4], [u64; 4], OnlineMean) {
+        (self.accesses, self.misses, self.miss_latency)
+    }
+
+    /// Rebuilds counters from [`raw_parts`](Self::raw_parts) output.
+    pub fn from_raw_parts(accesses: [u64; 4], misses: [u64; 4], miss_latency: OnlineMean) -> Self {
+        Self {
+            accesses,
+            misses,
+            miss_latency,
+        }
     }
 
     /// Merges counters from another structure (used to aggregate SMT runs).

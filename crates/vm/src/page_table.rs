@@ -12,6 +12,7 @@
 //! physical frames are scattered deterministically so PTE and payload
 //! blocks spread over cache sets as they would on a long-lived server.
 
+use itpx_types::fingerprint::{Fingerprint, Fnv1a};
 use itpx_types::{PageSize, PhysAddr, Rng64, TranslationKind, VirtAddr};
 use std::collections::HashMap;
 
@@ -107,6 +108,14 @@ pub struct HugePagePolicy {
     pub data_fraction: f64,
     /// Seed for the per-region decision hash.
     pub seed: u64,
+}
+
+impl Fingerprint for HugePagePolicy {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        h.write_f64(self.code_fraction);
+        h.write_f64(self.data_fraction);
+        h.write_u64(self.seed);
+    }
 }
 
 impl HugePagePolicy {

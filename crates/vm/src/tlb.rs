@@ -11,10 +11,11 @@
 //! compared in Section 6.6.
 
 use itpx_policy::{TlbMeta, TlbPolicy};
+use itpx_types::fingerprint::{Fingerprint, Fnv1a};
 use itpx_types::{
-    Cycle, FillClass, PageSize, PhysAddr, StructStats, ThreadId, TranslationKind, VirtAddr,
+    Cycle, FillClass, PageSize, PhysAddr, SlotPool, StructStats, ThreadId, TranslationKind,
+    VirtAddr,
 };
-use std::collections::BTreeMap;
 
 /// Geometry and timing of one TLB level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +34,15 @@ impl TlbConfig {
     /// Total entry count.
     pub fn entries(&self) -> usize {
         self.sets * self.ways
+    }
+}
+
+impl Fingerprint for TlbConfig {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        h.write_usize(self.sets);
+        h.write_usize(self.ways);
+        h.write_u64(self.latency);
+        h.write_usize(self.mshr_entries);
     }
 }
 
@@ -71,16 +81,27 @@ pub enum TlbLookup {
 }
 
 /// One set-associative TLB level.
+///
+/// Entry storage is a single flat slice indexed by `set * ways + way` with
+/// per-set validity bitmasks, mirroring [`itpx_mem`]'s cache layout: TLB
+/// probes run on every simulated memory reference, and the flat layout
+/// removes the nested-`Vec` double indirection on that path.
 #[derive(Debug)]
 pub struct Tlb {
     cfg: TlbConfig,
-    entries: Vec<Vec<Option<Entry>>>,
+    /// `sets * ways` entry slots; a slot's content is meaningful only when
+    /// the corresponding bit of `valid` is set.
+    entries: Box<[Entry]>,
+    /// Per-set validity bitmask (bit `w` ⇔ way `w` holds an entry).
+    valid: Box<[u64]>,
+    /// `ways` low bits set: the mask of a fully occupied set.
+    full_mask: u64,
     policy: TlbPolicy,
     stats: StructStats,
-    /// In-flight misses by 4 KiB VPN. Ordered map: `retain` and the
-    /// `values().min()` scan below iterate it, and `HashMap` iteration
-    /// order is per-process nondeterministic.
-    outstanding: BTreeMap<u64, Mshr>,
+    /// In-flight misses keyed by 4 KiB VPN (keys unique, lazy-cleaned).
+    /// Consumers only take order-insensitive views (key lookup, `retain`,
+    /// minimum completion time), so slot order never affects results.
+    outstanding: SlotPool<(u64, Mshr)>,
 }
 
 impl Tlb {
@@ -88,15 +109,25 @@ impl Tlb {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is degenerate.
+    /// Panics if the geometry is degenerate or associativity exceeds 64
+    /// (the validity-bitmask width).
     pub fn new(cfg: TlbConfig, policy: TlbPolicy) -> Self {
         assert!(cfg.sets > 0 && cfg.ways > 0, "TLB needs sets > 0, ways > 0");
+        assert!(cfg.ways <= 64, "valid bitmask holds at most 64 ways");
         assert!(cfg.mshr_entries > 0, "TLB needs at least one MSHR");
+        let placeholder = Entry {
+            vpn: 0,
+            size: PageSize::Base4K,
+            frame: PhysAddr::new(0),
+            ready: 0,
+        };
         Self {
-            entries: vec![vec![None; cfg.ways]; cfg.sets],
+            entries: vec![placeholder; cfg.sets * cfg.ways].into_boxed_slice(),
+            valid: vec![0; cfg.sets].into_boxed_slice(),
+            full_mask: u64::MAX >> (64 - cfg.ways as u32),
             policy,
             stats: StructStats::new(),
-            outstanding: BTreeMap::new(),
+            outstanding: SlotPool::with_capacity(cfg.mshr_entries),
             cfg,
         }
     }
@@ -128,6 +159,38 @@ impl Tlb {
         (vpn as usize) % self.cfg.sets
     }
 
+    /// The flat-slice index of `(set, way)`.
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.cfg.ways + way
+    }
+
+    /// First valid way in `set` holding `(vpn, size)`, if any. Ways are
+    /// scanned in ascending order (bit order of the validity mask),
+    /// matching the nested-storage scan.
+    fn find_way(&self, set: usize, vpn: u64, size: PageSize) -> Option<usize> {
+        let mut mask = self.valid[set];
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            // way < cfg.ways because only the low `ways` mask bits are set
+            let e = &self.entries[self.slot(set, way)];
+            if e.vpn == vpn && e.size == size {
+                return Some(way);
+            }
+            mask &= mask - 1;
+        }
+        None
+    }
+
+    /// Lowest invalid way in `set`, if the set is not full.
+    fn first_free_way(&self, set: usize) -> Option<usize> {
+        let free = !self.valid[set] & self.full_mask;
+        if free == 0 {
+            None
+        } else {
+            Some(free.trailing_zeros() as usize)
+        }
+    }
+
     fn meta(&self, vpn: u64, pc: u64, kind: TranslationKind, thread: ThreadId) -> TlbMeta {
         TlbMeta {
             vpn,
@@ -150,15 +213,12 @@ impl Tlb {
         for size in [PageSize::Base4K, PageSize::Huge2M] {
             let vpn = va.vpn(size).0;
             let set = self.set_of(vpn);
-            let hit_way = self.entries[set]
-                .iter()
-                .position(|e| matches!(e, Some(e) if e.vpn == vpn && e.size == size));
-            if let Some(way) = hit_way {
+            if let Some(way) = self.find_way(set, vpn, size) {
                 let meta = self.meta(vpn, pc, kind, thread);
                 self.policy.on_hit(set, way, &meta);
                 self.stats.record(Self::stat_class(kind), false);
-                // hit_way only reports ways holding Some entry
-                let entry = self.entries[set][way].expect("hit entry");
+                // find_way only reports valid ways
+                let entry = self.entries[self.slot(set, way)];
                 return TlbLookup::Hit {
                     done: done.max(entry.ready),
                     frame: entry.frame,
@@ -174,8 +234,8 @@ impl Tlb {
     /// returns the cycle its walk completes (MSHR merge).
     pub fn merge(&mut self, va: VirtAddr, now: Cycle) -> Option<Cycle> {
         let key = va.vpn(PageSize::Base4K).0;
-        match self.outstanding.get(&key) {
-            Some(m) if m.ready > now => Some(m.ready),
+        match self.outstanding.find(|(k, _)| *k == key) {
+            Some((_, m)) if m.ready > now => Some(m.ready),
             _ => None,
         }
     }
@@ -186,38 +246,43 @@ impl Tlb {
     pub fn mshr_alloc(&mut self, va: VirtAddr, kind: TranslationKind, now: Cycle) -> Cycle {
         let key = va.vpn(PageSize::Base4K).0;
         // Retire completed entries.
-        self.outstanding.retain(|_, m| m.ready > now);
+        self.outstanding.retain(|(_, m)| m.ready > now);
         let start = if self.outstanding.len() >= self.cfg.mshr_entries {
             // Wait for the earliest in-flight miss to free its register.
             self.outstanding
-                .values()
-                .map(|m| m.ready)
+                .iter()
+                .map(|(_, m)| m.ready)
                 .min()
                 .unwrap_or(now)
                 .max(now)
         } else {
             now
         };
-        self.outstanding.insert(
-            key,
-            Mshr {
-                ready: Cycle::MAX,
-                kind,
-            },
-        );
+        let mshr = Mshr {
+            ready: Cycle::MAX,
+            kind,
+        };
+        // Keys are unique: re-allocating an outstanding VPN overwrites its
+        // entry, as a keyed map's insert would.
+        match self.outstanding.find_mut(|(k, _)| *k == key) {
+            Some(e) => e.1 = mshr,
+            None => self.outstanding.insert((key, mshr)),
+        }
         start
     }
 
     /// The `Type` bit stored for an outstanding miss.
     pub fn mshr_kind(&self, va: VirtAddr) -> Option<TranslationKind> {
+        let key = va.vpn(PageSize::Base4K).0;
         self.outstanding
-            .get(&va.vpn(PageSize::Base4K).0)
-            .map(|m| m.kind)
+            .find(|(k, _)| *k == key)
+            .map(|(_, m)| m.kind)
     }
 
     /// Completes the MSHR for `va`: later merged requests observe `ready`.
     pub fn mshr_complete(&mut self, va: VirtAddr, ready: Cycle) {
-        if let Some(m) = self.outstanding.get_mut(&va.vpn(PageSize::Base4K).0) {
+        let key = va.vpn(PageSize::Base4K).0;
+        if let Some((_, m)) = self.outstanding.find_mut(|(k, _)| *k == key) {
             m.ready = ready;
         }
     }
@@ -240,16 +305,13 @@ impl Tlb {
         self.stats.record_miss_latency(miss_latency);
         let set = self.set_of(vpn);
         // Already present (filled by a merged miss): just refresh.
-        if let Some(way) = self.entries[set]
-            .iter()
-            .position(|e| matches!(e, Some(e) if e.vpn == vpn && e.size == size))
-        {
+        if let Some(way) = self.find_way(set, vpn, size) {
             let meta = self.meta(vpn, pc, kind, thread);
             self.policy.on_hit(set, way, &meta);
             return;
         }
         let meta = self.meta(vpn, pc, kind, thread);
-        let way = match self.entries[set].iter().position(|e| e.is_none()) {
+        let way = match self.first_free_way(set) {
             Some(w) => w,
             None => {
                 let v = self.policy.victim(set, &meta);
@@ -258,12 +320,14 @@ impl Tlb {
                 v
             }
         };
-        self.entries[set][way] = Some(Entry {
+        self.valid[set] |= 1 << way;
+        // way came from first_free_way or a range-checked victim
+        self.entries[self.slot(set, way)] = Entry {
             vpn,
             size,
             frame,
             ready,
-        });
+        };
         self.policy.on_fill(set, way, &meta);
     }
 
@@ -278,9 +342,7 @@ impl Tlb {
     pub fn contains(&self, va: VirtAddr, size: PageSize) -> bool {
         let vpn = va.vpn(size).0;
         let set = self.set_of(vpn);
-        self.entries[set]
-            .iter()
-            .any(|e| matches!(e, Some(e) if e.vpn == vpn && e.size == size))
+        self.find_way(set, vpn, size).is_some()
     }
 }
 

@@ -18,6 +18,11 @@
 //!
 //! Lines inside `#[cfg(test)]` modules are exempt. Audited exceptions live
 //! in `crates/xtask/allowlist.txt`, one per line: `rule|path-suffix|needle`.
+//!
+//! The simulator crates get all rules. The campaign engine's cache path in
+//! `itpx-bench` ([`LINTED_CACHE_FILES`]) additionally gets the `std-time`
+//! and `entropy` rules: a cache key or persisted result derived from the
+//! wall clock or ambient randomness would silently break memoization.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -25,6 +30,19 @@ use std::path::{Path, PathBuf};
 /// Crate directories (under `crates/`) the lint covers. `bench` and
 /// `xtask` are excluded: neither runs inside a simulation.
 pub const LINTED_CRATES: &[&str] = &["types", "policy", "core", "vm", "mem", "cpu", "trace"];
+
+/// Bench files on the simulation-cache path. Cache keys and persisted
+/// results must be process-stable, so the `std-time` and `entropy` rules
+/// extend to these files — wall-clock timing belongs in the reporting
+/// binaries, never in cache identity. The other rules stay off: harness
+/// code may `.expect(...)` freely.
+pub const LINTED_CACHE_FILES: &[&str] = &[
+    "crates/bench/src/simcache.rs",
+    "crates/bench/src/campaign.rs",
+];
+
+/// The rules enforced on [`LINTED_CACHE_FILES`].
+pub const CACHE_PATH_RULES: &[&str] = &["std-time", "entropy"];
 
 /// One lint hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -139,6 +157,31 @@ pub fn run(root: &Path) -> Result<LintReport, String> {
                 if !suppressed {
                     report.findings.push(f);
                 }
+            }
+        }
+    }
+    for rel in LINTED_CACHE_FILES {
+        let file = root.join(rel);
+        let src =
+            fs::read_to_string(&file).map_err(|e| format!("reading {}: {e}", file.display()))?;
+        report.files_scanned += 1;
+        for f in lint_source(rel, &src) {
+            if !CACHE_PATH_RULES.contains(&f.rule) {
+                continue;
+            }
+            let mut suppressed = false;
+            for (i, a) in allowlist.iter().enumerate() {
+                if (a.rule == "*" || a.rule == f.rule)
+                    && f.path.ends_with(&a.path_suffix)
+                    && f.excerpt.contains(&a.needle)
+                {
+                    used[i] = true;
+                    suppressed = true;
+                    break;
+                }
+            }
+            if !suppressed {
+                report.findings.push(f);
             }
         }
     }
@@ -559,5 +602,22 @@ mod tests {
     #[test]
     fn allowlist_rejects_malformed_lines() {
         assert!(parse_allowlist("just-one-field\n").is_err());
+    }
+
+    #[test]
+    fn cache_path_rules_cover_time_and_entropy_only() {
+        // The cache-path extension must reject nondeterministic identity
+        // sources but tolerate harness-style expects.
+        let src = "fn key() {\n\
+                   let t = std::time::SystemTime::now();\n\
+                   let s = RandomState::new();\n\
+                   let x = o.expect(\"msg\");\n\
+                   }\n";
+        let kept: Vec<_> = lint_source("crates/bench/src/simcache.rs", src)
+            .into_iter()
+            .filter(|f| CACHE_PATH_RULES.contains(&f.rule))
+            .map(|f| f.rule)
+            .collect();
+        assert_eq!(kept, ["std-time", "entropy"]);
     }
 }

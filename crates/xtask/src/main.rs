@@ -31,9 +31,10 @@ fn repo_root() -> PathBuf {
 fn run_lint(root: &Path) -> Result<bool, String> {
     let report = lint::run(root)?;
     println!(
-        "lint: scanned {} files across crates/{{{}}}",
+        "lint: scanned {} files across crates/{{{}}} plus {} bench cache-path file(s)",
         report.files_scanned,
-        lint::LINTED_CRATES.join(",")
+        lint::LINTED_CRATES.join(","),
+        lint::LINTED_CACHE_FILES.len()
     );
     for f in &report.findings {
         println!("  violation: {f}");
