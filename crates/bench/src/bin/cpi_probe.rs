@@ -33,11 +33,11 @@ fn main() {
     let i = run("huge ITLB+STLB", &big_itlb);
 
     let mut big_l2 = base_cfg;
-    big_l2.hierarchy.l2.sets = 65536; // 32 MiB L2C: data mostly L2-resident
+    big_l2.hierarchy.l2c_mut().sets = 65536; // 32 MiB L2C: data mostly L2-resident
     let c = run("huge L2C", &big_l2);
 
     let mut both = big_itlb;
-    both.hierarchy.l2.sets = 65536;
+    both.hierarchy.l2c_mut().sets = 65536;
     let b = run("both huge", &both);
 
     let mut nobranch = base_cfg;

@@ -245,10 +245,18 @@ mod tests {
         r.config = r.config.with_split_stlb(true);
         seen.push(r.key());
         let mut r = base_request();
-        r.config.hierarchy.l2.mshr_entries += 1;
+        r.config.hierarchy.l2c_mut().mshr_entries += 1;
         seen.push(r.key());
         let mut r = base_request();
         r.config.huge_pages = itpx_vm::page_table::HugePagePolicy::uniform(0.5, 3);
+        seen.push(r.key());
+
+        // Chain depth: no-LLC and 4-level variants key distinctly.
+        let mut r = base_request();
+        r.config.hierarchy = itpx_mem::HierarchyConfig::asplos25_no_llc();
+        seen.push(r.key());
+        let mut r = base_request();
+        r.config.hierarchy = itpx_mem::HierarchyConfig::asplos25_deep();
         seen.push(r.key());
 
         // Preset and build knobs.

@@ -13,8 +13,8 @@
 //! ignored (the run falls back to simulating and rewrites it). Set
 //! `ITPX_SIMCACHE=0` to bypass the cache entirely.
 
-use itpx_cpu::{SimulationOutput, ThreadOutput, WalkerSummary};
-use itpx_types::{OnlineMean, StructStats};
+use itpx_cpu::{LevelReport, SimulationOutput, ThreadOutput, WalkerSummary};
+use itpx_types::{LevelId, OnlineMean, StructStats};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -22,7 +22,8 @@ use std::sync::Mutex;
 /// File magic: identifies simcache entries.
 const MAGIC: &[u8; 8] = b"ITPXSIMC";
 /// Schema version; bump on any change to the serialized layout.
-const VERSION: u32 = 1;
+/// v2 added the per-level `cache_levels` section.
+const VERSION: u32 = 2;
 
 /// A process-wide simulation-result cache with disk persistence.
 #[derive(Debug)]
@@ -185,6 +186,11 @@ fn encode_output(buf: &mut Vec<u8>, out: &SimulationOutput) {
         }
         None => buf.push(0),
     }
+    put_u32(buf, out.cache_levels.len() as u32);
+    for level in &out.cache_levels {
+        buf.push(level.id.code());
+        put_stats(buf, &level.stats);
+    }
 }
 
 fn decode_output(r: &mut Reader<'_>) -> Option<SimulationOutput> {
@@ -234,6 +240,20 @@ fn decode_output(r: &mut Reader<'_>) -> Option<SimulationOutput> {
         1 => Some(r.f64()?),
         _ => return None,
     };
+    let n_levels = r.u32()? as usize;
+    // The chain never exceeds 2 private + MAX_SHARED_LEVELS shared levels;
+    // anything larger means corruption.
+    if n_levels > 8 {
+        return None;
+    }
+    let mut cache_levels = Vec::with_capacity(n_levels);
+    for _ in 0..n_levels {
+        let id = LevelId::from_code(r.u8()?)?;
+        cache_levels.push(LevelReport {
+            id,
+            stats: r.stats()?,
+        });
+    }
     Some(SimulationOutput {
         preset,
         llc_policy,
@@ -245,6 +265,7 @@ fn decode_output(r: &mut Reader<'_>) -> Option<SimulationOutput> {
         l1d,
         l2c,
         llc,
+        cache_levels,
         walker,
         dram_reads,
         dram_writes,

@@ -44,9 +44,8 @@ fn cache_meta(rng: &mut Rng64) -> CacheMeta {
     CacheMeta {
         block: rng.below(1 << 16),
         pc: rng.below(1 << 16) << 2,
-        fill,
         stlb_miss: rng.chance(0.2),
-        thread: ThreadId(0),
+        ..CacheMeta::demand(0, fill)
     }
 }
 

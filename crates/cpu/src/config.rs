@@ -127,12 +127,17 @@ impl SystemConfig {
         self
     }
 
-    /// Structure dimensions handed to [`itpx_core::Preset::build`].
+    /// Structure dimensions handed to [`itpx_core::Preset::build`]. The
+    /// L2C is the chain's first shared level; `llc` reports the innermost
+    /// shared level, so no-LLC chains still hand the LLC policy sane
+    /// dimensions (it is unused there).
     pub fn dims(&self) -> StructureDims {
+        let l2c = self.hierarchy.l2c();
+        let last = self.hierarchy.last_level();
         StructureDims {
             stlb: (self.stlb.sets, self.stlb.ways),
-            l2c: (self.hierarchy.l2.sets, self.hierarchy.l2.ways),
-            llc: (self.hierarchy.llc.sets, self.hierarchy.llc.ways),
+            l2c: (l2c.sets, l2c.ways),
+            llc: (last.sets, last.ways),
         }
     }
 
@@ -197,8 +202,11 @@ mod tests {
         assert_eq!(c.dtlb.entries(), 64);
         assert_eq!(c.stlb.entries(), 1536);
         assert_eq!(c.stlb.latency, 8);
-        assert_eq!(c.hierarchy.l2.bytes(), 512 * 1024);
-        assert_eq!(c.hierarchy.llc.bytes(), 2 * 1024 * 1024);
+        assert_eq!(c.hierarchy.l2c().bytes(), 512 * 1024);
+        assert_eq!(
+            c.hierarchy.llc().expect("asplos25 has an LLC").bytes(),
+            2 * 1024 * 1024
+        );
         assert_eq!(c.walker_concurrency, 4);
     }
 

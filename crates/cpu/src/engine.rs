@@ -26,10 +26,10 @@
 //!   simulated time.
 
 use crate::branch::HashedPerceptron;
-use crate::output::{SimulationOutput, ThreadOutput, WalkerSummary};
+use crate::output::{LevelReport, SimulationOutput, ThreadOutput, WalkerSummary};
 use crate::system::System;
 use itpx_trace::{InstructionStream, TraceInst, WorkloadSource, WorkloadSpec};
-use itpx_types::{Cycle, ThreadId, TranslationKind, VirtAddr};
+use itpx_types::{Cycle, LevelId, ThreadId, TranslationKind, VirtAddr};
 use std::collections::VecDeque;
 
 /// Ring size for dependency tracking (dep distances are `u8`).
@@ -363,10 +363,18 @@ impl Engine {
             itlb: sys.itlb().stats().clone(),
             dtlb: sys.dtlb().stats().clone(),
             stlb: sys.stlb().stats(),
-            l1i: sys.hierarchy.l1i.stats().clone(),
-            l1d: sys.hierarchy.l1d.stats().clone(),
-            l2c: sys.hierarchy.l2.stats().clone(),
-            llc: sys.hierarchy.llc.stats().clone(),
+            l1i: sys.hierarchy.stats_of(LevelId::L1I),
+            l1d: sys.hierarchy.stats_of(LevelId::L1D),
+            l2c: sys.hierarchy.stats_of(LevelId::L2C),
+            llc: sys.hierarchy.stats_of(LevelId::Llc),
+            cache_levels: sys
+                .hierarchy
+                .levels()
+                .map(|(id, cache)| LevelReport {
+                    id,
+                    stats: cache.stats().clone(),
+                })
+                .collect(),
             walker: WalkerSummary {
                 walks: sys.walker().walks(),
                 instruction_walks: sys.walker().instruction_walks(),
@@ -374,8 +382,8 @@ impl Engine {
                 avg_latency: sys.walker().avg_latency(),
                 avg_memory_refs: sys.walker().avg_memory_refs(),
             },
-            dram_reads: sys.hierarchy.dram.reads(),
-            dram_writes: sys.hierarchy.dram.writes(),
+            dram_reads: sys.hierarchy.dram().reads(),
+            dram_writes: sys.hierarchy.dram().writes(),
             xptp_enabled_fraction: sys.xptp_enabled_fraction(),
         }
     }

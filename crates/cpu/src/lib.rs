@@ -43,6 +43,6 @@ pub mod system;
 
 pub use branch::HashedPerceptron;
 pub use config::SystemConfig;
-pub use output::{SimulationOutput, ThreadOutput, WalkerSummary};
+pub use output::{LevelReport, SimulationOutput, ThreadOutput, WalkerSummary};
 pub use sim::Simulation;
 pub use system::System;

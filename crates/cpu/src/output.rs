@@ -1,6 +1,6 @@
 //! Simulation results: everything the paper's figures report.
 
-use itpx_types::{MpkiBreakdown, StructStats};
+use itpx_types::{LevelId, MpkiBreakdown, StructStats};
 
 /// Per-hardware-thread results.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +53,15 @@ pub struct WalkerSummary {
     pub avg_memory_refs: f64,
 }
 
+/// Statistics of one cache level of the chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelReport {
+    /// Which chain level this reports.
+    pub id: LevelId,
+    /// The level's access/miss statistics.
+    pub stats: StructStats,
+}
+
 /// Full results of one simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulationOutput {
@@ -74,8 +83,12 @@ pub struct SimulationOutput {
     pub l1d: StructStats,
     /// L2C statistics — the structure xPTP manages.
     pub l2c: StructStats,
-    /// LLC statistics.
+    /// LLC statistics (empty when the chain has no LLC).
     pub llc: StructStats,
+    /// Every cache level of the chain in order (L1I, L1D, then the
+    /// shared levels). Covers levels the named fields cannot express,
+    /// such as the L3 of 4-level chains.
+    pub cache_levels: Vec<LevelReport>,
     /// Walker summary.
     pub walker: WalkerSummary,
     /// DRAM reads during measurement.
@@ -175,6 +188,7 @@ mod tests {
             l1d: StructStats::new(),
             l2c: StructStats::new(),
             llc: StructStats::new(),
+            cache_levels: Vec::new(),
             walker: WalkerSummary {
                 walks: 0,
                 instruction_walks: 0,

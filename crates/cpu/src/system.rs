@@ -8,21 +8,14 @@ use itpx_mem::{Hierarchy, HierarchyPolicies};
 use itpx_policy::Lru;
 use itpx_types::{Cycle, PhysAddr, ThreadId, TranslationKind, VirtAddr};
 use itpx_vm::page_table::PageTable;
+use itpx_vm::path::TranslationPath;
 use itpx_vm::psc::SplitPscs;
-use itpx_vm::tlb::{LastLevelTlb, Tlb, TlbConfig, TlbLookup};
+use itpx_vm::tlb::{LastLevelTlb, Tlb, TlbConfig};
 use itpx_vm::walker::{PageWalker, PteMemory};
 
 /// Result of a full translation: physical address, availability cycle, and
 /// whether the STLB missed (the flag T-DRRIP consumes, Figure 7 step 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Translated {
-    /// Physical address of the access.
-    pub pa: PhysAddr,
-    /// Cycle at which the translation is available.
-    pub done: Cycle,
-    /// Whether the request missed in the STLB.
-    pub stlb_miss: bool,
-}
+pub type Translated = itpx_vm::path::PathResult;
 
 /// Adapter giving the walker its L2C window (Figure 7 step 3).
 #[derive(Debug)]
@@ -42,11 +35,7 @@ impl PteMemory for WalkMemory<'_> {
 pub struct System {
     /// Configuration the system was built with.
     pub config: SystemConfig,
-    itlb: Tlb,
-    dtlb: Tlb,
-    stlb: LastLevelTlb,
-    pscs: SplitPscs,
-    walker: PageWalker,
+    path: TranslationPath,
     page_tables: Vec<PageTable>,
     /// The cache hierarchy (public: the engine issues fetches/accesses).
     pub hierarchy: Hierarchy,
@@ -107,18 +96,21 @@ impl System {
                 )
             })
             .collect();
-        Self {
-            itlb: Tlb::new(
+        let path = TranslationPath::new(
+            Tlb::new(
                 config.itlb,
                 Box::new(Lru::new(config.itlb.sets, config.itlb.ways)),
             ),
-            dtlb: Tlb::new(
+            Tlb::new(
                 config.dtlb,
                 Box::new(Lru::new(config.dtlb.sets, config.dtlb.ways)),
             ),
             stlb,
-            pscs: SplitPscs::asplos25(),
-            walker: PageWalker::new(config.walker_concurrency),
+            SplitPscs::asplos25(),
+            PageWalker::new(config.walker_concurrency),
+        );
+        Self {
+            path,
             page_tables,
             hierarchy,
             monitor,
@@ -136,121 +128,25 @@ impl System {
         thread: ThreadId,
         now: Cycle,
     ) -> Translated {
-        let Self {
-            itlb,
-            dtlb,
-            stlb,
-            pscs,
-            walker,
-            page_tables,
-            hierarchy,
-            monitor,
-            ..
-        } = self;
-        let l1 = if kind.is_instruction() { itlb } else { dtlb };
-
-        match l1.lookup(va, kind, pc, thread, now) {
-            TlbLookup::Hit { done, frame, size } => Translated {
-                pa: frame.offset(va.page_offset(size)),
-                done,
-                stlb_miss: false,
+        let result = self.path.translate(
+            &mut self.page_tables[thread.0 as usize],
+            WalkMemory {
+                hierarchy: &mut self.hierarchy,
+                thread,
             },
-            TlbLookup::Miss => {
-                // The physical mapping itself is deterministic; timing
-                // comes from the structures below.
-                let tr = page_tables[thread.0 as usize].translate(va, kind);
-                let pa = tr.pa;
-                // Merge under an in-flight L1-TLB miss.
-                if let Some(ready) = l1.merge(va, now) {
-                    return Translated {
-                        pa,
-                        done: ready,
-                        stlb_miss: false,
-                    };
-                }
-                let t_miss = now + l1.config().latency;
-                let t_alloc = l1.mshr_alloc(va, kind, t_miss);
-                let s = stlb.for_kind(kind);
-                match s.lookup(va, kind, pc, thread, t_alloc) {
-                    TlbLookup::Hit { done, frame, size } => {
-                        l1.fill(
-                            tr.vpn,
-                            tr.size,
-                            tr.frame,
-                            kind,
-                            pc,
-                            thread,
-                            done - now,
-                            done,
-                        );
-                        l1.mshr_complete(va, done);
-                        Translated {
-                            pa: frame.offset(va.page_offset(size)),
-                            done,
-                            stlb_miss: false,
-                        }
-                    }
-                    TlbLookup::Miss => {
-                        if let Some(m) = monitor.as_mut() {
-                            m.on_stlb_miss();
-                        }
-                        // Merge under an in-flight STLB miss (walk).
-                        if let Some(ready) = s.merge(va, t_alloc) {
-                            l1.fill(
-                                tr.vpn,
-                                tr.size,
-                                tr.frame,
-                                kind,
-                                pc,
-                                thread,
-                                ready - now,
-                                ready,
-                            );
-                            l1.mshr_complete(va, ready);
-                            return Translated {
-                                pa,
-                                done: ready,
-                                stlb_miss: true,
-                            };
-                        }
-                        let t_stlb = t_alloc + s.config().latency;
-                        // Figure 7 step 2: the STLB MSHR records the Type.
-                        let walk_start = s.mshr_alloc(va, kind, t_stlb);
-                        let mem = WalkMemory { hierarchy, thread };
-                        let outcome = walker.walk(&tr, kind, pscs, mem, walk_start);
-                        // Figure 7 step 4: insertion consumes the MSHR's
-                        // Type bit (iTP keys on `kind` here).
-                        s.fill(
-                            tr.vpn,
-                            tr.size,
-                            tr.frame,
-                            kind,
-                            pc,
-                            thread,
-                            outcome.done - now,
-                            outcome.done,
-                        );
-                        s.mshr_complete(va, outcome.done);
-                        l1.fill(
-                            tr.vpn,
-                            tr.size,
-                            tr.frame,
-                            kind,
-                            pc,
-                            thread,
-                            outcome.done - now,
-                            outcome.done,
-                        );
-                        l1.mshr_complete(va, outcome.done);
-                        Translated {
-                            pa,
-                            done: outcome.done,
-                            stlb_miss: true,
-                        }
-                    }
-                }
+            va,
+            kind,
+            pc,
+            thread,
+            now,
+        );
+        // Figure 7 step 5: STLB misses feed the adaptive monitor.
+        if result.stlb_miss {
+            if let Some(m) = self.monitor.as_mut() {
+                m.on_stlb_miss();
             }
         }
+        result
     }
 
     /// FDIP translation for an instruction prefetch: resolves the physical
@@ -278,36 +174,31 @@ impl System {
 
     /// The first-level instruction TLB.
     pub fn itlb(&self) -> &Tlb {
-        &self.itlb
+        self.path.itlb()
     }
 
     /// The first-level data TLB.
     pub fn dtlb(&self) -> &Tlb {
-        &self.dtlb
+        self.path.dtlb()
     }
 
     /// The last-level TLB organization.
     pub fn stlb(&self) -> &LastLevelTlb {
-        &self.stlb
+        self.path.stlb()
     }
 
     /// The page-table walker.
     pub fn walker(&self) -> &PageWalker {
-        &self.walker
+        self.path.walker()
     }
 
     /// Clears every statistic (warmup/measurement boundary); structure
-    /// contents and replacement state are preserved.
+    /// contents and replacement state are preserved. Both halves iterate
+    /// their own structures — the translation path its pipeline, the
+    /// hierarchy its level chain — so new levels are covered for free.
     pub fn reset_stats(&mut self) {
-        self.itlb.reset_stats();
-        self.dtlb.reset_stats();
-        self.stlb.reset_stats();
-        self.walker.reset_stats();
-        self.hierarchy.l1i.reset_stats();
-        self.hierarchy.l1d.reset_stats();
-        self.hierarchy.l2.reset_stats();
-        self.hierarchy.llc.reset_stats();
-        self.hierarchy.dram.reset_counters();
+        self.path.reset_stats();
+        self.hierarchy.reset_stats();
     }
 }
 
@@ -316,6 +207,7 @@ mod tests {
     use super::*;
     use itpx_core::presets::BuildConfig;
     use itpx_core::Preset;
+    use itpx_types::LevelId;
 
     fn system(preset: Preset) -> System {
         let cfg = SystemConfig::asplos25();
@@ -372,7 +264,7 @@ mod tests {
         let mut s = system(Preset::Lru);
         let va = VirtAddr::new(0x20_0000_0000);
         s.translate(va, TranslationKind::Data, 0x99, ThreadId(0), 0);
-        let b = s.hierarchy.l2.stats().mpki_breakdown(1000);
+        let b = s.hierarchy.stats_of(LevelId::L2C).mpki_breakdown(1000);
         assert!(
             b.data_pte > 0.0,
             "walk refs must appear as L2 data-PTE traffic"

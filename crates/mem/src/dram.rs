@@ -83,8 +83,9 @@ impl Dram {
         self.writes
     }
 
-    /// Clears traffic counters (bus state is preserved).
-    pub fn reset_counters(&mut self) {
+    /// Clears traffic counters (bus state is preserved). Named to match
+    /// the `reset_stats` convention every other structure follows.
+    pub fn reset_stats(&mut self) {
         self.reads = 0;
         self.writes = 0;
         self.wait = 0;

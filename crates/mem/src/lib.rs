@@ -1,6 +1,7 @@
 //! Memory substrate for the `itpx` simulator: set-associative caches with
-//! MSHR-aware timing, hardware prefetchers, a DRAM model, and the
-//! three-level hierarchy of the paper's Table 1.
+//! MSHR-aware timing, hardware prefetchers, a DRAM model, and a
+//! depth-configurable level-chain hierarchy whose default preset is the
+//! three-level machine of the paper's Table 1.
 //!
 //! The timing model is *latency-propagating*: each access walks the
 //! hierarchy functionally, updating tags, replacement state, and
@@ -26,5 +27,7 @@ pub mod prefetch;
 
 pub use cache::{Cache, CacheConfig, Probe};
 pub use dram::{Dram, DramConfig};
-pub use hierarchy::{Hierarchy, HierarchyConfig, HierarchyPolicies};
+pub use hierarchy::{
+    CacheLevelConfig, Hierarchy, HierarchyConfig, HierarchyPolicies, LevelHooks, MAX_SHARED_LEVELS,
+};
 pub use prefetch::{NextLinePrefetcher, StridePrefetcher};

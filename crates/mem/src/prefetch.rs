@@ -28,6 +28,12 @@ impl NextLinePrefetcher {
     pub fn nominated(&self) -> u64 {
         self.issued
     }
+
+    /// Zeroes the nomination counter (used at the warmup/measurement
+    /// boundary).
+    pub fn reset_stats(&mut self) {
+        self.issued = 0;
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]

@@ -3,23 +3,27 @@
 
 use itpx_mem::{Cache, CacheConfig, Hierarchy, HierarchyConfig, HierarchyPolicies, Probe};
 use itpx_policy::{CacheMeta, Lru};
-use itpx_types::{FillClass, PhysAddr, ThreadId, TranslationKind};
+use itpx_types::{FillClass, LevelId, PhysAddr, ThreadId, TranslationKind};
 
 fn small_hierarchy() -> Hierarchy {
     let mut cfg = HierarchyConfig::asplos25();
     cfg.l1i.sets = 8;
     cfg.l1d.sets = 8;
-    cfg.l2.sets = 64;
-    cfg.llc.sets = 128;
+    cfg.l2c_mut().sets = 64;
+    cfg.llc_mut().expect("asplos25 has an LLC").sets = 128;
     Hierarchy::new(
         &cfg,
         HierarchyPolicies {
             l1i: Box::new(Lru::new(8, cfg.l1i.ways)),
             l1d: Box::new(Lru::new(8, cfg.l1d.ways)),
-            l2: Box::new(Lru::new(64, cfg.l2.ways)),
-            llc: Box::new(Lru::new(128, cfg.llc.ways)),
+            l2: Box::new(Lru::new(64, cfg.l2c().ways)),
+            llc: Box::new(Lru::new(128, cfg.last_level().ways)),
         },
     )
+}
+
+fn l2c(h: &Hierarchy) -> &Cache {
+    h.cache(LevelId::L2C).expect("chain has an L2C")
 }
 
 #[test]
@@ -39,7 +43,7 @@ fn payload_churn_evicts_pte_blocks_under_lru() {
     let mut h = small_hierarchy();
     let pte = PhysAddr::new(0x40_0000);
     h.pte_access(pte, TranslationKind::Data, ThreadId(0), 0);
-    assert!(h.l2.contains(PhysAddr::new(0x40_0000).block().index()));
+    assert!(l2c(&h).contains(PhysAddr::new(0x40_0000).block().index()));
     // Fill the whole (small) L2 with payload via the data path.
     let mut t = 1_000;
     for i in 0..64 * 8 * 2 {
@@ -54,7 +58,7 @@ fn payload_churn_evicts_pte_blocks_under_lru() {
         t += 200;
     }
     assert!(
-        !h.l2.contains(PhysAddr::new(0x40_0000).block().index()),
+        !l2c(&h).contains(PhysAddr::new(0x40_0000).block().index()),
         "LRU L2 must eventually evict the PTE block under churn"
     );
 }
@@ -79,11 +83,11 @@ fn stride_prefetcher_hides_regular_misses() {
         t += 500;
     }
     assert!(
-        h.l2.prefetches_issued() > 0,
+        l2c(&h).prefetches_issued() > 0,
         "stride prefetcher should have fired"
     );
     assert!(
-        h.l2.prefetches_useful() > 0,
+        l2c(&h).prefetches_useful() > 0,
         "and its blocks should be used"
     );
 }
@@ -124,7 +128,7 @@ fn instruction_and_pte_classes_never_mix_in_stats() {
         ThreadId(0),
         0,
     );
-    let b = h.l2.stats().mpki_breakdown(1_000);
+    let b = l2c(&h).stats().mpki_breakdown(1_000);
     assert!(b.instr > 0.0, "demand instruction miss recorded");
     assert!(b.instr_pte > 0.0, "instruction-PTE miss recorded");
     assert_eq!(b.data, 0.0);

@@ -1,0 +1,206 @@
+//! Property tests for the level chain: dirty blocks are never silently
+//! dropped, at any chain depth.
+//!
+//! Every writeback a level emits must be accounted for: either a lower
+//! level absorbed it (as a dirty mark, counted by
+//! `Hierarchy::writebacks_absorbed`) or it reached DRAM as a write.
+//! The conservation law
+//!
+//! ```text
+//! sum(level.writebacks()) == writebacks_absorbed() + dram.writes()
+//! ```
+//!
+//! holds after *any* interleaving of fetches, loads, stores, and PTE
+//! accesses, on 2-, 3-, and 4-level chains alike. A violation means a
+//! dirty block fell out of the chain without its data going anywhere.
+
+use itpx_mem::cache::CacheConfig;
+use itpx_mem::dram::DramConfig;
+use itpx_mem::{Hierarchy, HierarchyConfig, HierarchyPolicies};
+use itpx_policy::Lru;
+use itpx_types::{PhysAddr, ThreadId, TranslationKind};
+use proptest::prelude::*;
+
+/// Small caches with power-of-two sets so random traffic causes plenty
+/// of evictions at every level.
+fn config(shared_depth: usize) -> HierarchyConfig {
+    let l1 = CacheConfig {
+        sets: 4,
+        ways: 2,
+        latency: 4,
+        mshr_entries: 8,
+    };
+    let l2c = CacheConfig {
+        sets: 8,
+        ways: 2,
+        latency: 5,
+        mshr_entries: 16,
+    };
+    let l3 = CacheConfig {
+        sets: 16,
+        ways: 2,
+        latency: 8,
+        mshr_entries: 16,
+    };
+    let llc = CacheConfig {
+        sets: 16,
+        ways: 4,
+        latency: 10,
+        mshr_entries: 32,
+    };
+    let shared: &[CacheConfig] = match shared_depth {
+        1 => &[l2c],
+        2 => &[l2c, llc],
+        _ => &[l2c, l3, llc],
+    };
+    HierarchyConfig::new(l1, l1, shared, DramConfig::default())
+}
+
+fn hierarchy(cfg: &HierarchyConfig) -> Hierarchy {
+    Hierarchy::new(
+        cfg,
+        HierarchyPolicies {
+            l1i: Box::new(Lru::new(cfg.l1i.sets, cfg.l1i.ways)),
+            l1d: Box::new(Lru::new(cfg.l1d.sets, cfg.l1d.ways)),
+            l2: Box::new(Lru::new(cfg.l2c().sets, cfg.l2c().ways)),
+            llc: Box::new(Lru::new(cfg.last_level().sets, cfg.last_level().ways)),
+        },
+    )
+}
+
+/// One randomized access: which entry point, which block, store or not.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Fetch(u64),
+    Load(u64),
+    Store(u64),
+    Pte(u64, bool),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A small block universe keeps sets contended so evictions (and
+    // therefore writebacks) actually happen.
+    let block = 0u64..192;
+    prop_oneof![
+        block.clone().prop_map(Op::Fetch),
+        block.clone().prop_map(Op::Load),
+        block.clone().prop_map(Op::Store),
+        (block, any::<bool>()).prop_map(|(b, i)| Op::Pte(b, i)),
+    ]
+}
+
+fn run(h: &mut Hierarchy, ops: &[Op]) {
+    let mut now = 0u64;
+    for (i, op) in ops.iter().enumerate() {
+        now += 20;
+        let thread = ThreadId((i % 2) as u8);
+        match *op {
+            Op::Fetch(b) => {
+                h.instr_fetch(PhysAddr::new(b * 64), 0x40 + b, thread, now);
+            }
+            Op::Load(b) => {
+                h.data_access(PhysAddr::new(b * 64), 0x8000 + b, thread, false, false, now);
+            }
+            Op::Store(b) => {
+                h.data_access(PhysAddr::new(b * 64), 0x9000 + b, thread, true, false, now);
+            }
+            Op::Pte(b, instr) => {
+                let kind = if instr {
+                    TranslationKind::Instruction
+                } else {
+                    TranslationKind::Data
+                };
+                h.pte_access(PhysAddr::new(b * 64), kind, thread, now);
+            }
+        }
+    }
+}
+
+fn assert_conservation(h: &Hierarchy) {
+    let emitted: u64 = h.levels().map(|(_, c)| c.writebacks()).sum();
+    let absorbed = h.writebacks_absorbed();
+    let to_dram = h.dram().writes();
+    assert_eq!(
+        emitted,
+        absorbed + to_dram,
+        "writeback leak: {emitted} emitted, {absorbed} absorbed, {to_dram} reached DRAM"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn two_level_chain_conserves_writebacks(
+        ops in prop::collection::vec(op_strategy(), 1..250)
+    ) {
+        let mut h = hierarchy(&config(1));
+        run(&mut h, &ops);
+        assert_conservation(&h);
+    }
+
+    #[test]
+    fn three_level_chain_conserves_writebacks(
+        ops in prop::collection::vec(op_strategy(), 1..250)
+    ) {
+        let mut h = hierarchy(&config(2));
+        run(&mut h, &ops);
+        assert_conservation(&h);
+    }
+
+    #[test]
+    fn four_level_chain_conserves_writebacks(
+        ops in prop::collection::vec(op_strategy(), 1..250)
+    ) {
+        let mut h = hierarchy(&config(3));
+        run(&mut h, &ops);
+        assert_conservation(&h);
+    }
+
+    #[test]
+    fn reset_preserves_conservation_going_forward(
+        warm in prop::collection::vec(op_strategy(), 1..120),
+        measured in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        // The warmup/measurement boundary zeroes every counter in the
+        // law at once, so it keeps holding over the measured window.
+        let mut h = hierarchy(&config(2));
+        run(&mut h, &warm);
+        h.reset_stats();
+        let emitted: u64 = h.levels().map(|(_, c)| c.writebacks()).sum();
+        prop_assert_eq!(emitted, 0);
+        prop_assert_eq!(h.writebacks_absorbed(), 0);
+        prop_assert_eq!(h.dram().writes(), 0);
+        run(&mut h, &measured);
+        assert_conservation(&h);
+    }
+}
+
+/// Pins the refactored 3-level chain's timing bit-for-bit: a fixed
+/// access sequence must keep producing these exact completion cycles
+/// and counter values. (The full-system equivalent lives in
+/// `itpx-cpu/tests/golden_stats.rs`.)
+#[test]
+fn three_level_chain_timing_is_pinned() {
+    let cfg = config(2);
+    let mut h = hierarchy(&cfg);
+    let t0 = h.instr_fetch(PhysAddr::new(0x4000), 0x400, ThreadId(0), 0);
+    assert_eq!(t0, 4 + 5 + 10 + 90, "cold fetch walks the whole chain");
+    let t1 = h.data_access(PhysAddr::new(0x4000), 0x99, ThreadId(0), false, false, 200);
+    assert_eq!(t1, 200 + 4 + 5, "data access hits the shared L2C copy");
+    let t2 = h.pte_access(
+        PhysAddr::new(0x4000),
+        TranslationKind::Data,
+        ThreadId(0),
+        400,
+    );
+    assert_eq!(t2, 400 + 5, "PTE access enters at the (warm) L2C");
+    let t3 = h.instr_fetch(PhysAddr::new(0x4000), 0x400, ThreadId(0), 600);
+    assert_eq!(t3, 604, "warm fetch is an L1I hit");
+    assert_eq!(
+        h.dram().reads(),
+        2,
+        "cold fetch plus its next-line prefetch"
+    );
+    assert_eq!(h.dram().writes(), 0);
+}

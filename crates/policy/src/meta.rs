@@ -1,6 +1,6 @@
 //! Per-access metadata handed to replacement policies.
 
-use itpx_types::{FillClass, ThreadId, TranslationKind};
+use itpx_types::{FillClass, LevelId, ThreadId, TranslationKind};
 
 /// Metadata describing one TLB access, as seen by a TLB replacement policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,11 +47,15 @@ pub struct CacheMeta {
     pub stlb_miss: bool,
     /// Hardware thread performing the access.
     pub thread: ThreadId,
+    /// The chain level this access is currently being applied to. The
+    /// hierarchy stamps this as the access descends the level chain, so a
+    /// policy can tell which level it is attached to.
+    pub level: LevelId,
 }
 
 impl CacheMeta {
     /// Convenience constructor for a demand access of the given class on
-    /// thread 0.
+    /// thread 0, entering the chain at [`LevelId::entry_for`] its class.
     pub fn demand(block: u64, fill: FillClass) -> Self {
         Self {
             block,
@@ -59,6 +63,7 @@ impl CacheMeta {
             fill,
             stlb_miss: false,
             thread: ThreadId(0),
+            level: LevelId::entry_for(fill),
         }
     }
 

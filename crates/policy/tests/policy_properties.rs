@@ -35,9 +35,8 @@ fn cache_meta(kind: u8, i: u64) -> CacheMeta {
     CacheMeta {
         block: i,
         pc: i * 13 + 7,
-        fill,
         stlb_miss: kind == 0 && i.is_multiple_of(3),
-        thread: itpx_types::ThreadId(0),
+        ..CacheMeta::demand(0, fill)
     }
 }
 

@@ -50,6 +50,92 @@ pub use stats::{Histogram, MpkiBreakdown, OnlineMean, StructStats};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ThreadId(pub u8);
 
+/// Names one level of the composable cache chain.
+///
+/// The chain is ordered `L1I, L1D, L2C, [L3,] [LLC]`: both L1s front the
+/// first shared level, `L3` exists only in 4-level configurations, and
+/// the chain may stop at the L2C (a "no-LLC" 2-level hierarchy). Each
+/// access class has a declarative entry level — instruction fetches enter
+/// at the L1I, data accesses at the L1D, and page-walk PTE references at
+/// the L2C (the paper's Figure 7) — see [`LevelId::entry_for`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LevelId {
+    /// L1 instruction cache.
+    L1I,
+    /// L1 data cache.
+    L1D,
+    /// First shared level — where xPTP operates and page walks enter.
+    L2C,
+    /// Intermediate shared level of 4-level chains.
+    L3,
+    /// Last-level cache.
+    Llc,
+}
+
+impl LevelId {
+    /// Stable display name matching the paper's structure names.
+    pub fn name(self) -> &'static str {
+        match self {
+            LevelId::L1I => "L1I",
+            LevelId::L1D => "L1D",
+            LevelId::L2C => "L2C",
+            LevelId::L3 => "L3",
+            LevelId::Llc => "LLC",
+        }
+    }
+
+    /// Stable serialization code (used by the simcache on-disk format).
+    pub fn code(self) -> u8 {
+        match self {
+            LevelId::L1I => 0,
+            LevelId::L1D => 1,
+            LevelId::L2C => 2,
+            LevelId::L3 => 3,
+            LevelId::Llc => 4,
+        }
+    }
+
+    /// Inverse of [`LevelId::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => LevelId::L1I,
+            1 => LevelId::L1D,
+            2 => LevelId::L2C,
+            3 => LevelId::L3,
+            4 => LevelId::Llc,
+            _ => return None,
+        })
+    }
+
+    /// Whether this is a per-class private L1 in front of the shared chain.
+    pub fn is_private(self) -> bool {
+        matches!(self, LevelId::L1I | LevelId::L1D)
+    }
+
+    /// The level at which traffic of class `fill` enters the chain:
+    /// instruction payload at the L1I, data payload at the L1D, and PTE
+    /// references at the L2C.
+    pub fn entry_for(fill: FillClass) -> Self {
+        match fill {
+            FillClass::InstrPayload => LevelId::L1I,
+            FillClass::DataPayload => LevelId::L1D,
+            FillClass::InstrPte | FillClass::DataPte => LevelId::L2C,
+        }
+    }
+}
+
+impl std::fmt::Display for LevelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Fingerprint for LevelId {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        h.write_u8(self.code());
+    }
+}
+
 impl std::fmt::Display for ThreadId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "T{}", self.0)

@@ -16,16 +16,22 @@
 //! * [`tlb`] — a set-associative TLB with pluggable replacement, miss
 //!   tracking with the paper's per-MSHR `Type` bit, and both unified and
 //!   split last-level organizations (Section 6.6).
+//! * [`path`] — the assembled pipeline: one [`TranslationPath`] drives an
+//!   address through ITLB/DTLB → STLB → walker with all timing side
+//!   effects, funneling every miss resolution through a single
+//!   fill-and-complete helper.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod page_table;
+pub mod path;
 pub mod psc;
 pub mod tlb;
 pub mod walker;
 
 pub use page_table::{FrameAllocator, HugePagePolicy, PageTable, Translation, WalkPath};
+pub use path::{PathResult, TranslationPath};
 pub use psc::{PageStructureCache, SplitPscs};
 pub use tlb::{LastLevelTlb, Tlb, TlbConfig, TlbLookup};
 pub use walker::{PageWalker, PteMemory, WalkOutcome};

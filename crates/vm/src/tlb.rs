@@ -10,6 +10,7 @@
 //! [`LastLevelTlb`] provides the unified vs split STLB organizations
 //! compared in Section 6.6.
 
+use crate::page_table::Translation;
 use itpx_policy::{TlbMeta, TlbPolicy};
 use itpx_types::fingerprint::{Fingerprint, Fnv1a};
 use itpx_types::{
@@ -285,6 +286,34 @@ impl Tlb {
         if let Some((_, m)) = self.outstanding.find_mut(|(k, _)| *k == key) {
             m.ready = ready;
         }
+    }
+
+    /// Completes a miss end-to-end: installs `tr` (recording `done -
+    /// issued` as the miss latency) and releases the MSHR allocated for
+    /// `va` at cycle `done`. One call per miss resolution, whatever
+    /// supplied the translation (STLB hit, merged walk, or a fresh walk).
+    #[allow(clippy::too_many_arguments)]
+    pub fn fill_and_complete(
+        &mut self,
+        tr: &Translation,
+        kind: TranslationKind,
+        pc: u64,
+        thread: ThreadId,
+        va: VirtAddr,
+        issued: Cycle,
+        done: Cycle,
+    ) {
+        self.fill(
+            tr.vpn,
+            tr.size,
+            tr.frame,
+            kind,
+            pc,
+            thread,
+            done - issued,
+            done,
+        );
+        self.mshr_complete(va, done);
     }
 
     /// Installs a translation, evicting per the policy if the set is full,

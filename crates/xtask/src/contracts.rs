@@ -109,9 +109,8 @@ fn cache_meta(rng: &mut Rng64) -> CacheMeta {
     CacheMeta {
         block: rng.below(1 << 24),
         pc: rng.below(1 << 20) << 2,
-        fill,
         stlb_miss: rng.chance(0.2),
-        thread: ThreadId(0),
+        ..CacheMeta::demand(0, fill)
     }
 }
 

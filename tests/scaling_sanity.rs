@@ -59,7 +59,7 @@ fn slower_dram_hurts() {
 fn bigger_llc_does_not_hurt() {
     let base = SystemConfig::asplos25();
     let mut big = base;
-    big.hierarchy.llc.sets *= 4; // 8 MiB LLC
+    big.hierarchy.llc_mut().expect("asplos25 has an LLC").sets *= 4; // 8 MiB LLC
     assert!(
         ipc(&big, 4) >= ipc(&base, 4) * 0.995,
         "quadrupling the LLC should not hurt: {} vs {}",
