@@ -1,11 +1,14 @@
 //! Golden statistics pinning the simulator's exact output.
 //!
-//! The values below were captured from the nested-storage implementation
-//! (`Vec<Vec<Option<_>>>` cache/TLB sets, `Vec`/`BTreeMap` MSHR lists)
-//! immediately before the flat-storage refactor. The flattened structures
-//! must reproduce them bit-for-bit — including the `f64` miss-latency
-//! means, compared by IEEE-754 bit pattern — so any divergence in probe
-//! order, victim choice, or MSHR timing shows up as a hard failure here.
+//! The values below pin the simulator bit-for-bit — including the `f64`
+//! miss-latency means, compared by IEEE-754 bit pattern — so any
+//! divergence in probe order, victim choice, or MSHR timing shows up as
+//! a hard failure here. They were originally captured from the
+//! nested-storage implementation immediately before the flat-storage
+//! refactor (which reproduced them exactly, as did the level-chain
+//! refactor), then regenerated once when the L1D geometry was corrected
+//! from the unindexable 42×12 to 64×8 (see
+//! `itpx_mem::CacheConfig::validate`).
 
 use itpx_core::Preset;
 use itpx_cpu::{Simulation, SystemConfig};
@@ -33,72 +36,122 @@ const GOLDENS: [Golden; 4] = [
     Golden {
         preset: Preset::Lru,
         seed: 7,
-        cycles: 218_267,
+        cycles: 219_105,
         stlb: (1309, 943),
         l1i: (3603, 22),
-        l1d: (8932, 1061),
-        l2c: (3395, 1641),
-        llc: (1641, 1486),
+        l1d: (8932, 2017),
+        l2c: (4351, 1619),
+        llc: (1619, 1489),
         itlb: (3603, 267),
         dtlb: (8932, 1042),
         walks: 943,
-        dram: (6149, 129),
-        stall: 61_108,
-        lat_stlb_bits: 4645053544909984878,
-        lat_l2c_bits: 4643337598683867190,
+        dram: (6155, 135),
+        stall: 61_234,
+        lat_stlb_bits: 4645018173982370654,
+        lat_l2c_bits: 4643408902440788702,
     },
     Golden {
         preset: Preset::ItpXptp,
         seed: 7,
-        cycles: 218_042,
+        cycles: 218_981,
         stlb: (1309, 943),
         l1i: (3603, 22),
-        l1d: (8932, 1061),
-        l2c: (3396, 1643),
-        llc: (1643, 1484),
+        l1d: (8932, 2017),
+        l2c: (4352, 1628),
+        llc: (1628, 1487),
         itlb: (3603, 267),
         dtlb: (8932, 1042),
         walks: 943,
-        dram: (6147, 128),
-        stall: 60_996,
-        lat_stlb_bits: 4645041885189647911,
-        lat_l2c_bits: 4643330774157004473,
+        dram: (6153, 134),
+        stall: 61_212,
+        lat_stlb_bits: 4645009872261490734,
+        lat_l2c_bits: 4643383247515435370,
     },
     Golden {
         preset: Preset::Tdrrip,
         seed: 11,
-        cycles: 187_502,
+        cycles: 187_192,
         stlb: (1066, 733),
         l1i: (3597, 11),
-        l1d: (9031, 907),
-        l2c: (2785, 1282),
-        llc: (1282, 1200),
+        l1d: (9031, 1918),
+        l2c: (3796, 1266),
+        llc: (1266, 1197),
         itlb: (3597, 204),
         dtlb: (9031, 862),
         walks: 733,
-        dram: (5634, 84),
-        stall: 45_987,
-        lat_stlb_bits: 4644843209077963973,
-        lat_l2c_bits: 4643245110280393004,
+        dram: (5630, 77),
+        stall: 46_105,
+        lat_stlb_bits: 4644830008938367208,
+        lat_l2c_bits: 4643292228808427620,
     },
     Golden {
         preset: Preset::Chirp,
         seed: 3,
-        cycles: 213_673,
+        cycles: 214_359,
         stlb: (1402, 916),
         l1i: (3510, 5),
-        l1d: (9002, 1203),
-        l2c: (3507, 1717),
-        llc: (1717, 1516),
+        l1d: (9002, 2378),
+        l2c: (4682, 1684),
+        llc: (1684, 1521),
         itlb: (3510, 209),
         dtlb: (9002, 1193),
         walks: 916,
-        dram: (6044, 163),
-        stall: 58_026,
-        lat_stlb_bits: 4646231406212853349,
-        lat_l2c_bits: 4643620446746645918,
+        dram: (6052, 171),
+        stall: 57_768,
+        lat_stlb_bits: 4646180377350058574,
+        lat_l2c_bits: 4643712070787932374,
     },
 ];
+
+/// Regenerates the constants above after a *deliberate* behavior change
+/// (run with `cargo test -p itpx-cpu --release --test golden_stats -- \
+/// --ignored --nocapture` and paste the output). Never regenerate to
+/// paper over an unexplained divergence.
+#[test]
+#[ignore = "generator, not a check"]
+fn print_goldens() {
+    let cfg = SystemConfig::asplos25();
+    for g in &GOLDENS {
+        let w = WorkloadSpec::server_like(g.seed)
+            .instructions(30_000)
+            .warmup(8_000);
+        let o = Simulation::single_thread(&cfg, g.preset, &w).run();
+        println!(
+            "Golden {{\n    preset: Preset::{:?},\n    seed: {},\n    cycles: {},\n    \
+             stlb: {:?},\n    l1i: {:?},\n    l1d: {:?},\n    l2c: {:?},\n    llc: {:?},\n    \
+             itlb: {:?},\n    dtlb: {:?},\n    walks: {},\n    dram: {:?},\n    stall: {},\n    \
+             lat_stlb_bits: {},\n    lat_l2c_bits: {},\n}},",
+            g.preset,
+            g.seed,
+            o.threads[0].cycles,
+            (o.stlb.accesses(), o.stlb.misses()),
+            (o.l1i.accesses(), o.l1i.misses()),
+            (o.l1d.accesses(), o.l1d.misses()),
+            (o.l2c.accesses(), o.l2c.misses()),
+            (o.llc.accesses(), o.llc.misses()),
+            (o.itlb.accesses(), o.itlb.misses()),
+            (o.dtlb.accesses(), o.dtlb.misses()),
+            o.walker.walks,
+            (o.dram_reads, o.dram_writes),
+            o.threads[0].itrans_stall_cycles,
+            o.stlb.avg_miss_latency().to_bits(),
+            o.l2c.avg_miss_latency().to_bits(),
+        );
+    }
+    let mut pair = smt_suite(2).remove(1);
+    pair.a = pair.a.instructions(20_000).warmup(5_000);
+    pair.b = pair.b.instructions(20_000).warmup(5_000);
+    let o = Simulation::smt(&cfg, Preset::ItpXptp, &pair).run();
+    println!(
+        "smt: cycles {:?} stlb {:?} l2c {:?} llc {:?} walks {} dram {:?}",
+        (o.threads[0].cycles, o.threads[1].cycles),
+        (o.stlb.accesses(), o.stlb.misses()),
+        (o.l2c.accesses(), o.l2c.misses()),
+        (o.llc.accesses(), o.llc.misses()),
+        o.walker.walks,
+        (o.dram_reads, o.dram_writes),
+    );
+}
 
 #[test]
 fn single_thread_stats_match_nested_era_goldens() {
@@ -145,11 +198,11 @@ fn smt_stats_match_nested_era_goldens() {
     let o = Simulation::smt(&cfg, Preset::ItpXptp, &pair).run();
     assert_eq!(
         (o.threads[0].cycles, o.threads[1].cycles),
-        (265_837, 248_897)
+        (265_948, 249_803)
     );
-    assert_eq!((o.stlb.accesses(), o.stlb.misses()), (2047, 1121));
-    assert_eq!((o.l2c.accesses(), o.l2c.misses()), (4996, 2363));
-    assert_eq!((o.llc.accesses(), o.llc.misses()), (2363, 1963));
+    assert_eq!((o.stlb.accesses(), o.stlb.misses()), (2055, 1121));
+    assert_eq!((o.l2c.accesses(), o.l2c.misses()), (7248, 2329));
+    assert_eq!((o.llc.accesses(), o.llc.misses()), (2329, 1965));
     assert_eq!(o.walker.walks, 1121);
-    assert_eq!((o.dram_reads, o.dram_writes), (8010, 228));
+    assert_eq!((o.dram_reads, o.dram_writes), (8011, 229));
 }

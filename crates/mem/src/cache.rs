@@ -23,6 +23,30 @@ impl CacheConfig {
     pub fn bytes(&self) -> usize {
         self.sets * self.ways * 64
     }
+
+    /// Validates the geometry.
+    ///
+    /// Real caches index sets with address bits, so the set count must
+    /// be a power of two; a non-power-of-two count would silently model
+    /// an unbuildable indexing function (and skew set-contention
+    /// behavior). [`Cache::new`] calls this, so every constructed cache
+    /// is covered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero or not a power of two, `ways` is zero or
+    /// exceeds 64 (the validity-bitmask width), or `mshr_entries` is
+    /// zero.
+    pub fn validate(&self) {
+        assert!(
+            self.sets.is_power_of_two(),
+            "cache set count must be a power of two, got {}",
+            self.sets
+        );
+        assert!(self.ways > 0, "cache needs ways > 0");
+        assert!(self.ways <= 64, "valid bitmask holds at most 64 ways");
+        assert!(self.mshr_entries > 0, "cache needs at least one MSHR");
+    }
 }
 
 impl Fingerprint for CacheConfig {
@@ -91,15 +115,9 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is degenerate or associativity exceeds 64
-    /// (the validity-bitmask width).
+    /// Panics if [`CacheConfig::validate`] rejects the geometry.
     pub fn new(cfg: CacheConfig, policy: CachePolicy) -> Self {
-        assert!(
-            cfg.sets > 0 && cfg.ways > 0,
-            "cache needs sets > 0, ways > 0"
-        );
-        assert!(cfg.ways <= 64, "valid bitmask holds at most 64 ways");
-        assert!(cfg.mshr_entries > 0, "cache needs at least one MSHR");
+        cfg.validate();
         let placeholder = Line {
             block: 0,
             ready: 0,
@@ -336,6 +354,25 @@ mod tests {
 
     fn m(block: u64) -> CacheMeta {
         CacheMeta::demand(block, FillClass::DataPayload)
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_are_rejected() {
+        let _ = cache(42, 12);
+    }
+
+    #[test]
+    fn validate_accepts_power_of_two_sets() {
+        for sets in [1, 2, 64, 2048] {
+            CacheConfig {
+                sets,
+                ways: 8,
+                latency: 4,
+                mshr_entries: 8,
+            }
+            .validate();
+        }
     }
 
     #[test]

@@ -86,7 +86,8 @@ impl HierarchyConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `shared` is empty or longer than [`MAX_SHARED_LEVELS`].
+    /// Panics if `shared` is empty or longer than [`MAX_SHARED_LEVELS`],
+    /// or if any level fails [`CacheConfig::validate`].
     pub fn new(
         l1i: CacheConfig,
         l1d: CacheConfig,
@@ -98,6 +99,9 @@ impl HierarchyConfig {
             "a hierarchy needs 1..={MAX_SHARED_LEVELS} shared levels, got {}",
             shared.len()
         );
+        for level in [&l1i, &l1d].into_iter().chain(shared) {
+            level.validate();
+        }
         let ids: &[LevelId] = match shared.len() {
             1 => &[LevelId::L2C],
             2 => &[LevelId::L2C, LevelId::Llc],
@@ -126,9 +130,12 @@ impl HierarchyConfig {
                 latency: 4,
                 mshr_entries: 8,
             },
+            // 32 KiB 8-way L1D. (An earlier revision used 42×12, which
+            // matches the byte budget but is unindexable hardware — set
+            // counts must be powers of two; see `CacheConfig::validate`.)
             CacheConfig {
-                sets: 42,
-                ways: 12,
+                sets: 64,
+                ways: 8,
                 latency: 5,
                 mshr_entries: 8,
             },
