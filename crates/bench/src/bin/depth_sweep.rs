@@ -1,0 +1,12 @@
+//! Sweeps hierarchy depth (2/3/4-level chains) and L2C size, reporting
+//! iTP+xPTP's uplift over LRU at each point.
+//!
+//! ```sh
+//! cargo run -p itpx-bench --release --bin depth_sweep
+//! ```
+
+use itpx_bench::{figures, Campaign};
+
+fn main() {
+    figures::depth_sweep_report(&Campaign::from_env()).finish();
+}

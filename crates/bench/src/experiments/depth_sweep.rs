@@ -1,0 +1,136 @@
+//! Hierarchy depth and L2C size sweep — the level-chain refactor's
+//! bench experiment.
+//!
+//! The paper evaluates one fixed 3-level machine; the chain makes depth
+//! a configuration axis. This sweep runs `{2-level (no LLC), 3-level
+//! (Table 1), 4-level (extra L3)} × {L2C sets}` with LRU baselines and
+//! iTP+xPTP, answering two questions per point: does iTP+xPTP's uplift
+//! survive the depth change, and how much of it does a bigger (or the
+//! removed/added) downstream level absorb?
+//!
+//! Every cell is a block of [`SimRequest`]s through the shared
+//! [`Campaign`], so each chain variant keys distinctly in the simcache
+//! (depth changes the config fingerprint's stream length) and repeated
+//! sweeps are served from cache.
+
+use crate::campaign::{Campaign, SimRequest};
+use crate::harness::RunScale;
+use itpx_core::Preset;
+use itpx_cpu::{SimulationOutput, SystemConfig};
+use itpx_mem::HierarchyConfig;
+use itpx_trace::{qualcomm_like_suite, WorkloadSpec};
+use itpx_types::stats::geomean_speedup;
+
+/// A labeled hierarchy preset: sweep-table name plus its constructor.
+pub type ChainVariant = (&'static str, fn() -> HierarchyConfig);
+
+/// The chain variants the sweep covers, shallow to deep.
+pub const CHAINS: &[ChainVariant] = &[
+    ("2-level", HierarchyConfig::asplos25_no_llc),
+    ("3-level", HierarchyConfig::asplos25),
+    ("4-level", HierarchyConfig::asplos25_deep),
+];
+
+/// L2C set counts the sweep crosses with each chain (1024 is Table 1's
+/// 512 KiB).
+pub const L2C_SETS: &[usize] = &[512, 1024, 2048];
+
+/// One sweep point: a chain variant crossed with an L2C size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthCell {
+    /// Chain variant label (`2-level`, `3-level`, `4-level`).
+    pub chain: &'static str,
+    /// L2C sets (8 ways; 1024 = the paper's 512 KiB).
+    pub l2c_sets: usize,
+    /// Geomean iTP+xPTP IPC uplift over LRU at this point, in percent.
+    pub geomean_pct: f64,
+    /// Mean LRU-baseline L2C MPKI (how contended the swept level is).
+    pub baseline_l2c_mpki: f64,
+    /// Mean LRU-baseline DRAM reads per kilo-instruction (what the
+    /// levels below the L2C absorb).
+    pub baseline_dram_rpki: f64,
+}
+
+fn suite(scale: &RunScale) -> Vec<WorkloadSpec> {
+    qualcomm_like_suite(scale.workloads)
+        .into_iter()
+        .map(|w| scale.apply(w))
+        .collect()
+}
+
+fn config_for(chain: fn() -> HierarchyConfig, l2c_sets: usize) -> SystemConfig {
+    let mut config = SystemConfig::asplos25();
+    config.hierarchy = chain();
+    config.hierarchy.l2c_mut().sets = l2c_sets;
+    config
+}
+
+fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let xs: Vec<f64> = xs.collect();
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}
+
+/// Runs the sweep: every `(chain, L2C size)` point as one campaign
+/// batch, LRU baselines first, iTP+xPTP second.
+pub fn run(campaign: &Campaign, scale: &RunScale) -> Vec<DepthCell> {
+    let suite = suite(scale);
+    let mut points = Vec::new();
+    let mut requests = Vec::new();
+    for &(chain, hierarchy) in CHAINS {
+        for &l2c_sets in L2C_SETS {
+            let config = config_for(hierarchy, l2c_sets);
+            points.push((chain, l2c_sets));
+            for preset in [Preset::Lru, Preset::ItpXptp] {
+                requests.extend(suite.iter().map(|w| SimRequest::single(&config, preset, w)));
+            }
+        }
+    }
+    let outputs = campaign.run_batch(requests);
+    let per_point = 2 * suite.len();
+    points
+        .into_iter()
+        .zip(outputs.chunks(per_point))
+        .map(|((chain, l2c_sets), outs)| {
+            let (base, prop) = outs.split_at(suite.len());
+            cell(chain, l2c_sets, base, prop)
+        })
+        .collect()
+}
+
+fn cell(
+    chain: &'static str,
+    l2c_sets: usize,
+    base: &[SimulationOutput],
+    prop: &[SimulationOutput],
+) -> DepthCell {
+    let ups: Vec<f64> = prop
+        .iter()
+        .zip(base)
+        .map(|(o, b)| o.speedup_pct_over(b) / 100.0)
+        .collect();
+    DepthCell {
+        chain,
+        l2c_sets,
+        geomean_pct: geomean_speedup(&ups) * 100.0,
+        baseline_l2c_mpki: mean(base.iter().map(SimulationOutput::l2c_mpki)),
+        baseline_dram_rpki: mean(
+            base.iter()
+                .map(|o| o.dram_reads as f64 * 1000.0 / o.instructions() as f64),
+        ),
+    }
+}
+
+/// Formats the sweep as an aligned table.
+pub fn format_cells(cells: &[DepthCell]) -> String {
+    let mut out = format!(
+        "{:<8} {:>9} {:>10} {:>9} {:>9}\n",
+        "chain", "L2C sets", "uplift", "L2C MPKI", "DRAM rpki"
+    );
+    for c in cells {
+        out.push_str(&format!(
+            "{:<8} {:>9} {:>+9.2}% {:>9.2} {:>9.2}\n",
+            c.chain, c.l2c_sets, c.geomean_pct, c.baseline_l2c_mpki, c.baseline_dram_rpki
+        ));
+    }
+    out
+}

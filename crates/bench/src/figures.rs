@@ -6,7 +6,7 @@
 //! same scheduler and simulation cache.
 
 use crate::campaign::Campaign;
-use crate::experiments::{calibrate, fig08, fig09, motivation, sensitivity};
+use crate::experiments::{calibrate, depth_sweep, fig08, fig09, motivation, sensitivity};
 use crate::report::{Distribution, Report};
 use itpx_core::presets::{BuildConfig, LlcChoice};
 use itpx_core::Preset;
@@ -80,6 +80,10 @@ pub const ALL: &[Figure] = &[
     Figure {
         name: "ext_tship",
         build: ext_tship,
+    },
+    Figure {
+        name: "depth_sweep",
+        build: depth_sweep_report,
     },
 ];
 
@@ -336,6 +340,20 @@ pub fn ablations(campaign: &Campaign) -> Report {
     for c in sensitivity::ablation_t1(campaign, &config) {
         report.row(c.setting.clone(), format!("{:+.2}%", c.geomean_pct));
     }
+    report
+}
+
+/// Extension: hierarchy depth × L2C size sweep through the level chain.
+pub fn depth_sweep_report(campaign: &Campaign) -> Report {
+    let scale = campaign.scale();
+    let mut report =
+        Report::new("Extension - hierarchy depth x L2C size sweep (iTP+xPTP over LRU)");
+    report.line("chains: 2-level (no LLC), 3-level (Table 1), 4-level (extra 1 MiB L3);");
+    report.line("uplift is iTP+xPTP's geomean IPC gain; MPKI/rpki are the LRU baseline's");
+    report.line("");
+    report.line(depth_sweep::format_cells(&depth_sweep::run(
+        campaign, scale,
+    )));
     report
 }
 

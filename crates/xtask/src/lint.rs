@@ -15,6 +15,13 @@
 //! * `panicking-index` — `.unwrap()`/`.expect(...)` and computed indexing
 //!   (`a[i + 1]`, `a[f(x)]`) without a justifying `//` comment on the same
 //!   or preceding line.
+//! * `layering` — direct `hierarchy.l2` / `hierarchy.llc` field access
+//!   outside `itpx-mem`. The level chain owns its shared levels; callers
+//!   go through the `l2c()`/`l2c_mut()`/`llc()`/`llc_mut()` accessors,
+//!   which stay valid when the chain depth changes. (The fields are
+//!   private, so the compiler rejects this too — the lint exists to give
+//!   a targeted message and to catch the pattern in macro/string-built
+//!   code paths the compiler can't see.)
 //!
 //! Lines inside `#[cfg(test)]` modules are exempt. Audited exceptions live
 //! in `crates/xtask/allowlist.txt`, one per line: `rule|path-suffix|needle`.
@@ -22,7 +29,9 @@
 //! The simulator crates get all rules. The campaign engine's cache path in
 //! `itpx-bench` ([`LINTED_CACHE_FILES`]) additionally gets the `std-time`
 //! and `entropy` rules: a cache key or persisted result derived from the
-//! wall clock or ambient randomness would silently break memoization.
+//! wall clock or ambient randomness would silently break memoization. The
+//! rest of `crates/bench/src` gets only the `layering` rule: harness code
+//! configures hierarchies constantly and must do so through the accessors.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -44,11 +53,16 @@ pub const LINTED_CACHE_FILES: &[&str] = &[
 /// The rules enforced on [`LINTED_CACHE_FILES`].
 pub const CACHE_PATH_RULES: &[&str] = &["std-time", "entropy"];
 
+/// Extra source roots scanned with only the `layering` rule: bench
+/// harness code builds hierarchy configs all the time and must use the
+/// depth-stable accessors rather than reaching for level fields.
+pub const LAYERING_EXTRA_ROOTS: &[&str] = &["crates/bench/src"];
+
 /// One lint hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Rule identifier (`std-time`, `entropy`, `map-iter`,
-    /// `panicking-index`).
+    /// `panicking-index`, `layering`).
     pub rule: &'static str,
     /// Repo-relative path of the offending file.
     pub path: String,
@@ -185,6 +199,42 @@ pub fn run(root: &Path) -> Result<LintReport, String> {
             }
         }
     }
+    for root_rel in LAYERING_EXTRA_ROOTS {
+        let dir = root.join(root_rel);
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &mut files)
+            .map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        files.sort();
+        for file in files {
+            let src = fs::read_to_string(&file)
+                .map_err(|e| format!("reading {}: {e}", file.display()))?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            report.files_scanned += 1;
+            for f in lint_source(&rel, &src) {
+                if f.rule != "layering" {
+                    continue;
+                }
+                let mut suppressed = false;
+                for (i, a) in allowlist.iter().enumerate() {
+                    if (a.rule == "*" || a.rule == f.rule)
+                        && f.path.ends_with(&a.path_suffix)
+                        && f.excerpt.contains(&a.needle)
+                    {
+                        used[i] = true;
+                        suppressed = true;
+                        break;
+                    }
+                }
+                if !suppressed {
+                    report.findings.push(f);
+                }
+            }
+        }
+    }
     for (i, a) in allowlist.iter().enumerate() {
         if !used[i] {
             report.unused_allowlist.push(a.raw.clone());
@@ -255,8 +305,30 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
         if !has_comment && has_computed_index(code) {
             push("panicking-index");
         }
+        if !path.contains("crates/mem/") && reaches_into_hierarchy(code) {
+            push("layering");
+        }
     }
     out
+}
+
+/// `true` if `code` accesses a shared cache level of a hierarchy config
+/// as a *field* (`hierarchy.l2.sets`, `hierarchy.llc = ...`) rather than
+/// through the depth-stable accessors (`l2c()`, `l2c_mut()`, `llc()`,
+/// `llc_mut()`). A needle followed by an identifier character is a
+/// longer name (`hierarchy.l2c_mut`), and one followed by `(` is a
+/// method call — both fine.
+fn reaches_into_hierarchy(code: &str) -> bool {
+    for needle in ["hierarchy.l2", "hierarchy.llc"] {
+        for (pos, _) in code.match_indices(needle) {
+            let after = code[pos + needle.len()..].chars().next();
+            let permitted = matches!(after, Some(c) if c.is_alphanumeric() || c == '_' || c == '(');
+            if !permitted {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// The part of a line before a `//` comment (naive: ignores `//` inside
@@ -584,6 +656,26 @@ mod tests {
                        fn t() { let x = std::time::Instant::now(); let _ = x; }\n\
                    }\n";
         assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn hierarchy_field_access_is_flagged() {
+        assert_eq!(rules("config.hierarchy.l2.sets = 1024;\n"), ["layering"]);
+        assert_eq!(rules("let c = &config.hierarchy.llc;\n"), ["layering"]);
+    }
+
+    #[test]
+    fn hierarchy_accessors_are_fine() {
+        assert!(rules("config.hierarchy.l2c_mut().sets = 1024;\n").is_empty());
+        assert!(rules("let b = config.hierarchy.l2c().bytes();\n").is_empty());
+        assert!(rules("let c = config.hierarchy.llc();\n").is_empty());
+        assert!(rules("config.hierarchy.llc_mut().map(|l| l.sets);\n").is_empty());
+    }
+
+    #[test]
+    fn hierarchy_rule_exempts_the_mem_crate() {
+        let hits = lint_source("crates/mem/src/hierarchy.rs", "self.hierarchy.l2 = cfg;\n");
+        assert!(hits.is_empty(), "itpx-mem owns the fields: {hits:?}");
     }
 
     #[test]

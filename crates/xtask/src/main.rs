@@ -31,10 +31,12 @@ fn repo_root() -> PathBuf {
 fn run_lint(root: &Path) -> Result<bool, String> {
     let report = lint::run(root)?;
     println!(
-        "lint: scanned {} files across crates/{{{}}} plus {} bench cache-path file(s)",
+        "lint: scanned {} files across crates/{{{}}}, {} bench cache-path file(s), \
+         and {} (layering rule)",
         report.files_scanned,
         lint::LINTED_CRATES.join(","),
-        lint::LINTED_CACHE_FILES.len()
+        lint::LINTED_CACHE_FILES.len(),
+        lint::LAYERING_EXTRA_ROOTS.join(", ")
     );
     for f in &report.findings {
         println!("  violation: {f}");
