@@ -1,0 +1,172 @@
+//! Validated parsing of `ITPX_*` environment variables.
+//!
+//! The knobs are documented on [`crate::harness::RunScale`] and
+//! [`crate::simcache::SimCache`]. Historically a typo like
+//! `ITPX_THREADS=eight` or a hostile `ITPX_THREADS=0` fell through
+//! *silently* to the default (or worse, to a zero-thread sweep); the
+//! parsers here validate, clamp, and report what they rejected. Each
+//! distinct complaint is printed to stderr once per process — scale
+//! variables are consulted from many figure binaries and a warning per
+//! consultation would drown the report output.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Complaints already printed, so each is emitted once per process.
+static WARNED: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
+
+/// Prints `message` to stderr unless an identical message was already
+/// printed by this process.
+pub fn warn_once(message: &str) {
+    let mut seen = WARNED.lock().expect("env warn set poisoned");
+    if seen.insert(message.to_string()) {
+        eprintln!("warning: {message}");
+    }
+}
+
+/// Parses a numeric environment value. Returns the value to use and an
+/// optional complaint:
+///
+/// * unset → `default`, no complaint;
+/// * a valid number below `min` → clamped to `min`, with a complaint
+///   (`ITPX_THREADS=0` means a sweep that can never run a job);
+/// * non-numeric junk → `default`, with a complaint.
+pub fn parse_count(name: &str, raw: Option<&str>, default: u64, min: u64) -> (u64, Option<String>) {
+    let Some(raw) = raw else {
+        return (default, None);
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(v) if v >= min => (v, None),
+        Ok(v) => (
+            min,
+            Some(format!(
+                "{name}={v} is below the minimum {min}; using {min}"
+            )),
+        ),
+        Err(_) => (
+            default,
+            Some(format!(
+                "{name}={raw:?} is not a number; using the default {default}"
+            )),
+        ),
+    }
+}
+
+/// Parses a boolean switch. `0`, `false`, and `off` (case-insensitive)
+/// disable; `1`, `true`, and `on` enable; unset keeps `default`; anything
+/// else keeps `default` with a complaint.
+pub fn parse_switch(name: &str, raw: Option<&str>, default: bool) -> (bool, Option<String>) {
+    let Some(raw) = raw else {
+        return (default, None);
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "0" | "false" | "off" => (false, None),
+        "1" | "true" | "on" => (true, None),
+        _ => (
+            default,
+            Some(format!(
+                "{name}={raw:?} is not a recognized switch value \
+                 (use 0/false/off or 1/true/on); using the default \
+                 ({})",
+                if default { "enabled" } else { "disabled" }
+            )),
+        ),
+    }
+}
+
+/// [`parse_count`] applied to the live environment, with the complaint
+/// routed through [`warn_once`].
+pub fn count_from_env(name: &str, default: u64, min: u64) -> u64 {
+    let raw = std::env::var(name).ok();
+    let (value, complaint) = parse_count(name, raw.as_deref(), default, min);
+    if let Some(c) = complaint {
+        warn_once(&c);
+    }
+    value
+}
+
+/// [`parse_switch`] applied to the live environment, with the complaint
+/// routed through [`warn_once`].
+pub fn switch_from_env(name: &str, default: bool) -> bool {
+    let raw = std::env::var(name).ok();
+    let (value, complaint) = parse_switch(name, raw.as_deref(), default);
+    if let Some(c) = complaint {
+        warn_once(&c);
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Only the pure parsers are tested: tests run concurrently in one
+    // process, so mutating the real environment would race.
+
+    #[test]
+    fn unset_uses_the_default_silently() {
+        assert_eq!(parse_count("ITPX_THREADS", None, 4, 1), (4, None));
+        assert_eq!(parse_switch("ITPX_SIMCACHE", None, true), (true, None));
+    }
+
+    #[test]
+    fn valid_values_pass_through_silently() {
+        assert_eq!(parse_count("ITPX_THREADS", Some("8"), 4, 1), (8, None));
+        assert_eq!(parse_count("ITPX_THREADS", Some(" 2 "), 4, 1), (2, None));
+        assert_eq!(
+            parse_switch("ITPX_SIMCACHE", Some("0"), true),
+            (false, None)
+        );
+        assert_eq!(
+            parse_switch("ITPX_SIMCACHE", Some("off"), true),
+            (false, None)
+        );
+        assert_eq!(
+            parse_switch("ITPX_SIMCACHE", Some("1"), false),
+            (true, None)
+        );
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_the_minimum_with_a_complaint() {
+        let (v, complaint) = parse_count("ITPX_THREADS", Some("0"), 4, 1);
+        assert_eq!(v, 1, "a zero-thread sweep can never run a job");
+        let c = complaint.expect("clamping must be reported");
+        assert!(c.contains("ITPX_THREADS=0"), "{c}");
+    }
+
+    #[test]
+    fn junk_counts_fall_back_with_a_complaint() {
+        for junk in ["eight", "", "-3", "1.5", "0x10"] {
+            let (v, complaint) = parse_count("ITPX_WORKLOADS", Some(junk), 16, 1);
+            assert_eq!(v, 16, "junk {junk:?} must keep the default");
+            let c = complaint.expect("junk must be reported");
+            assert!(c.contains("ITPX_WORKLOADS"), "{c}");
+        }
+    }
+
+    #[test]
+    fn junk_switches_keep_the_default_with_a_complaint() {
+        let (v, complaint) = parse_switch("ITPX_SIMCACHE", Some("maybe"), true);
+        assert!(v, "junk must keep the default");
+        assert!(complaint.expect("junk must be reported").contains("maybe"));
+        let (v, complaint) = parse_switch("ITPX_SIMCACHE", Some("2"), true);
+        assert!(v);
+        assert!(complaint.is_some());
+    }
+
+    #[test]
+    fn warn_once_deduplicates() {
+        // Purely behavioral: the second call must not panic and the set
+        // must absorb duplicates (output itself goes to stderr).
+        warn_once("difftest-env-test: duplicate complaint");
+        warn_once("difftest-env-test: duplicate complaint");
+        let seen = WARNED.lock().expect("env warn set poisoned");
+        assert_eq!(
+            seen.iter()
+                .filter(|m| m.contains("difftest-env-test"))
+                .count(),
+            1
+        );
+    }
+}

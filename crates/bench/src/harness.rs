@@ -32,13 +32,12 @@ pub struct RunScale {
 
 impl RunScale {
     /// Reads the scale from the environment, falling back to defaults.
+    /// Values are validated by [`crate::env`]: junk falls back to the
+    /// default and out-of-range values clamp, each with a one-time
+    /// warning (`ITPX_THREADS=0` would otherwise configure a sweep that
+    /// can never run a job).
     pub fn from_env() -> Self {
-        let get = |k: &str, d: u64| -> u64 {
-            std::env::var(k)
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(d)
-        };
+        let get = |k: &str, d: u64| crate::env::count_from_env(k, d, 1);
         Self {
             workloads: get("ITPX_WORKLOADS", 16) as usize,
             smt_pairs: get("ITPX_SMT_PAIRS", 9) as usize,

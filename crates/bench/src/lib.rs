@@ -12,6 +12,8 @@
 //!   from the [`simcache`], and scheduled as one flat job queue.
 //! * [`simcache`] — memoized simulation results, in memory and persisted
 //!   under `target/simcache/` (opt out with `ITPX_SIMCACHE=0`).
+//! * [`env`] — validated parsing of the `ITPX_*` variables (junk values
+//!   warn once instead of being silently ignored).
 //! * [`figures`] — one report builder per figure, all driven by a shared
 //!   [`campaign::Campaign`].
 //! * [`report`] — table formatting, violin-style distribution summaries,
@@ -24,6 +26,7 @@
 
 pub mod campaign;
 pub mod csv;
+pub mod env;
 pub mod experiments;
 pub mod figures;
 pub mod harness;

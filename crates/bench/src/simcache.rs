@@ -8,13 +8,17 @@
 //! file per key under `target/simcache/`.
 //!
 //! The on-disk format is versioned: files start with a magic tag, a schema
-//! version, and the key they claim to hold. A file that is truncated,
-//! corrupted, carries a stale version, or disagrees with its file name is
-//! ignored (the run falls back to simulating and rewrites it). Set
-//! `ITPX_SIMCACHE=0` to bypass the cache entirely.
+//! version, the key they claim to hold, and an FNV-1a checksum of the
+//! payload. A file that is truncated, bit-flipped, carries a stale
+//! version, or disagrees with its file name is ignored (the run falls
+//! back to simulating and rewrites it) — the structural decoder alone
+//! cannot catch a flipped bit inside a fixed-width counter, which is what
+//! the checksum is for. The cache toggle comes from `ITPX_SIMCACHE` via
+//! [`crate::env`] (only `0`/`false`/`off` disable it; junk values warn
+//! and keep the default).
 
 use itpx_cpu::{LevelReport, SimulationOutput, ThreadOutput, WalkerSummary};
-use itpx_types::{LevelId, OnlineMean, StructStats};
+use itpx_types::{Fnv1a, LevelId, OnlineMean, StructStats};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -22,8 +26,9 @@ use std::sync::Mutex;
 /// File magic: identifies simcache entries.
 const MAGIC: &[u8; 8] = b"ITPXSIMC";
 /// Schema version; bump on any change to the serialized layout.
-/// v2 added the per-level `cache_levels` section.
-const VERSION: u32 = 2;
+/// v2 added the per-level `cache_levels` section; v3 added the payload
+/// checksum after the key.
+const VERSION: u32 = 3;
 
 /// A process-wide simulation-result cache with disk persistence.
 #[derive(Debug)]
@@ -48,9 +53,11 @@ impl SimCache {
     }
 
     /// The standard configuration: persistence under `target/simcache/`,
-    /// disabled entirely when `ITPX_SIMCACHE=0`.
+    /// disabled with `ITPX_SIMCACHE=0` (or `false`/`off`). Unrecognized
+    /// values keep the cache enabled and warn once, rather than being
+    /// silently interpreted as "enabled".
     pub fn from_env() -> Self {
-        let enabled = std::env::var("ITPX_SIMCACHE").map_or(true, |v| v != "0");
+        let enabled = crate::env::switch_from_env("ITPX_SIMCACHE", true);
         Self {
             enabled,
             ..Self::new(Some(PathBuf::from("target/simcache")))
@@ -130,12 +137,23 @@ fn write_entry(path: &Path, key: u64, out: &SimulationOutput) -> std::io::Result
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let mut buf = Vec::with_capacity(512);
+    let mut payload = Vec::with_capacity(512);
+    encode_output(&mut payload, out);
+    let mut buf = Vec::with_capacity(payload.len() + 28);
     buf.extend_from_slice(MAGIC);
     put_u32(&mut buf, VERSION);
     put_u64(&mut buf, key);
-    encode_output(&mut buf, out);
+    put_u64(&mut buf, payload_checksum(&payload));
+    buf.extend_from_slice(&payload);
     std::fs::write(path, buf)
+}
+
+/// FNV-1a over the serialized payload. Structural decoding alone accepts a
+/// bit flip inside any fixed-width counter; this rejects it.
+fn payload_checksum(payload: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_bytes(payload);
+    h.finish()
 }
 
 fn read_entry(path: &Path, key: u64) -> Option<SimulationOutput> {
@@ -145,6 +163,9 @@ fn read_entry(path: &Path, key: u64) -> Option<SimulationOutput> {
         return None;
     }
     if r.u32()? != VERSION || r.u64()? != key {
+        return None;
+    }
+    if r.u64()? != payload_checksum(r.bytes) {
         return None;
     }
     let out = decode_output(&mut r)?;
@@ -432,6 +453,68 @@ mod tests {
         // The untouched bytes still decode.
         std::fs::write(&path, &good).expect("restore");
         assert_eq!(read_entry(&path, 7), Some(out));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flips_anywhere_in_the_payload_are_rejected() {
+        let out = sample_output();
+        let dir = temp_dir("bitflip");
+        let path = dir.join("entry.bin");
+        write_entry(&path, 7, &out).expect("write");
+        let good = std::fs::read(&path).expect("read bytes");
+        // Header is magic(8) + version(4) + key(8) + checksum(8).
+        let payload_start = 28;
+        assert!(good.len() > payload_start);
+        // Flipping a single bit in any payload byte must degrade to a
+        // miss — counters are fixed-width, so without the checksum these
+        // bytes would decode "successfully" into a wrong result.
+        for offset in [payload_start, payload_start + 9, good.len() - 1] {
+            let mut bad = good.clone();
+            bad[offset] ^= 0x01;
+            std::fs::write(&path, &bad).expect("corrupt");
+            assert!(
+                read_entry(&path, 7).is_none(),
+                "bit flip at byte {offset} must be rejected"
+            );
+        }
+        // A flipped checksum (with an intact payload) is rejected too.
+        let mut bad = good.clone();
+        bad[20] ^= 0x01;
+        std::fs::write(&path, &bad).expect("corrupt checksum");
+        assert!(read_entry(&path, 7).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_entries_degrade_to_miss_and_rewrite_cleanly() {
+        let out = sample_output();
+        let dir = temp_dir("degrade");
+        let cache = SimCache::new(Some(dir.clone()));
+        cache.insert(9, &out);
+        let path = dir.join(format!("{:016x}.bin", 9));
+        let good = std::fs::read(&path).expect("entry exists on disk");
+
+        for (label, bytes) in [
+            ("truncated", good[..good.len() / 3].to_vec()),
+            ("bit-flipped", {
+                let mut b = good.clone();
+                b[good.len() / 2] ^= 0x10;
+                b
+            }),
+        ] {
+            std::fs::write(&path, &bytes).expect("corrupt");
+            // A fresh instance (fresh process) must treat the damaged file
+            // as a miss — never panic, never serve garbage.
+            let fresh = SimCache::new(Some(dir.clone()));
+            assert_eq!(fresh.get(9), None, "{label} entry must miss");
+            assert_eq!((fresh.hits(), fresh.misses()), (0, 1));
+            // Re-inserting (what the campaign does after re-simulating)
+            // rewrites the file so the next process hits again.
+            fresh.insert(9, &out);
+            let next = SimCache::new(Some(dir.clone()));
+            assert_eq!(next.get(9), Some(out.clone()), "{label} entry rewritten");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

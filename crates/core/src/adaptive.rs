@@ -289,4 +289,63 @@ mod tests {
     fn zero_epoch_panics() {
         let _ = StlbPressureMonitor::with_params(XptpSwitch::new(), 0, 1);
     }
+
+    #[test]
+    fn default_epoch_closes_at_exactly_1000_instructions() {
+        let s = XptpSwitch::new();
+        let mut mon = StlbPressureMonitor::new(s.clone());
+        mon.on_stlb_miss();
+        mon.on_stlb_miss();
+        mon.on_retire(DEFAULT_EPOCH_INSTRUCTIONS - 1);
+        assert!(!s.is_enabled(), "999 retires must not close the epoch");
+        assert!(mon.enabled_fraction() == 0.0, "no epoch completed yet");
+        mon.on_retire(1);
+        assert!(s.is_enabled(), "the 1000th retire closes the epoch");
+        assert!((mon.enabled_fraction() - 1.0).abs() < 1e-12);
+        // Counters reset at the boundary: a second epoch with zero misses
+        // must disable again, exactly at instruction 2000.
+        mon.on_retire(DEFAULT_EPOCH_INSTRUCTIONS - 1);
+        assert!(s.is_enabled(), "decision holds until the next boundary");
+        mon.on_retire(1);
+        assert!(!s.is_enabled(), "miss counter was reset at 1000");
+    }
+
+    #[test]
+    fn one_retire_call_can_close_several_epochs() {
+        let s = XptpSwitch::new();
+        let mut mon = StlbPressureMonitor::new(s.clone());
+        for _ in 0..(DEFAULT_T1 + 1) {
+            mon.on_stlb_miss();
+        }
+        s.set(true);
+        mon.on_retire(3 * DEFAULT_EPOCH_INSTRUCTIONS);
+        // Epoch 1 sees the misses and enables; epochs 2 and 3 see the reset
+        // counter and disable. The last decision wins.
+        assert!(!s.is_enabled());
+        assert!((mon.enabled_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_t1_boundary_below_at_and_above() {
+        // misses < T1, == T1, == T1 + 1 with the paper's defaults: only
+        // strictly exceeding T1 enables xPTP.
+        for (misses, expect) in [
+            (DEFAULT_T1 - 1, false),
+            (DEFAULT_T1, false),
+            (DEFAULT_T1 + 1, true),
+        ] {
+            let s = XptpSwitch::new();
+            let mut mon = StlbPressureMonitor::new(s.clone());
+            s.set(!expect); // prove the epoch decision overwrites the bit
+            for _ in 0..misses {
+                mon.on_stlb_miss();
+            }
+            mon.on_retire(DEFAULT_EPOCH_INSTRUCTIONS);
+            assert_eq!(
+                s.is_enabled(),
+                expect,
+                "{misses} miss(es) against T1 = {DEFAULT_T1}"
+            );
+        }
+    }
 }

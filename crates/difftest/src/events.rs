@@ -1,0 +1,112 @@
+//! The event vocabulary both machines consume.
+//!
+//! The differential harness compares the optimized pipeline against the
+//! reference model on a common, minimal input language: a flat list of
+//! *events* — instruction fetches and data loads/stores by virtual
+//! address. [`events_from_trace`] derives the list from a fuzzer trace
+//! (one fetch per new instruction block, one memory event per operand),
+//! and the shrinker minimizes failing inputs at this granularity.
+
+use itpx_trace::TraceInst;
+
+/// What one event does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Instruction fetch: an instruction-kind translation plus an L1I
+    /// access.
+    Fetch,
+    /// Data load: a data-kind translation plus an L1D access.
+    Load,
+    /// Data store: like a load, then marks the L1D block dirty.
+    Store,
+}
+
+/// One access both machines execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// What the event does.
+    pub kind: EventKind,
+    /// Virtual address accessed (the fetch block for [`EventKind::Fetch`]).
+    pub va: u64,
+    /// Program counter of the triggering instruction.
+    pub pc: u64,
+}
+
+/// Lowers a fuzzer trace to the event list: a fetch whenever the
+/// instruction stream enters a new 64-byte block, and one load/store per
+/// memory operand.
+pub fn events_from_trace(trace: &[TraceInst]) -> Vec<Event> {
+    let mut out = Vec::with_capacity(trace.len());
+    let mut last_block = None;
+    for inst in trace {
+        let block = inst.pc >> 6;
+        if last_block != Some(block) {
+            out.push(Event {
+                kind: EventKind::Fetch,
+                va: inst.pc,
+                pc: inst.pc,
+            });
+            last_block = Some(block);
+        }
+        if let Some(m) = inst.mem {
+            out.push(Event {
+                kind: if m.store {
+                    EventKind::Store
+                } else {
+                    EventKind::Load
+                },
+                va: m.addr,
+                pc: inst.pc,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itpx_trace::{MemRef, TraceInst};
+
+    #[test]
+    fn sequential_instructions_share_one_fetch_per_block() {
+        // Four instructions in one 64-byte block: one fetch event.
+        let trace: Vec<TraceInst> = (0..4).map(|i| TraceInst::alu(0x1000 + i * 4)).collect();
+        let evs = events_from_trace(&trace);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::Fetch);
+    }
+
+    #[test]
+    fn memory_operands_become_load_store_events() {
+        let mut st = TraceInst::alu(0x2000);
+        st.mem = Some(MemRef {
+            addr: 0xabc0,
+            store: true,
+        });
+        let mut ld = TraceInst::alu(0x2004);
+        ld.mem = Some(MemRef {
+            addr: 0xdef0,
+            store: false,
+        });
+        let evs = events_from_trace(&[st, ld]);
+        let kinds: Vec<EventKind> = evs.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EventKind::Fetch, EventKind::Store, EventKind::Load]
+        );
+        assert_eq!(evs[1].va, 0xabc0);
+        assert_eq!(evs[2].pc, 0x2004);
+    }
+
+    #[test]
+    fn block_reentry_fetches_again() {
+        let trace = vec![
+            TraceInst::alu(0x1000),
+            TraceInst::alu(0x9000),
+            TraceInst::alu(0x1000),
+        ];
+        let evs = events_from_trace(&trace);
+        assert_eq!(evs.len(), 3, "returning to a block re-fetches it");
+    }
+}

@@ -1,0 +1,252 @@
+//! Metamorphic properties: transformations of an input that must leave
+//! observable results unchanged (or move them in a known direction).
+//!
+//! Four families ride alongside the differential comparison:
+//!
+//! 1. **Address-relabeling invariance** — XOR-ing every VPN with a
+//!    set-preserving mask renames TLB entries without changing set
+//!    pressure, so LRU and iTP must produce identical hit/miss counts.
+//! 2. **Warm/cold simcache equivalence** — a simulation result served
+//!    from a freshly-read cache file must equal the directly computed
+//!    one, and re-running the simulation must reproduce it exactly.
+//! 3. **Host-thread-count invariance** — sweeping the same jobs over 1
+//!    and 4 host threads must return identical, identically-ordered
+//!    results (`ITPX_THREADS` only changes wall-clock time).
+//! 4. **Depth sanity** — chains of depth 2/3/4 share every structure
+//!    above the shared tail, so TLB/walker/L1/L2C counts must be
+//!    identical across depths and adding cache levels must not increase
+//!    DRAM reads.
+
+use crate::driver::{run_reference, run_system};
+use crate::events::events_from_trace;
+use itpx_bench::{SimCache, Sweep};
+use itpx_core::presets::BuildConfig;
+use itpx_core::{Itp, ItpParams, Preset};
+use itpx_cpu::{Simulation, SystemConfig};
+use itpx_mem::HierarchyConfig;
+use itpx_policy::{Lru, TlbPolicy};
+use itpx_trace::fuzz::{self, FuzzPattern, FuzzSpec};
+use itpx_trace::WorkloadSpec;
+use itpx_types::{PageSize, PhysAddr, Rng64, ThreadId, TranslationKind, VirtAddr};
+use itpx_vm::tlb::{Tlb, TlbConfig, TlbLookup};
+
+use crate::report::StructCounts;
+
+/// STLB geometry of Table 1 (what both relabeled runs use).
+fn stlb_config() -> TlbConfig {
+    TlbConfig {
+        sets: 128,
+        ways: 12,
+        latency: 8,
+        mshr_entries: 16,
+    }
+}
+
+/// Drives a standalone TLB over a VPN stream: miss → fill, like the
+/// pipeline does, with accesses far enough apart that fill-ready times
+/// never matter.
+fn drive_tlb(policy: TlbPolicy, stream: &[(u64, TranslationKind)]) -> StructCounts {
+    let mut tlb = Tlb::new(stlb_config(), policy);
+    let mut now = 0;
+    for &(vpn, kind) in stream {
+        let va = VirtAddr::new(vpn << 12);
+        if tlb.lookup(va, kind, 0, ThreadId(0), now) == TlbLookup::Miss {
+            tlb.fill(
+                vpn,
+                PageSize::Base4K,
+                PhysAddr::new(vpn << 12),
+                kind,
+                0,
+                ThreadId(0),
+                1,
+                now,
+            );
+        }
+        now += 1_000;
+    }
+    tlb.stats().into()
+}
+
+/// A reusing VPN stream mixing instruction and data translations.
+fn vpn_stream(seed: u64, len: usize) -> Vec<(u64, TranslationKind)> {
+    let mut rng = Rng64::new(seed);
+    (0..len)
+        .map(|_| {
+            let vpn = rng.below(1 << 14);
+            let kind = if rng.chance(0.5) {
+                TranslationKind::Instruction
+            } else {
+                TranslationKind::Data
+            };
+            (vpn, kind)
+        })
+        .collect()
+}
+
+/// A named policy constructor for the relabeling property.
+type PolicyMaker = (&'static str, fn() -> TlbPolicy);
+
+/// Property 1: set-preserving VPN relabeling leaves LRU and iTP counts
+/// unchanged. The mask keeps the low 7 bits (the 128-set index) zero,
+/// so every renamed page lands in its original set.
+fn check_relabeling(failures: &mut Vec<String>) {
+    /// XOR mask with the set-index bits clear.
+    const MASK: u64 = 0x1580;
+    let stream = vpn_stream(0x5eed_1ab3, 6_000);
+    let relabeled: Vec<(u64, TranslationKind)> =
+        stream.iter().map(|&(v, k)| (v ^ MASK, k)).collect();
+    let policies: [PolicyMaker; 2] = [
+        ("lru", || Box::new(Lru::new(128, 12))),
+        ("itp", || Box::new(Itp::new(128, 12, ItpParams::default()))),
+    ];
+    for (name, make) in policies {
+        let base = drive_tlb(make(), &stream);
+        let renamed = drive_tlb(make(), &relabeled);
+        if base != renamed {
+            failures.push(format!(
+                "relabeling/{name}: counts changed under set-preserving rename: \
+                 {base:?} vs {renamed:?}"
+            ));
+        }
+    }
+}
+
+/// Property 2: a cold-started simcache read returns exactly what was
+/// inserted, and the simulation itself is reproducible.
+fn check_simcache_warm_cold(failures: &mut Vec<String>) {
+    let w = WorkloadSpec::server_like(5).instructions(4_000).warmup(500);
+    let cfg = SystemConfig::asplos25();
+    let first = Simulation::single_thread(&cfg, Preset::ItpXptp, &w).run();
+    let second = Simulation::single_thread(&cfg, Preset::ItpXptp, &w).run();
+    if first != second {
+        failures.push("simcache/determinism: identical runs produced different outputs".into());
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("itpx-difftest-mm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let key = 0x00d1_ff7e_57aa_u64;
+    let warm = SimCache::new(Some(dir.clone()));
+    warm.insert(key, &first);
+    // A fresh instance models a fresh process: it can only read the file.
+    let cold = SimCache::new(Some(dir.clone()));
+    match cold.get(key) {
+        Some(out) if out == first => {}
+        Some(_) => {
+            failures.push("simcache/warm-cold: disk round trip altered the output".into());
+        }
+        None => failures.push("simcache/warm-cold: cold read missed a written entry".into()),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Property 3: host-thread count changes scheduling only. The same jobs
+/// through 1- and 4-thread sweeps must give identical ordered results.
+fn check_thread_invariance(failures: &mut Vec<String>) {
+    let specs = fuzz::corpus(0x7442_ead5, 6, 300);
+    let run = |threads: usize| {
+        Sweep::new(threads).run_generic(specs.clone(), |spec| {
+            run_reference(
+                &events_from_trace(&fuzz::generate(spec)),
+                &HierarchyConfig::asplos25(),
+            )
+        })
+    };
+    if run(1) != run(4) {
+        failures
+            .push("threads: 1-thread and 4-thread sweeps returned different results".to_string());
+    }
+}
+
+/// Property 4: depth presets share everything above the shared tail.
+fn check_depth_sanity(failures: &mut Vec<String>) {
+    let spec = FuzzSpec {
+        pattern: FuzzPattern::Mixed,
+        seed: 0xdee9_5a11,
+        instructions: 900,
+    };
+    let events = events_from_trace(&fuzz::generate(&spec));
+    let shallow = run_system(&events, &HierarchyConfig::asplos25_no_llc());
+    let paper = run_system(&events, &HierarchyConfig::asplos25());
+    let deep = run_system(&events, &HierarchyConfig::asplos25_deep());
+    for (name, r) in [("no_llc", &shallow), ("paper", &paper), ("deep", &deep)] {
+        if !r.writebacks_conserved() {
+            failures.push(format!("depth/{name}: writeback conservation violated"));
+        }
+    }
+    for (name, other) in [("paper", &paper), ("deep", &deep)] {
+        let translation_equal = other.itlb == shallow.itlb
+            && other.dtlb == shallow.dtlb
+            && other.stlb == shallow.stlb
+            && other.walks == shallow.walks
+            && other.instruction_walks == shallow.instruction_walks
+            && other.walk_refs == shallow.walk_refs;
+        if !translation_equal {
+            failures.push(format!(
+                "depth/{name}: translation counts differ from the 2-level chain"
+            ));
+        }
+        // L1I, L1D, L2C are positions 0..3 of every chain.
+        if other.levels[..3] != shallow.levels[..3] {
+            failures.push(format!(
+                "depth/{name}: L1/L2C counts differ from the 2-level chain"
+            ));
+        }
+        if other.dram_reads > shallow.dram_reads {
+            failures.push(format!(
+                "depth/{name}: adding cache levels increased DRAM reads \
+                 ({} > {})",
+                other.dram_reads, shallow.dram_reads
+            ));
+        }
+    }
+    // The monitorless LRU bundle must build for every depth (smoke-checks
+    // the preset plumbing the harness relies on).
+    let cfg = SystemConfig::asplos25();
+    let _ = Preset::Lru.build(&cfg.dims(), &BuildConfig::default());
+}
+
+/// Runs every metamorphic property; returns one line per failure.
+pub fn run_all() -> Vec<String> {
+    let mut failures = Vec::new();
+    check_relabeling(&mut failures);
+    check_simcache_warm_cold(&mut failures);
+    check_thread_invariance(&mut failures);
+    check_depth_sanity(&mut failures);
+    failures
+}
+
+/// Number of property families [`run_all`] evaluates.
+pub const PROPERTY_COUNT: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relabeling_holds() {
+        let mut f = Vec::new();
+        check_relabeling(&mut f);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn simcache_warm_cold_holds() {
+        let mut f = Vec::new();
+        check_simcache_warm_cold(&mut f);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn thread_invariance_holds() {
+        let mut f = Vec::new();
+        check_thread_invariance(&mut f);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn depth_sanity_holds() {
+        let mut f = Vec::new();
+        check_depth_sanity(&mut f);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

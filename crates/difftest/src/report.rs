@@ -1,0 +1,215 @@
+//! The count vocabulary the two machines are compared on.
+//!
+//! A [`DiffReport`] holds every timing-free counter the simulation
+//! exposes: per-class access/miss counts for each TLB and cache level,
+//! walker totals, per-level writeback/eviction counts, and DRAM traffic.
+//! Two reports from the same event list must be identical; [`DiffReport::diff`]
+//! names every field that is not.
+
+use itpx_cpu::System;
+use itpx_types::{FillClass, LevelId, StructStats};
+
+/// Per-class access and miss counts of one structure (the timing-free
+/// projection of [`StructStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StructCounts {
+    /// Accesses per [`FillClass`], indexed by `stat_index()`.
+    pub accesses: [u64; 4],
+    /// Misses per [`FillClass`], same order.
+    pub misses: [u64; 4],
+}
+
+impl From<&StructStats> for StructCounts {
+    fn from(s: &StructStats) -> Self {
+        let (accesses, misses, _latency) = s.raw_parts();
+        Self { accesses, misses }
+    }
+}
+
+impl StructCounts {
+    /// Records one access, mirroring [`StructStats::record`].
+    pub fn record(&mut self, class: FillClass, miss: bool) {
+        self.accesses[class.stat_index()] += 1;
+        if miss {
+            self.misses[class.stat_index()] += 1;
+        }
+    }
+}
+
+/// Counts of one cache level of the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelCounts {
+    /// Which level this is.
+    pub id: LevelId,
+    /// Demand access/miss counts per class.
+    pub counts: StructCounts,
+    /// Dirty blocks displaced by fills.
+    pub writebacks: u64,
+    /// Valid blocks displaced by fills (dirty or clean).
+    pub evictions: u64,
+}
+
+/// Every timing-free counter of one simulation, from either machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffReport {
+    /// First-level instruction TLB counts.
+    pub itlb: StructCounts,
+    /// First-level data TLB counts.
+    pub dtlb: StructCounts,
+    /// Last-level TLB counts.
+    pub stlb: StructCounts,
+    /// Page walks performed.
+    pub walks: u64,
+    /// Walks serving instruction translations.
+    pub instruction_walks: u64,
+    /// PTE memory references across all walks.
+    pub walk_refs: u64,
+    /// Chain levels in order (L1I, L1D, then shared outermost-first).
+    pub levels: Vec<LevelCounts>,
+    /// DRAM read transactions.
+    pub dram_reads: u64,
+    /// DRAM write transactions.
+    pub dram_writes: u64,
+    /// Writebacks absorbed by a lower chain level instead of DRAM.
+    pub writebacks_absorbed: u64,
+}
+
+impl DiffReport {
+    /// Snapshots the optimized pipeline's counters.
+    pub fn from_system(sys: &System) -> Self {
+        Self {
+            itlb: sys.itlb().stats().into(),
+            dtlb: sys.dtlb().stats().into(),
+            stlb: (&sys.stlb().stats()).into(),
+            walks: sys.walker().walks(),
+            instruction_walks: sys.walker().instruction_walks(),
+            walk_refs: sys.walker().memory_refs(),
+            levels: sys
+                .hierarchy
+                .levels()
+                .map(|(id, c)| LevelCounts {
+                    id,
+                    counts: c.stats().into(),
+                    writebacks: c.writebacks(),
+                    evictions: c.evictions(),
+                })
+                .collect(),
+            dram_reads: sys.hierarchy.dram().reads(),
+            dram_writes: sys.hierarchy.dram().writes(),
+            writebacks_absorbed: sys.hierarchy.writebacks_absorbed(),
+        }
+    }
+
+    /// Every field where `self` (the optimized pipeline) disagrees with
+    /// `reference`; empty when the reports match bit-for-bit.
+    pub fn diff(&self, reference: &Self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut field = |name: &str, got: &dyn std::fmt::Debug, want: &dyn std::fmt::Debug| {
+            out.push(format!("{name}: optimized {got:?} != reference {want:?}"));
+        };
+        if self.itlb != reference.itlb {
+            field("itlb", &self.itlb, &reference.itlb);
+        }
+        if self.dtlb != reference.dtlb {
+            field("dtlb", &self.dtlb, &reference.dtlb);
+        }
+        if self.stlb != reference.stlb {
+            field("stlb", &self.stlb, &reference.stlb);
+        }
+        if self.walks != reference.walks {
+            field("walks", &self.walks, &reference.walks);
+        }
+        if self.instruction_walks != reference.instruction_walks {
+            field(
+                "instruction_walks",
+                &self.instruction_walks,
+                &reference.instruction_walks,
+            );
+        }
+        if self.walk_refs != reference.walk_refs {
+            field("walk_refs", &self.walk_refs, &reference.walk_refs);
+        }
+        if self.levels.len() != reference.levels.len() {
+            field("levels.len", &self.levels.len(), &reference.levels.len());
+        }
+        for (a, b) in self.levels.iter().zip(&reference.levels) {
+            if a != b {
+                field(b.id.name(), a, b);
+            }
+        }
+        if self.dram_reads != reference.dram_reads {
+            field("dram_reads", &self.dram_reads, &reference.dram_reads);
+        }
+        if self.dram_writes != reference.dram_writes {
+            field("dram_writes", &self.dram_writes, &reference.dram_writes);
+        }
+        if self.writebacks_absorbed != reference.writebacks_absorbed {
+            field(
+                "writebacks_absorbed",
+                &self.writebacks_absorbed,
+                &reference.writebacks_absorbed,
+            );
+        }
+        out
+    }
+
+    /// Writeback-conservation check: every writeback any level emitted is
+    /// either absorbed below or a DRAM write.
+    pub fn writebacks_conserved(&self) -> bool {
+        let emitted: u64 = self.levels.iter().map(|l| l.writebacks).sum();
+        emitted == self.writebacks_absorbed + self.dram_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty() -> DiffReport {
+        DiffReport {
+            itlb: StructCounts::default(),
+            dtlb: StructCounts::default(),
+            stlb: StructCounts::default(),
+            walks: 0,
+            instruction_walks: 0,
+            walk_refs: 0,
+            levels: vec![LevelCounts {
+                id: LevelId::L1I,
+                counts: StructCounts::default(),
+                writebacks: 0,
+                evictions: 0,
+            }],
+            dram_reads: 0,
+            dram_writes: 0,
+            writebacks_absorbed: 0,
+        }
+    }
+
+    #[test]
+    fn equal_reports_have_no_diff() {
+        assert!(empty().diff(&empty()).is_empty());
+    }
+
+    #[test]
+    fn diff_names_the_divergent_field() {
+        let a = empty();
+        let mut b = empty();
+        b.walks = 3;
+        b.levels[0].writebacks = 1;
+        let d = a.diff(&b);
+        assert_eq!(d.len(), 2);
+        assert!(d[0].contains("walks"));
+        assert!(d[1].contains("L1I"));
+    }
+
+    #[test]
+    fn conservation_accounts_for_absorption_and_dram() {
+        let mut r = empty();
+        r.levels[0].writebacks = 5;
+        r.writebacks_absorbed = 3;
+        r.dram_writes = 2;
+        assert!(r.writebacks_conserved());
+        r.dram_writes = 1;
+        assert!(!r.writebacks_conserved());
+    }
+}

@@ -1,0 +1,105 @@
+//! Delta-debugging shrinker for failing event lists.
+//!
+//! A ddmin-style chunk remover: starting from half the input, try
+//! deleting each aligned chunk and keep any deletion that preserves the
+//! failure, halving the chunk size until single elements have been
+//! tried. The predicate is evaluated at most [`MAX_EVALS`] times so a
+//! slow oracle cannot stall a difftest run; the result is then the best
+//! reduction found so far rather than a guaranteed 1-minimal input.
+
+/// Upper bound on predicate evaluations per minimization.
+pub const MAX_EVALS: usize = 512;
+
+/// Minimizes `items` while `fails` keeps returning `true` for the
+/// candidate. `fails(&items)` is assumed `true` on entry (the caller
+/// observed the failure); if it is not, the input is returned unchanged.
+pub fn minimize<T: Clone>(items: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    let mut evals = 0usize;
+    let mut chunk = (current.len() / 2).max(1);
+    while chunk >= 1 && !current.is_empty() {
+        let mut i = 0;
+        let mut removed_any = false;
+        while i < current.len() {
+            if evals >= MAX_EVALS {
+                return current;
+            }
+            let end = (i + chunk).min(current.len());
+            let candidate: Vec<T> = current[..i]
+                .iter()
+                .chain(&current[end..])
+                .cloned()
+                .collect();
+            evals += 1;
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate;
+                removed_any = true;
+                // Re-try the same position: the next chunk slid into it.
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+        if chunk == 1 && current.len() == 1 {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let items: Vec<u32> = (0..100).collect();
+        let out = minimize(&items, |c| c.contains(&37));
+        assert_eq!(out, vec![37]);
+    }
+
+    #[test]
+    fn keeps_a_pair_of_interacting_culprits() {
+        let items: Vec<u32> = (0..64).collect();
+        let out = minimize(&items, |c| c.contains(&3) && c.contains(&60));
+        assert_eq!(out, vec![3, 60]);
+    }
+
+    #[test]
+    fn order_dependent_failures_preserve_order() {
+        // Fails iff a 7 appears somewhere after a 2.
+        let items = vec![9, 2, 9, 9, 7, 9];
+        let fails = |c: &[i32]| {
+            let first2 = c.iter().position(|&x| x == 2);
+            match first2 {
+                Some(p) => c[p..].contains(&7),
+                None => false,
+            }
+        };
+        let out = minimize(&items, fails);
+        assert_eq!(out, vec![2, 7]);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let items = vec![1, 2, 3];
+        let out = minimize(&items, |_| false);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn evaluation_budget_is_respected() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let mut evals = 0usize;
+        let out = minimize(&items, |c| {
+            evals += 1;
+            c.contains(&1) && c.contains(&9_999)
+        });
+        assert!(evals <= MAX_EVALS + 1);
+        assert!(out.contains(&1) && out.contains(&9_999));
+        assert!(out.len() < items.len(), "some reduction happened");
+    }
+}

@@ -108,6 +108,7 @@ pub struct Cache {
     prefetch_issued: u64,
     prefetch_useful: u64,
     writebacks: u64,
+    evictions: u64,
 }
 
 impl Cache {
@@ -134,6 +135,7 @@ impl Cache {
             prefetch_issued: 0,
             prefetch_useful: 0,
             writebacks: 0,
+            evictions: 0,
             cfg,
         }
     }
@@ -161,6 +163,11 @@ impl Cache {
     /// Number of dirty blocks displaced so far.
     pub fn writebacks(&self) -> u64 {
         self.writebacks
+    }
+
+    /// Number of valid blocks displaced by fills (dirty or clean).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Prefetches issued into this cache.
@@ -285,6 +292,7 @@ impl Cache {
                 let v = self.policy.victim(set, meta);
                 assert!(v < self.cfg.ways, "policy returned way out of range");
                 self.policy.on_evict(set, v);
+                self.evictions += 1;
                 // the set had no free way, so every way holds a valid line
                 let victim = self.lines[self.slot(set, v)];
                 let wb = victim.dirty.then(|| {
@@ -325,6 +333,7 @@ impl Cache {
         self.prefetch_issued = 0;
         self.prefetch_useful = 0;
         self.writebacks = 0;
+        self.evictions = 0;
     }
 
     /// Whether `block` is resident.
@@ -401,6 +410,10 @@ mod tests {
         let wb2 = c.fill(&m(4), 0, 0, true);
         assert_eq!(wb2, None);
         assert_eq!(c.writebacks(), 1);
+        assert_eq!(c.evictions(), 2, "both displacements count as evictions");
+        c.reset_stats();
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.writebacks(), 0);
     }
 
     #[test]

@@ -17,13 +17,15 @@
 //! [`WorkloadSpec`] describes one workload; [`TraceGenerator`] turns it
 //! into a deterministic instruction stream ([`TraceInst`]); [`suites`]
 //! builds the single-thread and SMT workload sets mirroring Section 5.2;
-//! [`record`] serializes traces to a compact binary format.
+//! [`record`] serializes traces to a compact binary format; [`fuzz`]
+//! generates adversarial traces for the differential harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod analysis;
 pub mod champsim;
+pub mod fuzz;
 pub mod gen;
 pub mod oracle;
 pub mod profile;
@@ -33,6 +35,7 @@ pub mod suites;
 
 pub use analysis::{mix_summary, page_reuse_profiles, MixSummary, ReuseProfile};
 pub use champsim::{read_champsim, ChampSimConverter, ChampSimRecord};
+pub use fuzz::{FuzzPattern, FuzzSpec};
 pub use gen::{TraceGenerator, ZipfSampler};
 pub use oracle::{replay_min_and_lru, tlb_key_streams, OracleResult};
 pub use profile::{Profile, SmtCategory, SmtPairSpec, WorkloadSpec};

@@ -142,6 +142,11 @@ impl PageWalker {
         self.walks - self.instr_walks
     }
 
+    /// Total page-table memory references issued across all walks.
+    pub fn memory_refs(&self) -> u64 {
+        self.refs
+    }
+
     /// Mean end-to-end walk latency in cycles (including waiting for a
     /// free walk register).
     pub fn avg_latency(&self) -> f64 {

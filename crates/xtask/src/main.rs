@@ -8,6 +8,9 @@
 //! * `budget` — the hardware-budget audit (also writes
 //!   `docs/hardware-budget.md`).
 //! * `contracts` — the randomized policy contract drive.
+//! * `difftest [--smoke|--full]` — differential + metamorphic harness:
+//!   fuzzed traces through the optimized pipeline and the functional
+//!   reference model must agree bit for bit (see docs/testing.md).
 //!
 //! See DESIGN.md ("Static analysis: cargo xtask analyze") for rule
 //! definitions and the allowlist format.
@@ -86,7 +89,37 @@ fn run_contracts() -> Result<bool, String> {
     Ok(report.violations.is_empty())
 }
 
-const USAGE: &str = "usage: cargo xtask [analyze|lint|budget|contracts]";
+fn run_difftest(scale_arg: Option<&str>) -> Result<bool, String> {
+    let scale = match scale_arg {
+        None | Some("--smoke") => itpx_difftest::Scale::smoke(),
+        Some("--full") => itpx_difftest::Scale::full(),
+        Some(other) => {
+            return Err(format!(
+                "unknown difftest option `{other}` (expected --smoke or --full)"
+            ))
+        }
+    };
+    println!(
+        "difftest: {} fuzzed trace(s) x {} instruction(s) per hierarchy preset",
+        scale.traces, scale.instructions
+    );
+    let outcome = itpx_difftest::run(&scale);
+    println!(
+        "difftest: {} differential check(s), {} metamorphic propert(y/ies)",
+        outcome.differential_checks, outcome.metamorphic_checks
+    );
+    for f in &outcome.failures {
+        println!("  divergence: {f}");
+    }
+    if outcome.passed() {
+        println!("difftest: ok (optimized pipeline matches the reference model bit for bit)");
+    } else {
+        println!("difftest: {} failure(s)", outcome.failures.len());
+    }
+    Ok(outcome.passed())
+}
+
+const USAGE: &str = "usage: cargo xtask [analyze|lint|budget|contracts|difftest [--smoke|--full]]";
 
 fn main() -> ExitCode {
     let cmd = std::env::args().nth(1).unwrap_or_else(|| "analyze".into());
@@ -98,6 +131,7 @@ fn main() -> ExitCode {
         "lint" => run_lint(&root),
         "budget" => run_budget(&root, true),
         "contracts" => run_contracts(),
+        "difftest" => run_difftest(std::env::args().nth(2).as_deref()),
         "help" | "-h" | "--help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
