@@ -1,0 +1,109 @@
+//! Dispatch-cost microbenchmarks: the same policy driven through a
+//! `Box<dyn Policy>` virtual call vs its `PolicyEngine` enum variant.
+//!
+//! Each iteration performs [`OPS_PER_ITER`] fill+hit+victim rounds (the
+//! `policy_ops` loop body), batched so the measurement amortizes timer
+//! overhead; divide the reported time by `OPS_PER_ITER` for the per-round
+//! cost. `dyn/...` and `enum/...` pairs differ only in the dispatch
+//! mechanism. The enum path is what the simulated machine runs; the dyn
+//! path is what it ran before the engine refactor (and what out-of-tree
+//! policies still use via the `Dyn` variant).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use itpx_core::{Itp, ItpParams, Xptp, XptpParams};
+use itpx_policy::{CacheMeta, CachePolicyEngine, Lru, Policy, Srrip, TlbMeta, TlbPolicyEngine};
+use itpx_types::{FillClass, TranslationKind};
+use std::hint::black_box;
+
+/// STLB geometry of Table 1.
+const TLB_SETS: usize = 128;
+const TLB_WAYS: usize = 12;
+/// L2C geometry of Table 1.
+const CACHE_SETS: usize = 1024;
+const CACHE_WAYS: usize = 8;
+/// Policy operations (fill + hit + victim) per timed iteration.
+const OPS_PER_ITER: u64 = 10_000;
+
+fn drive_cache(c: &mut Criterion, name: &str, mut p: impl Policy<CacheMeta>) {
+    let mut g = c.benchmark_group("dispatch");
+    g.throughput(Throughput::Elements(OPS_PER_ITER));
+    let mut i = 0u64;
+    g.bench_function(name, |b| {
+        b.iter(|| {
+            for _ in 0..OPS_PER_ITER {
+                i = i.wrapping_add(1);
+                let set = (i as usize) % CACHE_SETS;
+                let way = (i as usize) % CACHE_WAYS;
+                let fill = if i.is_multiple_of(5) {
+                    FillClass::DataPte
+                } else {
+                    FillClass::DataPayload
+                };
+                let m = CacheMeta::demand(i, fill);
+                p.on_fill(set, way, &m);
+                p.on_hit(set, (way + 1) % CACHE_WAYS, &m);
+                black_box(p.victim(set, &m));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn drive_tlb(c: &mut Criterion, name: &str, mut p: impl Policy<TlbMeta>) {
+    let mut g = c.benchmark_group("dispatch");
+    g.throughput(Throughput::Elements(OPS_PER_ITER));
+    let mut i = 0u64;
+    g.bench_function(name, |b| {
+        b.iter(|| {
+            for _ in 0..OPS_PER_ITER {
+                i = i.wrapping_add(1);
+                let set = (i as usize) % TLB_SETS;
+                let way = (i as usize) % TLB_WAYS;
+                let kind = if i.is_multiple_of(3) {
+                    TranslationKind::Instruction
+                } else {
+                    TranslationKind::Data
+                };
+                let m = TlbMeta::demand(i, kind);
+                p.on_fill(set, way, &m);
+                p.on_hit(set, (way + 1) % TLB_WAYS, &m);
+                black_box(p.victim(set, &m));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    // TLB policies: baseline LRU and the paper's iTP.
+    let lru_tlb = || Lru::new(TLB_SETS, TLB_WAYS);
+    drive_tlb(
+        c,
+        "tlb-lru/dyn",
+        Box::new(lru_tlb()) as Box<dyn Policy<TlbMeta>>,
+    );
+    drive_tlb(c, "tlb-lru/enum", TlbPolicyEngine::from(lru_tlb()));
+    let itp = || Itp::new(TLB_SETS, TLB_WAYS, ItpParams::default());
+    drive_tlb(c, "itp/dyn", Box::new(itp()) as Box<dyn Policy<TlbMeta>>);
+    drive_tlb(c, "itp/enum", TlbPolicyEngine::from(itp()));
+
+    // Cache policies: SRRIP (the cheapest comparator, so dispatch overhead
+    // is proportionally largest) and the paper's xPTP.
+    let srrip = || Srrip::new(CACHE_SETS, CACHE_WAYS);
+    drive_cache(
+        c,
+        "srrip/dyn",
+        Box::new(srrip()) as Box<dyn Policy<CacheMeta>>,
+    );
+    drive_cache(c, "srrip/enum", CachePolicyEngine::from(srrip()));
+    let xptp = || Xptp::new(CACHE_SETS, CACHE_WAYS, XptpParams::default());
+    drive_cache(
+        c,
+        "xptp/dyn",
+        Box::new(xptp()) as Box<dyn Policy<CacheMeta>>,
+    );
+    drive_cache(c, "xptp/enum", CachePolicyEngine::from(xptp()));
+}
+
+criterion_group!(dispatch, benches);
+criterion_main!(dispatch);

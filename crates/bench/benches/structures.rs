@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use itpx_mem::{Cache, CacheConfig, Probe};
-use itpx_policy::{CacheMeta, Lru, TlbPolicy};
+use itpx_policy::{CacheMeta, Lru};
 use itpx_trace::{TraceGenerator, WorkloadSpec};
 use itpx_types::{FillClass, PageSize, PhysAddr, ThreadId, TranslationKind, VirtAddr};
 use itpx_vm::page_table::{HugePagePolicy, PageTable};
@@ -27,7 +27,7 @@ fn benches(c: &mut Criterion) {
         latency: 8,
         mshr_entries: 16,
     };
-    let mut tlb = Tlb::new(cfg, Box::new(Lru::new(128, 12)) as TlbPolicy);
+    let mut tlb = Tlb::new(cfg, Lru::new(128, 12));
     for i in 0..1536u64 {
         tlb.fill(
             i,
@@ -64,7 +64,7 @@ fn benches(c: &mut Criterion) {
             latency: 5,
             mshr_entries: 32,
         },
-        Box::new(Lru::new(1024, 8)),
+        Lru::new(1024, 8),
     );
     let mut j = 0u64;
     g.bench_function("l2c_probe_fill", |b| {

@@ -118,9 +118,9 @@ pub fn fig02(campaign: &Campaign, config: &SystemConfig) -> Vec<Fig2Row> {
 fn prob_bundle(config: &SystemConfig, p: f64, seed: u64) -> PolicyBundle {
     let d = config.dims();
     PolicyBundle {
-        stlb: Box::new(ProbKeepInstrLru::new(d.stlb.0, d.stlb.1, p, seed)),
-        l2c: Box::new(Lru::new(d.l2c.0, d.l2c.1)),
-        llc: Box::new(Lru::new(d.llc.0, d.llc.1)),
+        stlb: ProbKeepInstrLru::new(d.stlb.0, d.stlb.1, p, seed).into(),
+        l2c: Lru::new(d.l2c.0, d.l2c.1).into(),
+        llc: Lru::new(d.llc.0, d.llc.1).into(),
         monitor: None,
     }
 }

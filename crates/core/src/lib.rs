@@ -18,9 +18,12 @@
 //! * [`Preset`] — the policy/structure assignment matrix of the paper's
 //!   Table 2, used by the evaluation harness.
 //!
-//! The policies plug into any structure that speaks the
-//! [`itpx_policy::Policy`] trait — in this workspace, the TLBs of
-//! `itpx-vm` and the caches of `itpx-mem`.
+//! The policy *implementations* live in `itpx-policy` (so the statically
+//! dispatched [`itpx_policy::engine`] enums can name them without a
+//! dependency cycle); this crate re-exports them and owns the evaluation
+//! matrix ([`Preset`]) and the [`registry`]. The policies plug into any
+//! structure that speaks the [`itpx_policy::Policy`] trait — in this
+//! workspace, the TLBs of `itpx-vm` and the caches of `itpx-mem`.
 //!
 //! # Examples
 //!
@@ -41,12 +44,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
-pub mod adaptive;
-pub mod extension;
-pub mod itp;
 pub mod presets;
 pub mod registry;
-pub mod xptp;
+
+pub use itpx_policy::{adaptive, extension, itp, xptp};
 
 pub use adaptive::{AdaptiveXptp, StlbPressureMonitor, XptpSwitch};
 pub use extension::XptpEmissary;

@@ -9,7 +9,9 @@
 use crate::adaptive::{AdaptiveXptp, StlbPressureMonitor, XptpSwitch};
 use crate::itp::{Itp, ItpParams};
 use crate::xptp::{Xptp, XptpParams};
-use itpx_policy::{CachePolicy, Chirp, Lru, Mockingjay, Ptp, Ship, TShip, Tdrrip, TlbPolicy};
+use itpx_policy::{
+    CachePolicyEngine, Chirp, Lru, Mockingjay, Ptp, Ship, TShip, Tdrrip, TlbPolicyEngine,
+};
 use itpx_types::fingerprint::{Fingerprint, Fnv1a};
 
 /// One row of the paper's Table 2: the (STLB policy, L2C policy) pair.
@@ -96,23 +98,23 @@ impl Preset {
     pub fn build(self, dims: &StructureDims, cfg: &BuildConfig) -> PolicyBundle {
         let (ss, sw) = dims.stlb;
         let (ls, lw) = dims.l2c;
-        let stlb: TlbPolicy = match self {
-            Preset::Lru | Preset::Tdrrip | Preset::Ptp => Box::new(Lru::new(ss, sw)),
-            Preset::Chirp | Preset::ChirpTdrrip | Preset::ChirpPtp => Box::new(Chirp::new(ss, sw)),
+        let stlb: TlbPolicyEngine = match self {
+            Preset::Lru | Preset::Tdrrip | Preset::Ptp => Lru::new(ss, sw).into(),
+            Preset::Chirp | Preset::ChirpTdrrip | Preset::ChirpPtp => Chirp::new(ss, sw).into(),
             Preset::Itp
             | Preset::ItpTdrrip
             | Preset::ItpPtp
             | Preset::ItpXptp
             | Preset::ItpXptpStatic
-            | Preset::ItpXptpEmissary => Box::new(Itp::new(ss, sw, cfg.itp)),
+            | Preset::ItpXptpEmissary => Itp::new(ss, sw, cfg.itp).into(),
         };
         let mut monitor = None;
-        let l2c: CachePolicy = match self {
-            Preset::Lru | Preset::Chirp | Preset::Itp => Box::new(Lru::new(ls, lw)),
+        let l2c: CachePolicyEngine = match self {
+            Preset::Lru | Preset::Chirp | Preset::Itp => Lru::new(ls, lw).into(),
             Preset::Tdrrip | Preset::ChirpTdrrip | Preset::ItpTdrrip => {
-                Box::new(Tdrrip::new(ls, lw, cfg.seed ^ 0x7d2))
+                Tdrrip::new(ls, lw, cfg.seed ^ 0x7d2).into()
             }
-            Preset::Ptp | Preset::ChirpPtp | Preset::ItpPtp => Box::new(Ptp::new(ls, lw)),
+            Preset::Ptp | Preset::ChirpPtp | Preset::ItpPtp => Ptp::new(ls, lw).into(),
             Preset::ItpXptp => {
                 let switch = XptpSwitch::new();
                 monitor = Some(StlbPressureMonitor::with_params(
@@ -120,19 +122,17 @@ impl Preset {
                     cfg.epoch_instructions,
                     cfg.t1,
                 ));
-                Box::new(AdaptiveXptp::new(ls, lw, cfg.xptp, switch))
+                AdaptiveXptp::new(ls, lw, cfg.xptp, switch).into()
             }
-            Preset::ItpXptpStatic => Box::new(Xptp::new(ls, lw, cfg.xptp)),
-            Preset::ItpXptpEmissary => {
-                Box::new(crate::extension::XptpEmissary::new(ls, lw, cfg.xptp))
-            }
+            Preset::ItpXptpStatic => Xptp::new(ls, lw, cfg.xptp).into(),
+            Preset::ItpXptpEmissary => crate::extension::XptpEmissary::new(ls, lw, cfg.xptp).into(),
         };
         let (cs, cw) = dims.llc;
-        let llc: CachePolicy = match cfg.llc {
-            LlcChoice::Lru => Box::new(Lru::new(cs, cw)),
-            LlcChoice::Ship => Box::new(Ship::new(cs, cw)),
-            LlcChoice::Mockingjay => Box::new(Mockingjay::new(cs, cw)),
-            LlcChoice::TShip => Box::new(TShip::new(cs, cw)),
+        let llc: CachePolicyEngine = match cfg.llc {
+            LlcChoice::Lru => Lru::new(cs, cw).into(),
+            LlcChoice::Ship => Ship::new(cs, cw).into(),
+            LlcChoice::Mockingjay => Mockingjay::new(cs, cw).into(),
+            LlcChoice::TShip => TShip::new(cs, cw).into(),
         };
         PolicyBundle {
             stlb,
@@ -248,14 +248,18 @@ impl Fingerprint for BuildConfig {
 }
 
 /// The concrete policy objects for one simulated system.
+///
+/// The fields are enum-dispatched engines so `Cache`/`Tlb` can inline
+/// policy calls; boxed policies still fit via the engines' `Dyn` variant
+/// (`CachePolicyEngine::from(boxed)` or `::boxed(policy)`).
 #[derive(Debug)]
 pub struct PolicyBundle {
     /// STLB replacement policy.
-    pub stlb: TlbPolicy,
+    pub stlb: TlbPolicyEngine,
     /// L2C replacement policy.
-    pub l2c: CachePolicy,
+    pub l2c: CachePolicyEngine,
     /// LLC replacement policy.
-    pub llc: CachePolicy,
+    pub llc: CachePolicyEngine,
     /// The STLB-pressure monitor, present only for [`Preset::ItpXptp`]; the
     /// simulated system feeds it retired-instruction and STLB-miss events.
     pub monitor: Option<StlbPressureMonitor>,
@@ -264,6 +268,7 @@ pub struct PolicyBundle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use itpx_policy::Policy;
 
     fn dims() -> StructureDims {
         StructureDims {

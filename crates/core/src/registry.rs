@@ -15,8 +15,8 @@ use crate::extension::XptpEmissary;
 use crate::itp::{Itp, ItpParams};
 use crate::xptp::{Xptp, XptpParams};
 use itpx_policy::{
-    Brrip, CacheMeta, Chirp, Dip, Drrip, Lru, Mockingjay, Policy, ProbKeepInstrLru, Ptp,
-    RandomEvict, Ship, Srrip, TShip, Tdrrip, TlbMeta, TreePlru,
+    Brrip, CacheMeta, Chirp, Dip, Drrip, Lru, Mockingjay, Policy, PolicyMeta, ProbKeepInstrLru,
+    Ptp, RandomEvict, Ship, Srrip, TShip, Tdrrip, TlbMeta, TreePlru,
 };
 
 /// Seed used for every stochastic policy the registry builds.
@@ -25,7 +25,7 @@ pub const REGISTRY_SEED: u64 = 0x1735_c0de;
 /// One registered policy: its stable name, how to size-and-build it, and
 /// the policy whose storage it extends (for overhead-over-baseline
 /// accounting in the budget audit).
-pub struct PolicyEntry<M: 'static> {
+pub struct PolicyEntry<M: PolicyMeta> {
     /// The policy's `name()` — stable across releases, used in reports.
     pub name: &'static str,
     /// Baseline policy (by registry name) the budget audit subtracts to get
@@ -34,18 +34,24 @@ pub struct PolicyEntry<M: 'static> {
     /// Geometry constraint: `true` when the policy's tree structure needs a
     /// power-of-two associativity (tree PLRU).
     pub pow2_ways_only: bool,
-    /// Builds the policy for a `sets × ways` structure.
+    /// Builds the policy for a `sets × ways` structure as a trait object
+    /// (the form the contract and budget audits drive).
     pub build: fn(usize, usize) -> Box<dyn Policy<M>>,
+    /// Builds the same policy into its enum-engine variant — the form the
+    /// simulated machine runs. The `engine_equivalence` suite asserts both
+    /// constructions decide identically, and `engine_covers_registry` that
+    /// none falls back to the engines' `Dyn` escape hatch.
+    pub build_engine: fn(usize, usize) -> M::Engine,
 }
 
-impl<M> PolicyEntry<M> {
+impl<M: PolicyMeta> PolicyEntry<M> {
     /// Whether this policy can be built at the given associativity.
     pub fn supports_ways(&self, ways: usize) -> bool {
         ways >= 2 && (!self.pow2_ways_only || ways.is_power_of_two())
     }
 }
 
-impl<M> std::fmt::Debug for PolicyEntry<M> {
+impl<M: PolicyMeta> std::fmt::Debug for PolicyEntry<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PolicyEntry")
             .field("name", &self.name)
@@ -87,78 +93,91 @@ pub fn cache_policies() -> Vec<PolicyEntry<CacheMeta>> {
             baseline: None,
             pow2_ways_only: false,
             build: |s, w| Box::new(Lru::new(s, w)),
+            build_engine: |s, w| Lru::new(s, w).into(),
         },
         PolicyEntry {
             name: "tree-plru",
             baseline: None,
             pow2_ways_only: true,
             build: |s, w| Box::new(TreePlru::new(s, w)),
+            build_engine: |s, w| TreePlru::new(s, w).into(),
         },
         PolicyEntry {
             name: "random",
             baseline: None,
             pow2_ways_only: false,
             build: |_, w| Box::new(RandomEvict::new(w, REGISTRY_SEED)),
+            build_engine: |_, w| RandomEvict::new(w, REGISTRY_SEED).into(),
         },
         PolicyEntry {
             name: "srrip",
             baseline: None,
             pow2_ways_only: false,
             build: |s, w| Box::new(Srrip::new(s, w)),
+            build_engine: |s, w| Srrip::new(s, w).into(),
         },
         PolicyEntry {
             name: "brrip",
             baseline: None,
             pow2_ways_only: false,
             build: |s, w| Box::new(Brrip::new(s, w, REGISTRY_SEED)),
+            build_engine: |s, w| Brrip::new(s, w, REGISTRY_SEED).into(),
         },
         PolicyEntry {
             name: "drrip",
             baseline: None,
             pow2_ways_only: false,
             build: |s, w| Box::new(Drrip::new(s, w, REGISTRY_SEED)),
+            build_engine: |s, w| Drrip::new(s, w, REGISTRY_SEED).into(),
         },
         PolicyEntry {
             name: "dip",
             baseline: Some("lru"),
             pow2_ways_only: false,
             build: |s, w| Box::new(Dip::new(s, w, REGISTRY_SEED)),
+            build_engine: |s, w| Dip::new(s, w, REGISTRY_SEED).into(),
         },
         PolicyEntry {
             name: "ship",
             baseline: None,
             pow2_ways_only: false,
             build: |s, w| Box::new(Ship::new(s, w)),
+            build_engine: |s, w| Ship::new(s, w).into(),
         },
         PolicyEntry {
             name: "tship",
             baseline: Some("ship"),
             pow2_ways_only: false,
             build: |s, w| Box::new(TShip::new(s, w)),
+            build_engine: |s, w| TShip::new(s, w).into(),
         },
         PolicyEntry {
             name: "mockingjay",
             baseline: None,
             pow2_ways_only: false,
             build: |s, w| Box::new(Mockingjay::new(s, w)),
+            build_engine: |s, w| Mockingjay::new(s, w).into(),
         },
         PolicyEntry {
             name: "ptp",
             baseline: Some("lru"),
             pow2_ways_only: false,
             build: |s, w| Box::new(Ptp::new(s, w)),
+            build_engine: |s, w| Ptp::new(s, w).into(),
         },
         PolicyEntry {
             name: "tdrrip",
             baseline: Some("srrip"),
             pow2_ways_only: false,
             build: |s, w| Box::new(Tdrrip::new(s, w, REGISTRY_SEED)),
+            build_engine: |s, w| Tdrrip::new(s, w, REGISTRY_SEED).into(),
         },
         PolicyEntry {
             name: "xptp",
             baseline: Some("lru"),
             pow2_ways_only: false,
             build: |s, w| Box::new(Xptp::new(s, w, xptp_params_for(w))),
+            build_engine: |s, w| Xptp::new(s, w, xptp_params_for(w)).into(),
         },
         PolicyEntry {
             name: "xptp/lru",
@@ -172,12 +191,17 @@ pub fn cache_policies() -> Vec<PolicyEntry<CacheMeta>> {
                     crate::adaptive::XptpSwitch::new(),
                 ))
             },
+            build_engine: |s, w| {
+                AdaptiveXptp::new(s, w, xptp_params_for(w), crate::adaptive::XptpSwitch::new())
+                    .into()
+            },
         },
         PolicyEntry {
             name: "xptp+emissary",
             baseline: Some("lru"),
             pow2_ways_only: false,
             build: |s, w| Box::new(XptpEmissary::new(s, w, xptp_params_for(w))),
+            build_engine: |s, w| XptpEmissary::new(s, w, xptp_params_for(w)).into(),
         },
     ]
 }
@@ -190,36 +214,42 @@ pub fn tlb_policies() -> Vec<PolicyEntry<TlbMeta>> {
             baseline: None,
             pow2_ways_only: false,
             build: |s, w| Box::new(Lru::new(s, w)),
+            build_engine: |s, w| Lru::new(s, w).into(),
         },
         PolicyEntry {
             name: "tree-plru",
             baseline: None,
             pow2_ways_only: true,
             build: |s, w| Box::new(TreePlru::new(s, w)),
+            build_engine: |s, w| TreePlru::new(s, w).into(),
         },
         PolicyEntry {
             name: "random",
             baseline: None,
             pow2_ways_only: false,
             build: |_, w| Box::new(RandomEvict::new(w, REGISTRY_SEED)),
+            build_engine: |_, w| RandomEvict::new(w, REGISTRY_SEED).into(),
         },
         PolicyEntry {
             name: "chirp",
             baseline: Some("lru"),
             pow2_ways_only: false,
             build: |s, w| Box::new(Chirp::new(s, w)),
+            build_engine: |s, w| Chirp::new(s, w).into(),
         },
         PolicyEntry {
             name: "prob-keep-instr-lru",
             baseline: Some("lru"),
             pow2_ways_only: false,
             build: |s, w| Box::new(ProbKeepInstrLru::new(s, w, 0.5, REGISTRY_SEED)),
+            build_engine: |s, w| ProbKeepInstrLru::new(s, w, 0.5, REGISTRY_SEED).into(),
         },
         PolicyEntry {
             name: "itp",
             baseline: Some("lru"),
             pow2_ways_only: false,
             build: |s, w| Box::new(Itp::new(s, w, itp_params_for(w))),
+            build_engine: |s, w| Itp::new(s, w, itp_params_for(w)).into(),
         },
     ]
 }

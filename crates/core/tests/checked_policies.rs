@@ -95,7 +95,7 @@ fn drive<M: Copy>(
     p.take_violations()
 }
 
-fn check_all<M: Copy>(
+fn check_all<M: Copy + itpx_policy::PolicyMeta>(
     entries: &[PolicyEntry<M>],
     seed: u64,
     gen_meta: fn(&mut Rng64) -> M,

@@ -1,0 +1,190 @@
+//! Dyn-vs-enum equivalence: for every policy in the registry, the boxed
+//! trait-object build and the enum-engine build must be the *same policy*
+//! — identical victim decisions on every eviction, identical hit/fill
+//! bookkeeping (both are driven in lockstep by a shared tag array, so a
+//! divergent decision surfaces immediately), and identical final
+//! `meta_bits`. The engine refactor changes how policies are dispatched,
+//! never what they decide; this suite pins that for each registered name.
+//!
+//! A companion coverage test asserts no registry entry falls back to the
+//! engines' `Dyn` escape hatch — every in-tree policy must have (and use)
+//! its own inlined variant.
+
+use itpx_core::registry::{cache_policies, tlb_policies};
+use itpx_policy::{CacheMeta, Policy, TlbMeta};
+use itpx_types::{FillClass, Rng64, ThreadId, TranslationKind};
+use proptest::prelude::*;
+
+/// Geometry every registered policy supports (tree-PLRU needs pow2 ways).
+const SETS: usize = 32;
+const WAYS: usize = 8;
+/// Accesses per policy pair: enough churn to exercise victim paths,
+/// set-dueling leaders, and predictor training for every policy.
+const ACCESSES: usize = 10_000;
+
+/// Drives `a` and `b` in lockstep over one access stream against a shared
+/// tag array (decisions must match, so one array serves both), asserting
+/// identical victim choices at every eviction and identical `meta_bits`
+/// at the end.
+fn assert_lockstep<M: Copy, A: Policy<M>, B: Policy<M>>(
+    name: &str,
+    a: &mut A,
+    b: &mut B,
+    stream: &[M],
+    key: fn(&M) -> u64,
+) {
+    assert_eq!(a.name(), b.name(), "{name}: name() diverges");
+    let mut contents: Vec<Vec<Option<u64>>> = vec![vec![None; WAYS]; SETS];
+    for (i, m) in stream.iter().enumerate() {
+        let k = key(m);
+        let set = (k as usize) % SETS;
+        if let Some(way) = contents[set].iter().position(|&c| c == Some(k)) {
+            a.on_hit(set, way, m);
+            b.on_hit(set, way, m);
+        } else {
+            let way = match contents[set].iter().position(|c| c.is_none()) {
+                Some(free) => free,
+                None => {
+                    let va = a.victim(set, m);
+                    let vb = b.victim(set, m);
+                    assert_eq!(va, vb, "{name}: victim diverges at access {i}, set {set}");
+                    assert!(va < WAYS, "{name}: victim {va} out of range");
+                    a.on_evict(set, va);
+                    b.on_evict(set, va);
+                    va
+                }
+            };
+            contents[set][way] = Some(k);
+            a.on_fill(set, way, m);
+            b.on_fill(set, way, m);
+        }
+    }
+    assert_eq!(
+        a.meta_bits(SETS, WAYS),
+        b.meta_bits(SETS, WAYS),
+        "{name}: meta_bits diverges after {ACCESSES} accesses"
+    );
+}
+
+/// A reusing cache access stream covering all four fill classes and both
+/// `stlb_miss` values.
+fn cache_stream(seed: u64, len: usize) -> Vec<CacheMeta> {
+    let mut rng = Rng64::new(seed);
+    (0..len)
+        .map(|_| {
+            let block = rng.below((SETS * WAYS * 4) as u64);
+            let fill = match rng.below(8) {
+                0 => FillClass::InstrPte,
+                1 => FillClass::DataPte,
+                2 | 3 => FillClass::InstrPayload,
+                _ => FillClass::DataPayload,
+            };
+            CacheMeta {
+                pc: block * 13 + 7,
+                stlb_miss: rng.chance(0.25),
+                ..CacheMeta::demand(block, fill)
+            }
+        })
+        .collect()
+}
+
+/// A reusing TLB access stream mixing instruction and data translations.
+fn tlb_stream(seed: u64, len: usize) -> Vec<TlbMeta> {
+    let mut rng = Rng64::new(seed);
+    (0..len)
+        .map(|_| {
+            let vpn = rng.below((SETS * WAYS * 4) as u64);
+            let kind = if rng.chance(0.4) {
+                TranslationKind::Instruction
+            } else {
+                TranslationKind::Data
+            };
+            TlbMeta {
+                vpn,
+                pc: vpn * 29 + 3,
+                kind,
+                thread: ThreadId(0),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn every_cache_policy_builds_identically() {
+    let stream = cache_stream(0xe9c1_5eed, ACCESSES);
+    for e in cache_policies() {
+        assert!(
+            e.supports_ways(WAYS),
+            "{}: pick a supported geometry",
+            e.name
+        );
+        let mut dyn_build = (e.build)(SETS, WAYS);
+        let mut engine = (e.build_engine)(SETS, WAYS);
+        assert_lockstep(e.name, &mut dyn_build, &mut engine, &stream, |m| m.block);
+    }
+}
+
+#[test]
+fn every_tlb_policy_builds_identically() {
+    let stream = tlb_stream(0x71b5_eed5, ACCESSES);
+    for e in tlb_policies() {
+        assert!(
+            e.supports_ways(WAYS),
+            "{}: pick a supported geometry",
+            e.name
+        );
+        let mut dyn_build = (e.build)(SETS, WAYS);
+        let mut engine = (e.build_engine)(SETS, WAYS);
+        assert_lockstep(e.name, &mut dyn_build, &mut engine, &stream, |m| m.vpn);
+    }
+}
+
+/// No registered policy may dispatch through the engines' `Dyn` escape
+/// hatch: the enum variant list (in `itpx_policy::engine`) must cover the
+/// registry, which is the single source of truth for "every policy".
+#[test]
+fn engine_covers_registry() {
+    for e in cache_policies() {
+        assert!(
+            !(e.build_engine)(SETS, WAYS).is_dyn(),
+            "cache policy {} has no engine variant",
+            e.name
+        );
+    }
+    for e in tlb_policies() {
+        assert!(
+            !(e.build_engine)(SETS, WAYS).is_dyn(),
+            "tlb policy {} has no engine variant",
+            e.name
+        );
+    }
+}
+
+proptest! {
+    /// Randomized streams agree too, not just the fixed seed above (the
+    /// registry proptest the engine refactor promises: both construction
+    /// forms are behaviorally identical).
+    #[test]
+    fn constructions_agree_on_random_streams(seed in any::<u64>()) {
+        let cache = cache_stream(seed, 2_000);
+        for e in cache_policies() {
+            assert_lockstep(
+                e.name,
+                &mut (e.build)(SETS, WAYS),
+                &mut (e.build_engine)(SETS, WAYS),
+                &cache,
+                |m| m.block,
+            );
+        }
+        let tlb = tlb_stream(seed ^ 0x7b1, 2_000);
+        for e in tlb_policies() {
+            assert_lockstep(
+                e.name,
+                &mut (e.build)(SETS, WAYS),
+                &mut (e.build_engine)(SETS, WAYS),
+                &tlb,
+                |m| m.vpn,
+            );
+        }
+    }
+}

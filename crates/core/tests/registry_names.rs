@@ -5,6 +5,7 @@
 
 use itpx_core::presets::{BuildConfig, LlcChoice, Preset, StructureDims};
 use itpx_core::registry::{cache_policies, tlb_policies};
+use itpx_policy::Policy;
 use std::collections::BTreeSet;
 
 fn dims() -> StructureDims {

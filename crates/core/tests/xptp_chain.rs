@@ -26,10 +26,10 @@ const L2C_SETS: u64 = 1024;
 fn chain_with(switch: XptpSwitch) -> Hierarchy {
     let cfg = HierarchyConfig::asplos25();
     let policies = HierarchyPolicies {
-        l1i: Box::new(Lru::new(64, 8)),
-        l1d: Box::new(Lru::new(64, 8)),
-        l2: Box::new(AdaptiveXptp::new(1024, 8, XptpParams::default(), switch)),
-        llc: Box::new(Lru::new(2048, 16)),
+        l1i: Lru::new(64, 8).into(),
+        l1d: Lru::new(64, 8).into(),
+        l2: AdaptiveXptp::new(1024, 8, XptpParams::default(), switch).into(),
+        llc: Lru::new(2048, 16).into(),
     };
     let mut chain = Hierarchy::new(&cfg, policies);
     for id in [LevelId::L1I, LevelId::L1D, LevelId::L2C, LevelId::Llc] {

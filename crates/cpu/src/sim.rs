@@ -34,7 +34,12 @@ pub struct Simulation {
 #[derive(Debug)]
 enum Source {
     Preset(Preset),
-    Custom { bundle: PolicyBundle, label: String },
+    // Boxed: a bundle of inline policy engines is hundreds of bytes, and
+    // this setup-only enum is consumed once when the run starts.
+    Custom {
+        bundle: Box<PolicyBundle>,
+        label: String,
+    },
 }
 
 impl Simulation {
@@ -118,7 +123,7 @@ impl Simulation {
             config: *config,
             build: BuildConfig::default(),
             source: Source::Custom {
-                bundle,
+                bundle: Box::new(bundle),
                 label: label.into(),
             },
             workloads: workloads.iter().cloned().map(Into::into).collect(),
@@ -141,7 +146,7 @@ impl Simulation {
                 p.build(&self.config.dims(), &self.build),
                 p.name().to_string(),
             ),
-            Source::Custom { bundle, label } => (bundle, label),
+            Source::Custom { bundle, label } => (*bundle, label),
         };
         let llc_name = self.build.llc.name().to_string();
         let system = System::new(self.config, bundle, threads);

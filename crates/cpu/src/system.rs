@@ -66,8 +66,8 @@ impl System {
                 ..config.stlb
             };
             LastLevelTlb::Split {
-                instr: Tlb::new(half, Box::new(Lru::new(half.sets, half.ways))),
-                data: Tlb::new(half, Box::new(Lru::new(half.sets, half.ways))),
+                instr: Tlb::new(half, Lru::new(half.sets, half.ways)),
+                data: Tlb::new(half, Lru::new(half.sets, half.ways)),
             }
         } else {
             LastLevelTlb::Unified(Tlb::new(config.stlb, stlb_policy))
@@ -75,14 +75,8 @@ impl System {
         let hierarchy = Hierarchy::new(
             &config.hierarchy,
             HierarchyPolicies {
-                l1i: Box::new(Lru::new(
-                    config.hierarchy.l1i.sets,
-                    config.hierarchy.l1i.ways,
-                )),
-                l1d: Box::new(Lru::new(
-                    config.hierarchy.l1d.sets,
-                    config.hierarchy.l1d.ways,
-                )),
+                l1i: Lru::new(config.hierarchy.l1i.sets, config.hierarchy.l1i.ways).into(),
+                l1d: Lru::new(config.hierarchy.l1d.sets, config.hierarchy.l1d.ways).into(),
                 l2: l2c,
                 llc,
             },
@@ -97,14 +91,8 @@ impl System {
             })
             .collect();
         let path = TranslationPath::new(
-            Tlb::new(
-                config.itlb,
-                Box::new(Lru::new(config.itlb.sets, config.itlb.ways)),
-            ),
-            Tlb::new(
-                config.dtlb,
-                Box::new(Lru::new(config.dtlb.sets, config.dtlb.ways)),
-            ),
+            Tlb::new(config.itlb, Lru::new(config.itlb.sets, config.itlb.ways)),
+            Tlb::new(config.dtlb, Lru::new(config.dtlb.sets, config.dtlb.ways)),
             stlb,
             SplitPscs::asplos25(),
             PageWalker::new(config.walker_concurrency),

@@ -24,7 +24,7 @@ use itpx_core::presets::BuildConfig;
 use itpx_core::{Itp, ItpParams, Preset};
 use itpx_cpu::{Simulation, SystemConfig};
 use itpx_mem::HierarchyConfig;
-use itpx_policy::{Lru, TlbPolicy};
+use itpx_policy::{Lru, TlbPolicyEngine};
 use itpx_trace::fuzz::{self, FuzzPattern, FuzzSpec};
 use itpx_trace::WorkloadSpec;
 use itpx_types::{PageSize, PhysAddr, Rng64, ThreadId, TranslationKind, VirtAddr};
@@ -44,8 +44,9 @@ fn stlb_config() -> TlbConfig {
 
 /// Drives a standalone TLB over a VPN stream: miss → fill, like the
 /// pipeline does, with accesses far enough apart that fill-ready times
-/// never matter.
-fn drive_tlb(policy: TlbPolicy, stream: &[(u64, TranslationKind)]) -> StructCounts {
+/// never matter. Policies arrive as engines, so this pins the same
+/// enum-dispatched path the simulated machine uses.
+fn drive_tlb(policy: TlbPolicyEngine, stream: &[(u64, TranslationKind)]) -> StructCounts {
     let mut tlb = Tlb::new(stlb_config(), policy);
     let mut now = 0;
     for &(vpn, kind) in stream {
@@ -84,7 +85,7 @@ fn vpn_stream(seed: u64, len: usize) -> Vec<(u64, TranslationKind)> {
 }
 
 /// A named policy constructor for the relabeling property.
-type PolicyMaker = (&'static str, fn() -> TlbPolicy);
+type PolicyMaker = (&'static str, fn() -> TlbPolicyEngine);
 
 /// Property 1: set-preserving VPN relabeling leaves LRU and iTP counts
 /// unchanged. The mask keeps the low 7 bits (the 128-set index) zero,
@@ -96,8 +97,8 @@ fn check_relabeling(failures: &mut Vec<String>) {
     let relabeled: Vec<(u64, TranslationKind)> =
         stream.iter().map(|&(v, k)| (v ^ MASK, k)).collect();
     let policies: [PolicyMaker; 2] = [
-        ("lru", || Box::new(Lru::new(128, 12))),
-        ("itp", || Box::new(Itp::new(128, 12, ItpParams::default()))),
+        ("lru", || Lru::new(128, 12).into()),
+        ("itp", || Itp::new(128, 12, ItpParams::default()).into()),
     ];
     for (name, make) in policies {
         let base = drive_tlb(make(), &stream);

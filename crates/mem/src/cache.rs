@@ -1,7 +1,7 @@
 //! One set-associative cache level with pluggable replacement and
 //! MSHR-aware fill timing.
 
-use itpx_policy::{CacheMeta, CachePolicy};
+use itpx_policy::{CacheMeta, CachePolicyEngine, Policy};
 use itpx_types::fingerprint::{Fingerprint, Fnv1a};
 use itpx_types::{Cycle, FillClass, SlotPool, StructStats};
 
@@ -101,7 +101,9 @@ pub struct Cache {
     valid: Box<[u64]>,
     /// `ways` low bits set: the mask of a fully occupied set.
     full_mask: u64,
-    policy: CachePolicy,
+    /// Enum-dispatched so the per-access `on_hit`/`victim`/`on_fill`
+    /// calls inline instead of going through a vtable.
+    policy: CachePolicyEngine,
     stats: StructStats,
     /// Completion times of outstanding misses (lazy-cleaned MSHR model).
     inflight: SlotPool<Cycle>,
@@ -114,10 +116,16 @@ pub struct Cache {
 impl Cache {
     /// Creates a cache with the given geometry and replacement policy.
     ///
+    /// Any in-tree policy converts into [`CachePolicyEngine`] directly
+    /// (`Lru::new(..)`, boxed trait objects, or an explicit engine all
+    /// work); out-of-tree policies go through
+    /// [`CachePolicyEngine::boxed`].
+    ///
     /// # Panics
     ///
     /// Panics if [`CacheConfig::validate`] rejects the geometry.
-    pub fn new(cfg: CacheConfig, policy: CachePolicy) -> Self {
+    pub fn new(cfg: CacheConfig, policy: impl Into<CachePolicyEngine>) -> Self {
+        let policy = policy.into();
         cfg.validate();
         let placeholder = Line {
             block: 0,
@@ -290,7 +298,16 @@ impl Cache {
             Some(w) => (w, None),
             None => {
                 let v = self.policy.victim(set, meta);
+                // In-range victims are the policy contract (checked for
+                // every in-tree policy by the CheckedPolicy drives); the
+                // release hot path does not re-check unless the
+                // strict-contracts feature asks for it. An out-of-range
+                // way still cannot corrupt memory — the slot index below
+                // bounds-checks.
+                #[cfg(feature = "strict-contracts")]
                 assert!(v < self.cfg.ways, "policy returned way out of range");
+                #[cfg(not(feature = "strict-contracts"))]
+                debug_assert!(v < self.cfg.ways, "policy returned way out of range");
                 self.policy.on_evict(set, v);
                 self.evictions += 1;
                 // the set had no free way, so every way holds a valid line
@@ -357,7 +374,7 @@ mod tests {
                 latency: 4,
                 mshr_entries: 4,
             },
-            Box::new(Lru::new(sets, ways)),
+            Lru::new(sets, ways),
         )
     }
 
@@ -425,7 +442,7 @@ mod tests {
                 latency: 1,
                 mshr_entries: 2,
             },
-            Box::new(Lru::new(4, 2)),
+            Lru::new(4, 2),
         );
         assert!(matches!(c.probe(&m(1), 0, true), Probe::Miss(0)));
         c.fill(&m(1), 0, 50, true);
@@ -457,6 +474,46 @@ mod tests {
         c.fill(&m(2), 0, 0, true);
         c.fill(&m(1), 0, 0, true); // resident refresh
         assert!(c.contains(1) && c.contains(2));
+    }
+
+    /// A policy that violates the `victim() < ways` contract.
+    #[derive(Debug)]
+    struct OutOfRangeVictim;
+
+    impl itpx_policy::Policy<CacheMeta> for OutOfRangeVictim {
+        fn on_fill(&mut self, _: usize, _: usize, _: &CacheMeta) {}
+        fn on_hit(&mut self, _: usize, _: usize, _: &CacheMeta) {}
+        fn victim(&mut self, _: usize, _: &CacheMeta) -> usize {
+            usize::MAX
+        }
+        fn name(&self) -> &'static str {
+            "out-of-range-victim"
+        }
+        fn meta_bits(&self, _: usize, _: usize) -> u64 {
+            0
+        }
+    }
+
+    /// Debug and strict-contracts builds must catch a policy returning an
+    /// out-of-range way at the eviction site (plain release builds defer
+    /// to the slice bounds check).
+    #[cfg(any(debug_assertions, feature = "strict-contracts"))]
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn strict_builds_catch_out_of_range_victims() {
+        let mut c = Cache::new(
+            CacheConfig {
+                sets: 1,
+                ways: 2,
+                latency: 4,
+                mshr_entries: 4,
+            },
+            CachePolicyEngine::boxed(OutOfRangeVictim),
+        );
+        c.fill(&m(1), 0, 0, true);
+        c.fill(&m(2), 0, 0, true);
+        // The set is full: the next fill asks the policy for a victim.
+        c.fill(&m(3), 0, 0, true);
     }
 
     #[test]

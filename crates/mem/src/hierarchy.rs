@@ -27,7 +27,7 @@
 use crate::cache::{Cache, CacheConfig, Probe, Writeback};
 use crate::dram::{Dram, DramConfig};
 use crate::prefetch::{NextLinePrefetcher, StridePrefetcher};
-use itpx_policy::{CacheMeta, CachePolicy, Lru};
+use itpx_policy::{CacheMeta, CachePolicyEngine, Lru};
 use itpx_types::fingerprint::{Fingerprint, Fnv1a};
 use itpx_types::{Cycle, FillClass, LevelId, PhysAddr, StructStats, ThreadId, TranslationKind};
 
@@ -253,13 +253,13 @@ impl Fingerprint for HierarchyConfig {
 #[derive(Debug)]
 pub struct HierarchyPolicies {
     /// L1I policy (LRU in every configuration the paper evaluates).
-    pub l1i: CachePolicy,
+    pub l1i: CachePolicyEngine,
     /// L1D policy (LRU in every configuration the paper evaluates).
-    pub l1d: CachePolicy,
+    pub l1d: CachePolicyEngine,
     /// L2C policy — LRU, PTP, T-DRRIP, or (adaptive) xPTP.
-    pub l2: CachePolicy,
+    pub l2: CachePolicyEngine,
     /// LLC policy — LRU, SHiP, or Mockingjay.
-    pub llc: CachePolicy,
+    pub llc: CachePolicyEngine,
 }
 
 /// Prefetchers attached to one level of the chain.
@@ -372,12 +372,12 @@ impl Hierarchy {
         for (i, level) in shared.iter().enumerate() {
             let policy = if i == 0 {
                 l2.take()
-                    .unwrap_or_else(|| Box::new(Lru::new(level.cache.sets, level.cache.ways)))
+                    .unwrap_or_else(|| Lru::new(level.cache.sets, level.cache.ways).into())
             } else if i == last {
                 llc.take()
-                    .unwrap_or_else(|| Box::new(Lru::new(level.cache.sets, level.cache.ways)))
+                    .unwrap_or_else(|| Lru::new(level.cache.sets, level.cache.ways).into())
             } else {
-                Box::new(Lru::new(level.cache.sets, level.cache.ways))
+                Lru::new(level.cache.sets, level.cache.ways).into()
             };
             levels.push(Level {
                 id: level.id,
@@ -659,10 +659,10 @@ mod tests {
         Hierarchy::new(
             cfg,
             HierarchyPolicies {
-                l1i: Box::new(Lru::new(cfg.l1i.sets, cfg.l1i.ways)),
-                l1d: Box::new(Lru::new(cfg.l1d.sets, cfg.l1d.ways)),
-                l2: Box::new(Lru::new(cfg.l2c().sets, cfg.l2c().ways)),
-                llc: Box::new(Lru::new(cfg.last_level().sets, cfg.last_level().ways)),
+                l1i: Lru::new(cfg.l1i.sets, cfg.l1i.ways).into(),
+                l1d: Lru::new(cfg.l1d.sets, cfg.l1d.ways).into(),
+                l2: Lru::new(cfg.l2c().sets, cfg.l2c().ways).into(),
+                llc: Lru::new(cfg.last_level().sets, cfg.last_level().ways).into(),
             },
         )
     }

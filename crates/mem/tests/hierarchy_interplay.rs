@@ -14,10 +14,10 @@ fn small_hierarchy() -> Hierarchy {
     Hierarchy::new(
         &cfg,
         HierarchyPolicies {
-            l1i: Box::new(Lru::new(8, cfg.l1i.ways)),
-            l1d: Box::new(Lru::new(8, cfg.l1d.ways)),
-            l2: Box::new(Lru::new(64, cfg.l2c().ways)),
-            llc: Box::new(Lru::new(128, cfg.last_level().ways)),
+            l1i: Lru::new(8, cfg.l1i.ways).into(),
+            l1d: Lru::new(8, cfg.l1d.ways).into(),
+            l2: Lru::new(64, cfg.l2c().ways).into(),
+            llc: Lru::new(128, cfg.last_level().ways).into(),
         },
     )
 }
@@ -100,7 +100,7 @@ fn writeback_dirty_chain_reaches_dram() {
         latency: 1,
         mshr_entries: 4,
     };
-    let mut c = Cache::new(cfg, Box::new(Lru::new(1, 2)));
+    let mut c = Cache::new(cfg, Lru::new(1, 2));
     let m = |b: u64| CacheMeta::demand(b, FillClass::DataPayload);
     // Fill two blocks, dirty both, displace both.
     for b in 0..2 {

@@ -14,7 +14,7 @@ fn cache(sets: usize, ways: usize) -> Cache {
             latency: 4,
             mshr_entries: 8,
         },
-        Box::new(Lru::new(sets, ways)),
+        Lru::new(sets, ways),
     )
 }
 

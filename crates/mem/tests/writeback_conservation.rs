@@ -60,10 +60,10 @@ fn hierarchy(cfg: &HierarchyConfig) -> Hierarchy {
     Hierarchy::new(
         cfg,
         HierarchyPolicies {
-            l1i: Box::new(Lru::new(cfg.l1i.sets, cfg.l1i.ways)),
-            l1d: Box::new(Lru::new(cfg.l1d.sets, cfg.l1d.ways)),
-            l2: Box::new(Lru::new(cfg.l2c().sets, cfg.l2c().ways)),
-            llc: Box::new(Lru::new(cfg.last_level().sets, cfg.last_level().ways)),
+            l1i: Lru::new(cfg.l1i.sets, cfg.l1i.ways).into(),
+            l1d: Lru::new(cfg.l1d.sets, cfg.l1d.ways).into(),
+            l2: Lru::new(cfg.l2c().sets, cfg.l2c().ways).into(),
+            llc: Lru::new(cfg.last_level().sets, cfg.last_level().ways).into(),
         },
     )
 }

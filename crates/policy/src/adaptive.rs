@@ -18,7 +18,7 @@
 //!   paper notes xPTP *is* LRU when its steps a–d are skipped).
 
 use crate::xptp::{Xptp, XptpParams};
-use itpx_policy::{CacheMeta, Policy, RecencyStack};
+use crate::{CacheMeta, Policy, RecencyStack};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -195,7 +195,7 @@ impl Policy<CacheMeta> for AdaptiveXptp {
     fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
         // xPTP storage + the shared 1-bit status register (the monitor's
         // counters belong to the core, not the replacement policy).
-        sets as u64 * ways as u64 * (itpx_policy::traits::rank_bits(ways) + 1) + 1
+        sets as u64 * ways as u64 * (crate::traits::rank_bits(ways) + 1) + 1
     }
 }
 

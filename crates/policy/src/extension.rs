@@ -15,7 +15,7 @@
 //! protection of data-PTE blocks.
 
 use crate::xptp::XptpParams;
-use itpx_policy::{CacheMeta, Policy, RecencyStack};
+use crate::{CacheMeta, Policy, RecencyStack};
 use itpx_types::FillClass;
 
 /// xPTP + Emissary-style code preservation at the L2C.
@@ -111,7 +111,7 @@ impl Policy<CacheMeta> for XptpEmissary {
 
     fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
         // xPTP's Type bit plus the Emissary-style code bit per entry.
-        sets as u64 * ways as u64 * (itpx_policy::traits::rank_bits(ways) + 2)
+        sets as u64 * ways as u64 * (crate::traits::rank_bits(ways) + 2)
     }
 }
 

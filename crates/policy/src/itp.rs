@@ -16,7 +16,7 @@
 //! of the protected instruction working set, and data translations churn
 //! through the bottom `M` positions.
 
-use itpx_policy::{Policy, RecencyStack, TlbMeta};
+use crate::{Policy, RecencyStack, TlbMeta};
 use itpx_types::TranslationKind;
 
 /// Tunable parameters of [`Itp`].
@@ -181,7 +181,7 @@ impl Policy<TlbMeta> for Itp {
         // entry (Section 4.1.3: 4 bits/entry over the LRU baseline).
         sets as u64
             * ways as u64
-            * (itpx_policy::traits::rank_bits(ways) + 1 + self.params.freq_bits as u64)
+            * (crate::traits::rank_bits(ways) + 1 + self.params.freq_bits as u64)
     }
 }
 

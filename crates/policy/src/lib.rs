@@ -20,18 +20,24 @@
 //! | [`TShip`] | LLC | Vasudha & Panda, ISPASS'22 (extension; the paper applies only T-DRRIP) |
 //! | [`Chirp`] | STLB | Mirbagher-Ajorpaz et al., MICRO'20 (simplified) |
 //! | [`ProbKeepInstrLru`] | STLB | the Figure-3 motivation policy |
+//! | [`Itp`] | STLB | the paper's Section 4.1 proposal |
+//! | [`Xptp`] / [`AdaptiveXptp`] / [`XptpEmissary`] | L2C | Section 4.2 / 4.3.1 / extension |
 //!
 //! Every policy implements [`Policy`] over either [`CacheMeta`] or
-//! [`TlbMeta`], so the cache and TLB models in `itpx-mem`/`itpx-vm` accept
-//! any of them as trait objects ([`CachePolicy`], [`TlbPolicy`]).
+//! [`TlbMeta`]. The cache and TLB models in `itpx-mem`/`itpx-vm` store them
+//! in the statically dispatched [`engine::CachePolicyEngine`] /
+//! [`engine::TlbPolicyEngine`] enums (trait objects remain available via
+//! the [`CachePolicy`]/[`TlbPolicy`] aliases and the engines' `Dyn`
+//! escape hatch).
 //!
 //! # Examples
 //!
 //! ```
-//! use itpx_policy::{Lru, Policy, TlbMeta, TlbPolicy};
+//! use itpx_policy::engine::TlbPolicyEngine;
+//! use itpx_policy::{Lru, Policy, TlbMeta};
 //! use itpx_types::TranslationKind;
 //!
-//! let mut policy: TlbPolicy = Box::new(Lru::new(4, 2));
+//! let mut policy = TlbPolicyEngine::from(Lru::new(4, 2));
 //! let meta = TlbMeta::demand(0x10, TranslationKind::Data);
 //! policy.on_fill(0, 0, &meta);
 //! policy.on_fill(0, 1, &meta);
@@ -42,9 +48,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod adaptive;
 pub mod checked;
 pub mod chirp;
 pub mod dip;
+pub mod engine;
+pub mod extension;
+pub mod itp;
 pub mod lru;
 pub mod meta;
 pub mod mockingjay;
@@ -58,10 +68,15 @@ pub mod ship;
 pub mod tdrrip;
 pub mod traits;
 pub mod tship;
+pub mod xptp;
 
+pub use adaptive::{AdaptiveXptp, StlbPressureMonitor, XptpSwitch};
 pub use checked::CheckedPolicy;
 pub use chirp::Chirp;
 pub use dip::Dip;
+pub use engine::{CachePolicyEngine, PolicyMeta, TlbPolicyEngine};
+pub use extension::XptpEmissary;
+pub use itp::{Itp, ItpParams};
 pub use lru::Lru;
 pub use meta::{CacheMeta, TlbMeta};
 pub use mockingjay::Mockingjay;
@@ -75,3 +90,4 @@ pub use ship::Ship;
 pub use tdrrip::Tdrrip;
 pub use traits::{CachePolicy, Policy, TlbPolicy};
 pub use tship::TShip;
+pub use xptp::{Xptp, XptpParams};

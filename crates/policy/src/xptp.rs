@@ -17,7 +17,7 @@
 //! PTEs are covered by iTP keeping their translations in the STLB, so
 //! caching them would waste L2C space.
 
-use itpx_policy::{CacheMeta, Policy, RecencyStack};
+use crate::{CacheMeta, Policy, RecencyStack};
 
 /// Tunable parameters of [`Xptp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,7 +122,7 @@ impl Policy<CacheMeta> for Xptp {
 
     fn meta_bits(&self, sets: usize, ways: usize) -> u64 {
         // LRU ranks + the per-block Type bit (Figure 6's only addition).
-        sets as u64 * ways as u64 * (itpx_policy::traits::rank_bits(ways) + 1)
+        sets as u64 * ways as u64 * (crate::traits::rank_bits(ways) + 1)
     }
 }
 

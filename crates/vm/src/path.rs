@@ -206,7 +206,7 @@ mod tests {
             latency: 8,
             mshr_entries: 16,
         };
-        let tlb = |cfg: TlbConfig| Tlb::new(cfg, Box::new(Lru::new(cfg.sets, cfg.ways)));
+        let tlb = |cfg: TlbConfig| Tlb::new(cfg, Lru::new(cfg.sets, cfg.ways));
         TranslationPath::new(
             tlb(small),
             tlb(small),

@@ -11,7 +11,7 @@
 //! compared in Section 6.6.
 
 use crate::page_table::Translation;
-use itpx_policy::{TlbMeta, TlbPolicy};
+use itpx_policy::{Policy, TlbMeta, TlbPolicyEngine};
 use itpx_types::fingerprint::{Fingerprint, Fnv1a};
 use itpx_types::{
     Cycle, FillClass, PageSize, PhysAddr, SlotPool, StructStats, ThreadId, TranslationKind,
@@ -97,7 +97,9 @@ pub struct Tlb {
     valid: Box<[u64]>,
     /// `ways` low bits set: the mask of a fully occupied set.
     full_mask: u64,
-    policy: TlbPolicy,
+    /// Enum-dispatched so the per-access `on_hit`/`victim`/`on_fill`
+    /// calls inline instead of going through a vtable.
+    policy: TlbPolicyEngine,
     stats: StructStats,
     /// In-flight misses keyed by 4 KiB VPN (keys unique, lazy-cleaned).
     /// Consumers only take order-insensitive views (key lookup, `retain`,
@@ -108,11 +110,16 @@ pub struct Tlb {
 impl Tlb {
     /// Creates a TLB with the given geometry and replacement policy.
     ///
+    /// Any in-tree policy converts into [`TlbPolicyEngine`] directly
+    /// (`Lru::new(..)`, boxed trait objects, or an explicit engine all
+    /// work); out-of-tree policies go through [`TlbPolicyEngine::boxed`].
+    ///
     /// # Panics
     ///
     /// Panics if the geometry is degenerate or associativity exceeds 64
     /// (the validity-bitmask width).
-    pub fn new(cfg: TlbConfig, policy: TlbPolicy) -> Self {
+    pub fn new(cfg: TlbConfig, policy: impl Into<TlbPolicyEngine>) -> Self {
+        let policy = policy.into();
         assert!(cfg.sets > 0 && cfg.ways > 0, "TLB needs sets > 0, ways > 0");
         assert!(cfg.ways <= 64, "valid bitmask holds at most 64 ways");
         assert!(cfg.mshr_entries > 0, "TLB needs at least one MSHR");
@@ -344,7 +351,16 @@ impl Tlb {
             Some(w) => w,
             None => {
                 let v = self.policy.victim(set, &meta);
+                // In-range victims are the policy contract (checked for
+                // every in-tree policy by the CheckedPolicy drives); the
+                // release hot path does not re-check unless the
+                // strict-contracts feature asks for it. An out-of-range
+                // way still cannot corrupt memory — the slot index below
+                // bounds-checks.
+                #[cfg(feature = "strict-contracts")]
                 assert!(v < self.cfg.ways, "policy returned way out of range");
+                #[cfg(not(feature = "strict-contracts"))]
+                debug_assert!(v < self.cfg.ways, "policy returned way out of range");
                 self.policy.on_evict(set, v);
                 v
             }
@@ -377,6 +393,10 @@ impl Tlb {
 
 /// Last-level TLB organization: the unified design the paper optimizes, or
 /// the split design it compares against in Section 6.6.
+// `Tlb` holds its policy engine inline, so `Split` is two engines wide.
+// A construct-once singleton on the per-access path: keeping both halves
+// inline beats boxing them behind a pointer chase.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum LastLevelTlb {
     /// One shared structure for instruction and data translations.
@@ -451,7 +471,7 @@ mod tests {
     }
 
     fn tlb() -> Tlb {
-        Tlb::new(cfg(), Box::new(Lru::new(16, 4)))
+        Tlb::new(cfg(), Lru::new(16, 4))
     }
 
     fn fill4k(t: &mut Tlb, va: VirtAddr, frame: u64) {
@@ -548,7 +568,7 @@ mod tests {
                 latency: 1,
                 mshr_entries: 2,
             },
-            Box::new(Lru::new(4, 2)),
+            Lru::new(4, 2),
         );
         let a = VirtAddr::new(0x1000);
         let b = VirtAddr::new(0x2000);
@@ -578,7 +598,7 @@ mod tests {
 
     #[test]
     fn split_stlb_routes_by_kind() {
-        let mk = || Tlb::new(cfg(), Box::new(Lru::new(16, 4)) as TlbPolicy);
+        let mk = || Tlb::new(cfg(), Lru::new(16, 4));
         let mut s = LastLevelTlb::Split {
             instr: mk(),
             data: mk(),
@@ -601,6 +621,47 @@ mod tests {
             .for_kind(TranslationKind::Data)
             .contains(va, PageSize::Base4K));
         assert_eq!(s.entries(), 128);
+    }
+
+    /// A policy that violates the `victim() < ways` contract.
+    #[derive(Debug)]
+    struct OutOfRangeVictim;
+
+    impl itpx_policy::Policy<TlbMeta> for OutOfRangeVictim {
+        fn on_fill(&mut self, _: usize, _: usize, _: &TlbMeta) {}
+        fn on_hit(&mut self, _: usize, _: usize, _: &TlbMeta) {}
+        fn victim(&mut self, _: usize, _: &TlbMeta) -> usize {
+            usize::MAX
+        }
+        fn name(&self) -> &'static str {
+            "out-of-range-victim"
+        }
+        fn meta_bits(&self, _: usize, _: usize) -> u64 {
+            0
+        }
+    }
+
+    /// Debug and strict-contracts builds must catch a policy returning an
+    /// out-of-range way at the eviction site (plain release builds defer
+    /// to the slice bounds check).
+    #[cfg(any(debug_assertions, feature = "strict-contracts"))]
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn strict_builds_catch_out_of_range_victims() {
+        let mut t = Tlb::new(
+            TlbConfig {
+                sets: 1,
+                ways: 2,
+                latency: 1,
+                mshr_entries: 2,
+            },
+            TlbPolicyEngine::boxed(OutOfRangeVictim),
+        );
+        for i in 0..3u64 {
+            // Three distinct pages into a 2-way single set: the third
+            // fill asks the policy for a victim.
+            fill4k(&mut t, VirtAddr::new(i * 4096), i + 1);
+        }
     }
 
     #[test]

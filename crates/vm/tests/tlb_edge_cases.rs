@@ -13,7 +13,7 @@ fn tlb(sets: usize, ways: usize) -> Tlb {
             latency: 8,
             mshr_entries: 4,
         },
-        Box::new(Lru::new(sets, ways)),
+        Lru::new(sets, ways),
     )
 }
 

@@ -171,7 +171,7 @@ pub struct BudgetReport {
     pub failures: Vec<String>,
 }
 
-fn audit_side<M: 'static>(
+fn audit_side<M: itpx_policy::PolicyMeta>(
     entries: &[PolicyEntry<M>],
     budgets: &[BudgetRow],
     structure: &'static str,

@@ -22,6 +22,12 @@
 //!   private, so the compiler rejects this too — the lint exists to give
 //!   a targeted message and to catch the pattern in macro/string-built
 //!   code paths the compiler can't see.)
+//! * `dispatch` — `Box<dyn Policy` in `itpx-mem`/`itpx-vm`/`itpx-cpu`
+//!   source. The simulated machine dispatches policies through the
+//!   `CachePolicyEngine`/`TlbPolicyEngine` enums so the per-access calls
+//!   inline; a boxed trait object on that path reintroduces the virtual
+//!   call. Out-of-tree policies enter via `PolicyEngine::boxed(...)` at
+//!   construction sites *outside* these crates.
 //!
 //! Lines inside `#[cfg(test)]` modules are exempt. Audited exceptions live
 //! in `crates/xtask/allowlist.txt`, one per line: `rule|path-suffix|needle`.
@@ -62,7 +68,7 @@ pub const LAYERING_EXTRA_ROOTS: &[&str] = &["crates/bench/src"];
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Rule identifier (`std-time`, `entropy`, `map-iter`,
-    /// `panicking-index`, `layering`).
+    /// `panicking-index`, `layering`, `dispatch`).
     pub rule: &'static str,
     /// Repo-relative path of the offending file.
     pub path: String,
@@ -308,9 +314,17 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
         if !path.contains("crates/mem/") && reaches_into_hierarchy(code) {
             push("layering");
         }
+        if DISPATCH_RULE_CRATES.iter().any(|c| path.contains(c)) && code.contains("Box<dyn Policy")
+        {
+            push("dispatch");
+        }
     }
     out
 }
+
+/// Path fragments the `dispatch` rule applies to: the crates that run the
+/// per-access hot path and must hold policies as engine enums.
+const DISPATCH_RULE_CRATES: &[&str] = &["crates/mem/", "crates/vm/", "crates/cpu/"];
 
 /// `true` if `code` accesses a shared cache level of a hierarchy config
 /// as a *field* (`hierarchy.l2.sets`, `hierarchy.llc = ...`) rather than
@@ -676,6 +690,44 @@ mod tests {
     fn hierarchy_rule_exempts_the_mem_crate() {
         let hits = lint_source("crates/mem/src/hierarchy.rs", "self.hierarchy.l2 = cfg;\n");
         assert!(hits.is_empty(), "itpx-mem owns the fields: {hits:?}");
+    }
+
+    #[test]
+    fn boxed_policy_in_hot_crates_is_flagged() {
+        let src = "let p: Box<dyn Policy<CacheMeta>> = Box::new(Lru::new(4, 2));\n";
+        let hits = lint_source("crates/mem/src/cache.rs", src);
+        assert_eq!(
+            hits.iter().map(|f| f.rule).collect::<Vec<_>>(),
+            ["dispatch"]
+        );
+        let hits = lint_source("crates/vm/src/tlb.rs", src);
+        assert_eq!(
+            hits.iter().map(|f| f.rule).collect::<Vec<_>>(),
+            ["dispatch"]
+        );
+        let hits = lint_source("crates/cpu/src/system.rs", src);
+        assert_eq!(
+            hits.iter().map(|f| f.rule).collect::<Vec<_>>(),
+            ["dispatch"]
+        );
+    }
+
+    #[test]
+    fn boxed_policy_elsewhere_is_fine() {
+        // The registry's trait-object build and out-of-tree examples keep
+        // using `Box<dyn Policy>` legitimately.
+        let src = "pub build: fn(usize, usize) -> Box<dyn Policy<M>>,\n";
+        assert!(lint_source("crates/core/src/registry.rs", src).is_empty());
+    }
+
+    #[test]
+    fn boxed_policy_in_hot_crate_tests_is_exempt() {
+        let src = "fn prod() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { let _p: Box<dyn Policy<TlbMeta>> = Box::new(Lru::new(4, 2)); }\n\
+                   }\n";
+        assert!(lint_source("crates/vm/src/tlb.rs", src).is_empty());
     }
 
     #[test]

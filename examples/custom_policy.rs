@@ -11,7 +11,7 @@
 
 use itpx::prelude::*;
 use itpx_core::presets::PolicyBundle;
-use itpx_policy::{Lru, Policy, RecencyStack, TlbMeta};
+use itpx_policy::{Lru, Policy, RecencyStack, TlbMeta, TlbPolicyEngine};
 
 /// A deliberately extreme variant of the paper's idea: strict instruction
 /// pinning (iTP without the frequency nuance or the data promotion band).
@@ -65,10 +65,12 @@ fn main() {
         .warmup(80_000);
 
     let dims = config.dims();
+    // Out-of-tree policies ride the engines' `Dyn` escape hatch (in-tree
+    // policies like the LRU fills convert into their own inlined variant).
     let custom = PolicyBundle {
-        stlb: Box::new(PinInstructions::new(dims.stlb.0, dims.stlb.1)),
-        l2c: Box::new(Lru::new(dims.l2c.0, dims.l2c.1)),
-        llc: Box::new(Lru::new(dims.llc.0, dims.llc.1)),
+        stlb: TlbPolicyEngine::boxed(PinInstructions::new(dims.stlb.0, dims.stlb.1)),
+        l2c: Lru::new(dims.l2c.0, dims.l2c.1).into(),
+        llc: Lru::new(dims.llc.0, dims.llc.1).into(),
         monitor: None,
     };
 

@@ -63,9 +63,9 @@ fn finding3_keeping_instructions_raises_data_walk_cache_pressure() {
         .warmup(WARMUP);
     let d = cfg.dims();
     let bundle = PolicyBundle {
-        stlb: Box::new(ProbKeepInstrLru::new(d.stlb.0, d.stlb.1, 0.8, 9)),
-        l2c: Box::new(Lru::new(d.l2c.0, d.l2c.1)),
-        llc: Box::new(Lru::new(d.llc.0, d.llc.1)),
+        stlb: ProbKeepInstrLru::new(d.stlb.0, d.stlb.1, 0.8, 9).into(),
+        l2c: Lru::new(d.l2c.0, d.l2c.1).into(),
+        llc: Lru::new(d.llc.0, d.llc.1).into(),
         monitor: None,
     };
     let base = run(&cfg, Preset::Lru, &w);
