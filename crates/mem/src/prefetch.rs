@@ -81,7 +81,7 @@ impl StridePrefetcher {
         }
         let stride = block as i64 - e.last_block as i64;
         if stride == e.stride && stride != 0 {
-            e.confidence = (e.confidence + 1).min(3);
+            e.confidence = e.confidence.saturating_add(1).min(3);
         } else {
             e.stride = stride;
             e.confidence = 0;
