@@ -30,4 +30,4 @@ pub use dram::{Dram, DramConfig};
 pub use hierarchy::{
     CacheLevelConfig, Hierarchy, HierarchyConfig, HierarchyPolicies, LevelHooks, MAX_SHARED_LEVELS,
 };
-pub use prefetch::{NextLinePrefetcher, StridePrefetcher};
+pub use prefetch::{NextLinePrefetcher, StrideCandidates, StridePrefetcher};

@@ -44,6 +44,35 @@ struct StrideEntry {
     confidence: u8,
 }
 
+/// Prefetch candidates nominated by one [`StridePrefetcher::observe`] call,
+/// stored inline so the per-access path never touches the heap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StrideCandidates {
+    blocks: [u64; StridePrefetcher::MAX_DEGREE],
+    len: usize,
+}
+
+impl StrideCandidates {
+    /// Candidate block addresses, in nomination order.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.blocks[..self.len]
+    }
+
+    /// `true` when no candidates were nominated.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl IntoIterator for StrideCandidates {
+    type Item = u64;
+    type IntoIter = core::iter::Take<core::array::IntoIter<u64, { StridePrefetcher::MAX_DEGREE }>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.blocks.into_iter().take(self.len)
+    }
+}
+
 /// PC-indexed stride prefetcher (degree 2, confidence-gated).
 #[derive(Debug, Clone)]
 pub struct StridePrefetcher {
@@ -55,18 +84,24 @@ impl StridePrefetcher {
     /// Confidence needed before prefetches are issued.
     const THRESHOLD: u8 = 2;
 
+    /// Largest supported prefetch degree (the baseline uses 2; the inline
+    /// candidate buffer is sized for this).
+    pub const MAX_DEGREE: usize = 4;
+
     /// Creates a stride prefetcher with `entries` table entries (rounded up
-    /// to a power of two) and the given prefetch degree.
+    /// to a power of two) and the given prefetch degree (clamped to
+    /// `1..=MAX_DEGREE`).
     pub fn new(entries: usize, degree: usize) -> Self {
         Self {
             table: vec![StrideEntry::default(); entries.next_power_of_two().max(16)],
-            degree: degree.max(1),
+            degree: degree.clamp(1, Self::MAX_DEGREE),
         }
     }
 
     /// Observes a demand access from instruction `pc` to `block`; returns
     /// blocks to prefetch (empty until a stable stride is seen).
-    pub fn observe(&mut self, pc: u64, block: u64) -> Vec<u64> {
+    pub fn observe(&mut self, pc: u64, block: u64) -> StrideCandidates {
+        let mut out = StrideCandidates::default();
         let idx = ((pc >> 2) as usize) & (self.table.len() - 1);
         let e = &mut self.table[idx];
         let tag = pc;
@@ -77,7 +112,7 @@ impl StridePrefetcher {
                 stride: 0,
                 confidence: 0,
             };
-            return Vec::new();
+            return out;
         }
         let stride = block as i64 - e.last_block as i64;
         if stride == e.stride && stride != 0 {
@@ -88,12 +123,14 @@ impl StridePrefetcher {
         }
         e.last_block = block;
         if e.confidence >= Self::THRESHOLD {
-            (1..=self.degree as i64)
-                .filter_map(|i| block.checked_add_signed(e.stride * i))
-                .collect()
-        } else {
-            Vec::new()
+            for i in 1..=self.degree as i64 {
+                if let Some(cand) = block.checked_add_signed(e.stride * i) {
+                    out.blocks[out.len] = cand;
+                    out.len += 1;
+                }
+            }
         }
+        out
     }
 }
 
@@ -122,7 +159,7 @@ mod tests {
         assert!(p.observe(pc, 14).is_empty()); // stride 4, conf 0
         assert!(p.observe(pc, 18).is_empty()); // conf 1
         let out = p.observe(pc, 22); // conf 2 → fire
-        assert_eq!(out, vec![26, 30]);
+        assert_eq!(out.as_slice(), &[26, 30]);
     }
 
     #[test]
