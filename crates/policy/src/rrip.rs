@@ -179,8 +179,8 @@ impl SetDuel {
     /// their own flavor.
     pub(crate) fn on_fill(&mut self, set: usize) {
         match self.role(set) {
-            DuelRole::LeaderPrimary => self.psel = (self.psel + 1).min(self.max),
-            DuelRole::LeaderAlternate => self.psel = (self.psel - 1).max(-self.max),
+            DuelRole::LeaderPrimary => self.psel = self.psel.saturating_add(1).min(self.max),
+            DuelRole::LeaderAlternate => self.psel = self.psel.saturating_sub(1).max(-self.max),
             DuelRole::Follower => {}
         }
     }
