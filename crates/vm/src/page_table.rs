@@ -72,6 +72,7 @@ impl FrameAllocator {
         let n = self.counter;
         self.counter += 1;
         let scrambled = n.wrapping_mul(self.salt) & ((1 << self.frame_bits) - 1);
+        // itpx-allow: arith-width scrambled is masked to frame_bits (< 40), so the page shift cannot overflow u64
         PhysAddr::new(self.region_offset + FRAME_REGION + (scrambled << PageSize::Base4K.shift()))
     }
 
@@ -80,6 +81,7 @@ impl FrameAllocator {
         let n = self.huge_counter;
         self.huge_counter += 1;
         let scrambled = n.wrapping_mul(self.salt) & ((1 << (self.frame_bits - 9)) - 1);
+        // itpx-allow: arith-width scrambled is masked to frame_bits - 9 bits, so the huge-page shift cannot overflow u64
         PhysAddr::new(self.region_offset + HUGE_REGION + (scrambled << PageSize::Huge2M.shift()))
     }
 
@@ -88,6 +90,7 @@ impl FrameAllocator {
         let n = self.node_counter;
         self.node_counter += 1;
         let scrambled = n.wrapping_mul(self.salt) & ((1 << self.frame_bits) - 1);
+        // itpx-allow: arith-width scrambled is masked to frame_bits (< 40), so the page shift cannot overflow u64
         PhysAddr::new(self.region_offset + NODE_REGION + (scrambled << PageSize::Base4K.shift()))
     }
 
@@ -137,6 +140,7 @@ impl HugePagePolicy {
         }
     }
 
+    // itpx-allow: hot-float per-region fraction compare with a seeded hash; decided once per region and cached by region_is_huge
     fn is_huge(&self, region_vpn2m: u64, kind: TranslationKind) -> bool {
         let fraction = match kind {
             TranslationKind::Instruction => self.code_fraction,
@@ -159,33 +163,57 @@ impl HugePagePolicy {
 pub type WalkStep = (u8, PhysAddr);
 
 /// The ordered PTE references of a full (un-cached) walk, root first.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// A walk references at most [`LEVELS`] PTEs, so the steps live inline and
+/// building a translation on the per-access path never allocates.
+#[derive(Debug, Clone)]
 pub struct WalkPath {
-    steps: Vec<WalkStep>,
+    steps: [WalkStep; LEVELS as usize],
+    len: usize,
 }
 
+impl PartialEq for WalkPath {
+    fn eq(&self, other: &Self) -> bool {
+        self.steps() == other.steps()
+    }
+}
+
+impl Eq for WalkPath {}
+
 impl WalkPath {
+    fn empty() -> Self {
+        Self {
+            steps: [(0, PhysAddr::new(0)); LEVELS as usize],
+            len: 0,
+        }
+    }
+
+    fn record(&mut self, step: WalkStep) {
+        self.steps[self.len] = step;
+        self.len += 1;
+    }
+
     /// All steps, root (level 5) first, leaf last.
     pub fn steps(&self) -> &[WalkStep] {
-        &self.steps
+        &self.steps[..self.len]
     }
 
     /// The steps remaining when the walk can start at `start_level`
     /// (because a page-structure cache supplied the node at
     /// `start_level + 1`).
     pub fn from_level(&self, start_level: u8) -> &[WalkStep] {
-        let i = self
-            .steps
+        let all = self.steps();
+        let i = all
             .iter()
             .position(|&(l, _)| l <= start_level)
-            .unwrap_or(self.steps.len());
-        &self.steps[i..]
+            .unwrap_or(all.len());
+        &all[i..]
     }
 
     /// Level of the leaf PTE (1 for 4 KiB pages, 2 for 2 MiB pages).
     pub fn leaf_level(&self) -> u8 {
         // walks always record at least the leaf step
-        self.steps.last().expect("non-empty walk").0
+        self.steps().last().expect("non-empty walk").0
     }
 }
 
@@ -246,6 +274,7 @@ impl PageTable {
             return pa;
         }
         let pa = self.allocator.alloc_node();
+        // itpx-allow: hot-alloc first touch of a page-table node; bounded by the mapped footprint, not the access count
         self.nodes.insert((level, prefix), pa);
         pa
     }
@@ -264,6 +293,7 @@ impl PageTable {
             return h;
         }
         let h = self.huge.is_huge(region, kind);
+        // itpx-allow: hot-alloc first touch of a 2 MiB region; bounded by the mapped footprint, not the access count
         self.region_huge.insert(region, h);
         h
     }
@@ -277,22 +307,22 @@ impl PageTable {
     pub fn translate(&mut self, va: VirtAddr, kind: TranslationKind) -> Translation {
         let vpn4k = va.vpn(PageSize::Base4K).0;
         let huge = self.region_is_huge(vpn4k, kind);
-        let mut steps = Vec::with_capacity(LEVELS as usize);
+        let mut path = WalkPath::empty();
         let leaf = if huge {
             PageSize::Huge2M.leaf_level()
         } else {
             PageSize::Base4K.leaf_level()
         };
         for level in (leaf..=LEVELS).rev() {
-            steps.push((level, self.pte_pa(level, vpn4k)));
+            path.record((level, self.pte_pa(level, vpn4k)));
         }
-        let path = WalkPath { steps };
         if huge {
             let vpn2m = va.vpn(PageSize::Huge2M).0;
             let frame = match self.map2m.get(&vpn2m) {
                 Some(&f) => f,
                 None => {
                     let f = self.allocator.alloc_huge_frame();
+                    // itpx-allow: hot-alloc first touch of a huge page; bounded by the mapped footprint, not the access count
                     self.map2m.insert(vpn2m, f);
                     f
                 }
@@ -309,6 +339,7 @@ impl PageTable {
                 Some(&f) => f,
                 None => {
                     let f = self.allocator.alloc_frame();
+                    // itpx-allow: hot-alloc first touch of a 4 KiB page; bounded by the mapped footprint, not the access count
                     self.map4k.insert(vpn4k, f);
                     f
                 }
