@@ -12,7 +12,6 @@
 
 use crate::meta::CacheMeta;
 use crate::traits::Policy;
-use std::collections::BTreeMap;
 
 const RDP_BITS: u32 = 12;
 const SAMPLE_STRIDE: usize = 8;
@@ -23,6 +22,68 @@ const DEFAULT_RD: i32 = 16;
 struct SampleEntry {
     time: u32,
     sig: u16,
+}
+
+/// Per-set sampler history: block -> (last access time, signature), kept
+/// sorted by block so scans are deterministic in ascending-key order (the
+/// iteration order a `BTreeMap` would give). Backed by one vector whose
+/// capacity is fixed at construction: the expiry sweep in `train` bounds
+/// the live length, so steady-state training never touches the heap.
+#[derive(Debug)]
+struct SampleHistory {
+    entries: Vec<(u64, SampleEntry)>,
+}
+
+impl Clone for SampleHistory {
+    fn clone(&self) -> Self {
+        // Preserve the reserved capacity (a derived clone would shrink it
+        // to the live length and re-introduce steady-state growth).
+        let mut entries = Vec::with_capacity(self.entries.capacity());
+        entries.extend_from_slice(&self.entries);
+        Self { entries }
+    }
+}
+
+impl SampleHistory {
+    fn with_capacity(cap: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn get(&self, block: u64) -> Option<SampleEntry> {
+        self.entries
+            .binary_search_by_key(&block, |&(b, _)| b)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    fn insert(&mut self, block: u64, entry: SampleEntry) {
+        match self.entries.binary_search_by_key(&block, |&(b, _)| b) {
+            Ok(i) => self.entries[i].1 = entry,
+            Err(i) => {
+                debug_assert!(
+                    self.entries.len() < self.entries.capacity(),
+                    "sampler exceeded its fixed capacity"
+                );
+                // itpx-allow: hot-alloc capacity is reserved at construction and bounds the expiry-swept length, so this insert never reallocates
+                self.entries.insert(i, (block, entry));
+            }
+        }
+    }
+
+    /// Entry at position `i` in ascending block order.
+    fn at(&self, i: usize) -> (u64, SampleEntry) {
+        self.entries[i]
+    }
+
+    fn remove_at(&mut self, i: usize) -> SampleEntry {
+        self.entries.remove(i).1
+    }
 }
 
 /// Simplified Mockingjay replacement.
@@ -36,10 +97,10 @@ pub struct Mockingjay {
     /// Reuse-distance predictor indexed by PC signature.
     rdp: Vec<i32>,
     /// Sampled per-set history: block -> (last access time, signature).
-    /// Ordered map so expiry scans are deterministic (std `HashMap`
+    /// Block-sorted so expiry scans are deterministic (std `HashMap`
     /// iteration order varies per process and would fail the determinism
     /// lint).
-    samples: Vec<BTreeMap<u64, SampleEntry>>,
+    samples: Vec<SampleHistory>,
 }
 
 impl Mockingjay {
@@ -51,7 +112,13 @@ impl Mockingjay {
             etr: vec![vec![MAX_RD; ways]; sets],
             clock: vec![0; sets],
             rdp: vec![DEFAULT_RD; 1 << RDP_BITS],
-            samples: vec![BTreeMap::new(); sets.div_ceil(SAMPLE_STRIDE)],
+            // Live length is bounded by the expiry sweep: at most
+            // `4 * ways` entries trigger a sweep, which keeps everything
+            // younger than `2 * MAX_RD` set accesses — and only one entry
+            // is inserted per set access.
+            samples: (0..sets.div_ceil(SAMPLE_STRIDE))
+                .map(|_| SampleHistory::with_capacity(4 * ways + 2 * MAX_RD as usize + 2))
+                .collect(),
         }
     }
 
@@ -80,7 +147,7 @@ impl Mockingjay {
         let sig = Self::sig(meta.pc);
         // samples holds ceil(sets / SAMPLE_STRIDE) histories
         let hist = &mut self.samples[set / SAMPLE_STRIDE];
-        if let Some(prev) = hist.get(&meta.block).copied() {
+        if let Some(prev) = hist.get(meta.block) {
             let observed = (now.wrapping_sub(prev.time) as i32).min(MAX_RD);
             let cell = &mut self.rdp[prev.sig as usize];
             // Temporal-difference update toward the observed distance.
@@ -89,17 +156,18 @@ impl Mockingjay {
         }
         hist.insert(meta.block, SampleEntry { time: now, sig });
         // Bound the sampler: expire entries much older than MAX_RD, training
-        // their signature toward "scan" (no reuse observed).
+        // their signature toward "scan" (no reuse observed). The sweep is
+        // in place (ascending block order, like the old BTreeMap scan).
         if hist.len() > 4 * self.ways {
-            let expired: Vec<u64> = hist
-                .iter()
-                .filter(|(_, e)| now.wrapping_sub(e.time) as i32 > 2 * MAX_RD)
-                .map(|(&b, _)| b)
-                .collect();
-            for b in expired {
-                if let Some(e) = hist.remove(&b) {
+            let mut i = 0;
+            while i < hist.len() {
+                let (_, e) = hist.at(i);
+                if now.wrapping_sub(e.time) as i32 > 2 * MAX_RD {
+                    let e = hist.remove_at(i);
                     let cell = &mut self.rdp[e.sig as usize];
                     *cell = (*cell + 2).min(MAX_RD);
+                } else {
+                    i += 1;
                 }
             }
         }
@@ -209,6 +277,6 @@ mod tests {
         for i in 0..100 {
             p.on_fill(3, 0, &m(i, 0x30));
         }
-        assert!(p.samples.iter().all(|h| h.is_empty()));
+        assert!(p.samples.iter().all(|h| h.len() == 0));
     }
 }
