@@ -160,6 +160,7 @@ impl Engine {
         // Keep the FTQ lookahead full.
         while t.lookahead.len() < cfg.ftq_entries {
             let next = t.stream.next_inst();
+            // itpx-allow: hot-alloc ring bounded by ftq_entries; the deque's capacity stabilizes after the first refill
             t.lookahead.push_back(next);
         }
         // the refill loop above guarantees ftq_entries >= 1 elements

@@ -110,6 +110,7 @@ impl<P> CheckedPolicy<P> {
             .all(|&v| v)
     }
 
+    // itpx-allow: hot-alloc diagnostic sink: runs only when a contract is already violated, never in a clean steady state
     #[track_caller]
     fn record(&mut self, msg: String) {
         // Debug builds (and release builds that opt in via the
@@ -123,6 +124,7 @@ impl<P> CheckedPolicy<P> {
 
     /// Records and returns `false` when `(set, way)` is out of range —
     /// callers must then skip the access entirely.
+    // itpx-allow: hot-alloc formats a diagnostic only on an out-of-range access, never in a clean steady state
     #[track_caller]
     fn check_bounds(&mut self, who: &str, call: &str, set: usize, way: usize) -> bool {
         if set >= self.sets || way >= self.ways {
@@ -139,6 +141,7 @@ impl<P> CheckedPolicy<P> {
 }
 
 impl<M, P: Policy<M>> Policy<M> for CheckedPolicy<P> {
+    // itpx-allow: hot-alloc formats diagnostics only on contract violations, never in a clean steady state
     #[track_caller]
     fn on_fill(&mut self, set: usize, way: usize, meta: &M) {
         let name = self.inner.name();
@@ -165,6 +168,7 @@ impl<M, P: Policy<M>> Policy<M> for CheckedPolicy<P> {
         self.inner.on_fill(set, way, meta);
     }
 
+    // itpx-allow: hot-alloc formats diagnostics only on contract violations, never in a clean steady state
     #[track_caller]
     fn on_hit(&mut self, set: usize, way: usize, meta: &M) {
         let name = self.inner.name();
@@ -179,6 +183,7 @@ impl<M, P: Policy<M>> Policy<M> for CheckedPolicy<P> {
         self.inner.on_hit(set, way, meta);
     }
 
+    // itpx-allow: hot-alloc formats diagnostics only on contract violations, never in a clean steady state
     #[track_caller]
     fn victim(&mut self, set: usize, incoming: &M) -> usize {
         let name = self.inner.name();
@@ -208,6 +213,7 @@ impl<M, P: Policy<M>> Policy<M> for CheckedPolicy<P> {
         v
     }
 
+    // itpx-allow: hot-alloc formats diagnostics only on contract violations, never in a clean steady state
     #[track_caller]
     fn on_evict(&mut self, set: usize, way: usize) {
         let name = self.inner.name();

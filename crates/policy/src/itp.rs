@@ -48,6 +48,7 @@ impl Default for ItpParams {
 impl ItpParams {
     /// Saturation value of the frequency counter.
     pub fn freq_max(&self) -> u8 {
+        // itpx-allow: arith-width freq_bits <= 8 (validated below), so the mask fits u8
         ((1u32 << self.freq_bits) - 1) as u8
     }
 

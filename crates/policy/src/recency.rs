@@ -108,6 +108,7 @@ impl RecencyStack {
         let cur = self.depth_of(set, way);
         let order = &mut self.order[set];
         let w = order.remove(cur);
+        // itpx-allow: hot-alloc remove+insert keeps the row at its fixed length `ways`, so this never reallocates
         order.insert(depth, w);
     }
 

@@ -55,6 +55,7 @@ impl<T> SlotPool<T> {
                 return;
             }
         }
+        // itpx-allow: hot-alloc grow-once pool: pushes only until the slot count matches peak occupancy, then reuses tombstoned slots
         self.slots.push(Some(value));
     }
 

@@ -74,6 +74,7 @@ impl Rng64 {
     }
 
     /// Uniform float in `[0, 1)`.
+    // itpx-allow: hot-float deterministic 53-bit mantissa conversion of a seeded integer stream; bit-exact on every IEEE-754 target
     pub fn f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }

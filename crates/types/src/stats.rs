@@ -173,6 +173,7 @@ impl StructStats {
     }
 
     /// Records the end-to-end latency of one miss, in cycles.
+    // itpx-allow: hot-float statistics sink only; the float mean never feeds back into simulated state
     pub fn record_miss_latency(&mut self, cycles: u64) {
         self.miss_latency.add(cycles as f64);
     }

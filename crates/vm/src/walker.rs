@@ -111,6 +111,7 @@ impl PageWalker {
             self.instr_walks += 1;
         }
         self.refs += steps.len() as u64;
+        // itpx-allow: hot-float statistics sink only; the float mean never feeds back into simulated state
         self.latency.add((t - now) as f64);
         WalkOutcome {
             done: t,
