@@ -1,0 +1,141 @@
+//! Inline lint exceptions: `// itpx-allow: <rule> <reason>`.
+//!
+//! The old `allowlist.txt` matched findings by `rule|path-suffix|needle`
+//! string triplets that lived far from the code they excused and silently
+//! rotted when the code moved. Annotations live on the line they excuse:
+//!
+//! ```text
+//! self.slots.push(Some(value)); // itpx-allow: hot-alloc grow-once pool, capacity fixed after warmup
+//! ```
+//!
+//! Grammar: the comment must contain `itpx-allow:` followed by a rule name
+//! and a free-text reason. The reason is mandatory — an excuse without a
+//! justification is reported as `bad-allow`. Placement:
+//!
+//! * trailing on a code line → covers that line;
+//! * on its own line (possibly stacked with other annotation lines) →
+//!   covers the next code line;
+//! * covering a line that starts a `fn` item → covers the whole function
+//!   body for that rule (function-scope allow, for statistics helpers
+//!   that are float-heavy by design).
+//!
+//! Every annotation must suppress at least one finding; unused ones are
+//! reported as `stale-allow` and fail `cargo xtask analyze`, so excuses
+//! cannot outlive the code they excused.
+
+use crate::ast::FileAst;
+
+/// The marker that introduces an annotation inside a comment.
+pub const MARKER: &str = "itpx-allow:";
+
+/// One parsed annotation.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// Rule the annotation excuses (must name a real rule).
+    pub rule: String,
+    /// Free-text justification (non-empty).
+    pub reason: String,
+    /// Line the annotation itself sits on.
+    pub own_line: u32,
+    /// First code line the annotation covers.
+    pub target_line: u32,
+    /// Set when the target line starts a `fn`: the allow covers the whole
+    /// function body.
+    pub fn_scope: Option<(u32, u32)>,
+}
+
+/// A malformed annotation (missing rule, unknown rule, or empty reason).
+#[derive(Debug, Clone)]
+pub struct BadAnnotation {
+    /// Line of the malformed comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub why: String,
+}
+
+/// Extracts all annotations from a parsed file. `known_rules` guards
+/// against typos: `// itpx-allow: hot-allok …` must fail loudly, not
+/// silently suppress nothing.
+pub fn collect(ast: &FileAst, known_rules: &[&str]) -> (Vec<Annotation>, Vec<BadAnnotation>) {
+    let mut out = Vec::new();
+    let mut bad = Vec::new();
+    for c in &ast.comments {
+        let Some(pos) = c.text.find(MARKER) else {
+            continue;
+        };
+        let rest = c.text[pos + MARKER.len()..].trim();
+        let mut words = rest.splitn(2, char::is_whitespace);
+        let rule = words.next().unwrap_or("").trim();
+        let reason = words.next().unwrap_or("").trim();
+        if rule.is_empty() {
+            bad.push(BadAnnotation {
+                line: c.span.line,
+                why: "missing rule name after `itpx-allow:`".to_string(),
+            });
+            continue;
+        }
+        if !known_rules.contains(&rule) {
+            bad.push(BadAnnotation {
+                line: c.span.line,
+                why: format!("unknown rule `{rule}`"),
+            });
+            continue;
+        }
+        if reason.is_empty() {
+            bad.push(BadAnnotation {
+                line: c.span.line,
+                why: format!("annotation for `{rule}` has no reason"),
+            });
+            continue;
+        }
+        let target_line = target_of(ast, c.span.line, c.end_line);
+        let fn_scope = ast
+            .fns
+            .iter()
+            .find(|f| f.span.line == target_line)
+            .map(|f| (f.span.line, f.body_end_line));
+        out.push(Annotation {
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+            own_line: c.span.line,
+            target_line,
+            fn_scope,
+        });
+    }
+    (out, bad)
+}
+
+/// The first code line an annotation at `line` covers: the annotation's
+/// own line when it trails code, else the first following line that is
+/// neither blank nor comment-only.
+fn target_of(ast: &FileAst, line: u32, end_line: u32) -> u32 {
+    let own = ast
+        .lines
+        .get(line as usize - 1)
+        .map(|l| l.trim_start())
+        .unwrap_or("");
+    if !own.is_empty() && !own.starts_with("//") && !own.starts_with("/*") {
+        return line;
+    }
+    let mut l = end_line + 1;
+    while let Some(text) = ast.lines.get(l as usize - 1) {
+        let t = text.trim_start();
+        if !t.is_empty() && !t.starts_with("//") && !t.starts_with("/*") && !t.starts_with('#') {
+            return l;
+        }
+        l += 1;
+    }
+    l
+}
+
+/// Matches findings against annotations. Returns, per annotation index,
+/// whether it suppressed anything; the caller filters the findings.
+pub fn covers(ann: &Annotation, rule: &str, line: u32) -> bool {
+    if ann.rule != rule {
+        return false;
+    }
+    if let Some((lo, hi)) = ann.fn_scope {
+        return line >= lo && line <= hi;
+    }
+    line == ann.target_line || line == ann.own_line
+}

@@ -1,0 +1,361 @@
+//! The retired line-regex lint engine, kept verbatim (minus the
+//! allowlist machinery) as a cross-check oracle.
+//!
+//! The AST engine in this crate replaced this scanner. The meta-test in
+//! `tests/meta_agreement.rs` runs both over the current tree and asserts
+//! they agree (both report zero findings); the fixture corpus documents
+//! the cases where they *must* disagree — the regex engine's false
+//! positives (patterns inside string literals) and false negatives
+//! (multi-line types, spaced method calls, single-line `#[cfg(test)]`
+//! modules). Once a release cycle passes with the AST engine gating CI,
+//! this module can be deleted along with the meta-test.
+
+/// One legacy lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line, trimmed.
+    pub excerpt: String,
+}
+
+/// Path fragments the `dispatch` rule applies to.
+const DISPATCH_RULE_CRATES: &[&str] = &["crates/mem/", "crates/vm/", "crates/cpu/"];
+
+/// Lints one source file; pure so fixtures can be tested inline.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = src.lines().collect();
+    let in_test = test_module_mask(&lines);
+    let tracked = tracked_hash_idents(&lines, &in_test);
+    let mut out = Vec::new();
+    for (i, &line) in lines.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let code = code_part(line);
+        let has_comment = line.len() > code.len()
+            || i.checked_sub(1)
+                .map(|p| lines[p].trim().starts_with("//"))
+                .unwrap_or(false);
+        let mut push = |rule: &'static str| {
+            out.push(Finding {
+                rule,
+                path: path.to_string(),
+                line: i + 1,
+                excerpt: trimmed.to_string(),
+            });
+        };
+        if code.contains("std::time")
+            || code.contains("Instant::now")
+            || code.contains("SystemTime")
+        {
+            push("std-time");
+        }
+        if code.contains("thread_rng")
+            || code.contains("RandomState")
+            || code.contains("from_entropy")
+            || code.contains("rand::")
+        {
+            push("entropy");
+        }
+        if iterates_tracked_map(code, &tracked) {
+            push("map-iter");
+        }
+        if !has_comment && (code.contains(".unwrap()") || code.contains(".expect(")) {
+            push("panicking-index");
+        }
+        if !has_comment && has_computed_index(code) {
+            push("panicking-index");
+        }
+        if !path.contains("crates/mem/") && reaches_into_hierarchy(code) {
+            push("layering");
+        }
+        if DISPATCH_RULE_CRATES.iter().any(|c| path.contains(c)) && code.contains("Box<dyn Policy")
+        {
+            push("dispatch");
+        }
+    }
+    out
+}
+
+/// `true` if `code` accesses a shared cache level of a hierarchy config
+/// as a *field* rather than through the depth-stable accessors.
+fn reaches_into_hierarchy(code: &str) -> bool {
+    for needle in ["hierarchy.l2", "hierarchy.llc"] {
+        for (pos, _) in code.match_indices(needle) {
+            let after = code[pos + needle.len()..].chars().next();
+            let permitted = matches!(after, Some(c) if c.is_alphanumeric() || c == '_' || c == '(');
+            if !permitted {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The part of a line before a `//` comment (naive: ignores `//` inside
+/// string literals — one of the false-positive classes that retired this
+/// engine).
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Marks lines belonging to `#[cfg(test)] mod ... { ... }` blocks. Only
+/// recognizes the attribute on its own line — the formatting sensitivity
+/// the AST engine removed.
+fn test_module_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].trim() == "#[cfg(test)]" {
+            let mut j = i + 1;
+            while j < lines.len() && lines[j].trim().starts_with("#[") {
+                j += 1;
+            }
+            if j < lines.len() && lines[j].trim_start().starts_with("mod ") {
+                let mut depth = 0i64;
+                let mut opened = false;
+                for (k, l) in lines.iter().enumerate().take(lines.len()).skip(i) {
+                    mask[k] = true;
+                    for c in l.chars() {
+                        match c {
+                            '{' => {
+                                depth += 1;
+                                opened = true;
+                            }
+                            '}' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    if opened && depth <= 0 {
+                        i = k;
+                        break;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Identifiers bound to `HashMap`/`HashSet` values in non-test code.
+fn tracked_hash_idents(lines: &[&str], in_test: &[bool]) -> Vec<String> {
+    let mut idents = Vec::new();
+    for (i, &line) in lines.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let code = code_part(line);
+        if !code.contains("HashMap") && !code.contains("HashSet") {
+            continue;
+        }
+        for marker in [
+            ": HashMap",
+            ": HashSet",
+            ": &HashMap",
+            ": &HashSet",
+            ": &mut HashMap",
+            ": &mut HashSet",
+        ] {
+            let mut rest = code;
+            while let Some(pos) = rest.find(marker) {
+                if let Some(id) = ident_ending_at(&rest[..pos]) {
+                    idents.push(id);
+                }
+                rest = &rest[pos + marker.len()..];
+            }
+        }
+        if let Some(eq) = code.find('=') {
+            let rhs = &code[eq..];
+            if rhs.contains("HashMap::") || rhs.contains("HashSet::") {
+                if let Some(id) = let_binding_name(&code[..eq]) {
+                    idents.push(id);
+                }
+            }
+        }
+    }
+    idents.sort();
+    idents.dedup();
+    idents
+}
+
+/// The identifier whose last character ends `prefix`.
+fn ident_ending_at(prefix: &str) -> Option<String> {
+    let id: String = prefix
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if id.is_empty() || id.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(id)
+    }
+}
+
+/// Extracts `name` from `let [mut] name`.
+fn let_binding_name(lhs: &str) -> Option<String> {
+    let lhs = lhs.trim();
+    let after_let = lhs.strip_prefix("let ")?.trim_start();
+    let after_mut = after_let.strip_prefix("mut ").unwrap_or(after_let).trim();
+    let name: String = after_mut
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// `true` if `code` iterates one of the tracked map/set identifiers.
+fn iterates_tracked_map(code: &str, tracked: &[String]) -> bool {
+    for id in tracked {
+        for call in [
+            ".iter()",
+            ".iter_mut()",
+            ".keys()",
+            ".values()",
+            ".values_mut()",
+            ".into_iter()",
+            ".drain(",
+            ".retain(",
+        ] {
+            if code.contains(&format!("{id}{call}")) {
+                return true;
+            }
+        }
+        if code.contains("for ")
+            && (code.contains(&format!("in &{id}"))
+                || code.contains(&format!("in &mut {id}"))
+                || code.contains(&format!("in {id} ")))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// `true` if `code` contains an index expression whose content involves
+/// arithmetic or a call.
+fn has_computed_index(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'[' {
+            let prev = code[..i].chars().next_back();
+            let indexable =
+                matches!(prev, Some(c) if c.is_alphanumeric() || c == '_' || c == ')' || c == ']');
+            if indexable {
+                let mut depth = 1;
+                let mut j = i + 1;
+                while j < bytes.len() && depth > 0 {
+                    match bytes[j] {
+                        b'[' => depth += 1,
+                        b']' => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let inner = &code[i + 1..j.saturating_sub(1).max(i + 1)];
+                let computed = inner.contains('(')
+                    || ["+", "-", "*", "/", "%"]
+                        .iter()
+                        .any(|op| contains_arith(inner, op));
+                if computed && !inner.contains("..") {
+                    return true;
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Arithmetic-operator check that ignores `->`, `=>`, unary minus, and
+/// path separators.
+fn contains_arith(inner: &str, op: &str) -> bool {
+    let inner = inner.trim();
+    for (pos, _) in inner.match_indices(op) {
+        let before = inner[..pos].chars().next_back();
+        let after = inner[pos + op.len()..].chars().next();
+        if op == "-" && (pos == 0 || matches!(before, Some('=') | Some('<'))) {
+            continue;
+        }
+        if op == "*" && pos == 0 {
+            continue;
+        }
+        if matches!(after, Some('>') | Some('=')) {
+            continue;
+        }
+        let _ = before;
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(src: &str) -> Vec<&'static str> {
+        lint_source("fixture.rs", src)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn legacy_semantics_are_preserved() {
+        assert_eq!(rules("let t = Instant::now();\n"), ["std-time"]);
+        assert_eq!(rules("let s = RandomState::new();\n"), ["entropy"]);
+        assert_eq!(rules("let x = o.unwrap();\n"), ["panicking-index"]);
+        assert!(rules("let x = o.unwrap(); // verified above\n").is_empty());
+        assert_eq!(rules("let x = v[i + 1];\n"), ["panicking-index"]);
+        assert!(rules("let x = v[i];\n").is_empty());
+        assert_eq!(rules("config.hierarchy.l2.sets = 1024;\n"), ["layering"]);
+        assert!(rules("config.hierarchy.l2c_mut().sets = 4;\n").is_empty());
+    }
+
+    #[test]
+    fn legacy_false_positive_matches_inside_strings() {
+        // Documented defect: substring match fires inside string literals.
+        assert_eq!(
+            rules("let m = \"uses Instant::now internally\";\n"),
+            ["std-time"]
+        );
+    }
+
+    #[test]
+    fn legacy_false_negative_misses_multiline_types() {
+        // Documented defect: the substring cannot span the line break.
+        let src = "let p: Box<dyn\n    Policy<CacheMeta>> = mk();\n";
+        assert!(lint_source("crates/mem/src/cache.rs", src).is_empty());
+    }
+
+    #[test]
+    fn legacy_false_negative_misses_single_line_test_mod() {
+        // Documented defect: the mask needs `#[cfg(test)]` on its own line,
+        // so this *test* code is wrongly linted.
+        let src = "#[cfg(test)] mod tests { fn t() { let x = Instant::now(); } }\n";
+        assert_eq!(rules(src), ["std-time"]);
+    }
+}

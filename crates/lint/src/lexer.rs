@@ -1,0 +1,623 @@
+//! A Rust lexer producing spanned tokens and a separate comment stream.
+//!
+//! This is the foundation of the AST engine: unlike the retired line-regex
+//! scanner, every downstream pass works on *tokens*, so string literals,
+//! comments, and formatting can never masquerade as code (or hide it).
+//!
+//! The lexer understands the full surface syntax the workspace uses:
+//! nested block comments, raw/byte string literals, char literals vs
+//! lifetimes, numeric literals with separators/suffixes/exponents, and
+//! multi-character operators (`::`, `->`, `<<`, `..=`, …). Comments are
+//! not discarded — they are returned as a side stream because two rules
+//! consume them: `panicking-index` (a justifying comment exempts a site)
+//! and the `// itpx-allow:` annotation grammar.
+
+/// A source position, 1-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+/// Delimiter kind of a bracketed group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `( … )`
+    Paren,
+    /// `[ … ]`
+    Bracket,
+    /// `{ … }`
+    Brace,
+}
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (keywords are not distinguished here).
+    Ident,
+    /// A lifetime (`'a`) — the text excludes the quote.
+    Lifetime,
+    /// Integer literal.
+    Int,
+    /// Floating-point literal.
+    Float,
+    /// String / raw string / byte string literal (text is the raw source).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Operator or punctuation (possibly multi-character: `::`, `<<`, …).
+    Punct,
+    /// Opening delimiter.
+    Open(Delim),
+    /// Closing delimiter.
+    Close(Delim),
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text (for `Str`, the full literal including quotes).
+    pub text: String,
+    /// Position of the first character.
+    pub span: Span,
+}
+
+impl Token {
+    /// `true` if this token is an identifier with the given text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// `true` if this token is punctuation with the given text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// One comment (line or block), with the position of its opening `/`.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// Position of the first character.
+    pub span: Span,
+    /// Line of the last character (block comments can span lines).
+    pub end_line: u32,
+}
+
+/// Lexer failure: position plus message. Any failure fails the whole
+/// analysis run — a file the engine cannot read is a file it cannot vouch
+/// for.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    /// Where lexing failed.
+    pub span: Span,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.span.line, self.span.col, self.msg)
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    /// Advances one byte, maintaining line/col. Multi-byte UTF-8
+    /// continuation bytes do not advance the column so columns count
+    /// characters, not bytes.
+    fn bump(&mut self) {
+        let b = self.src[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xc0 != 0x80 {
+            self.col += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn slice_from(&self, start: usize) -> &'a str {
+        // The lexer only splits at ASCII boundaries, so this is valid UTF-8.
+        std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("")
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream plus a comment stream.
+pub fn lex(src: &str) -> Result<(Vec<Token>, Vec<Comment>), LexError> {
+    let mut cur = Cursor::new(src);
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    while let Some(b) = cur.peek() {
+        let span = cur.span();
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => cur.bump(),
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(|c| c != b'\n') {
+                    cur.bump();
+                }
+                comments.push(Comment {
+                    text: cur.slice_from(start).to_string(),
+                    span,
+                    end_line: span.line,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                let start = cur.pos;
+                cur.bump_n(2);
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match cur.peek() {
+                        None => {
+                            return Err(LexError {
+                                span,
+                                msg: "unterminated block comment".into(),
+                            })
+                        }
+                        Some(b'/') if cur.peek_at(1) == Some(b'*') => {
+                            depth += 1;
+                            cur.bump_n(2);
+                        }
+                        Some(b'*') if cur.peek_at(1) == Some(b'/') => {
+                            depth -= 1;
+                            cur.bump_n(2);
+                        }
+                        Some(_) => cur.bump(),
+                    }
+                }
+                comments.push(Comment {
+                    text: cur.slice_from(start).to_string(),
+                    span,
+                    end_line: cur.line,
+                });
+            }
+            b'"' => tokens.push(lex_string(&mut cur, span)?),
+            b'r' | b'b' if starts_string(&cur) => tokens.push(lex_string(&mut cur, span)?),
+            b'\'' => lex_quote(&mut cur, span, &mut tokens)?,
+            _ if is_ident_start(b) => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: cur.slice_from(start).to_string(),
+                    span,
+                });
+            }
+            _ if b.is_ascii_digit() => tokens.push(lex_number(&mut cur, span)),
+            b'(' | b'[' | b'{' => {
+                let delim = match b {
+                    b'(' => Delim::Paren,
+                    b'[' => Delim::Bracket,
+                    _ => Delim::Brace,
+                };
+                cur.bump();
+                tokens.push(Token {
+                    kind: TokKind::Open(delim),
+                    text: (b as char).to_string(),
+                    span,
+                });
+            }
+            b')' | b']' | b'}' => {
+                let delim = match b {
+                    b')' => Delim::Paren,
+                    b']' => Delim::Bracket,
+                    _ => Delim::Brace,
+                };
+                cur.bump();
+                tokens.push(Token {
+                    kind: TokKind::Close(delim),
+                    text: (b as char).to_string(),
+                    span,
+                });
+            }
+            _ => {
+                let mut matched = false;
+                for op in OPERATORS {
+                    if cur.starts_with(op) {
+                        cur.bump_n(op.len());
+                        tokens.push(Token {
+                            kind: TokKind::Punct,
+                            text: (*op).to_string(),
+                            span,
+                        });
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    cur.bump();
+                    tokens.push(Token {
+                        kind: TokKind::Punct,
+                        text: (b as char).to_string(),
+                        span,
+                    });
+                }
+            }
+        }
+    }
+    Ok((tokens, comments))
+}
+
+/// Is the cursor at the start of a raw/byte string (`r"`, `r#"`, `b"`,
+/// `br"`, `b'`…)? `b'x'` byte chars are handled by the char path via the
+/// returned `false` here.
+fn starts_string(cur: &Cursor<'_>) -> bool {
+    let b0 = cur.peek();
+    let b1 = cur.peek_at(1);
+    match (b0, b1) {
+        (Some(b'r'), Some(b'"' | b'#')) => true,
+        (Some(b'b'), Some(b'"')) => true,
+        (Some(b'b'), Some(b'r')) => matches!(cur.peek_at(2), Some(b'"' | b'#')),
+        _ => false,
+    }
+}
+
+fn lex_string(cur: &mut Cursor<'_>, span: Span) -> Result<Token, LexError> {
+    let start = cur.pos;
+    let mut raw = false;
+    if cur.peek() == Some(b'b') {
+        cur.bump();
+    }
+    if cur.peek() == Some(b'r') {
+        raw = true;
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while raw && cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek() != Some(b'"') {
+        // `r` / `b` turned out to be an identifier start after all
+        // (e.g. `r#ident` raw identifiers). Treat as identifier.
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        return Ok(Token {
+            kind: TokKind::Ident,
+            text: cur.slice_from(start).to_string(),
+            span,
+        });
+    }
+    cur.bump(); // opening quote
+    loop {
+        match cur.peek() {
+            None => {
+                return Err(LexError {
+                    span,
+                    msg: "unterminated string literal".into(),
+                })
+            }
+            Some(b'\\') if !raw => {
+                cur.bump();
+                if cur.peek().is_some() {
+                    cur.bump();
+                }
+            }
+            Some(b'"') => {
+                cur.bump();
+                if !raw {
+                    break;
+                }
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some(b'#') {
+                    seen += 1;
+                    cur.bump();
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+            Some(_) => cur.bump(),
+        }
+    }
+    Ok(Token {
+        kind: TokKind::Str,
+        text: cur.slice_from(start).to_string(),
+        span,
+    })
+}
+
+/// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+fn lex_quote(cur: &mut Cursor<'_>, span: Span, tokens: &mut Vec<Token>) -> Result<(), LexError> {
+    let start = cur.pos;
+    cur.bump(); // the quote
+    match cur.peek() {
+        Some(b'\\') => {
+            // Escaped char literal.
+            cur.bump();
+            while cur.peek().is_some_and(|c| c != b'\'') {
+                cur.bump();
+            }
+            if cur.peek() != Some(b'\'') {
+                return Err(LexError {
+                    span,
+                    msg: "unterminated char literal".into(),
+                });
+            }
+            cur.bump();
+            tokens.push(Token {
+                kind: TokKind::Char,
+                text: cur.slice_from(start).to_string(),
+                span,
+            });
+        }
+        Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+            // Could be `'a'` (char) or `'abc` (lifetime): scan the ident
+            // run and check for a closing quote.
+            let mut n = 0usize;
+            while cur.peek_at(n).is_some_and(is_ident_continue) {
+                n += 1;
+            }
+            if cur.peek_at(n) == Some(b'\'') {
+                cur.bump_n(n + 1);
+                tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: cur.slice_from(start).to_string(),
+                    span,
+                });
+            } else {
+                cur.bump_n(n);
+                tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: cur.slice_from(start + 1).to_string(),
+                    span,
+                });
+            }
+        }
+        Some(_) => {
+            // `'('` style char literal of a single non-ident character.
+            cur.bump();
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+                tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: cur.slice_from(start).to_string(),
+                    span,
+                });
+            } else {
+                return Err(LexError {
+                    span,
+                    msg: "stray quote".into(),
+                });
+            }
+        }
+        None => {
+            return Err(LexError {
+                span,
+                msg: "stray quote at end of input".into(),
+            })
+        }
+    }
+    Ok(())
+}
+
+fn lex_number(cur: &mut Cursor<'_>, span: Span) -> Token {
+    let start = cur.pos;
+    let mut float = false;
+    if cur.starts_with("0x")
+        || cur.starts_with("0X")
+        || cur.starts_with("0b")
+        || cur.starts_with("0o")
+    {
+        cur.bump_n(2);
+        while cur
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            cur.bump();
+        }
+    } else {
+        while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            cur.bump();
+        }
+        // A `.` continues the number only when followed by a digit — this
+        // keeps `0..n` (range) and `1.max(x)` (method call) out of floats.
+        if cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            cur.bump();
+            while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                cur.bump();
+            }
+        }
+        // Exponent.
+        if matches!(cur.peek(), Some(b'e' | b'E'))
+            && (cur.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+                || (matches!(cur.peek_at(1), Some(b'+' | b'-'))
+                    && cur.peek_at(2).is_some_and(|c| c.is_ascii_digit())))
+        {
+            float = true;
+            cur.bump();
+            if matches!(cur.peek(), Some(b'+' | b'-')) {
+                cur.bump();
+            }
+            while cur.peek().is_some_and(|c| c.is_ascii_digit()) {
+                cur.bump();
+            }
+        }
+        // Type suffix (`u64`, `f64`, `usize`, …). An `f32`/`f64` suffix
+        // makes an integer-looking literal a float.
+        if cur.peek().is_some_and(is_ident_start) {
+            let suffix_start = cur.pos;
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            let suffix = &cur.src[suffix_start..cur.pos];
+            if suffix == b"f32" || suffix == b"f64" {
+                float = true;
+            }
+        }
+    }
+    Token {
+        kind: if float { TokKind::Float } else { TokKind::Int },
+        text: cur.slice_from(start).to_string(),
+        span,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src)
+            .expect("lexes")
+            .0
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src)
+            .expect("lexes")
+            .0
+            .into_iter()
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            texts("a::b -> c"),
+            vec![
+                "a".to_string(),
+                "::".into(),
+                "b".into(),
+                "->".into(),
+                "c".into()
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_are_single_tokens() {
+        let (toks, _) = lex(r#"let s = "std::time::Instant::now()";"#).unwrap();
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(!toks.iter().any(|t| t.is_ident("Instant")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let (toks, _) = lex(r###"let s = r#"quote " inside"#;"###).unwrap();
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn comments_are_captured_separately() {
+        let (toks, comments) = lex("x; // Instant::now()\n/* RandomState */ y;").unwrap();
+        assert_eq!(comments.len(), 2);
+        assert!(!toks.iter().any(|t| t.is_ident("Instant")));
+        assert!(toks.iter().any(|t| t.is_ident("y")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (toks, comments) = lex("/* outer /* inner */ still */ z").unwrap();
+        assert_eq!(comments.len(), 1);
+        assert!(toks[0].is_ident("z"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let (toks, _) = lex("&'a str; 'x'; '\\n'").unwrap();
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("1 0xff 1_000u64"), vec![TokKind::Int; 3]);
+        assert_eq!(kinds("1.5 2e3 7f64"), vec![TokKind::Float; 3]);
+        // Ranges do not produce floats.
+        assert_eq!(
+            kinds("0..n"),
+            vec![TokKind::Int, TokKind::Punct, TokKind::Ident]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_cols() {
+        let (toks, _) = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].span.line, toks[0].span.col), (1, 1));
+        assert_eq!((toks[1].span.line, toks[1].span.col), (2, 3));
+    }
+
+    #[test]
+    fn shifts_are_merged() {
+        assert_eq!(texts("a << b >> c")[1], "<<");
+        assert_eq!(texts("a << b >> c")[3], ">>");
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let (toks, _) = lex("r#type x").unwrap();
+        assert_eq!(toks[0].kind, TokKind::Ident);
+        assert_eq!(toks[0].text, "r#type");
+    }
+}

@@ -2,9 +2,13 @@
 //!
 //! Subcommands:
 //!
-//! * `analyze` (default) — run all three passes below; non-zero exit if
-//!   any of them finds a violation.
-//! * `lint` — the determinism lint over the simulation crates.
+//! * `analyze [--json <path>]` (default) — run all three passes below;
+//!   non-zero exit if any of them finds a violation. `--json` also writes
+//!   the lint report as JSON for CI trend tracking.
+//! * `lint [--json <path>]` — the AST-based static analysis
+//!   (`itpx-lint`) over the simulation crates: determinism rules plus the
+//!   hot-path rules (`hot-alloc`, `hot-float`, `arith-width`) over the
+//!   call graph rooted at the per-access entry points.
 //! * `budget` — the hardware-budget audit (also writes
 //!   `docs/hardware-budget.md`).
 //! * `contracts` — the randomized policy contract drive.
@@ -12,12 +16,12 @@
 //!   fuzzed traces through the optimized pipeline and the functional
 //!   reference model must agree bit for bit (see docs/testing.md).
 //!
-//! See DESIGN.md ("Static analysis: cargo xtask analyze") for rule
-//! definitions and the allowlist format.
+//! See DESIGN.md ("Static analysis") for rule definitions and the
+//! `// itpx-allow: <rule> <reason>` annotation grammar. Stale or
+//! malformed annotations fail `analyze` exactly like findings do.
 
 mod budget;
 mod contracts;
-mod lint;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -31,32 +35,37 @@ fn repo_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn run_lint(root: &Path) -> Result<bool, String> {
-    let report = lint::run(root)?;
+fn run_lint(root: &Path, json_path: Option<&str>) -> Result<bool, String> {
+    let report = itpx_lint::run(root)?;
     println!(
-        "lint: scanned {} files across crates/{{{}}}, {} bench cache-path file(s), \
-         and {} (layering rule)",
+        "lint: analyzed {} files across crates/{{{}}}, {} bench cache-path file(s), \
+         and {} (layering rule); {} hot function(s) on the per-access call graph",
         report.files_scanned,
-        lint::LINTED_CRATES.join(","),
-        lint::LINTED_CACHE_FILES.len(),
-        lint::LAYERING_EXTRA_ROOTS.join(", ")
+        itpx_lint::LINTED_CRATES.join(","),
+        itpx_lint::LINTED_CACHE_FILES.len(),
+        itpx_lint::LAYERING_EXTRA_ROOTS.join(", "),
+        report.hot_fns,
     );
     for f in &report.findings {
         println!("  violation: {f}");
     }
-    for a in &report.unused_allowlist {
-        println!("  warning: unused allowlist entry `{a}`");
+    for a in &report.annotation_errors {
+        println!("  violation: {a}");
     }
-    if report.findings.is_empty() {
+    if let Some(path) = json_path {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("lint: wrote JSON report to {path}");
+    }
+    if report.is_clean() {
         println!("lint: ok");
     } else {
         println!(
-            "lint: {} violation(s) — fix them or add audited entries to \
-             crates/xtask/allowlist.txt",
-            report.findings.len()
+            "lint: {} violation(s) — fix them or annotate the line with \
+             `// itpx-allow: <rule> <reason>`",
+            report.findings.len() + report.annotation_errors.len()
         );
     }
-    Ok(report.findings.is_empty())
+    Ok(report.is_clean())
 }
 
 fn run_budget(root: &Path, write_report: bool) -> Result<bool, String> {
@@ -119,19 +128,34 @@ fn run_difftest(scale_arg: Option<&str>) -> Result<bool, String> {
     Ok(outcome.passed())
 }
 
-const USAGE: &str = "usage: cargo xtask [analyze|lint|budget|contracts|difftest [--smoke|--full]]";
+/// Extracts `--json <path>` from the argument tail, if present.
+fn json_arg(args: &[String]) -> Result<Option<&str>, String> {
+    match args.iter().position(|a| a == "--json") {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(path) => Ok(Some(path)),
+            None => Err("--json requires a path argument".to_string()),
+        },
+    }
+}
+
+const USAGE: &str =
+    "usage: cargo xtask [analyze|lint [--json <path>]|budget|contracts|difftest [--smoke|--full]]";
 
 fn main() -> ExitCode {
-    let cmd = std::env::args().nth(1).unwrap_or_else(|| "analyze".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(|s| s.as_str()).unwrap_or("analyze");
     let root = repo_root();
-    let outcome = match cmd.as_str() {
-        "analyze" => run_lint(&root)
-            .and_then(|a| Ok(a & run_budget(&root, true)?))
-            .and_then(|a| Ok(a & run_contracts()?)),
-        "lint" => run_lint(&root),
+    let outcome = match cmd {
+        "analyze" => json_arg(&args[1..]).and_then(|json| {
+            run_lint(&root, json)
+                .and_then(|a| Ok(a & run_budget(&root, true)?))
+                .and_then(|a| Ok(a & run_contracts()?))
+        }),
+        "lint" => json_arg(&args[1..]).and_then(|json| run_lint(&root, json)),
         "budget" => run_budget(&root, true),
         "contracts" => run_contracts(),
-        "difftest" => run_difftest(std::env::args().nth(2).as_deref()),
+        "difftest" => run_difftest(args.get(1).map(|s| s.as_str())),
         "help" | "-h" | "--help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
