@@ -1,0 +1,150 @@
+//! The dynamic half of the hot-path gate (see DESIGN.md, "Static
+//! analysis"): every registered replacement policy, driven through the
+//! enum engines inside the real `Cache`/`Tlb` structures, must make **zero
+//! heap allocations** once warm. The static analyzer proves "no allocation
+//! is *reachable* from the per-access roots" on the source tree; this test
+//! proves it on the machine code that actually ran — macros, std
+//! internals, and all. If either side regresses, the two reports disagree
+//! and point at each other.
+//!
+//! Everything runs in one `#[test]` because the counting allocator is
+//! process-global: a second test thread allocating concurrently would
+//! charge its allocations to whichever policy happens to be mid-drive.
+
+use itpx_core::registry::{cache_policies, tlb_policies, REGISTRY_SEED};
+use itpx_lint::alloc_witness::CountingAllocator;
+use itpx_mem::{Cache, CacheConfig, Probe};
+use itpx_types::{FillClass, PageSize, PhysAddr, Rng64, ThreadId, TranslationKind, VirtAddr};
+use itpx_vm::{Tlb, TlbConfig, TlbLookup};
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator::new();
+
+/// Accesses driven after warmup, per policy.
+const MEASURED: u64 = 100_000;
+/// Accesses driven before the counters are snapshotted. Long enough for
+/// every set to fill, every grow-once pool (MSHRs, FTQ-style rings) to
+/// reach its high-water mark, and first-touch state to populate.
+const WARMUP: u64 = 20_000;
+
+/// Geometry used for every policy: power-of-two ways so tree-PLRU's
+/// `pow2_ways_only` constraint is satisfied by the same drive.
+const SETS: usize = 64;
+const WAYS: usize = 8;
+/// Working set in blocks/pages: ~4x the structure capacity, so the drive
+/// mixes hits, misses, and evictions in steady state.
+const FOOTPRINT: u64 = (SETS * WAYS * 4) as u64;
+
+fn fill_class(r: &mut Rng64) -> FillClass {
+    match r.below(4) {
+        0 => FillClass::InstrPayload,
+        1 => FillClass::DataPayload,
+        2 => FillClass::InstrPte,
+        _ => FillClass::DataPte,
+    }
+}
+
+/// One deterministic cache access: probe, and on a miss fill after a fixed
+/// 20-cycle miss path. Returns the advanced clock.
+fn cache_access(cache: &mut Cache, r: &mut Rng64, now: u64) -> u64 {
+    let mut meta = itpx_policy::CacheMeta::demand(r.below(FOOTPRINT), fill_class(r));
+    meta.pc = r.below(1 << 20) << 2;
+    meta.stlb_miss = r.chance(0.1);
+    meta.thread = ThreadId((now & 1) as u8);
+    if let Probe::Miss(start) = cache.probe(&meta, now, true) {
+        cache.fill(&meta, start, start + 20, true);
+    }
+    now + 1
+}
+
+/// One deterministic TLB access: lookup, and on a miss install the page's
+/// identity translation after a fixed 30-cycle walk.
+fn tlb_access(tlb: &mut Tlb, r: &mut Rng64, now: u64) -> u64 {
+    let page = r.below(FOOTPRINT);
+    let va = VirtAddr(page << 12 | r.below(4096));
+    let kind = if r.chance(0.4) {
+        TranslationKind::Instruction
+    } else {
+        TranslationKind::Data
+    };
+    let pc = r.below(1 << 20) << 2;
+    let thread = ThreadId((now & 1) as u8);
+    if let TlbLookup::Miss = tlb.lookup(va, kind, pc, thread, now) {
+        let done = tlb.mshr_alloc(va, kind, now) + 30;
+        tlb.fill(
+            page,
+            PageSize::Base4K,
+            PhysAddr::new(page << 12),
+            kind,
+            pc,
+            thread,
+            done - now,
+            done,
+        );
+        tlb.mshr_complete(va, done);
+    }
+    now + 1
+}
+
+#[test]
+fn zero_steady_state_allocations_for_every_registered_policy() {
+    let mut failures = Vec::new();
+
+    for entry in cache_policies() {
+        let cfg = CacheConfig {
+            sets: SETS,
+            ways: WAYS,
+            latency: 1,
+            mshr_entries: 8,
+        };
+        let mut cache = Cache::new(cfg, (entry.build_engine)(SETS, WAYS));
+        let mut r = Rng64::new(REGISTRY_SEED ^ 0xcac4e);
+        let mut now = 0;
+        for _ in 0..WARMUP {
+            now = cache_access(&mut cache, &mut r, now);
+        }
+        let warm = ALLOCATOR.snapshot();
+        for _ in 0..MEASURED {
+            now = cache_access(&mut cache, &mut r, now);
+        }
+        let events = warm.events_until(ALLOCATOR.snapshot());
+        if events != 0 {
+            failures.push(format!(
+                "cache policy `{}`: {events} allocation event(s) across {MEASURED} warm accesses",
+                entry.name
+            ));
+        }
+    }
+
+    for entry in tlb_policies() {
+        let cfg = TlbConfig {
+            sets: SETS,
+            ways: WAYS,
+            latency: 1,
+            mshr_entries: 8,
+        };
+        let mut tlb = Tlb::new(cfg, (entry.build_engine)(SETS, WAYS));
+        let mut r = Rng64::new(REGISTRY_SEED ^ 0x71b);
+        let mut now = 0;
+        for _ in 0..WARMUP {
+            now = tlb_access(&mut tlb, &mut r, now);
+        }
+        let warm = ALLOCATOR.snapshot();
+        for _ in 0..MEASURED {
+            now = tlb_access(&mut tlb, &mut r, now);
+        }
+        let events = warm.events_until(ALLOCATOR.snapshot());
+        if events != 0 {
+            failures.push(format!(
+                "TLB policy `{}`: {events} allocation event(s) across {MEASURED} warm accesses",
+                entry.name
+            ));
+        }
+    }
+
+    assert!(
+        failures.is_empty(),
+        "steady-state allocations detected:\n  {}",
+        failures.join("\n  ")
+    );
+}

@@ -1,0 +1,5 @@
+//! TN: going through the hierarchy's method API is the sanctioned route.
+
+pub fn drive(hierarchy: &mut itpx_mem::Hierarchy, now: u64) -> u64 {
+    hierarchy.l2(now)
+}

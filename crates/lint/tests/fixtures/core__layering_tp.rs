@@ -1,0 +1,5 @@
+//! TP: reaching into the hierarchy's levels from outside `itpx-mem`.
+
+pub fn peek(hierarchy: &itpx_mem::Hierarchy) -> u64 {
+    hierarchy.l2.stats.demand_misses
+}

@@ -1,0 +1,13 @@
+//! TP: typed per-access root — `Cache::probe` seeds the hot set directly,
+//! without any `impl Policy` in sight.
+
+pub struct Cache {
+    log: Vec<u64>,
+}
+
+impl Cache {
+    pub fn probe(&mut self, block: u64) -> bool {
+        self.log.push(block);
+        false
+    }
+}

@@ -1,0 +1,6 @@
+//! TN: the dispatch rule is scoped to the mem/vm/cpu hot-path crates;
+//! `itpx-types` may hold boxed policies (e.g. registry builders).
+
+pub struct Holder {
+    policy: Box<dyn Policy<CacheMeta>>,
+}

@@ -1,0 +1,8 @@
+//! Malformed annotations: an unknown rule name and a missing reason are
+//! both hard failures.
+
+pub fn quiet() -> u64 {
+    // itpx-allow: no-such-rule this rule does not exist
+    // itpx-allow: hot-alloc
+    7
+}

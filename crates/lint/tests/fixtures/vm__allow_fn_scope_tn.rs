@@ -1,0 +1,18 @@
+//! TN: an annotation targeting the `fn` line covers the whole body —
+//! both float sites below ride on the one justification.
+
+pub struct Fuzzy {
+    score: f64,
+}
+
+impl Policy<CacheMeta> for Fuzzy {
+    // itpx-allow: hot-float fixture-wide justification for the whole body
+    fn victim(&mut self, set: usize, incoming: &CacheMeta) -> usize {
+        let bias = 0.125;
+        if self.score > bias {
+            0
+        } else {
+            1
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! TN: an `itpx-allow` annotation suppresses its finding and, because it
+//! is used, is not reported stale.
+
+pub struct Log {
+    events: Vec<u64>,
+}
+
+impl Policy<CacheMeta> for Log {
+    fn on_fill(&mut self, set: usize, way: usize, meta: &CacheMeta) {
+        // itpx-allow: hot-alloc bounded by construction in this fixture
+        self.events.push(way as u64);
+    }
+}

@@ -1,0 +1,6 @@
+//! A stale annotation suppresses nothing and is itself a hard failure.
+
+pub fn quiet() -> u64 {
+    // itpx-allow: hot-alloc nothing here allocates
+    7
+}

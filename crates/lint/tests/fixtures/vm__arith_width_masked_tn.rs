@@ -1,0 +1,17 @@
+//! TN: the four sanctioned shapes — mask-then-cast, cast-then-mask,
+//! constant shift amount, and a cast the type environment proves widening.
+
+const TAG_MASK: u64 = 0xffff;
+const BLOCK_SHIFT: u32 = 6;
+
+pub struct Pack;
+
+impl Policy<CacheMeta> for Pack {
+    fn on_hit(&mut self, set: usize, way: usize, meta: &CacheMeta) {
+        let a = (meta.block & TAG_MASK) as u16;
+        let b = (meta.block as u16) & 0x3fff;
+        let c = meta.block << BLOCK_SHIFT;
+        let d = way as u64;
+        let _ = (a, b, c, d);
+    }
+}

@@ -1,0 +1,11 @@
+//! TP: truncating cast and variable-amount shift in hot code.
+
+pub struct Pack;
+
+impl Policy<CacheMeta> for Pack {
+    fn on_hit(&mut self, set: usize, way: usize, meta: &CacheMeta) {
+        let tag = meta.block as u16;
+        let scaled = meta.block << way;
+        let _ = (tag, scaled);
+    }
+}

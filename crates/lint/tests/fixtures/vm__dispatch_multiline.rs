@@ -1,0 +1,8 @@
+//! TP (historical regex FN): the boxed-dyn pattern split across lines
+//! still fires — the retired regex engine matched line-by-line.
+
+pub struct Holder {
+    policy: Box<
+        dyn Policy<CacheMeta>,
+    >,
+}

@@ -1,0 +1,6 @@
+//! TP: boxed trait-object policy dispatch in a hot-path crate — the
+//! static-dispatch engines exist precisely to avoid this.
+
+pub struct Holder {
+    policy: Box<dyn Policy<CacheMeta>>,
+}

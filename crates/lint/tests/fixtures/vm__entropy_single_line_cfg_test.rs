@@ -1,0 +1,9 @@
+//! TN (historical regex FP): a single-line `#[cfg(test)]` module is still
+//! test scope — the retired regex engine only recognized the multi-line
+//! form and flagged this.
+
+pub fn simulated() -> u64 {
+    7
+}
+
+#[cfg(test)] mod tests { pub fn t() -> std::hash::RandomState { std::hash::RandomState::new() } }

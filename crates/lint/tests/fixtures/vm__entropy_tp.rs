@@ -1,0 +1,7 @@
+//! TP: ambient entropy (per-process hasher seeds) breaks replayability.
+
+pub fn seed() -> u64 {
+    let s = std::hash::RandomState::new();
+    let _ = s;
+    0
+}

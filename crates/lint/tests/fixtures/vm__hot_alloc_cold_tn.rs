@@ -1,0 +1,11 @@
+//! TN: the same allocation in a function no per-access root reaches.
+
+pub struct Log {
+    events: Vec<u64>,
+}
+
+impl Log {
+    pub fn note(&mut self, way: u64) {
+        self.events.push(way);
+    }
+}

@@ -1,0 +1,11 @@
+//! TP: allocation reachable from a per-access policy root.
+
+pub struct Log {
+    events: Vec<u64>,
+}
+
+impl Policy<CacheMeta> for Log {
+    fn on_fill(&mut self, set: usize, way: usize, meta: &CacheMeta) {
+        self.events.push(way as u64);
+    }
+}

@@ -1,0 +1,22 @@
+//! TP: allocation two calls deep from a per-access root — the call-graph
+//! walk, not line-local matching, finds it.
+
+pub struct Deep {
+    scratch: Vec<u64>,
+}
+
+impl Deep {
+    fn remember(&mut self, x: u64) {
+        self.scratch.push(x);
+    }
+
+    fn relay(&mut self, x: u64) {
+        self.remember(x);
+    }
+}
+
+impl Policy<CacheMeta> for Deep {
+    fn on_evict(&mut self, set: usize, way: usize) {
+        self.relay(way as u64);
+    }
+}

@@ -1,0 +1,16 @@
+//! TP: float arithmetic in a policy decision — not bit-stable across
+//! targets in general, and banned from the simulated machine.
+
+pub struct Fuzzy {
+    score: f64,
+}
+
+impl Policy<CacheMeta> for Fuzzy {
+    fn victim(&mut self, set: usize, incoming: &CacheMeta) -> usize {
+        if self.score > 0.5 {
+            0
+        } else {
+            1
+        }
+    }
+}

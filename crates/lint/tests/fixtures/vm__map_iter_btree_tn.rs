@@ -1,0 +1,13 @@
+//! TN: ordered maps iterate deterministically.
+
+use std::collections::BTreeMap;
+
+pub struct Table {
+    map: BTreeMap<u64, u64>,
+}
+
+impl Table {
+    pub fn sum(&self) -> u64 {
+        self.map.values().copied().sum()
+    }
+}

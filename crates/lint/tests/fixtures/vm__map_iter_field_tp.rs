@@ -1,0 +1,18 @@
+//! TP: iterating a `HashMap` field on a simulation path — order varies
+//! per process.
+
+use std::collections::HashMap;
+
+pub struct Table {
+    map: HashMap<u64, u64>,
+}
+
+impl Table {
+    pub fn sum(&self) -> u64 {
+        let mut acc = 0;
+        for (_k, v) in self.map.iter() {
+            acc += v;
+        }
+        acc
+    }
+}

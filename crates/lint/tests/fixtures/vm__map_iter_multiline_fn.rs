@@ -1,0 +1,16 @@
+//! TP (historical regex FN): the iteration call split across lines still
+//! fires — the retired regex engine matched line-by-line and missed it.
+
+use std::collections::HashMap;
+
+pub struct Table {
+    map: HashMap<u64, u64>,
+}
+
+impl Table {
+    pub fn keys_sum(&self) -> u64 {
+        self.map
+            .keys()
+            .sum()
+    }
+}

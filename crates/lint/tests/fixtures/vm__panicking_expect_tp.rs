@@ -1,0 +1,8 @@
+//! TP: `expect` without justification is still a panic site;
+//! `unwrap_or` is not.
+
+pub fn head(v: &[u64]) -> u64 {
+    let fallback = v.iter().copied().next().unwrap_or(0);
+    let _ = fallback;
+    *v.first().expect("fixture")
+}

@@ -1,0 +1,5 @@
+//! TP: computed index without a bounds justification.
+
+pub fn pick(v: &[u64], i: usize) -> u64 {
+    v[i + 1]
+}

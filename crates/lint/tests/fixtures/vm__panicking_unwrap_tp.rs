@@ -1,0 +1,5 @@
+//! TP: unjustified unwrap on a simulation path.
+
+pub fn head(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}

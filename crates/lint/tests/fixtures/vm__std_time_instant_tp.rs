@@ -1,0 +1,7 @@
+//! TP: wall-clock time on a simulation path breaks determinism.
+
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = t;
+    0
+}

@@ -1,0 +1,6 @@
+//! TN (historical regex FP): the token scan must not fire on string
+//! literal contents — the retired regex engine flagged this line.
+
+pub fn describe() -> &'static str {
+    "uses std::time::SystemTime for wall-clock stamps"
+}
