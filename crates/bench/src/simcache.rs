@@ -479,7 +479,7 @@ mod tests {
             );
         }
         // A flipped checksum (with an intact payload) is rejected too.
-        let mut bad = good.clone();
+        let mut bad = good;
         bad[20] ^= 0x01;
         std::fs::write(&path, &bad).expect("corrupt checksum");
         assert!(read_entry(&path, 7).is_none());

@@ -148,7 +148,7 @@ mod tests {
     fn trace_loop_wraps_with_consistent_pc_chain() {
         let spec = WorkloadSpec::server_like(2);
         let insts: Vec<TraceInst> = TraceGenerator::new(&spec).take(500).collect();
-        let mut replay = TraceLoop::new(insts.clone());
+        let mut replay = TraceLoop::new(insts);
         let mut prev: Option<TraceInst> = None;
         for _ in 0..1500 {
             let i = replay.next_inst();
