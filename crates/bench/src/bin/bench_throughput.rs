@@ -1,0 +1,176 @@
+//! Measures end-to-end simulated-instruction throughput and folds a
+//! `throughput` section into `BENCH_campaign.json`.
+//!
+//! A fixed workload matrix (three presets × two trace profiles, fixed
+//! instruction counts) is driven through the full [`Simulation`] pipeline
+//! — trace generation, TLBs, page walks, PSCs, cache chain, policies —
+//! and the wall-clock time yields simulated instructions per second
+//! (sim-IPS). CI runs this as the data-layout regression gate: the result
+//! is compared against the committed `BENCH_throughput_baseline.json`
+//! and the binary exits non-zero if throughput drops below the noise
+//! margin.
+//!
+//! ```sh
+//! cargo run -p itpx-bench --release --bin bench_throughput
+//! ITPX_BLESS_THROUGHPUT=1 cargo run -p itpx-bench --release --bin bench_throughput
+//! ```
+//!
+//! The margin is deliberately generous (default: fail below 50% of the
+//! baseline) because CI runners vary; the gate exists to catch layout
+//! regressions that halve throughput (e.g. reintroducing pointer-chasing
+//! nested-`Vec` metadata), not 5% noise.
+
+use itpx_core::Preset;
+use itpx_cpu::{Simulation, SystemConfig};
+use itpx_trace::WorkloadSpec;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Measured instructions per run; fixed so results are comparable.
+const INSTRUCTIONS: u64 = 120_000;
+/// Warmup instructions per run (simulated work too, so counted).
+const WARMUP: u64 = 30_000;
+
+/// Fraction of the baseline sim-IPS that must be reached, unless
+/// overridden via `ITPX_THROUGHPUT_MARGIN` (e.g. `0.5` = half).
+const DEFAULT_MARGIN: f64 = 0.5;
+
+const BASELINE_PATH: &str = "BENCH_throughput_baseline.json";
+const CAMPAIGN_PATH: &str = "BENCH_campaign.json";
+
+struct RunResult {
+    preset: &'static str,
+    workload: &'static str,
+    ms: f64,
+    mips: f64,
+}
+
+fn main() {
+    let cfg = SystemConfig::asplos25();
+    let presets = [Preset::Lru, Preset::Itp, Preset::ItpXptp];
+    let workloads = [
+        ("server", WorkloadSpec::server_like(11)),
+        ("spec", WorkloadSpec::spec_like(12)),
+    ];
+
+    let mut runs = Vec::new();
+    let total_start = Instant::now();
+    for preset in presets {
+        for (wname, base) in &workloads {
+            let w = base.clone().instructions(INSTRUCTIONS).warmup(WARMUP);
+            let t0 = Instant::now();
+            let out = Simulation::single_thread(&cfg, preset, &w).run();
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let simulated = out.instructions() + WARMUP;
+            runs.push(RunResult {
+                preset: preset.name(),
+                workload: wname,
+                ms,
+                mips: simulated as f64 / ms / 1e3,
+            });
+            println!(
+                "  {:<16} {:<7} {:>8.1} ms  {:>6.2} sim-MIPS",
+                preset.name(),
+                wname,
+                ms,
+                simulated as f64 / ms / 1e3
+            );
+        }
+    }
+    let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
+    let total_insts = (INSTRUCTIONS + WARMUP) * (presets.len() * workloads.len()) as u64;
+    let sim_ips = total_insts as f64 / (total_ms / 1e3);
+    println!(
+        "total: {total_insts} simulated instructions in {total_ms:.0} ms = {:.0} sim-IPS",
+        sim_ips
+    );
+
+    if std::env::var_os("ITPX_BLESS_THROUGHPUT").is_some() {
+        let body = format!("{{\"sim_ips\": {sim_ips:.0}}}\n");
+        std::fs::write(BASELINE_PATH, body).expect("write baseline");
+        println!("blessed {BASELINE_PATH} at {sim_ips:.0} sim-IPS");
+    }
+
+    let margin = std::env::var("ITPX_THROUGHPUT_MARGIN")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|m| (0.0..=1.0).contains(m))
+        .unwrap_or(DEFAULT_MARGIN);
+    let baseline = read_baseline(BASELINE_PATH);
+    let (ratio, pass) = match baseline {
+        Some(base) if base > 0.0 => {
+            let ratio = sim_ips / base;
+            (ratio, ratio >= margin)
+        }
+        _ => (1.0, true),
+    };
+
+    let mut section = String::new();
+    let _ = write!(
+        section,
+        "{{\"instructions\": {INSTRUCTIONS}, \"warmup\": {WARMUP}, \"runs\": ["
+    );
+    for (i, r) in runs.iter().enumerate() {
+        let _ = write!(
+            section,
+            "{}{{\"preset\": \"{}\", \"workload\": \"{}\", \"ms\": {:.3}, \"sim_mips\": {:.3}}}",
+            if i == 0 { "" } else { ", " },
+            r.preset,
+            r.workload,
+            r.ms,
+            r.mips
+        );
+    }
+    let _ = write!(
+        section,
+        "], \"total_ms\": {total_ms:.3}, \"sim_ips\": {sim_ips:.0}, \"baseline_sim_ips\": {}, \"margin\": {margin}, \"ratio\": {ratio:.3}, \"pass\": {pass}}}",
+        baseline.map_or("null".to_string(), |b| format!("{b:.0}")),
+    );
+
+    let existing = std::fs::read_to_string(CAMPAIGN_PATH).unwrap_or_else(|_| "{\n}\n".to_string());
+    std::fs::write(CAMPAIGN_PATH, merge_throughput(&existing, &section))
+        .expect("write BENCH_campaign.json");
+    println!("wrote throughput section into {CAMPAIGN_PATH}");
+
+    if !pass {
+        let base = baseline.unwrap_or(0.0);
+        eprintln!(
+            "FAIL: {sim_ips:.0} sim-IPS is below {:.0} ({} x the committed baseline of {base:.0})",
+            base * margin,
+            margin
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Extracts `sim_ips` from the hand-rolled baseline JSON.
+fn read_baseline(path: &str) -> Option<f64> {
+    let raw = std::fs::read_to_string(path).ok()?;
+    let idx = raw.find("\"sim_ips\"")?;
+    let rest = raw[idx..].split_once(':')?.1;
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// Replaces or appends the top-level `"throughput"` key of the campaign
+/// JSON object, keeping it the last key so repeated runs are idempotent.
+fn merge_throughput(existing: &str, section: &str) -> String {
+    let head = match existing.find(",\n  \"throughput\":") {
+        Some(i) => existing[..i].to_string(),
+        None => {
+            let trimmed = existing.trim_end();
+            let body = trimmed.strip_suffix('}').unwrap_or(trimmed).trim_end();
+            body.to_string()
+        }
+    };
+    if head.trim_end().ends_with('{') {
+        // Degenerate case: no campaign section yet (empty object).
+        format!("{{\n  \"throughput\": {section}\n}}\n")
+    } else {
+        format!("{head},\n  \"throughput\": {section}\n}}\n")
+    }
+}

@@ -6,10 +6,15 @@
 //! the summed weights, and training adjusts all contributing weights on a
 //! misprediction or a low-confidence correct prediction.
 
+use itpx_types::SetGrid;
+
 /// Hashed-perceptron predictor.
+///
+/// The weight tables live in one flat [`SetGrid`] (one row per table), so
+/// each of the four per-prediction table reads is a single indexed load.
 #[derive(Debug, Clone)]
 pub struct HashedPerceptron {
-    tables: Vec<Vec<i8>>,
+    tables: SetGrid<i8>,
     history: u64,
     threshold: i32,
     predictions: u64,
@@ -23,7 +28,7 @@ impl HashedPerceptron {
     /// Creates a predictor with default geometry (4 × 4096 weights).
     pub fn new() -> Self {
         Self {
-            tables: vec![vec![0i8; 1 << TABLE_BITS]; NUM_TABLES],
+            tables: SetGrid::new(NUM_TABLES, 1 << TABLE_BITS, 0i8),
             history: 0,
             threshold: 6,
             predictions: 0,
@@ -46,7 +51,7 @@ impl HashedPerceptron {
     fn sum(&self, pc: u64) -> i32 {
         (0..NUM_TABLES)
             // index() masks into each table's power-of-two length
-            .map(|t| self.tables[t][self.index(t, pc)] as i32)
+            .map(|t| i32::from(self.tables.row(t)[self.index(t, pc)]))
             .sum()
     }
 
@@ -68,7 +73,7 @@ impl HashedPerceptron {
         if !correct || sum.abs() <= self.threshold {
             for t in 0..NUM_TABLES {
                 let i = self.index(t, pc);
-                let w = &mut self.tables[t][i];
+                let w = &mut self.tables.row_mut(t)[i];
                 *w = if taken {
                     w.saturating_add(1)
                 } else {

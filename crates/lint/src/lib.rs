@@ -8,7 +8,7 @@
 //!
 //! * the six determinism rules ported from the retired regex scanner
 //!   (`std-time`, `entropy`, `map-iter`, `panicking-index`, `layering`,
-//!   `dispatch`) — see [`rules`];
+//!   `dispatch`) plus the `nested-vec` data-layout rule — see [`rules`];
 //! * the three hot-path rules over the call graph rooted at the
 //!   per-access entry points (`hot-alloc`, `hot-float`, `arith-width`) —
 //!   see [`hot`];
@@ -59,6 +59,7 @@ pub const ALL_RULES: &[&str] = &[
     "panicking-index",
     "layering",
     "dispatch",
+    "nested-vec",
     "hot-alloc",
     "hot-float",
     "arith-width",
@@ -249,6 +250,12 @@ fn analyze(inputs: &[(String, String, Scope)]) -> Result<Report, String> {
                     .any(|c| ast.path.contains(c))
                 {
                     raw.extend(rules::scan_dispatch(&ts));
+                }
+                if ["crates/mem/", "crates/vm/", "crates/cpu/", "crates/policy/"]
+                    .iter()
+                    .any(|c| ast.path.contains(c))
+                {
+                    raw.extend(rules::scan_nested_vec(&ts));
                 }
                 raw.extend(rules::scan_map_iter(ast));
                 for f in ast.fns.iter().filter(|f| !f.is_test) {

@@ -1,5 +1,5 @@
 //! The six determinism rules, ported from the regex scanner onto the
-//! syntax model.
+//! syntax model, plus the `nested-vec` data-layout rule.
 //!
 //! Working over tokens instead of line text removes the regex engine's
 //! known failure modes:
@@ -164,6 +164,28 @@ pub fn scan_dispatch(ts: &[&Token]) -> Vec<RawFinding> {
                 "dispatch",
                 ts[i],
                 "boxed trait object on a hot-path crate; use the policy engine enums",
+            ));
+        }
+    }
+    out
+}
+
+/// `nested-vec`: `Vec<Vec<…>>` in the hot-path crates. Nested vectors
+/// scatter per-set rows across the heap (one pointer chase and one
+/// allocation per row); set-indexed state uses the flat
+/// `itpx_types::SetGrid` layout instead.
+pub fn scan_nested_vec(ts: &[&Token]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for i in 0..ts.len() {
+        if ident_at(ts, i) == Some("Vec")
+            && punct_at(ts, i + 1, "<")
+            && ident_at(ts, i + 2) == Some("Vec")
+            && punct_at(ts, i + 3, "<")
+        {
+            out.push(RawFinding::at(
+                "nested-vec",
+                ts[i],
+                "nested Vec scatters rows across the heap; use itpx_types::SetGrid",
             ));
         }
     }
@@ -404,6 +426,7 @@ mod tests {
         out.extend(scan_entropy(&ts));
         out.extend(scan_layering(&ts));
         out.extend(scan_dispatch(&ts));
+        out.extend(scan_nested_vec(&ts));
         out.extend(scan_map_iter(&ast));
         for f in ast.fns.iter().filter(|f| !f.is_test) {
             for c in scan_panicking(f) {
@@ -464,6 +487,26 @@ mod tests {
         // defeated the substring match.
         let src = "fn f() { let p: Box<dyn\n    Policy<CacheMeta>> = mk(); }";
         assert_eq!(file_rules(src), ["dispatch"]);
+    }
+
+    #[test]
+    fn nested_vec_is_flagged() {
+        assert_eq!(
+            file_rules("struct S { rows: Vec<Vec<u8>> }"),
+            ["nested-vec"]
+        );
+        // Matches across line breaks and spacing, like every token rule.
+        assert_eq!(
+            file_rules("fn f() { let x: Vec<\n    Vec<bool>> = Vec::new(); }"),
+            ["nested-vec"]
+        );
+    }
+
+    #[test]
+    fn flat_vec_and_nested_mentions_in_strings_are_clean() {
+        assert!(file_rules("struct S { rows: Vec<u8> }").is_empty());
+        assert!(file_rules("fn f() { let m = \"was Vec<Vec<u8>> once\"; }").is_empty());
+        assert!(file_rules("fn f(g: &SetGrid<u8>) -> &[u8] { g.row(0) }").is_empty());
     }
 
     #[test]

@@ -12,10 +12,11 @@
 //! charge its allocations to whichever policy happens to be mid-drive.
 
 use itpx_core::registry::{cache_policies, tlb_policies, REGISTRY_SEED};
+use itpx_cpu::HashedPerceptron;
 use itpx_lint::alloc_witness::CountingAllocator;
 use itpx_mem::{Cache, CacheConfig, Probe};
 use itpx_types::{FillClass, PageSize, PhysAddr, Rng64, ThreadId, TranslationKind, VirtAddr};
-use itpx_vm::{Tlb, TlbConfig, TlbLookup};
+use itpx_vm::{SplitPscs, Tlb, TlbConfig, TlbLookup};
 
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator::new();
@@ -138,6 +139,59 @@ fn zero_steady_state_allocations_for_every_registered_policy() {
             failures.push(format!(
                 "TLB policy `{}`: {events} allocation event(s) across {MEASURED} warm accesses",
                 entry.name
+            ));
+        }
+    }
+
+    // The flat-grid structures outside the policy engines: the split PSC
+    // hierarchy (SetGrid tag arrays + LRU) and the hashed-perceptron
+    // branch predictor (one SetGrid of weights). Both sit on the
+    // per-access path and must be allocation-free after construction.
+    {
+        let mut pscs = SplitPscs::asplos25();
+        let mut r = Rng64::new(REGISTRY_SEED ^ 0x95c);
+        let drive = |pscs: &mut SplitPscs, r: &mut Rng64| {
+            let vpn4k = r.below(FOOTPRINT << 9);
+            let start = pscs.start_level(vpn4k);
+            if start == 5 {
+                pscs.fill(vpn4k, 1);
+            }
+        };
+        for _ in 0..WARMUP {
+            drive(&mut pscs, &mut r);
+        }
+        let warm = ALLOCATOR.snapshot();
+        for _ in 0..MEASURED {
+            drive(&mut pscs, &mut r);
+        }
+        let events = warm.events_until(ALLOCATOR.snapshot());
+        if events != 0 {
+            failures.push(format!(
+                "split PSCs: {events} allocation event(s) across {MEASURED} warm walks"
+            ));
+        }
+    }
+
+    {
+        let mut bp = HashedPerceptron::new();
+        let mut r = Rng64::new(REGISTRY_SEED ^ 0xb9a);
+        let drive = |bp: &mut HashedPerceptron, r: &mut Rng64| {
+            let pc = r.below(1 << 16) << 2;
+            let taken = r.chance(0.6);
+            let _ = bp.predict(pc);
+            bp.update(pc, taken);
+        };
+        for _ in 0..WARMUP {
+            drive(&mut bp, &mut r);
+        }
+        let warm = ALLOCATOR.snapshot();
+        for _ in 0..MEASURED {
+            drive(&mut bp, &mut r);
+        }
+        let events = warm.events_until(ALLOCATOR.snapshot());
+        if events != 0 {
+            failures.push(format!(
+                "hashed perceptron: {events} allocation event(s) across {MEASURED} warm predictions"
             ));
         }
     }

@@ -1,0 +1,13 @@
+//! TN: test-gated code may build nested-Vec reference models; the rule
+//! only scans non-test tokens.
+
+pub struct Flat {
+    rows: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    fn model(sets: usize, width: usize) -> Vec<Vec<u8>> {
+        vec![vec![0; width]; sets]
+    }
+}

@@ -1,0 +1,6 @@
+//! TP: nested-Vec policy metadata in a hot-path crate — per-set rows
+//! scatter across the heap; `itpx_types::SetGrid` is the flat layout.
+
+pub struct Rrpv {
+    rows: Vec<Vec<u8>>,
+}

@@ -1,0 +1,7 @@
+//! TN: the nested-vec rule is scoped to the mem/vm/cpu/policy hot-path
+//! crates; `itpx-trace` models the workload, not the machine, and may
+//! keep nested recording structures.
+
+pub struct Recording {
+    per_phase: Vec<Vec<u64>>,
+}

@@ -3,7 +3,7 @@
 
 use itpx_policy::{CacheMeta, CachePolicyEngine, Policy};
 use itpx_types::fingerprint::{Fingerprint, Fnv1a};
-use itpx_types::{Cycle, FillClass, SlotPool, StructStats};
+use itpx_types::{Cycle, FillClass, SetMask, SlotPool, StructStats};
 
 /// Geometry and timing of a cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,8 +89,8 @@ pub struct Writeback {
 /// Tag storage is a single flat slice indexed by `set * ways + way`, with
 /// per-set validity bitmasks — the probe/fill loops below are the
 /// simulator's most-executed code, and the flat layout removes the
-/// per-access double indirection (and per-way `Option` discriminant) of a
-/// nested `Vec<Vec<Option<Line>>>`.
+/// per-access double indirection (and per-way `Option` discriminant) of
+/// nested per-set vectors of `Option<Line>`.
 #[derive(Debug)]
 pub struct Cache {
     cfg: CacheConfig,
@@ -101,6 +101,9 @@ pub struct Cache {
     valid: Box<[u64]>,
     /// `ways` low bits set: the mask of a fully occupied set.
     full_mask: u64,
+    /// Power-of-two set selection, precomputed from the validated
+    /// geometry: one AND per access instead of a `%` division.
+    set_mask: SetMask,
     /// Enum-dispatched so the per-access `on_hit`/`victim`/`on_fill`
     /// calls inline instead of going through a vtable.
     policy: CachePolicyEngine,
@@ -137,6 +140,8 @@ impl Cache {
             lines: vec![placeholder; cfg.sets * cfg.ways].into_boxed_slice(),
             valid: vec![0; cfg.sets].into_boxed_slice(),
             full_mask: u64::MAX >> (64 - cfg.ways as u32),
+            // validate() enforced power-of-two sets just above.
+            set_mask: SetMask::new(cfg.sets),
             policy,
             stats: StructStats::new(),
             inflight: SlotPool::with_capacity(cfg.mshr_entries),
@@ -189,7 +194,7 @@ impl Cache {
     }
 
     fn set_of(&self, block: u64) -> usize {
-        (block as usize) % self.cfg.sets
+        self.set_mask.set_of(block)
     }
 
     /// The flat-slice index of `(set, way)`.

@@ -19,6 +19,7 @@
 
 use crate::xptp::{Xptp, XptpParams};
 use crate::{CacheMeta, Policy, RecencyStack};
+use itpx_types::SetGrid;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -138,7 +139,7 @@ pub struct AdaptiveXptp {
     params: XptpParams,
     switch: XptpSwitch,
     stack: RecencyStack,
-    is_data_pte: Vec<Vec<bool>>,
+    is_data_pte: SetGrid<bool>,
 }
 
 impl AdaptiveXptp {
@@ -157,7 +158,7 @@ impl AdaptiveXptp {
             params,
             switch,
             stack: RecencyStack::new(sets, ways),
-            is_data_pte: vec![vec![false; ways]; sets],
+            is_data_pte: SetGrid::new(sets, ways, false),
         }
     }
 
@@ -169,20 +170,20 @@ impl AdaptiveXptp {
 
 impl Policy<CacheMeta> for AdaptiveXptp {
     fn on_fill(&mut self, set: usize, way: usize, meta: &CacheMeta) {
-        self.is_data_pte[set][way] = meta.fill.is_data_pte();
+        self.is_data_pte.row_mut(set)[way] = meta.fill.is_data_pte();
         self.stack.touch(set, way);
     }
 
     fn on_hit(&mut self, set: usize, way: usize, meta: &CacheMeta) {
         if meta.fill.is_data_pte() {
-            self.is_data_pte[set][way] = true;
+            self.is_data_pte.row_mut(set)[way] = true;
         }
         self.stack.touch(set, way);
     }
 
     fn victim(&mut self, set: usize, _incoming: &CacheMeta) -> usize {
         if self.switch.is_enabled() {
-            Xptp::select_victim(&self.stack, &self.is_data_pte[set], set, self.params.k)
+            Xptp::select_victim(&self.stack, self.is_data_pte.row(set), set, self.params.k)
         } else {
             self.stack.lru(set)
         }

@@ -13,6 +13,7 @@
 use crate::meta::TlbMeta;
 use crate::recency::RecencyStack;
 use crate::traits::Policy;
+use itpx_types::SetGrid;
 
 const TABLE_BITS: u32 = 12;
 const CONF_MAX: u8 = 7;
@@ -24,8 +25,8 @@ pub struct Chirp {
     stack: RecencyStack,
     conf: Vec<u8>,
     // Per-entry training state.
-    signature: Vec<Vec<u16>>,
-    reused: Vec<Vec<bool>>,
+    signature: SetGrid<u16>,
+    reused: SetGrid<bool>,
     // Folded history of recent instruction-translation PCs.
     history: u64,
 }
@@ -36,8 +37,8 @@ impl Chirp {
         Self {
             stack: RecencyStack::new(sets, ways),
             conf: vec![CONF_THRESHOLD; 1 << TABLE_BITS],
-            signature: vec![vec![0; ways]; sets],
-            reused: vec![vec![false; ways]; sets],
+            signature: SetGrid::new(sets, ways, 0),
+            reused: SetGrid::new(sets, ways, false),
             history: 0,
         }
     }
@@ -66,8 +67,8 @@ impl Policy<TlbMeta> for Chirp {
     fn on_fill(&mut self, set: usize, way: usize, meta: &TlbMeta) {
         self.update_history(meta);
         let sig = self.sig(meta);
-        self.signature[set][way] = sig;
-        self.reused[set][way] = false;
+        self.signature.row_mut(set)[way] = sig;
+        self.reused.row_mut(set)[way] = false;
         if self.conf[sig as usize] >= CONF_THRESHOLD {
             // Predicted to be reused soon: insert at MRU.
             self.stack.touch(set, way);
@@ -80,9 +81,9 @@ impl Policy<TlbMeta> for Chirp {
     fn on_hit(&mut self, set: usize, way: usize, meta: &TlbMeta) {
         self.update_history(meta);
         self.stack.touch(set, way);
-        if !self.reused[set][way] {
-            self.reused[set][way] = true;
-            let s = self.signature[set][way] as usize;
+        if !self.reused.row(set)[way] {
+            self.reused.row_mut(set)[way] = true;
+            let s = self.signature.row(set)[way] as usize;
             self.conf[s] = (self.conf[s] + 1).min(CONF_MAX);
         }
     }
@@ -92,8 +93,8 @@ impl Policy<TlbMeta> for Chirp {
     }
 
     fn on_evict(&mut self, set: usize, way: usize) {
-        if !self.reused[set][way] {
-            let s = self.signature[set][way] as usize;
+        if !self.reused.row(set)[way] {
+            let s = self.signature.row(set)[way] as usize;
             self.conf[s] = self.conf[s].saturating_sub(1);
         }
     }
@@ -162,7 +163,7 @@ mod tests {
         let mut p = Chirp::new(1, 2);
         let m = meta(3, 0x2000);
         p.on_fill(0, 0, &m);
-        let sig = p.signature[0][0] as usize;
+        let sig = p.signature.row(0)[0] as usize;
         let before = p.conf[sig];
         p.on_hit(0, 0, &m);
         p.on_hit(0, 0, &m);

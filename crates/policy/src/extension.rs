@@ -16,7 +16,7 @@
 
 use crate::xptp::XptpParams;
 use crate::{CacheMeta, Policy, RecencyStack};
-use itpx_types::FillClass;
+use itpx_types::{FillClass, SetGrid};
 
 /// xPTP + Emissary-style code preservation at the L2C.
 #[derive(Debug, Clone)]
@@ -24,9 +24,9 @@ pub struct XptpEmissary {
     params: XptpParams,
     stack: RecencyStack,
     /// xPTP's `Type` bit: block holds a data PTE.
-    is_data_pte: Vec<Vec<bool>>,
+    is_data_pte: SetGrid<bool>,
     /// Emissary-style criticality: block holds instruction payload.
-    is_code: Vec<Vec<bool>>,
+    is_code: SetGrid<bool>,
     /// Max code blocks protected per set.
     code_quota: usize,
 }
@@ -47,8 +47,8 @@ impl XptpEmissary {
         Self {
             params,
             stack: RecencyStack::new(sets, ways),
-            is_data_pte: vec![vec![false; ways]; sets],
-            is_code: vec![vec![false; ways]; sets],
+            is_data_pte: SetGrid::new(sets, ways, false),
+            is_code: SetGrid::new(sets, ways, false),
             code_quota: (ways / 4).max(1),
         }
     }
@@ -61,17 +61,17 @@ impl XptpEmissary {
 
 impl Policy<CacheMeta> for XptpEmissary {
     fn on_fill(&mut self, set: usize, way: usize, meta: &CacheMeta) {
-        self.is_data_pte[set][way] = meta.fill.is_data_pte();
-        self.is_code[set][way] = meta.fill == FillClass::InstrPayload;
+        self.is_data_pte.row_mut(set)[way] = meta.fill.is_data_pte();
+        self.is_code.row_mut(set)[way] = meta.fill == FillClass::InstrPayload;
         self.stack.touch(set, way);
     }
 
     fn on_hit(&mut self, set: usize, way: usize, meta: &CacheMeta) {
         if meta.fill.is_data_pte() {
-            self.is_data_pte[set][way] = true;
+            self.is_data_pte.row_mut(set)[way] = true;
         }
         if meta.fill == FillClass::InstrPayload {
-            self.is_code[set][way] = true;
+            self.is_code.row_mut(set)[way] = true;
         }
         self.stack.touch(set, way);
     }
@@ -84,7 +84,7 @@ impl Policy<CacheMeta> for XptpEmissary {
             if protected >= self.code_quota {
                 break;
             }
-            if self.is_code[set][w] {
+            if self.is_code.row(set)[w] {
                 // .min(63) clamps into the fixed 64-way bitmap
                 code_protected[w.min(63)] = true;
                 protected += 1;
@@ -98,7 +98,7 @@ impl Policy<CacheMeta> for XptpEmissary {
             .stack
             .iter_lru_to_mru(set)
             // .min(63) clamps into the fixed 64-way bitmap
-            .find(|&w| !self.is_data_pte[set][w] && !code_protected[w.min(63)]);
+            .find(|&w| !self.is_data_pte.row(set)[w] && !code_protected[w.min(63)]);
         match alt {
             Some(alt) if self.stack.height_of(set, alt) < self.params.k => alt,
             _ => lru,

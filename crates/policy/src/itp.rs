@@ -17,7 +17,7 @@
 //! through the bottom `M` positions.
 
 use crate::{Policy, RecencyStack, TlbMeta};
-use itpx_types::TranslationKind;
+use itpx_types::{SetGrid, TranslationKind};
 
 /// Tunable parameters of [`Itp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,9 +79,9 @@ pub struct Itp {
     params: ItpParams,
     stack: RecencyStack,
     /// Per-entry `Type` bit (true = data translation), as in Figure 7.
-    is_data: Vec<Vec<bool>>,
+    is_data: SetGrid<bool>,
     /// Per-entry saturating `Freq` counter.
-    freq: Vec<Vec<u8>>,
+    freq: SetGrid<u8>,
 }
 
 impl Itp {
@@ -96,8 +96,8 @@ impl Itp {
         Self {
             params,
             stack: RecencyStack::new(sets, ways),
-            is_data: vec![vec![true; ways]; sets],
-            freq: vec![vec![0; ways]; sets],
+            is_data: SetGrid::new(sets, ways, true),
+            freq: SetGrid::new(sets, ways, 0),
         }
     }
 
@@ -123,7 +123,7 @@ impl Itp {
 
     /// Current `Freq` value of `(set, way)`.
     pub fn freq_of(&self, set: usize, way: usize) -> u8 {
-        self.freq[set][way]
+        self.freq.row(set)[way]
     }
 }
 
@@ -132,16 +132,16 @@ impl Policy<TlbMeta> for Itp {
         match meta.kind {
             TranslationKind::Data => {
                 // Figure 5, step 1: data translations insert at LRUpos.
-                self.is_data[set][way] = true;
-                self.freq[set][way] = 0;
+                self.is_data.row_mut(set)[way] = true;
+                self.freq.row_mut(set)[way] = 0;
                 self.stack.place_at_height(set, way, 0);
             }
             TranslationKind::Instruction => {
                 // Steps 2–3: instruction translations insert at MRUpos − N
                 // with Freq = 0; MRUpos itself is reserved for entries with
                 // saturated Freq.
-                self.is_data[set][way] = false;
-                self.freq[set][way] = 0;
+                self.is_data.row_mut(set)[way] = false;
+                self.freq.row_mut(set)[way] = 0;
                 self.stack.place_at_depth(set, way, self.params.n);
             }
         }
@@ -151,18 +151,18 @@ impl Policy<TlbMeta> for Itp {
         match meta.kind {
             TranslationKind::Instruction => {
                 let max = self.params.freq_max();
-                if self.freq[set][way] >= max {
+                if self.freq.row(set)[way] >= max {
                     // Figure 5, promotion (ii): saturated Freq earns MRUpos.
                     self.stack.place_at_depth(set, way, 0);
                 } else {
                     // Promotion (i) + (iii): back to MRUpos − N, bump Freq.
                     self.stack.place_at_depth(set, way, self.params.n);
-                    self.freq[set][way] += 1;
+                    self.freq.row_mut(set)[way] += 1;
                 }
             }
             TranslationKind::Data => {
                 // Promotion (iv): data hits only reach LRUpos + M.
-                self.freq[set][way] = 0;
+                self.freq.row_mut(set)[way] = 0;
                 self.stack.place_at_height(set, way, self.params.m);
             }
         }

@@ -12,6 +12,7 @@
 
 use crate::meta::CacheMeta;
 use crate::traits::Policy;
+use itpx_types::SetGrid;
 
 const RDP_BITS: u32 = 12;
 const SAMPLE_STRIDE: usize = 8;
@@ -91,7 +92,7 @@ impl SampleHistory {
 pub struct Mockingjay {
     ways: usize,
     /// Estimated time remaining per line, in set-access units.
-    etr: Vec<Vec<i32>>,
+    etr: SetGrid<i32>,
     /// Per-set access clocks.
     clock: Vec<u32>,
     /// Reuse-distance predictor indexed by PC signature.
@@ -109,7 +110,7 @@ impl Mockingjay {
         assert!(sets > 0 && ways > 0, "Mockingjay needs sets > 0, ways > 0");
         Self {
             ways,
-            etr: vec![vec![MAX_RD; ways]; sets],
+            etr: SetGrid::new(sets, ways, MAX_RD),
             clock: vec![0; sets],
             rdp: vec![DEFAULT_RD; 1 << RDP_BITS],
             // Live length is bounded by the expiry sweep: at most
@@ -134,7 +135,7 @@ impl Mockingjay {
     /// Advances the set clock and ages every line by one set access.
     fn tick(&mut self, set: usize) {
         self.clock[set] = self.clock[set].wrapping_add(1);
-        for e in &mut self.etr[set] {
+        for e in self.etr.row_mut(set) {
             *e -= 1;
         }
     }
@@ -188,13 +189,13 @@ impl Policy<CacheMeta> for Mockingjay {
     fn on_fill(&mut self, set: usize, way: usize, meta: &CacheMeta) {
         self.tick(set);
         self.train(set, meta);
-        self.etr[set][way] = self.predict(meta.pc);
+        self.etr.row_mut(set)[way] = self.predict(meta.pc);
     }
 
     fn on_hit(&mut self, set: usize, way: usize, meta: &CacheMeta) {
         self.tick(set);
         self.train(set, meta);
-        self.etr[set][way] = self.predict(meta.pc);
+        self.etr.row_mut(set)[way] = self.predict(meta.pc);
     }
 
     fn victim(&mut self, set: usize, _incoming: &CacheMeta) -> usize {
@@ -202,7 +203,7 @@ impl Policy<CacheMeta> for Mockingjay {
         // distant predicted reuse or the most overdue (dead) line.
         let mut best = 0usize;
         let mut best_abs = -1i64;
-        for (w, &e) in self.etr[set].iter().enumerate() {
+        for (w, &e) in self.etr.row(set).iter().enumerate() {
             let a = (e as i64).abs();
             if a > best_abs {
                 best_abs = a;
@@ -257,7 +258,7 @@ mod tests {
     #[test]
     fn victim_prefers_largest_abs_etr() {
         let mut p = Mockingjay::new(1, 3);
-        p.etr[0] = vec![5, -40, 10];
+        p.etr.row_mut(0).copy_from_slice(&[5, -40, 10]);
         let v = p.victim(0, &m(0, 0));
         assert_eq!(v, 1, "overdue line (-40) has the largest |ETR|");
     }
@@ -266,9 +267,9 @@ mod tests {
     fn lines_age_with_set_accesses() {
         let mut p = Mockingjay::new(2, 2);
         p.on_fill(1, 0, &m(1, 0x10));
-        let e0 = p.etr[1][0];
+        let e0 = p.etr.row(1)[0];
         p.on_fill(1, 1, &m(2, 0x20));
-        assert_eq!(p.etr[1][0], e0 - 1);
+        assert_eq!(p.etr.row(1)[0], e0 - 1);
     }
 
     #[test]

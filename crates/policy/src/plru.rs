@@ -2,6 +2,7 @@
 //! when comparing iTP's storage overhead (Section 4.1.3).
 
 use crate::traits::Policy;
+use itpx_types::SetGrid;
 
 /// Tree-based pseudo-LRU.
 ///
@@ -12,8 +13,8 @@ use crate::traits::Policy;
 #[derive(Debug, Clone)]
 pub struct TreePlru {
     ways: usize,
-    // bits[set][node]: false = left subtree is older, true = right is older.
-    bits: Vec<Vec<bool>>,
+    // bits.row(set)[node]: false = left subtree is older, true = right is older.
+    bits: SetGrid<bool>,
 }
 
 impl TreePlru {
@@ -29,7 +30,7 @@ impl TreePlru {
         );
         Self {
             ways,
-            bits: vec![vec![false; ways.saturating_sub(1).max(1)]; sets],
+            bits: SetGrid::new(sets, ways.saturating_sub(1).max(1), false),
         }
     }
 
@@ -44,11 +45,11 @@ impl TreePlru {
             let mid = (lo + hi) / 2;
             if way < mid {
                 // Touched left: mark right as the older side.
-                self.bits[set][node] = true;
+                self.bits.row_mut(set)[node] = true;
                 node = 2 * node + 1;
                 hi = mid;
             } else {
-                self.bits[set][node] = false;
+                self.bits.row_mut(set)[node] = false;
                 node = 2 * node + 2;
                 lo = mid;
             }
@@ -64,7 +65,7 @@ impl TreePlru {
         let mut hi = self.ways;
         while hi - lo > 1 {
             let mid = (lo + hi) / 2;
-            if self.bits[set][node] {
+            if self.bits.row(set)[node] {
                 // Right subtree is older.
                 node = 2 * node + 2;
                 lo = mid;

@@ -10,13 +10,13 @@
 use crate::meta::TlbMeta;
 use crate::recency::RecencyStack;
 use crate::traits::Policy;
-use itpx_types::{Rng64, TranslationKind};
+use itpx_types::{Rng64, SetGrid, TranslationKind};
 
 /// Probabilistic instruction-keeping LRU for the STLB.
 #[derive(Debug, Clone)]
 pub struct ProbKeepInstrLru {
     stack: RecencyStack,
-    kind: Vec<Vec<TranslationKind>>,
+    kind: SetGrid<TranslationKind>,
     p_evict_data: f64,
     rng: Rng64,
 }
@@ -35,7 +35,7 @@ impl ProbKeepInstrLru {
         );
         Self {
             stack: RecencyStack::new(sets, ways),
-            kind: vec![vec![TranslationKind::Data; ways]; sets],
+            kind: SetGrid::new(sets, ways, TranslationKind::Data),
             p_evict_data,
             rng: Rng64::new(seed),
         }
@@ -50,13 +50,13 @@ impl ProbKeepInstrLru {
     fn lru_of_kind(&self, set: usize, kind: TranslationKind) -> Option<usize> {
         self.stack
             .iter_lru_to_mru(set)
-            .find(|&w| self.kind[set][w] == kind)
+            .find(|&w| self.kind.row(set)[w] == kind)
     }
 }
 
 impl Policy<TlbMeta> for ProbKeepInstrLru {
     fn on_fill(&mut self, set: usize, way: usize, meta: &TlbMeta) {
-        self.kind[set][way] = meta.kind;
+        self.kind.row_mut(set)[way] = meta.kind;
         self.stack.touch(set, way);
     }
 

@@ -14,12 +14,13 @@
 use crate::meta::CacheMeta;
 use crate::recency::RecencyStack;
 use crate::traits::Policy;
+use itpx_types::SetGrid;
 
 /// LRU with quota-bounded protection of PTE-holding blocks.
 #[derive(Debug, Clone)]
 pub struct Ptp {
     stack: RecencyStack,
-    is_pte: Vec<Vec<bool>>,
+    is_pte: SetGrid<bool>,
     quota: usize,
 }
 
@@ -29,7 +30,7 @@ impl Ptp {
     pub fn new(sets: usize, ways: usize) -> Self {
         Self {
             stack: RecencyStack::new(sets, ways),
-            is_pte: vec![vec![false; ways]; sets],
+            is_pte: SetGrid::new(sets, ways, false),
             quota: (ways / 2).max(1),
         }
     }
@@ -42,13 +43,13 @@ impl Ptp {
 
 impl Policy<CacheMeta> for Ptp {
     fn on_fill(&mut self, set: usize, way: usize, meta: &CacheMeta) {
-        self.is_pte[set][way] = meta.fill.is_pte();
+        self.is_pte.row_mut(set)[way] = meta.fill.is_pte();
         self.stack.touch(set, way);
     }
 
     fn on_hit(&mut self, set: usize, way: usize, meta: &CacheMeta) {
         if meta.fill.is_pte() {
-            self.is_pte[set][way] = true;
+            self.is_pte.row_mut(set)[way] = true;
         }
         self.stack.touch(set, way);
     }
@@ -62,7 +63,7 @@ impl Policy<CacheMeta> for Ptp {
             if count >= self.quota {
                 break;
             }
-            if self.is_pte[set][w] {
+            if self.is_pte.row(set)[w] {
                 // .min(63) clamps into the fixed 64-way bitmap
                 protected[w.min(63)] = true;
                 count += 1;

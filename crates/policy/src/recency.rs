@@ -6,6 +6,8 @@
 //! explicit ordering of its ways from most- to least-recently used, and
 //! policies manipulate positions directly.
 
+use itpx_types::SetGrid;
+
 /// Explicit per-set MRU→LRU orderings of ways.
 ///
 /// *Depth* is measured from the top: depth 0 is `MRUpos`, depth
@@ -25,8 +27,8 @@
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecencyStack {
     ways: usize,
-    // order[set][d] = way at depth d (0 = MRU).
-    order: Vec<Vec<u16>>,
+    // order.row(set)[d] = way at depth d (0 = MRU).
+    order: SetGrid<u16>,
 }
 
 impl RecencyStack {
@@ -44,7 +46,7 @@ impl RecencyStack {
         assert!(ways <= u16::MAX as usize, "way count exceeds u16");
         Self {
             ways,
-            order: vec![(0..ways as u16).collect(); sets],
+            order: SetGrid::from_row_fn(sets, ways, |d| d as u16),
         }
     }
 
@@ -55,7 +57,7 @@ impl RecencyStack {
 
     /// Number of sets.
     pub fn sets(&self) -> usize {
-        self.order.len()
+        self.order.sets()
     }
 
     /// Depth (0 = MRU) of `way` in `set`.
@@ -64,7 +66,8 @@ impl RecencyStack {
     ///
     /// Panics if `way` is not a way of this stack.
     pub fn depth_of(&self, set: usize, way: usize) -> usize {
-        self.order[set]
+        self.order
+            .row(set)
             .iter()
             .position(|&w| w as usize == way)
             // every way 0..ways is permanently present in the stack
@@ -79,18 +82,18 @@ impl RecencyStack {
     /// The way currently at `LRUpos`.
     pub fn lru(&self, set: usize) -> usize {
         // order rows are built with ways >= 1 entries and never shrink
-        *self.order[set].last().expect("non-empty stack") as usize
+        *self.order.row(set).last().expect("non-empty stack") as usize
     }
 
     /// The way currently at `MRUpos`.
     pub fn mru(&self, set: usize) -> usize {
-        self.order[set][0] as usize
+        self.order.row(set)[0] as usize
     }
 
     /// The way at the given depth.
     pub fn at_depth(&self, set: usize, depth: usize) -> usize {
         // .min(ways - 1) clamps the depth into the row
-        self.order[set][depth.min(self.ways - 1)] as usize
+        self.order.row(set)[depth.min(self.ways - 1)] as usize
     }
 
     /// Moves `way` to `MRUpos` (classic LRU touch).
@@ -106,10 +109,15 @@ impl RecencyStack {
     pub fn place_at_depth(&mut self, set: usize, way: usize, depth: usize) {
         let depth = depth.min(self.ways - 1);
         let cur = self.depth_of(set, way);
-        let order = &mut self.order[set];
-        let w = order.remove(cur);
-        // itpx-allow: hot-alloc remove+insert keeps the row at its fixed length `ways`, so this never reallocates
-        order.insert(depth, w);
+        let row = self.order.row_mut(set);
+        // Rotating the span between the old and new positions is exactly
+        // `remove(cur)` + `insert(depth, …)` on the fixed-length row:
+        // every entry passed shifts one slot toward LRU or MRU.
+        if cur < depth {
+            row[cur..=depth].rotate_left(1);
+        } else {
+            row[depth..=cur].rotate_right(1);
+        }
     }
 
     /// Places `way` at `height` from the bottom (clamped).
@@ -121,12 +129,12 @@ impl RecencyStack {
     /// Iterates ways from LRU (first) to MRU (last) — the scan order xPTP
     /// uses to find the victim candidate closest to the bottom of the stack.
     pub fn iter_lru_to_mru(&self, set: usize) -> impl Iterator<Item = usize> + '_ {
-        self.order[set].iter().rev().map(|&w| w as usize)
+        self.order.row(set).iter().rev().map(|&w| w as usize)
     }
 
     /// Iterates ways from MRU (first) to LRU (last).
     pub fn iter_mru_to_lru(&self, set: usize) -> impl Iterator<Item = usize> + '_ {
-        self.order[set].iter().map(|&w| w as usize)
+        self.order.row(set).iter().map(|&w| w as usize)
     }
 }
 

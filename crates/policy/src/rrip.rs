@@ -4,7 +4,7 @@
 
 use crate::meta::CacheMeta;
 use crate::traits::Policy;
-use itpx_types::Rng64;
+use itpx_types::{Rng64, SetGrid};
 
 /// Maximum re-reference prediction value for 2-bit RRIP.
 pub(crate) const RRPV_MAX: u8 = 3;
@@ -16,34 +16,34 @@ pub(crate) const RRPV_LONG: u8 = 2;
 /// Shared RRPV bookkeeping for the RRIP family.
 #[derive(Debug, Clone)]
 pub(crate) struct RripState {
-    rrpv: Vec<Vec<u8>>,
+    rrpv: SetGrid<u8>,
 }
 
 impl RripState {
     pub(crate) fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0, "RRIP needs sets > 0, ways > 0");
         Self {
-            rrpv: vec![vec![RRPV_MAX; ways]; sets],
+            rrpv: SetGrid::new(sets, ways, RRPV_MAX),
         }
     }
 
     pub(crate) fn set_rrpv(&mut self, set: usize, way: usize, v: u8) {
-        self.rrpv[set][way] = v;
+        self.rrpv.row_mut(set)[way] = v;
     }
 
     #[cfg(test)]
     pub(crate) fn rrpv(&self, set: usize, way: usize) -> u8 {
-        self.rrpv[set][way]
+        self.rrpv.row(set)[way]
     }
 
     /// Standard RRIP victim search: the first way at `RRPV_MAX`, aging the
     /// whole set until one exists.
     pub(crate) fn victim(&mut self, set: usize) -> usize {
         loop {
-            if let Some(w) = self.rrpv[set].iter().position(|&v| v == RRPV_MAX) {
+            if let Some(w) = self.rrpv.row(set).iter().position(|&v| v == RRPV_MAX) {
                 return w;
             }
-            for v in &mut self.rrpv[set] {
+            for v in self.rrpv.row_mut(set) {
                 *v += 1;
             }
         }

@@ -4,6 +4,7 @@
 use crate::meta::CacheMeta;
 use crate::rrip::{RripState, RRPV_LONG, RRPV_MAX};
 use crate::traits::Policy;
+use itpx_types::SetGrid;
 
 const SHCT_BITS: u32 = 14;
 const SHCT_MAX: u8 = 7; // 3-bit saturating counters
@@ -19,8 +20,8 @@ pub struct Ship {
     state: RripState,
     shct: Vec<u8>,
     // Per-block training state.
-    signature: Vec<Vec<u16>>,
-    outcome: Vec<Vec<bool>>,
+    signature: SetGrid<u16>,
+    outcome: SetGrid<bool>,
 }
 
 impl Ship {
@@ -29,8 +30,8 @@ impl Ship {
         Self {
             state: RripState::new(sets, ways),
             shct: vec![1; 1 << SHCT_BITS],
-            signature: vec![vec![0; ways]; sets],
-            outcome: vec![vec![false; ways]; sets],
+            signature: SetGrid::new(sets, ways, 0),
+            outcome: SetGrid::new(sets, ways, false),
         }
     }
 
@@ -50,8 +51,8 @@ impl Ship {
 impl Policy<CacheMeta> for Ship {
     fn on_fill(&mut self, set: usize, way: usize, meta: &CacheMeta) {
         let sig = Self::sig(meta.pc);
-        self.signature[set][way] = sig;
-        self.outcome[set][way] = false;
+        self.signature.row_mut(set)[way] = sig;
+        self.outcome.row_mut(set)[way] = false;
         let predicted_dead = self.shct[sig as usize] == 0;
         let v = if predicted_dead { RRPV_MAX } else { RRPV_LONG };
         self.state.set_rrpv(set, way, v);
@@ -59,9 +60,9 @@ impl Policy<CacheMeta> for Ship {
 
     fn on_hit(&mut self, set: usize, way: usize, _meta: &CacheMeta) {
         self.state.set_rrpv(set, way, 0);
-        if !self.outcome[set][way] {
-            self.outcome[set][way] = true;
-            let sig = self.signature[set][way] as usize;
+        if !self.outcome.row(set)[way] {
+            self.outcome.row_mut(set)[way] = true;
+            let sig = self.signature.row(set)[way] as usize;
             self.shct[sig] = (self.shct[sig] + 1).min(SHCT_MAX);
         }
     }
@@ -71,8 +72,8 @@ impl Policy<CacheMeta> for Ship {
     }
 
     fn on_evict(&mut self, set: usize, way: usize) {
-        if !self.outcome[set][way] {
-            let sig = self.signature[set][way] as usize;
+        if !self.outcome.row(set)[way] {
+            let sig = self.signature.row(set)[way] as usize;
             self.shct[sig] = self.shct[sig].saturating_sub(1);
         }
     }

@@ -12,6 +12,7 @@
 use crate::meta::CacheMeta;
 use crate::rrip::{RripState, RRPV_LONG, RRPV_MAX};
 use crate::traits::Policy;
+use itpx_types::SetGrid;
 
 const SHCT_BITS: u32 = 14;
 const SHCT_MAX: u8 = 7;
@@ -21,8 +22,8 @@ const SHCT_MAX: u8 = 7;
 pub struct TShip {
     state: RripState,
     shct: Vec<u8>,
-    signature: Vec<Vec<u16>>,
-    outcome: Vec<Vec<bool>>,
+    signature: SetGrid<u16>,
+    outcome: SetGrid<bool>,
 }
 
 impl TShip {
@@ -31,8 +32,8 @@ impl TShip {
         Self {
             state: RripState::new(sets, ways),
             shct: vec![1; 1 << SHCT_BITS],
-            signature: vec![vec![0; ways]; sets],
-            outcome: vec![vec![false; ways]; sets],
+            signature: SetGrid::new(sets, ways, 0),
+            outcome: SetGrid::new(sets, ways, false),
         }
     }
 
@@ -51,8 +52,8 @@ impl TShip {
 impl Policy<CacheMeta> for TShip {
     fn on_fill(&mut self, set: usize, way: usize, meta: &CacheMeta) {
         let sig = Self::sig(meta.pc);
-        self.signature[set][way] = sig;
-        self.outcome[set][way] = false;
+        self.signature.row_mut(set)[way] = sig;
+        self.outcome.row_mut(set)[way] = false;
         let v = if meta.fill.is_pte() {
             // Translation override 1: keep PTE blocks.
             0
@@ -69,9 +70,9 @@ impl Policy<CacheMeta> for TShip {
 
     fn on_hit(&mut self, set: usize, way: usize, _meta: &CacheMeta) {
         self.state.set_rrpv(set, way, 0);
-        if !self.outcome[set][way] {
-            self.outcome[set][way] = true;
-            let sig = self.signature[set][way] as usize;
+        if !self.outcome.row(set)[way] {
+            self.outcome.row_mut(set)[way] = true;
+            let sig = self.signature.row(set)[way] as usize;
             self.shct[sig] = (self.shct[sig] + 1).min(SHCT_MAX);
         }
     }
@@ -81,8 +82,8 @@ impl Policy<CacheMeta> for TShip {
     }
 
     fn on_evict(&mut self, set: usize, way: usize) {
-        if !self.outcome[set][way] {
-            let sig = self.signature[set][way] as usize;
+        if !self.outcome.row(set)[way] {
+            let sig = self.signature.row(set)[way] as usize;
             self.shct[sig] = self.shct[sig].saturating_sub(1);
         }
     }

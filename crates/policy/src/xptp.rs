@@ -18,6 +18,7 @@
 //! caching them would waste L2C space.
 
 use crate::{CacheMeta, Policy, RecencyStack};
+use itpx_types::SetGrid;
 
 /// Tunable parameters of [`Xptp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,7 +42,7 @@ pub struct Xptp {
     params: XptpParams,
     stack: RecencyStack,
     /// The per-block `Type` bit: true when the block holds a data PTE.
-    is_data_pte: Vec<Vec<bool>>,
+    is_data_pte: SetGrid<bool>,
 }
 
 impl Xptp {
@@ -59,7 +60,7 @@ impl Xptp {
         Self {
             params,
             stack: RecencyStack::new(sets, ways),
-            is_data_pte: vec![vec![false; ways]; sets],
+            is_data_pte: SetGrid::new(sets, ways, false),
         }
     }
 
@@ -71,7 +72,7 @@ impl Xptp {
     /// Whether `(set, way)` currently holds a data PTE (the stored `Type`
     /// bit).
     pub fn type_bit(&self, set: usize, way: usize) -> bool {
-        self.is_data_pte[set][way]
+        self.is_data_pte.row(set)[way]
     }
 
     /// Victim selection shared with [`crate::AdaptiveXptp`]: Figure 6 steps
@@ -98,7 +99,7 @@ impl Policy<CacheMeta> for Xptp {
     fn on_fill(&mut self, set: usize, way: usize, meta: &CacheMeta) {
         // LRU insertion; the only addition is recording the Type bit
         // (Figure 7 step 3.1: written back when the fill completes).
-        self.is_data_pte[set][way] = meta.fill.is_data_pte();
+        self.is_data_pte.row_mut(set)[way] = meta.fill.is_data_pte();
         self.stack.touch(set, way);
     }
 
@@ -107,13 +108,13 @@ impl Policy<CacheMeta> for Xptp {
         // payload hits leave the bit unchanged (a PTE block is still a PTE
         // block when the walker re-reads it).
         if meta.fill.is_data_pte() {
-            self.is_data_pte[set][way] = true;
+            self.is_data_pte.row_mut(set)[way] = true;
         }
         self.stack.touch(set, way);
     }
 
     fn victim(&mut self, set: usize, _incoming: &CacheMeta) -> usize {
-        Self::select_victim(&self.stack, &self.is_data_pte[set], set, self.params.k)
+        Self::select_victim(&self.stack, self.is_data_pte.row(set), set, self.params.k)
     }
 
     fn name(&self) -> &'static str {

@@ -7,6 +7,9 @@
 //! * [`access`] — classification of memory traffic ([`AccessKind`],
 //!   [`TranslationKind`], [`FillClass`]): the distinctions the paper's
 //!   policies key on (instruction vs data, payload vs page-table entry).
+//! * [`grid`] — flat set-associative storage ([`SetGrid`]) and
+//!   power-of-two mask set selection ([`SetMask`]), the shared data
+//!   layout for tag arrays, policy metadata, and predictor tables.
 //! * [`page`] — page sizes and virtual-page-number arithmetic for the
 //!   4 KiB / 2 MiB pages used in the evaluation.
 //! * [`rng`] — a small deterministic PRNG so every simulation is exactly
@@ -30,6 +33,7 @@
 pub mod access;
 pub mod addr;
 pub mod fingerprint;
+pub mod grid;
 pub mod mshr;
 pub mod page;
 pub mod rng;
@@ -38,6 +42,7 @@ pub mod stats;
 pub use access::{AccessKind, FillClass, TranslationKind};
 pub use addr::{BlockAddr, PhysAddr, VirtAddr, Vpn, BLOCK_BYTES, BLOCK_SHIFT};
 pub use fingerprint::{Fingerprint, Fnv1a};
+pub use grid::{SetGrid, SetMask};
 pub use mshr::SlotPool;
 pub use page::PageSize;
 pub use rng::Rng64;

@@ -10,7 +10,7 @@
 //! at*: the node addresses themselves are recomputed from the page table.
 
 use itpx_policy::{Lru, Policy, TlbMeta};
-use itpx_types::TranslationKind;
+use itpx_types::{SetGrid, SetMask, TranslationKind};
 
 /// Index bits per page-table level.
 const LEVEL_BITS: u32 = 9;
@@ -19,9 +19,8 @@ const LEVEL_BITS: u32 = 9;
 #[derive(Debug)]
 pub struct PageStructureCache {
     level: u8,
-    sets: usize,
-    ways: usize,
-    tags: Vec<Vec<Option<u64>>>,
+    set_mask: SetMask,
+    tags: SetGrid<Option<u64>>,
     policy: Lru,
 }
 
@@ -36,9 +35,10 @@ impl PageStructureCache {
         assert!(sets > 0 && ways > 0, "PSC needs sets > 0, ways > 0");
         Self {
             level,
-            sets,
-            ways,
-            tags: vec![vec![None; ways]; sets],
+            // Power-of-two set counts are a construction-time invariant:
+            // every later lookup indexes with a single mask AND.
+            set_mask: SetMask::new(sets),
+            tags: SetGrid::new(sets, ways, None),
             policy: Lru::new(sets, ways),
         }
     }
@@ -55,7 +55,7 @@ impl PageStructureCache {
     }
 
     fn set_of(&self, tag: u64) -> usize {
-        (tag as usize) % self.sets
+        self.set_mask.set_of(tag)
     }
 
     fn meta(tag: u64) -> TlbMeta {
@@ -66,7 +66,7 @@ impl PageStructureCache {
     pub fn lookup(&mut self, vpn4k: u64) -> bool {
         let tag = self.tag(vpn4k);
         let set = self.set_of(tag);
-        if let Some(way) = self.tags[set].iter().position(|&t| t == Some(tag)) {
+        if let Some(way) = self.tags.row(set).iter().position(|&t| t == Some(tag)) {
             self.policy.on_hit(set, way, &Self::meta(tag));
             true
         } else {
@@ -78,10 +78,10 @@ impl PageStructureCache {
     pub fn fill(&mut self, vpn4k: u64) {
         let tag = self.tag(vpn4k);
         let set = self.set_of(tag);
-        if self.tags[set].contains(&Some(tag)) {
+        if self.tags.row(set).contains(&Some(tag)) {
             return;
         }
-        let way = match self.tags[set].iter().position(|t| t.is_none()) {
+        let way = match self.tags.row(set).iter().position(|t| t.is_none()) {
             Some(w) => w,
             None => {
                 let v = self.policy.victim(set, &Self::meta(tag));
@@ -89,9 +89,8 @@ impl PageStructureCache {
                 v
             }
         };
-        self.tags[set][way] = Some(tag);
+        self.tags.row_mut(set)[way] = Some(tag);
         self.policy.on_fill(set, way, &Self::meta(tag));
-        let _ = self.ways;
     }
 }
 

@@ -14,8 +14,8 @@ use crate::page_table::Translation;
 use itpx_policy::{Policy, TlbMeta, TlbPolicyEngine};
 use itpx_types::fingerprint::{Fingerprint, Fnv1a};
 use itpx_types::{
-    Cycle, FillClass, PageSize, PhysAddr, SlotPool, StructStats, ThreadId, TranslationKind,
-    VirtAddr,
+    Cycle, FillClass, PageSize, PhysAddr, SetMask, SlotPool, StructStats, ThreadId,
+    TranslationKind, VirtAddr,
 };
 
 /// Geometry and timing of one TLB level.
@@ -97,6 +97,9 @@ pub struct Tlb {
     valid: Box<[u64]>,
     /// `ways` low bits set: the mask of a fully occupied set.
     full_mask: u64,
+    /// Power-of-two set selection, validated at construction: one AND per
+    /// lookup instead of a `%` division.
+    set_mask: SetMask,
     /// Enum-dispatched so the per-access `on_hit`/`victim`/`on_fill`
     /// calls inline instead of going through a vtable.
     policy: TlbPolicyEngine,
@@ -121,6 +124,10 @@ impl Tlb {
     pub fn new(cfg: TlbConfig, policy: impl Into<TlbPolicyEngine>) -> Self {
         let policy = policy.into();
         assert!(cfg.sets > 0 && cfg.ways > 0, "TLB needs sets > 0, ways > 0");
+        assert!(
+            cfg.sets.is_power_of_two(),
+            "TLB set count must be a power of two (mask indexing)"
+        );
         assert!(cfg.ways <= 64, "valid bitmask holds at most 64 ways");
         assert!(cfg.mshr_entries > 0, "TLB needs at least one MSHR");
         let placeholder = Entry {
@@ -133,6 +140,7 @@ impl Tlb {
             entries: vec![placeholder; cfg.sets * cfg.ways].into_boxed_slice(),
             valid: vec![0; cfg.sets].into_boxed_slice(),
             full_mask: u64::MAX >> (64 - cfg.ways as u32),
+            set_mask: SetMask::new(cfg.sets),
             policy,
             stats: StructStats::new(),
             outstanding: SlotPool::with_capacity(cfg.mshr_entries),
@@ -164,7 +172,7 @@ impl Tlb {
     }
 
     fn set_of(&self, vpn: u64) -> usize {
-        (vpn as usize) % self.cfg.sets
+        self.set_mask.set_of(vpn)
     }
 
     /// The flat-slice index of `(set, way)`.
