@@ -1,0 +1,183 @@
+//! Measures the horizon advantage of tiered execution and folds a
+//! `horizon` section into `BENCH_campaign.json`.
+//!
+//! Two legs run the same workload through the full [`Simulation`]
+//! pipeline:
+//!
+//! * **flat** — the classic single-window run: every post-warmup
+//!   instruction is simulated cycle-accurately, so the program horizon
+//!   equals the measured instruction count;
+//! * **tiered** — the SMARTS-style schedule (default
+//!   `ITPX_TIER_WINDOW`/`ITPX_TIER_FF`/`ITPX_TIER_WINDOWS` values, all
+//!   overridable): fast-forward gaps are covered by the functional model
+//!   (warming capped, the rest skipped for free), so the horizon per
+//!   unit wall-clock grows with the gap length.
+//!
+//! The figure of merit is the ratio of *horizon instructions per
+//! wall-second* between the legs. CI gates on two conditions: the ratio
+//! must clear the paper-level floor ([`MIN_RATIO`]) and must not fall
+//! below the noise margin of the committed
+//! `BENCH_horizon_baseline.json`.
+//!
+//! ```sh
+//! cargo run -p itpx-bench --release --bin bench_horizon
+//! ITPX_BLESS_HORIZON=1 cargo run -p itpx-bench --release --bin bench_horizon
+//! ```
+
+use itpx_bench::env;
+use itpx_core::Preset;
+use itpx_cpu::{Simulation, SystemConfig};
+use itpx_trace::{TierSchedule, WorkloadSpec};
+use std::time::Instant;
+
+/// Measured instructions of the flat leg; fixed so results are
+/// comparable across runs.
+const FLAT_INSTRUCTIONS: u64 = 60_000;
+/// Warmup instructions for both legs (cycle-accurate, uncounted).
+const WARMUP: u64 = 5_000;
+
+/// The tiered leg must cover at least this many times the flat leg's
+/// horizon per wall-second — the headline claim of the tiered engine.
+const MIN_RATIO: f64 = 10.0;
+/// Fraction of the committed baseline ratio that must be reached, unless
+/// overridden via `ITPX_HORIZON_MARGIN` (e.g. `0.5` = half).
+const DEFAULT_MARGIN: f64 = 0.5;
+
+const BASELINE_PATH: &str = "BENCH_horizon_baseline.json";
+const CAMPAIGN_PATH: &str = "BENCH_campaign.json";
+
+fn main() {
+    let cfg = SystemConfig::asplos25();
+    let base = WorkloadSpec::server_like(11).warmup(WARMUP);
+    let schedule = env::tier_schedule_from_env(TierSchedule::tiered(
+        env::TIER_WINDOW_DEFAULT,
+        env::TIER_FF_DEFAULT,
+        env::TIER_WINDOWS_DEFAULT,
+    ));
+
+    // Flat leg: horizon covered == instructions measured.
+    let flat_spec = base.clone().instructions(FLAT_INSTRUCTIONS);
+    let t0 = Instant::now();
+    let flat = Simulation::single_thread(&cfg, Preset::ItpXptp, &flat_spec).run();
+    let flat_s = t0.elapsed().as_secs_f64();
+    let flat_horizon = flat.instructions();
+    let flat_hps = flat_horizon as f64 / flat_s;
+
+    // Tiered leg: horizon covered == windows * (window + fast_forward).
+    let tiered_spec = base.tiers(schedule);
+    let t0 = Instant::now();
+    let tiered = Simulation::single_thread(&cfg, Preset::ItpXptp, &tiered_spec).run();
+    let tiered_s = t0.elapsed().as_secs_f64();
+    let tiered_horizon = schedule.horizon();
+    let tiered_hps = tiered_horizon as f64 / tiered_s;
+
+    let ratio = tiered_hps / flat_hps;
+    println!(
+        "flat:   {flat_horizon} insts in {:.1} ms = {:.2}M horizon-insts/s",
+        flat_s * 1e3,
+        flat_hps / 1e6
+    );
+    println!(
+        "tiered: {tiered_horizon} insts ({} windows x {} measured + {} fast-forwarded) \
+         in {:.1} ms = {:.2}M horizon-insts/s",
+        schedule.windows,
+        schedule.window,
+        schedule.fast_forward,
+        tiered_s * 1e3,
+        tiered_hps / 1e6
+    );
+    println!(
+        "horizon ratio: {ratio:.1}x (measured cycle-accurately: {} of {} insts)",
+        tiered.instructions(),
+        tiered_horizon
+    );
+
+    if std::env::var_os("ITPX_BLESS_HORIZON").is_some() {
+        let body = format!("{{\"horizon_ratio\": {ratio:.1}}}\n");
+        std::fs::write(BASELINE_PATH, body).expect("write baseline");
+        println!("blessed {BASELINE_PATH} at {ratio:.1}x");
+    }
+
+    let margin = std::env::var("ITPX_HORIZON_MARGIN")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|m| (0.0..=1.0).contains(m))
+        .unwrap_or(DEFAULT_MARGIN);
+    let baseline = read_baseline(BASELINE_PATH);
+    let floor = baseline.map_or(MIN_RATIO, |b| MIN_RATIO.max(b * margin));
+    let pass = ratio >= floor;
+
+    let section = format!(
+        "{{\"flat\": {{\"horizon\": {flat_horizon}, \"seconds\": {flat_s:.3}}}, \
+         \"tiered\": {{\"window\": {}, \"fast_forward\": {}, \"windows\": {}, \
+         \"horizon\": {tiered_horizon}, \"measured\": {}, \"seconds\": {tiered_s:.3}}}, \
+         \"ratio\": {ratio:.1}, \"min_ratio\": {MIN_RATIO}, \"baseline_ratio\": {}, \
+         \"margin\": {margin}, \"pass\": {pass}}}",
+        schedule.window,
+        schedule.fast_forward,
+        schedule.windows,
+        tiered.instructions(),
+        baseline.map_or("null".to_string(), |b| format!("{b:.1}")),
+    );
+
+    let existing = std::fs::read_to_string(CAMPAIGN_PATH).unwrap_or_else(|_| "{\n}\n".to_string());
+    std::fs::write(CAMPAIGN_PATH, merge_horizon(&existing, &section))
+        .expect("write BENCH_campaign.json");
+    println!("wrote horizon section into {CAMPAIGN_PATH}");
+
+    if !pass {
+        eprintln!("FAIL: horizon ratio {ratio:.1}x is below the floor of {floor:.1}x");
+        std::process::exit(1);
+    }
+}
+
+/// Extracts `horizon_ratio` from the hand-rolled baseline JSON.
+fn read_baseline(path: &str) -> Option<f64> {
+    let raw = std::fs::read_to_string(path).ok()?;
+    let idx = raw.find("\"horizon_ratio\"")?;
+    let rest = raw[idx..].split_once(':')?.1;
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// Replaces or inserts the top-level `"horizon"` key of the campaign
+/// JSON object. The campaign file keeps one top-level key per line;
+/// `horizon` is kept immediately before `throughput` (or last when
+/// there is no throughput section) so repeated runs are idempotent.
+fn merge_horizon(existing: &str, section: &str) -> String {
+    let mut lines: Vec<String> = existing
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("\"horizon\":"))
+        .map(|l| l.to_string())
+        .collect();
+    if lines.is_empty() {
+        lines = vec!["{".to_string(), "}".to_string()];
+    }
+    let at = lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("\"throughput\":"))
+        .unwrap_or(lines.len().saturating_sub(1));
+    // The new line needs a comma exactly when a key follows it; the line
+    // before it needs one exactly when it carries a key.
+    let follows_key = at < lines.len() - 1;
+    let entry = format!(
+        "  \"horizon\": {section}{}",
+        if follows_key { "," } else { "" }
+    );
+    if at > 0 {
+        let prev = lines[at - 1].trim_end().trim_end_matches(',').to_string();
+        lines[at - 1] = if prev == "{" {
+            prev
+        } else {
+            format!("{prev},")
+        };
+    }
+    lines.insert(at, entry);
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}

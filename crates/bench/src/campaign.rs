@@ -28,9 +28,13 @@ const KEY_SCHEMA: &str = "itpx-simrequest-v1";
 #[derive(Debug, Clone)]
 pub enum SimUnit {
     /// One workload on one hardware thread.
-    Single(WorkloadSpec),
+    Single(Box<WorkloadSpec>),
     /// Two workloads co-located under SMT.
-    Pair(SmtPairSpec),
+    ///
+    /// Both variants box their spec: a workload spec is a couple
+    /// hundred bytes, and requests are built once per batch but cloned
+    /// into sweep job lists.
+    Pair(Box<SmtPairSpec>),
 }
 
 impl Fingerprint for SimUnit {
@@ -68,7 +72,7 @@ impl SimRequest {
             config: *config,
             preset,
             build: BuildConfig::default(),
-            unit: SimUnit::Single(w.clone()),
+            unit: SimUnit::Single(Box::new(w.clone())),
         }
     }
 
@@ -78,7 +82,7 @@ impl SimRequest {
             config: *config,
             preset,
             build: BuildConfig::default(),
-            unit: SimUnit::Pair(pair.clone()),
+            unit: SimUnit::Pair(Box::new(pair.clone())),
         }
     }
 
@@ -289,6 +293,18 @@ mod tests {
             &smoke_workload(1).warmup(2_000),
         );
         seen.push(r.key());
+        // A tiered schedule keys distinctly (and each knob matters).
+        let tiered = |w, ff, n| {
+            SimRequest::single(
+                &SystemConfig::asplos25(),
+                Preset::Lru,
+                &smoke_workload(1).tiers(itpx_trace::TierSchedule::tiered(w, ff, n)),
+            )
+        };
+        seen.push(tiered(1_000, 10_000, 4).key());
+        seen.push(tiered(1_000, 10_000, 5).key());
+        seen.push(tiered(1_000, 20_000, 4).key());
+        seen.push(tiered(2_000, 10_000, 4).key());
 
         // Single vs pair on overlapping content.
         let pair = SmtPairSpec {
@@ -305,6 +321,19 @@ mod tests {
             seen.len(),
             "every varied field must produce a distinct key: {seen:x?}"
         );
+    }
+
+    /// The flat schedule hashes as *nothing*: every simcache key minted
+    /// before tiering existed must stay byte-identical, so warm caches
+    /// keep serving.
+    #[test]
+    fn flat_schedule_keeps_pre_tiering_keys() {
+        let explicit_flat = SimRequest::single(
+            &SystemConfig::asplos25(),
+            Preset::Lru,
+            &smoke_workload(1).tiers(itpx_trace::TierSchedule::flat()),
+        );
+        assert_eq!(explicit_flat.key(), base_request().key());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! and keep the default).
 
 use itpx_cpu::{LevelReport, SimulationOutput, ThreadOutput, WalkerSummary};
+use itpx_trace::TierSchedule;
 use itpx_types::{Fnv1a, LevelId, OnlineMean, StructStats};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,8 +28,8 @@ use std::sync::Mutex;
 const MAGIC: &[u8; 8] = b"ITPXSIMC";
 /// Schema version; bump on any change to the serialized layout.
 /// v2 added the per-level `cache_levels` section; v3 added the payload
-/// checksum after the key.
-const VERSION: u32 = 3;
+/// checksum after the key; v4 added the tiered execution schedule.
+const VERSION: u32 = 4;
 
 /// A process-wide simulation-result cache with disk persistence.
 #[derive(Debug)]
@@ -188,6 +189,9 @@ fn encode_output(buf: &mut Vec<u8>, out: &SimulationOutput) {
         put_u64(buf, t.itrans_stall_cycles);
         put_u64(buf, t.mispredictions);
     }
+    put_u64(buf, out.tiers.window);
+    put_u64(buf, out.tiers.fast_forward);
+    put_u64(buf, out.tiers.windows);
     for s in [
         &out.itlb, &out.dtlb, &out.stlb, &out.l1i, &out.l1d, &out.l2c, &out.llc,
     ] {
@@ -232,6 +236,11 @@ fn decode_output(r: &mut Reader<'_>) -> Option<SimulationOutput> {
             mispredictions: r.u64()?,
         });
     }
+    let tiers = TierSchedule {
+        window: r.u64()?,
+        fast_forward: r.u64()?,
+        windows: r.u64()?,
+    };
     let mut stats = Vec::with_capacity(7);
     for _ in 0..7 {
         stats.push(r.stats()?);
@@ -279,6 +288,7 @@ fn decode_output(r: &mut Reader<'_>) -> Option<SimulationOutput> {
         preset,
         llc_policy,
         threads,
+        tiers,
         itlb,
         dtlb,
         stlb,

@@ -98,6 +98,17 @@ impl HashedPerceptron {
     pub fn counts(&self) -> (u64, u64) {
         (self.predictions, self.mispredictions)
     }
+
+    /// Adopts `other`'s learned state — weight tables and global history —
+    /// without touching this predictor's prediction/misprediction
+    /// counters. This is the warm-state import at a tier boundary: the
+    /// functional tier trains a clone, and the cycle model takes the
+    /// training without inheriting off-window accounting.
+    pub fn import_state(&mut self, other: &Self) {
+        self.tables = other.tables.clone();
+        self.history = other.history;
+        self.threshold = other.threshold;
+    }
 }
 
 impl Default for HashedPerceptron {

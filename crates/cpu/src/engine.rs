@@ -26,19 +26,82 @@
 //!   simulated time.
 
 use crate::branch::HashedPerceptron;
+use crate::functional::FunctionalMachine;
 use crate::output::{LevelReport, SimulationOutput, ThreadOutput, WalkerSummary};
 use crate::system::System;
-use itpx_trace::{InstructionStream, TraceInst, WorkloadSource, WorkloadSpec};
-use itpx_types::{Cycle, LevelId, ThreadId, TranslationKind, VirtAddr};
+use itpx_trace::{
+    InstructionStream, TierSchedule, TraceGenerator, TraceInst, WorkloadSource, WorkloadSpec,
+};
+use itpx_types::{Cycle, LevelId, ResetBoundary, ThreadId, TranslationKind, VirtAddr};
 use std::collections::VecDeque;
 
 /// Ring size for dependency tracking (dep distances are `u8`).
 const DEP_RING: usize = 256;
 
+/// Cap on the functionally-executed warm tail of a fast-forward segment.
+///
+/// A fast-forward of N instructions splits into a *free skip* of
+/// `N - min(N, FF_WARM_CAP)` (the phase fork re-seeds the generator, so
+/// skipped instructions cost nothing) and a *warm tail* executed through
+/// the functional machine to refresh TLB/cache/predictor state. 250k
+/// instructions is far past the warm-state half-life of every Table 1
+/// structure, so a longer tail changes nothing but wall-clock.
+const FF_WARM_CAP: u64 = 250_000;
+
+/// One segment of a tiered run (the engine's execution-tier abstraction).
+///
+/// A run is a schedule of segments: [`Tier::FastForward`] advances
+/// program state through the functional machine at ~7× cycle-model speed
+/// (plus the free skip beyond [`FF_WARM_CAP`]), and [`Tier::Window`]
+/// measures cycle-accurately. [`Tier::segments`] lowers a
+/// [`TierSchedule`] into this form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Functional fast-forward covering `instructions` program
+    /// instructions (warm-state handoff at both edges).
+    FastForward {
+        /// Program instructions the segment covers.
+        instructions: u64,
+    },
+    /// Cycle-accurate measurement window of `instructions` instructions.
+    Window {
+        /// Instructions measured by the segment.
+        instructions: u64,
+    },
+}
+
+impl Tier {
+    /// Lowers a schedule into its segment sequence: `windows` repetitions
+    /// of (fast-forward, window), fast-forwards omitted when the gap is
+    /// zero. The flat schedule lowers to no segments — the engine runs
+    /// the classic single-window path instead.
+    pub fn segments(schedule: &TierSchedule) -> Vec<Tier> {
+        let mut out = Vec::new();
+        if schedule.is_flat() {
+            return out;
+        }
+        for _ in 0..schedule.windows {
+            if schedule.fast_forward > 0 {
+                out.push(Tier::FastForward {
+                    instructions: schedule.fast_forward,
+                });
+            }
+            out.push(Tier::Window {
+                instructions: schedule.window,
+            });
+        }
+        out
+    }
+}
+
 #[derive(Debug)]
 struct ThreadPipe {
     id: ThreadId,
     name: String,
+    /// The synthetic spec behind `stream`, kept so fast-forward segments
+    /// can phase-fork the generator (`None` for trace replays, which
+    /// cannot be tiered).
+    spec: Option<WorkloadSpec>,
     stream: Box<dyn InstructionStream>,
     lookahead: VecDeque<TraceInst>,
     bp: HashedPerceptron,
@@ -72,10 +135,22 @@ impl ThreadPipe {
     fn new(source: WorkloadSource, id: ThreadId, rob_size: usize) -> Self {
         let name = source.name().to_string();
         let warmup = source.warmup();
-        let target = warmup + source.instructions();
+        let spec = match &source {
+            WorkloadSource::Synthetic(s) => Some(s.clone()),
+            WorkloadSource::Replay { .. } => None,
+        };
+        // A tiered schedule defines the measured instruction count itself
+        // (windows × window); the flat schedule measures `instructions`.
+        let tiers = spec.as_ref().map_or_else(TierSchedule::flat, |s| s.tiers);
+        let target = if tiers.is_flat() {
+            warmup + source.instructions()
+        } else {
+            warmup + tiers.measured_instructions()
+        };
         Self {
             id,
             name,
+            spec,
             stream: source.into_stream(),
             lookahead: VecDeque::new(),
             bp: HashedPerceptron::new(),
@@ -107,6 +182,23 @@ impl ThreadPipe {
 
     fn finished(&self) -> bool {
         self.produced >= self.target
+    }
+
+    fn tiers(&self) -> TierSchedule {
+        self.spec
+            .as_ref()
+            .map_or_else(TierSchedule::flat, |s| s.tiers)
+    }
+}
+
+impl ResetBoundary for ThreadPipe {
+    /// The per-thread half of a measurement boundary: zero the measured
+    /// counters and pin the measurement clock to the retire frontier.
+    /// Pipeline state (FTQ, predictor, recency of everything) is kept.
+    fn reset_boundary(&mut self) {
+        self.meas_start_cycle = self.last_retire;
+        self.itrans_stall = 0;
+        self.mispredicts = 0;
     }
 }
 
@@ -294,6 +386,68 @@ impl Engine {
         sys.on_retire(1);
     }
 
+    /// The warmup → measurement boundary: statistics reset everywhere,
+    /// warm contents kept (one [`ResetBoundary`] cascade instead of the
+    /// three hand-rolled resets this consolidates).
+    fn measurement_boundary(&mut self) {
+        self.system.reset_boundary();
+        for t in &mut self.threads {
+            t.reset_boundary();
+        }
+    }
+
+    /// Runs one functional fast-forward segment on thread `ti`, covering
+    /// `instructions` program instructions.
+    ///
+    /// The warm stream is a *phase fork* of the thread's spec (same
+    /// layout tables, execution RNG re-seeded by `salt`), so the real
+    /// stream is not advanced and measurement windows stay contiguous —
+    /// the fast-forward models "elsewhere in the same program phase".
+    /// Everything beyond the last [`FF_WARM_CAP`] instructions is a free
+    /// skip; the warm tail runs through a [`FunctionalMachine`] snapshot
+    /// of the cycle structures plus a clone of the branch predictor, and
+    /// both hand their state back at the segment edge. No simulated time
+    /// passes and no statistics accrue.
+    fn fast_forward(&mut self, ti: usize, salt: u64, instructions: u64) {
+        let spec = self.threads[ti]
+            .spec
+            .clone()
+            // Unreachable invariant: non-synthetic sources carry no
+            // schedule, so tiers() is flat and this path never runs.
+            .expect("tiered runs need a synthetic workload");
+        let mut fun = FunctionalMachine::from_cycle(&self.system);
+        let mut warm_bp = self.threads[ti].bp.clone();
+        let mut gen = TraceGenerator::phase_fork(&spec, salt);
+        let warm = instructions.min(FF_WARM_CAP);
+        let va_offset = self.threads[ti].va_offset;
+        let tid = self.threads[ti].id;
+        let mut cur_block = u64::MAX;
+        for _ in 0..warm {
+            let inst = gen.next_inst();
+            let pc = inst.pc + va_offset;
+            let block = pc >> 6;
+            if block != cur_block {
+                cur_block = block;
+                fun.fetch(self.system.page_table_mut(tid), VirtAddr::new(pc));
+            }
+            if let Some(m) = inst.mem {
+                let va = VirtAddr::new(m.addr + va_offset);
+                if m.store {
+                    fun.store(self.system.page_table_mut(tid), va);
+                } else {
+                    fun.load(self.system.page_table_mut(tid), va);
+                }
+            }
+            if let Some(b) = inst.branch {
+                warm_bp.update(pc, b.taken);
+            }
+        }
+        self.threads[ti].bp.import_state(&warm_bp);
+        fun.seed_cycle(&mut self.system);
+        #[cfg(feature = "strict-contracts")]
+        fun.verify_seeded(&self.system);
+    }
+
     /// Runs warmup and measurement, returning the collected results.
     pub fn run(mut self, preset: &str, llc_policy: &str) -> SimulationOutput {
         let smt = self.threads.len() == 2;
@@ -311,32 +465,56 @@ impl Engine {
                 None => break,
             }
         }
-        // Measurement boundary.
-        self.system.reset_stats();
-        for t in &mut self.threads {
-            t.meas_start_cycle = t.last_retire;
-            t.itrans_stall = 0;
-            t.mispredicts = 0;
-        }
-        // Phase 2: run to each thread's target.
-        loop {
-            let next = self
-                .threads
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| !t.finished())
-                .min_by_key(|(_, t)| t.frontend_time)
-                .map(|(i, _)| i);
-            match next {
-                Some(i) => {
-                    self.step(i, smt);
-                    let t = &mut self.threads[i];
-                    if t.finished() && t.end_cycle.is_none() {
-                        t.end_cycle = Some(t.last_retire);
+        self.measurement_boundary();
+        let schedule = self.threads[0].tiers();
+        if schedule.is_flat() {
+            // Phase 2 (classic): run to each thread's target.
+            loop {
+                let next = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !t.finished())
+                    .min_by_key(|(_, t)| t.frontend_time)
+                    .map(|(i, _)| i);
+                match next {
+                    Some(i) => {
+                        self.step(i, smt);
+                        let t = &mut self.threads[i];
+                        if t.finished() && t.end_cycle.is_none() {
+                            t.end_cycle = Some(t.last_retire);
+                        }
+                    }
+                    None => break,
+                }
+            }
+        } else {
+            // Phase 2 (tiered): alternate fast-forward and measurement
+            // segments. Fast-forwards consume no simulated time and no
+            // statistics, so the measured counters aggregate exactly the
+            // windowed instructions — same invariant as the classic path,
+            // over a far longer program horizon.
+            assert!(
+                self.threads.len() == 1,
+                "tiered schedules support a single hardware thread"
+            );
+            let mut salt = 0u64;
+            for tier in Tier::segments(&schedule) {
+                match tier {
+                    Tier::FastForward { instructions } => {
+                        self.fast_forward(0, salt, instructions);
+                        salt += 1;
+                    }
+                    Tier::Window { instructions } => {
+                        let until = self.threads[0].produced + instructions;
+                        while self.threads[0].produced < until {
+                            self.step(0, smt);
+                        }
                     }
                 }
-                None => break,
             }
+            let t = &mut self.threads[0];
+            t.end_cycle = Some(t.last_retire);
         }
 
         let threads = self
@@ -361,6 +539,7 @@ impl Engine {
             preset: preset.to_string(),
             llc_policy: llc_policy.to_string(),
             threads,
+            tiers: schedule,
             itlb: sys.itlb().stats().clone(),
             dtlb: sys.dtlb().stats().clone(),
             stlb: sys.stlb().stats(),

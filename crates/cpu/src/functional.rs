@@ -1,0 +1,871 @@
+//! The functional tier: a timing-free reference machine with warm-state
+//! import/export surfaces.
+//!
+//! This model started life as the difftest crate's obviously-correct
+//! reference machine and was promoted here so the execution engine can
+//! drive it as the *fast-forward tier* of a tiered schedule (see
+//! DESIGN.md, "Tiered execution"): per-set MRU-first recency lists
+//! instead of policy objects and validity bitmasks, straight-line
+//! lookups instead of MSHR merging, and no timing at all. It still
+//! shares **no** structure code with `itpx-vm`/`itpx-mem` — only the
+//! page table (the deterministic address mapping both machines must
+//! agree on) and the type vocabulary — which is exactly what makes it
+//! usable as a differential reference *and* as a warming engine.
+//!
+//! Two jobs, one model:
+//!
+//! * **Difftest reference** — `itpx-difftest` wraps [`FunctionalMachine`]
+//!   and compares its counters against the quiescent cycle model bit for
+//!   bit.
+//! * **Fast-forward tier** — at a tier boundary the engine snapshots the
+//!   cycle structures ([`FunctionalMachine::from_cycle`]), runs the
+//!   fast-forward warm tail through this model at functional speed, and
+//!   seeds the warmed contents back ([`FunctionalMachine::seed_cycle`]).
+//!   Handoffs carry *membership, dirt, recency order, and the paper's
+//!   `Type` bit*; replacement metadata richer than recency (RRPV ages,
+//!   SHiP counters) is reconstructed through the policies' fill hooks —
+//!   the documented fidelity limit of a handoff.
+
+use crate::config::SystemConfig;
+use crate::system::System;
+use itpx_mem::CacheLineSnapshot;
+#[cfg(feature = "strict-contracts")]
+use itpx_types::Vpn;
+use itpx_types::{
+    FillClass, LevelCounts, LevelId, PageSize, PhysAddr, StructCounts, TranslationKind, VirtAddr,
+};
+use itpx_vm::page_table::PageTable;
+use itpx_vm::tlb::{LastLevelTlb, TlbConfig, TlbEntry};
+
+/// A TLB modeled as per-set MRU-first lists of [`TlbEntry`] tuples.
+///
+/// Equivalent to the production structure under LRU: a hit or a refill
+/// of a resident entry moves it to the front, a fill pushes to the
+/// front and drops the back of a full set. The production first-free-way
+/// fill plus recency-stack victim selection preserves exactly this
+/// membership and eviction order.
+#[derive(Debug)]
+pub struct FunctionalTlb {
+    sets: usize,
+    ways: usize,
+    /// Per-set entries, most recently used first.
+    // itpx-allow: nested-vec reference model optimizes for auditability, not speed
+    lists: Vec<Vec<TlbEntry>>,
+    /// Access/miss counters in the difftest vocabulary.
+    pub stats: StructCounts,
+}
+
+impl FunctionalTlb {
+    /// Builds an empty TLB with `cfg`'s geometry.
+    pub fn new(cfg: &TlbConfig) -> Self {
+        Self {
+            sets: cfg.sets,
+            ways: cfg.ways,
+            lists: vec![Vec::new(); cfg.sets],
+            stats: StructCounts::default(),
+        }
+    }
+
+    fn stat_class(kind: TranslationKind) -> FillClass {
+        match kind {
+            TranslationKind::Instruction => FillClass::InstrPayload,
+            TranslationKind::Data => FillClass::DataPayload,
+        }
+    }
+
+    /// Probes both page-size granularities in the production order
+    /// (4 KiB first), touching recency and recording stats.
+    pub fn lookup(&mut self, va: VirtAddr, kind: TranslationKind) -> Option<(PhysAddr, PageSize)> {
+        for size in [PageSize::Base4K, PageSize::Huge2M] {
+            let vpn = va.vpn(size).0;
+            let set = (vpn as usize) % self.sets;
+            let list = &mut self.lists[set];
+            if let Some(pos) = list.iter().position(|&(v, s, _, _)| v == vpn && s == size) {
+                let entry = list.remove(pos);
+                list.insert(0, entry);
+                self.stats.record(Self::stat_class(kind), false);
+                return Some((entry.2, size));
+            }
+        }
+        self.stats.record(Self::stat_class(kind), true);
+        None
+    }
+
+    /// Installs a translation; a resident entry is refreshed in place.
+    /// `kind` is the `Type` bit of the installing fill, carried so a
+    /// later export hands it back to kind-aware cycle policies.
+    pub fn fill(&mut self, vpn: u64, size: PageSize, frame: PhysAddr, kind: TranslationKind) {
+        let set = (vpn as usize) % self.sets;
+        let list = &mut self.lists[set];
+        if let Some(pos) = list.iter().position(|&(v, s, _, _)| v == vpn && s == size) {
+            let entry = list.remove(pos);
+            list.insert(0, entry);
+            return;
+        }
+        if list.len() == self.ways {
+            list.pop();
+        }
+        list.insert(0, (vpn, size, frame, kind));
+    }
+
+    /// Exports resident entries per set in **LRU-first** order, so
+    /// replaying them through a fill path reproduces the recency order.
+    pub fn export_entries(&self) -> Vec<TlbEntry> {
+        let mut out = Vec::new();
+        for list in &self.lists {
+            out.extend(list.iter().rev().copied());
+        }
+        out
+    }
+
+    /// Replaces contents with `entries`, installing in iteration order
+    /// (last entry into a set becomes its MRU). Stats are not touched.
+    pub fn import_entries<I: IntoIterator<Item = TlbEntry>>(&mut self, entries: I) {
+        for list in &mut self.lists {
+            list.clear();
+        }
+        for (vpn, size, frame, kind) in entries {
+            self.fill(vpn, size, frame, kind);
+        }
+    }
+
+    /// Occupancy of the fullest set (used by capacity-invariant tests).
+    pub fn max_set_occupancy(&self) -> usize {
+        self.lists.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether a `(vpn, size)` translation is resident, without touching
+    /// recency or stats.
+    pub fn contains(&self, vpn: u64, size: PageSize) -> bool {
+        let set = (vpn as usize) % self.sets;
+        self.lists[set]
+            .iter()
+            .any(|&(v, s, _, _)| v == vpn && s == size)
+    }
+}
+
+/// One page-structure cache as per-set MRU-first tag lists.
+#[derive(Debug)]
+pub struct FunctionalPsc {
+    level: u8,
+    sets: usize,
+    ways: usize,
+    // itpx-allow: nested-vec reference model optimizes for auditability, not speed
+    lists: Vec<Vec<u64>>,
+}
+
+impl FunctionalPsc {
+    fn new(level: u8, sets: usize, ways: usize) -> Self {
+        Self {
+            level,
+            sets,
+            ways,
+            lists: vec![Vec::new(); sets],
+        }
+    }
+
+    fn tag(&self, vpn4k: u64) -> u64 {
+        vpn4k >> (9 * (self.level as u32 - 1))
+    }
+
+    /// Probe, touching recency on a hit (the production lookup does).
+    pub fn lookup(&mut self, vpn4k: u64) -> bool {
+        let tag = self.tag(vpn4k);
+        let set = (tag as usize) % self.sets;
+        let list = &mut self.lists[set];
+        if let Some(pos) = list.iter().position(|&t| t == tag) {
+            let t = list.remove(pos);
+            list.insert(0, t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Install after a walk. A resident tag is left untouched — the
+    /// production fill early-returns without a recency update.
+    pub fn fill(&mut self, vpn4k: u64) {
+        let tag = self.tag(vpn4k);
+        self.install_tag(tag);
+    }
+
+    fn install_tag(&mut self, tag: u64) {
+        let set = (tag as usize) % self.sets;
+        let list = &mut self.lists[set];
+        if list.contains(&tag) {
+            return;
+        }
+        if list.len() == self.ways {
+            list.pop();
+        }
+        list.insert(0, tag);
+    }
+
+    /// Exports resident tags LRU-first (see the TLB counterpart).
+    pub fn export_tags(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for list in &self.lists {
+            out.extend(list.iter().rev().copied());
+        }
+        out
+    }
+
+    /// Replaces contents with raw level tags, installing in order.
+    pub fn import_tags<I: IntoIterator<Item = u64>>(&mut self, tags: I) {
+        for list in &mut self.lists {
+            list.clear();
+        }
+        for tag in tags {
+            self.install_tag(tag);
+        }
+    }
+}
+
+/// The split PSC hierarchy with the Table 1 geometry, replicating the
+/// production probe order (PSCL2 → PSCL3 → PSCL4 → PSCL5) and fill
+/// order (2, 3, 4, 5).
+#[derive(Debug)]
+pub struct FunctionalPscs {
+    pscl5: FunctionalPsc,
+    pscl4: FunctionalPsc,
+    pscl3: FunctionalPsc,
+    pscl2: FunctionalPsc,
+}
+
+impl FunctionalPscs {
+    /// The paper's Table 1 geometry.
+    pub fn asplos25() -> Self {
+        Self {
+            pscl5: FunctionalPsc::new(5, 1, 2),
+            pscl4: FunctionalPsc::new(4, 1, 4),
+            pscl3: FunctionalPsc::new(3, 4, 2),
+            pscl2: FunctionalPsc::new(2, 8, 4),
+        }
+    }
+
+    /// Deepest level a walk for `vpn4k` may start at.
+    pub fn start_level(&mut self, vpn4k: u64) -> u8 {
+        if self.pscl2.lookup(vpn4k) {
+            2
+        } else if self.pscl3.lookup(vpn4k) {
+            3
+        } else if self.pscl4.lookup(vpn4k) {
+            4
+        } else {
+            // Production consults PSCL5 even though the answer is the
+            // root either way; replicate for identical recency state.
+            let _ = self.pscl5.lookup(vpn4k);
+            5
+        }
+    }
+
+    /// Fills all levels after a resolved walk.
+    pub fn fill(&mut self, vpn4k: u64) {
+        self.pscl2.fill(vpn4k);
+        self.pscl3.fill(vpn4k);
+        self.pscl4.fill(vpn4k);
+        self.pscl5.fill(vpn4k);
+    }
+
+    /// Snapshots all four levels as `[PSCL5, PSCL4, PSCL3, PSCL2]`,
+    /// matching [`itpx_vm::SplitPscs::export_tags`]'s layout.
+    pub fn export_tags(&self) -> [Vec<u64>; 4] {
+        [
+            self.pscl5.export_tags(),
+            self.pscl4.export_tags(),
+            self.pscl3.export_tags(),
+            self.pscl2.export_tags(),
+        ]
+    }
+
+    /// Replaces all four levels from an export snapshot.
+    pub fn import_tags(&mut self, tags: [Vec<u64>; 4]) {
+        let [t5, t4, t3, t2] = tags;
+        self.pscl5.import_tags(t5);
+        self.pscl4.import_tags(t4);
+        self.pscl3.import_tags(t3);
+        self.pscl2.import_tags(t2);
+    }
+}
+
+/// One cached block of the functional chain. Unlike the original
+/// reference line, it remembers the installing access's [`FillClass`] so
+/// a warm-state export can hand class-aware cycle policies the right
+/// kind.
+#[derive(Debug, Clone, Copy)]
+struct FunctionalLine {
+    block: u64,
+    dirty: bool,
+    class: FillClass,
+}
+
+/// One level of the functional chain.
+#[derive(Debug)]
+pub struct FunctionalLevel {
+    id: LevelId,
+    sets: usize,
+    ways: usize,
+    /// Per-set lines, most recently used first.
+    // itpx-allow: nested-vec reference model optimizes for auditability, not speed
+    lists: Vec<Vec<FunctionalLine>>,
+    /// Index of the next-lower level; `None` misses to DRAM.
+    next: Option<usize>,
+    counts: StructCounts,
+    writebacks: u64,
+    evictions: u64,
+}
+
+impl FunctionalLevel {
+    fn set_of(&self, block: u64) -> usize {
+        (block as usize) % self.sets
+    }
+
+    /// Non-touching residency check (writeback routing uses this).
+    pub fn contains(&self, block: u64) -> bool {
+        let set = self.set_of(block);
+        self.lists[set].iter().any(|l| l.block == block)
+    }
+
+    fn mark_dirty(&mut self, block: u64) {
+        let set = self.set_of(block);
+        if let Some(line) = self.lists[set].iter_mut().find(|l| l.block == block) {
+            line.dirty = true;
+        }
+    }
+
+    /// This level's identity.
+    pub fn id(&self) -> LevelId {
+        self.id
+    }
+
+    /// Exports resident lines LRU-first in the mem crate's snapshot form.
+    pub fn export_lines(&self) -> Vec<CacheLineSnapshot> {
+        let mut out = Vec::new();
+        for list in &self.lists {
+            out.extend(list.iter().rev().map(|l| (l.block, l.dirty, l.class)));
+        }
+        out
+    }
+
+    /// Replaces contents with `lines`, installing MRU-last per set.
+    /// Counters are not touched.
+    pub fn import_lines<I: IntoIterator<Item = CacheLineSnapshot>>(&mut self, lines: I) {
+        for list in &mut self.lists {
+            list.clear();
+        }
+        for (block, dirty, class) in lines {
+            let set = self.set_of(block);
+            let list = &mut self.lists[set];
+            if let Some(pos) = list.iter().position(|l| l.block == block) {
+                let line = list.remove(pos);
+                list.insert(0, line);
+                continue;
+            }
+            if list.len() == self.ways {
+                list.pop();
+            }
+            list.insert(
+                0,
+                FunctionalLine {
+                    block,
+                    dirty,
+                    class,
+                },
+            );
+        }
+    }
+}
+
+/// The functional cache chain: `[L1I, L1D, shared…]` with DRAM at the
+/// bottom, mirroring the production level-chain topology.
+#[derive(Debug)]
+pub struct FunctionalChain {
+    levels: Vec<FunctionalLevel>,
+    dram_reads: u64,
+    dram_writes: u64,
+    wb_absorbed: u64,
+}
+
+/// Index of the L1I entry level.
+const L1I: usize = 0;
+/// Index of the L1D entry level.
+const L1D: usize = 1;
+/// Index of the first shared level (the page-walk entry point).
+const SHARED: usize = 2;
+
+impl FunctionalChain {
+    /// Builds the chain for `cfg`'s topology.
+    pub fn new(cfg: &itpx_mem::HierarchyConfig) -> Self {
+        let shared = cfg.shared_levels();
+        let last = shared.len() - 1;
+        let mut levels = Vec::with_capacity(2 + shared.len());
+        let mk = |id, sets: usize, ways: usize, next| FunctionalLevel {
+            id,
+            sets,
+            ways,
+            lists: vec![Vec::new(); sets],
+            next,
+            counts: StructCounts::default(),
+            writebacks: 0,
+            evictions: 0,
+        };
+        levels.push(mk(LevelId::L1I, cfg.l1i.sets, cfg.l1i.ways, Some(SHARED)));
+        levels.push(mk(LevelId::L1D, cfg.l1d.sets, cfg.l1d.ways, Some(SHARED)));
+        for (i, level) in shared.iter().enumerate() {
+            let next = (i != last).then_some(SHARED + i + 1);
+            levels.push(mk(level.id, level.cache.sets, level.cache.ways, next));
+        }
+        Self {
+            levels,
+            dram_reads: 0,
+            dram_writes: 0,
+            wb_absorbed: 0,
+        }
+    }
+
+    /// The probe → miss-below → fill recursion, in the production order:
+    /// on a miss the lower levels fill (and route their writebacks)
+    /// before this level does.
+    pub fn access(&mut self, idx: usize, block: u64, class: FillClass) {
+        let set = self.levels[idx].set_of(block);
+        let pos = self.levels[idx].lists[set]
+            .iter()
+            .position(|l| l.block == block);
+        if let Some(pos) = pos {
+            self.levels[idx].counts.record(class, false);
+            let line = self.levels[idx].lists[set].remove(pos);
+            // itpx-allow: hot-alloc reference model: the set list is bounded by the way count, so this insert shifts a few words and never grows
+            self.levels[idx].lists[set].insert(0, line);
+            return;
+        }
+        self.levels[idx].counts.record(class, true);
+        match self.levels[idx].next {
+            Some(next) => self.access(next, block, class),
+            None => self.dram_reads += 1,
+        }
+        if let Some(victim) = self.fill(idx, block, class) {
+            self.route_writeback(idx, victim);
+        }
+    }
+
+    /// Installs `block` clean; returns a displaced dirty block.
+    fn fill(&mut self, idx: usize, block: u64, class: FillClass) -> Option<u64> {
+        let set = self.levels[idx].set_of(block);
+        let ways = self.levels[idx].ways;
+        let list = &mut self.levels[idx].lists[set];
+        if let Some(pos) = list.iter().position(|l| l.block == block) {
+            // Resident refresh (production `fill` of a present block).
+            let line = list.remove(pos);
+            list.insert(0, line);
+            return None;
+        }
+        let mut wb = None;
+        if list.len() == ways {
+            // popped from a full list checked just above
+            let victim = list.pop().unwrap_or(FunctionalLine {
+                block: 0,
+                dirty: false,
+                class,
+            });
+            self.levels[idx].evictions += 1;
+            if victim.dirty {
+                self.levels[idx].writebacks += 1;
+                wb = Some(victim.block);
+            }
+        }
+        // itpx-allow: hot-alloc reference model: the set list is bounded by the way count (a victim was just popped when full), so this insert never grows past it
+        self.levels[idx].lists[set].insert(
+            0,
+            FunctionalLine {
+                block,
+                dirty: false,
+                class,
+            },
+        );
+        wb
+    }
+
+    /// First strictly-lower level holding the block absorbs the
+    /// writeback as a dirty mark; otherwise it is a DRAM write.
+    fn route_writeback(&mut self, from: usize, block: u64) {
+        let mut next = self.levels[from].next;
+        while let Some(idx) = next {
+            if self.levels[idx].contains(block) {
+                self.levels[idx].mark_dirty(block);
+                self.wb_absorbed += 1;
+                return;
+            }
+            next = self.levels[idx].next;
+        }
+        self.dram_writes += 1;
+    }
+
+    /// The chain's levels in order (L1I, L1D, then shared
+    /// outermost-first).
+    pub fn levels(&self) -> &[FunctionalLevel] {
+        &self.levels
+    }
+
+    /// Mutable level lookup by identity (warm-state imports).
+    pub fn level_mut(&mut self, id: LevelId) -> Option<&mut FunctionalLevel> {
+        self.levels.iter_mut().find(|l| l.id == id)
+    }
+
+    /// Level lookup by identity.
+    pub fn level(&self, id: LevelId) -> Option<&FunctionalLevel> {
+        self.levels.iter().find(|l| l.id == id)
+    }
+
+    /// Per-level counters in the difftest report vocabulary.
+    pub fn level_counts(&self) -> Vec<LevelCounts> {
+        self.levels
+            .iter()
+            .map(|l| LevelCounts {
+                id: l.id,
+                counts: l.counts,
+                writebacks: l.writebacks,
+                evictions: l.evictions,
+            })
+            .collect()
+    }
+
+    /// DRAM reads observed.
+    pub fn dram_reads(&self) -> u64 {
+        self.dram_reads
+    }
+
+    /// DRAM writes observed.
+    pub fn dram_writes(&self) -> u64 {
+        self.dram_writes
+    }
+
+    /// Writebacks absorbed by a lower level instead of DRAM.
+    pub fn writebacks_absorbed(&self) -> u64 {
+        self.wb_absorbed
+    }
+
+    /// Marks `block` dirty at the L1D (store semantics).
+    pub fn mark_dirty_l1d(&mut self, block: u64) {
+        self.levels[L1D].mark_dirty(block);
+    }
+}
+
+/// The functional machine: TLBs, PSCs, page-walk bookkeeping, and the
+/// cache chain. The page table is **not** owned — callers pass the one
+/// the cycle model uses so first-touch frame allocation stays shared
+/// across tiers (the difftest wrapper owns its own).
+#[derive(Debug)]
+pub struct FunctionalMachine {
+    /// First-level instruction TLB.
+    pub itlb: FunctionalTlb,
+    /// First-level data TLB.
+    pub dtlb: FunctionalTlb,
+    /// Unified second-level TLB.
+    pub stlb: FunctionalTlb,
+    /// Split page-structure caches.
+    pub pscs: FunctionalPscs,
+    /// The cache chain.
+    pub chain: FunctionalChain,
+    /// Page walks performed.
+    pub walks: u64,
+    /// Walks triggered by instruction translations.
+    pub instr_walks: u64,
+    /// Memory references issued by walks.
+    pub walk_refs: u64,
+}
+
+impl FunctionalMachine {
+    /// Builds an empty (cold) machine for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` requests a split STLB — the functional tier (like
+    /// the difftest reference) models the unified organization the paper
+    /// optimizes.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        assert!(
+            !cfg.split_stlb,
+            "functional tier models the unified STLB only"
+        );
+        Self {
+            itlb: FunctionalTlb::new(&cfg.itlb),
+            dtlb: FunctionalTlb::new(&cfg.dtlb),
+            stlb: FunctionalTlb::new(&cfg.stlb),
+            pscs: FunctionalPscs::asplos25(),
+            chain: FunctionalChain::new(&cfg.hierarchy),
+            walks: 0,
+            instr_walks: 0,
+            walk_refs: 0,
+        }
+    }
+
+    /// Snapshots the cycle model's warm contents into a fresh functional
+    /// machine — the cycle → functional half of a tier handoff. Carries
+    /// membership, dirt, page size, and the `Type` bit; cycle-side
+    /// recency is approximated by the cycle export's way order.
+    pub fn from_cycle(system: &System) -> Self {
+        let mut m = Self::new(&system.config);
+        m.itlb.import_entries(system.itlb().export_entries());
+        m.dtlb.import_entries(system.dtlb().export_entries());
+        match system.stlb() {
+            LastLevelTlb::Unified(t) => m.stlb.import_entries(t.export_entries()),
+            // Self::new above already rejected split configurations.
+            LastLevelTlb::Split { .. } => unreachable!("split STLB rejected at construction"),
+        }
+        m.pscs.import_tags(system.pscs().export_tags());
+        for (id, cache) in system.hierarchy.levels() {
+            if let Some(level) = m.chain.level_mut(id) {
+                level.import_lines(cache.export_lines());
+            }
+        }
+        m
+    }
+
+    /// Seeds the cycle model's structures from this machine's contents —
+    /// the functional → cycle half of a tier handoff. Exports iterate
+    /// LRU-first, so the cycle policies' fill hooks rebuild each set
+    /// with the same MRU ordering. Cycle-side statistics are untouched:
+    /// a handoff is not simulated traffic.
+    pub fn seed_cycle(&self, system: &mut System) {
+        let path = system.path_mut();
+        path.itlb_mut().import_entries(self.itlb.export_entries());
+        path.dtlb_mut().import_entries(self.dtlb.export_entries());
+        match path.stlb_mut() {
+            LastLevelTlb::Unified(t) => t.import_entries(self.stlb.export_entries()),
+            LastLevelTlb::Split { .. } => unreachable!("split STLB rejected at construction"),
+        }
+        path.pscs_mut().import_tags(self.pscs.export_tags());
+        for (id, cache) in system.hierarchy.levels_mut() {
+            if let Some(level) = self.chain.level(id) {
+                cache.import_lines(level.export_lines());
+            }
+        }
+    }
+
+    /// Tier-boundary lockstep check: every entry this machine holds must
+    /// be resident in the just-seeded cycle structures. Run after
+    /// [`Self::seed_cycle`]; compiled only under `strict-contracts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first membership divergence, naming the structure.
+    #[cfg(feature = "strict-contracts")]
+    pub fn verify_seeded(&self, system: &System) {
+        for (vpn, size, _, _) in self.itlb.export_entries() {
+            assert!(
+                system.itlb().contains(Vpn(vpn).base(size), size),
+                "tier handoff lost ITLB entry vpn={vpn:#x}"
+            );
+        }
+        for (vpn, size, _, _) in self.dtlb.export_entries() {
+            assert!(
+                system.dtlb().contains(Vpn(vpn).base(size), size),
+                "tier handoff lost DTLB entry vpn={vpn:#x}"
+            );
+        }
+        if let LastLevelTlb::Unified(t) = system.stlb() {
+            for (vpn, size, _, _) in self.stlb.export_entries() {
+                assert!(
+                    t.contains(Vpn(vpn).base(size), size),
+                    "tier handoff lost STLB entry vpn={vpn:#x}"
+                );
+            }
+        }
+        for level in self.chain.levels() {
+            let cycle = system
+                .hierarchy
+                .cache(level.id())
+                // The functional chain was built from this very
+                // hierarchy's level list, so the lookup cannot fail.
+                .expect("chain topologies match");
+            for (block, _, _) in level.export_lines() {
+                assert!(
+                    cycle.contains(block),
+                    "tier handoff lost {} block {block:#x}",
+                    level.id().name()
+                );
+            }
+        }
+    }
+
+    /// The full ITLB/DTLB → STLB → page-walk path, minus all timing.
+    /// Returns the physical address.
+    pub fn translate(
+        &mut self,
+        page_table: &mut PageTable,
+        va: VirtAddr,
+        kind: TranslationKind,
+    ) -> PhysAddr {
+        let l1 = if kind.is_instruction() {
+            &mut self.itlb
+        } else {
+            &mut self.dtlb
+        };
+        if let Some((frame, size)) = l1.lookup(va, kind) {
+            return frame.offset(va.page_offset(size));
+        }
+        // Production translates on every L1-TLB miss (page-table node
+        // and frame allocation are first-touch, so call order matters).
+        let tr = page_table.translate(va, kind);
+        if self.stlb.lookup(va, kind).is_none() {
+            // Page walk: PSC start level, then one chain access per
+            // remaining page-table level, entering at the first shared
+            // level with the translation kind's PTE class.
+            let vpn4k = match tr.size {
+                PageSize::Base4K => tr.vpn,
+                PageSize::Huge2M => tr.vpn << 9,
+            };
+            let start_level = self.pscs.start_level(vpn4k);
+            // itpx-allow: hot-alloc reference model: copies at most four (level, pa) pairs to release the page-table borrow before touching the chain
+            let steps = tr.path.from_level(start_level).to_vec();
+            for &(_level, pa) in &steps {
+                self.chain
+                    .access(SHARED, pa.block().index(), FillClass::pte_for(kind));
+            }
+            self.pscs.fill(vpn4k);
+            self.walks += 1;
+            if kind.is_instruction() {
+                self.instr_walks += 1;
+            }
+            self.walk_refs += steps.len() as u64;
+            self.stlb.fill(tr.vpn, tr.size, tr.frame, kind);
+        }
+        let l1 = if kind.is_instruction() {
+            &mut self.itlb
+        } else {
+            &mut self.dtlb
+        };
+        l1.fill(tr.vpn, tr.size, tr.frame, kind);
+        tr.pa
+    }
+
+    /// Instruction fetch of the block containing `va`.
+    pub fn fetch(&mut self, page_table: &mut PageTable, va: VirtAddr) {
+        let pa = self.translate(page_table, va, TranslationKind::Instruction);
+        self.chain
+            .access(L1I, pa.block().index(), FillClass::InstrPayload);
+    }
+
+    /// Data load from `va`.
+    pub fn load(&mut self, page_table: &mut PageTable, va: VirtAddr) {
+        let pa = self.translate(page_table, va, TranslationKind::Data);
+        self.chain
+            .access(L1D, pa.block().index(), FillClass::DataPayload);
+    }
+
+    /// Data store to `va` (dirties the L1D block after the chain access,
+    /// matching the production order).
+    pub fn store(&mut self, page_table: &mut PageTable, va: VirtAddr) {
+        let pa = self.translate(page_table, va, TranslationKind::Data);
+        let block = pa.block().index();
+        self.chain.access(L1D, block, FillClass::DataPayload);
+        self.chain.mark_dirty_l1d(block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::System;
+    use itpx_core::presets::BuildConfig;
+    use itpx_core::Preset;
+    use itpx_types::{ThreadId, Vpn};
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::asplos25()
+    }
+
+    fn table(c: &SystemConfig) -> PageTable {
+        PageTable::with_region_offset(c.huge_pages, c.seed, 0)
+    }
+
+    #[test]
+    fn cold_fetch_walks_and_warms_everything() {
+        let c = cfg();
+        let mut pt = table(&c);
+        let mut m = FunctionalMachine::new(&c);
+        m.fetch(&mut pt, VirtAddr::new(0x51_0000_0000));
+        assert_eq!(m.itlb.stats.accesses, [0, 1, 0, 0]);
+        assert_eq!(m.itlb.stats.misses, [0, 1, 0, 0]);
+        assert_eq!(m.walks, 1);
+        assert_eq!(m.instr_walks, 1);
+        assert_eq!(m.walk_refs, 5, "cold 4 KiB walk reads all five levels");
+        m.fetch(&mut pt, VirtAddr::new(0x51_0000_0000));
+        assert_eq!(m.walks, 1);
+        assert_eq!(m.itlb.stats.misses, [0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn tlb_roundtrip_preserves_membership_and_recency() {
+        let c = cfg();
+        let mut src = FunctionalTlb::new(&c.itlb);
+        src.fill(
+            0x10,
+            PageSize::Base4K,
+            PhysAddr::new(0x1000),
+            TranslationKind::Instruction,
+        );
+        src.fill(
+            0x20,
+            PageSize::Base4K,
+            PhysAddr::new(0x2000),
+            TranslationKind::Instruction,
+        );
+        let mut dst = FunctionalTlb::new(&c.itlb);
+        dst.import_entries(src.export_entries());
+        assert!(dst.contains(0x10, PageSize::Base4K));
+        assert!(dst.contains(0x20, PageSize::Base4K));
+        assert_eq!(dst.export_entries(), src.export_entries());
+        assert_eq!(
+            dst.stats.accesses, [0; 4],
+            "imports do not count as traffic"
+        );
+    }
+
+    #[test]
+    fn cycle_handoff_roundtrip_preserves_membership() {
+        let c = cfg();
+        let bundle = Preset::Lru.build(&c.dims(), &BuildConfig::default());
+        let mut sys = System::new(c, bundle, 1);
+        // Warm the cycle model with a few translations + fetches.
+        for i in 0..32u64 {
+            let va = VirtAddr::new(0x51_0000_0000 + i * 4096);
+            let tr = sys.translate(va, TranslationKind::Instruction, va.0, ThreadId(0), i * 500);
+            sys.hierarchy.instr_fetch(tr.pa, va.0, ThreadId(0), i * 500);
+        }
+        let fun = FunctionalMachine::from_cycle(&sys);
+        // Functional snapshot holds exactly what the cycle model holds.
+        for i in 0..32u64 {
+            let va = VirtAddr::new(0x51_0000_0000 + i * 4096);
+            let resident_cycle = sys.itlb().contains(va, PageSize::Base4K)
+                || match sys.stlb() {
+                    LastLevelTlb::Unified(t) => t.contains(va, PageSize::Base4K),
+                    LastLevelTlb::Split { .. } => false,
+                };
+            let vpn = va.vpn(PageSize::Base4K).0;
+            let resident_fun = fun.itlb.contains(vpn, PageSize::Base4K)
+                || fun.stlb.contains(vpn, PageSize::Base4K);
+            assert_eq!(resident_cycle, resident_fun, "page {i} diverged");
+        }
+        // Seed back into a fresh cycle machine and verify membership.
+        let c2 = cfg();
+        let bundle2 = Preset::Lru.build(&c2.dims(), &BuildConfig::default());
+        let mut sys2 = System::new(c2, bundle2, 1);
+        fun.seed_cycle(&mut sys2);
+        #[cfg(feature = "strict-contracts")]
+        fun.verify_seeded(&sys2);
+        for (vpn, size, _, _) in fun.itlb.export_entries() {
+            assert!(sys2.itlb().contains(Vpn(vpn).base(size), size));
+        }
+        let l1i_fun = fun.chain.level(LevelId::L1I).expect("has L1I");
+        let l1i_cycle = sys2.hierarchy.cache(LevelId::L1I).expect("has L1I");
+        for (block, _, _) in l1i_fun.export_lines() {
+            assert!(l1i_cycle.contains(block));
+        }
+        assert_eq!(
+            l1i_cycle.stats().accesses(),
+            0,
+            "seeding is not simulated traffic"
+        );
+    }
+}

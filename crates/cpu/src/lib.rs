@@ -14,7 +14,12 @@
 //!   monitor plumbing of Figure 7.
 //! * [`engine`] — the timing model: a timestamp-dataflow out-of-order
 //!   core (decoupled front end with FDIP, ROB occupancy, register
-//!   dependencies, in-order retire) for one or two SMT threads.
+//!   dependencies, in-order retire) for one or two SMT threads, plus the
+//!   tiered schedule that interleaves functional fast-forward with
+//!   cycle-accurate measurement windows.
+//! * [`functional`] — the timing-free functional machine: the difftest
+//!   reference model, promoted here so it can serve as the fast-forward
+//!   tier with warm-state handoff at every tier boundary.
 //! * [`sim`] — the [`Simulation`] facade used by examples and the
 //!   experiment harness.
 //!
@@ -37,12 +42,15 @@
 pub mod branch;
 pub mod config;
 pub mod engine;
+pub mod functional;
 pub mod output;
 pub mod sim;
 pub mod system;
 
 pub use branch::HashedPerceptron;
 pub use config::SystemConfig;
+pub use engine::{Engine, Tier};
+pub use functional::{FunctionalChain, FunctionalMachine, FunctionalPscs, FunctionalTlb};
 pub use output::{LevelReport, SimulationOutput, ThreadOutput, WalkerSummary};
 pub use sim::Simulation;
 pub use system::System;

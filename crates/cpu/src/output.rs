@@ -1,5 +1,6 @@
 //! Simulation results: everything the paper's figures report.
 
+use itpx_trace::TierSchedule;
 use itpx_types::{LevelId, MpkiBreakdown, StructStats};
 
 /// Per-hardware-thread results.
@@ -71,6 +72,10 @@ pub struct SimulationOutput {
     pub llc_policy: String,
     /// Per-thread results (1 or 2 entries).
     pub threads: Vec<ThreadOutput>,
+    /// Tiered execution schedule the run used (flat = the classic
+    /// single-window run). Carried so downstream consumers can tell how
+    /// the measured counters were gathered.
+    pub tiers: TierSchedule,
     /// First-level instruction TLB statistics.
     pub itlb: StructStats,
     /// First-level data TLB statistics.
@@ -181,6 +186,7 @@ mod tests {
             preset: "LRU".into(),
             llc_policy: "LRU".into(),
             threads,
+            tiers: TierSchedule::flat(),
             itlb: StructStats::new(),
             dtlb: StructStats::new(),
             stlb: StructStats::new(),

@@ -6,7 +6,7 @@ use itpx_core::presets::PolicyBundle;
 use itpx_core::StlbPressureMonitor;
 use itpx_mem::{Hierarchy, HierarchyPolicies};
 use itpx_policy::Lru;
-use itpx_types::{Cycle, PhysAddr, ThreadId, TranslationKind, VirtAddr};
+use itpx_types::{Cycle, PhysAddr, ResetBoundary, ThreadId, TranslationKind, VirtAddr};
 use itpx_vm::page_table::PageTable;
 use itpx_vm::path::TranslationPath;
 use itpx_vm::psc::SplitPscs;
@@ -180,6 +180,24 @@ impl System {
         self.path.walker()
     }
 
+    /// The split page-structure caches.
+    pub fn pscs(&self) -> &SplitPscs {
+        self.path.pscs()
+    }
+
+    /// Mutable access to the whole translation path (warm-state imports at
+    /// a tier boundary).
+    pub fn path_mut(&mut self) -> &mut TranslationPath {
+        &mut self.path
+    }
+
+    /// Mutable access to `thread`'s page table, so the functional tier
+    /// allocates frames out of the same first-touch sequence the cycle
+    /// model would.
+    pub fn page_table_mut(&mut self, thread: ThreadId) -> &mut PageTable {
+        &mut self.page_tables[thread.0 as usize]
+    }
+
     /// Clears every statistic (warmup/measurement boundary); structure
     /// contents and replacement state are preserved. Both halves iterate
     /// their own structures — the translation path its pipeline, the
@@ -187,6 +205,15 @@ impl System {
     pub fn reset_stats(&mut self) {
         self.path.reset_stats();
         self.hierarchy.reset_stats();
+    }
+}
+
+impl ResetBoundary for System {
+    /// A measurement boundary for the whole machine: statistics reset,
+    /// warm contents kept (delegates to both halves' boundaries).
+    fn reset_boundary(&mut self) {
+        self.path.reset_boundary();
+        self.hierarchy.reset_boundary();
     }
 }
 

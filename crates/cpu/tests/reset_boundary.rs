@@ -10,9 +10,10 @@
 
 use itpx_core::presets::BuildConfig;
 use itpx_core::Preset;
-use itpx_cpu::{System, SystemConfig};
+use itpx_cpu::{Simulation, System, SystemConfig};
 use itpx_mem::HierarchyConfig;
-use itpx_types::{ThreadId, TranslationKind, VirtAddr};
+use itpx_trace::{TierSchedule, WorkloadSpec};
+use itpx_types::{ResetBoundary, ThreadId, TranslationKind, VirtAddr};
 
 /// Drives enough varied traffic through the machine that every counter
 /// class is nonzero: TLB accesses and misses, walks, cache accesses and
@@ -97,6 +98,44 @@ fn reset_covers_shallow_and_deep_chains() {
         s.reset_stats();
         assert_all_counters_zero(&s);
     }
+}
+
+/// The [`ResetBoundary`] trait (which the engine's measurement boundary
+/// now cascades through) must cover exactly what `reset_stats` covers.
+#[test]
+fn reset_boundary_trait_covers_the_whole_system() {
+    let mut s = system_with(HierarchyConfig::asplos25());
+    warm_up(&mut s);
+    assert!(s.itlb().stats().misses() > 0);
+    s.reset_boundary();
+    assert_all_counters_zero(&s);
+}
+
+/// The boundary contract extends to the tiered path: fast-forward
+/// segments drive the *functional* machine, so none of their traffic may
+/// appear in the measured cycle-model counters. A leak of even one 30k
+/// fast-forward segment would multiply the access counts several-fold.
+#[test]
+fn tiered_measurement_excludes_fast_forward_traffic() {
+    let cfg = SystemConfig::asplos25();
+    let w = WorkloadSpec::server_like(9)
+        .warmup(4_000)
+        .tiers(TierSchedule::tiered(4_000, 30_000, 3));
+    let out = Simulation::single_thread(&cfg, Preset::Lru, &w).run();
+    let measured = out.instructions();
+    assert_eq!(measured, 12_000);
+    // Fetches happen once per block group and data accesses on ~1/3 of
+    // instructions: both are well below one per measured instruction.
+    assert!(
+        out.l1i.accesses() < measured,
+        "L1I accesses {} exceed measured instructions — fast-forward leaked",
+        out.l1i.accesses()
+    );
+    assert!(
+        out.dtlb.accesses() < measured,
+        "DTLB accesses {} exceed measured instructions — fast-forward leaked",
+        out.dtlb.accesses()
+    );
 }
 
 #[test]

@@ -1,0 +1,107 @@
+//! Tiered-execution contracts: the degenerate schedule is byte-identical
+//! to the classic run, warm-state handoffs keep windows warm, and tiered
+//! runs are deterministic.
+
+use itpx_core::Preset;
+use itpx_cpu::{Simulation, SystemConfig, Tier};
+use itpx_trace::{TierSchedule, WorkloadSpec};
+
+fn base(seed: u64) -> WorkloadSpec {
+    WorkloadSpec::server_like(seed)
+        .instructions(30_000)
+        .warmup(8_000)
+}
+
+/// A zero-fast-forward schedule whose windows sum to the flat run's
+/// instruction count must reproduce the flat run *exactly* — every
+/// counter, every cycle, every `f64` bit. The schedule metadata is the
+/// only permitted difference.
+#[test]
+fn degenerate_schedule_is_byte_identical_to_flat() {
+    let cfg = SystemConfig::asplos25();
+    for preset in [Preset::Lru, Preset::ItpXptp] {
+        let flat = Simulation::single_thread(&cfg, preset, &base(7)).run();
+        let w = base(7).tiers(TierSchedule::tiered(10_000, 0, 3));
+        let mut tiered = Simulation::single_thread(&cfg, preset, &w).run();
+        assert!(!tiered.tiers.is_flat());
+        assert_eq!(flat.tiers, TierSchedule::flat());
+        tiered.tiers = flat.tiers;
+        assert_eq!(flat, tiered, "{preset:?}: degenerate schedule diverged");
+    }
+}
+
+/// A real tiered run: 4 windows of 5k instructions with 50k fast-forward
+/// gaps covers an 11× longer horizon than it measures, stays warm across
+/// every handoff, and reports plausible results.
+#[test]
+fn tiered_run_measures_windows_over_a_long_horizon() {
+    let cfg = SystemConfig::asplos25();
+    let schedule = TierSchedule::tiered(5_000, 50_000, 4);
+    let w = WorkloadSpec::server_like(3).warmup(5_000).tiers(schedule);
+    let out = Simulation::single_thread(&cfg, Preset::Lru, &w).run();
+    assert_eq!(out.instructions(), 20_000, "4 × 5k measured");
+    assert_eq!(out.tiers, schedule);
+    assert_eq!(out.tiers.horizon(), 220_000, "11× the measured span");
+    let ipc = out.ipc();
+    assert!(ipc > 0.01 && ipc < 6.0, "implausible IPC {ipc}");
+    assert!(out.stlb.accesses() > 0, "STLB never consulted");
+    assert!(out.walker.walks > 0, "no walks on a huge footprint");
+    // Warm-state handoff: post-fast-forward windows must not be cold.
+    // A cold 8-way 64-set L1I would miss on nearly every distinct block;
+    // warm handoffs keep the hit rate high.
+    let l1i_miss_rate = out.l1i.misses() as f64 / out.l1i.accesses().max(1) as f64;
+    assert!(
+        l1i_miss_rate < 0.5,
+        "L1I miss rate {l1i_miss_rate:.2} suggests windows started cold"
+    );
+}
+
+/// Same spec, same schedule, two runs: identical output (the phase fork
+/// is deterministic per segment).
+#[test]
+fn tiered_runs_are_deterministic() {
+    let cfg = SystemConfig::asplos25();
+    let w = WorkloadSpec::server_like(5)
+        .warmup(4_000)
+        .tiers(TierSchedule::tiered(4_000, 30_000, 3));
+    let a = Simulation::single_thread(&cfg, Preset::ItpXptp, &w).run();
+    let b = Simulation::single_thread(&cfg, Preset::ItpXptp, &w).run();
+    assert_eq!(a, b);
+}
+
+/// The schedule lowers into the segment sequence the engine executes.
+#[test]
+fn schedule_lowers_to_alternating_segments() {
+    let s = TierSchedule::tiered(1_000, 9_000, 2);
+    assert_eq!(
+        Tier::segments(&s),
+        vec![
+            Tier::FastForward {
+                instructions: 9_000
+            },
+            Tier::Window {
+                instructions: 1_000
+            },
+            Tier::FastForward {
+                instructions: 9_000
+            },
+            Tier::Window {
+                instructions: 1_000
+            },
+        ]
+    );
+    // Back-to-back windows: no fast-forward segments.
+    let s = TierSchedule::tiered(1_000, 0, 2);
+    assert_eq!(
+        Tier::segments(&s),
+        vec![
+            Tier::Window {
+                instructions: 1_000
+            },
+            Tier::Window {
+                instructions: 1_000
+            },
+        ]
+    );
+    assert!(Tier::segments(&TierSchedule::flat()).is_empty());
+}

@@ -15,7 +15,9 @@
 //! reproducers by [`shrink`]. [`metamorphic`] adds invariance
 //! properties (address relabeling, warm/cold simcache, host-thread
 //! count, chain depth) that catch bug classes a same-input comparison
-//! cannot.
+//! cannot, and [`tiered`] pins the warm-state handoff of the tiered
+//! execution engine (degenerate schedules exactly reproduce flat runs;
+//! fast-forwarded windows stay within tolerance of them).
 //!
 //! Entry point: [`run`] with a [`Scale`] — wired to
 //! `cargo xtask difftest [--smoke|--full]`.
@@ -29,6 +31,7 @@ pub mod metamorphic;
 pub mod refmodel;
 pub mod report;
 pub mod shrink;
+pub mod tiered;
 
 pub use driver::{check_events, check_spec, run_reference, run_system, EVENT_SPACING};
 pub use events::{events_from_trace, Event, EventKind};
@@ -77,6 +80,8 @@ pub struct Outcome {
     pub differential_checks: usize,
     /// Metamorphic property families evaluated.
     pub metamorphic_checks: usize,
+    /// Tier-boundary handoff property families evaluated.
+    pub tier_checks: usize,
     /// One line per failed check; empty means everything agreed.
     pub failures: Vec<String>,
 }
@@ -114,9 +119,11 @@ pub fn run_with_threads(scale: &Scale, host_threads: usize) -> Outcome {
     });
     let mut failures: Vec<String> = results.into_iter().flatten().collect();
     failures.extend(metamorphic::run_all());
+    failures.extend(tiered::run_all());
     Outcome {
         differential_checks,
         metamorphic_checks: metamorphic::PROPERTY_COUNT,
+        tier_checks: tiered::PROPERTY_COUNT,
         failures,
     }
 }
@@ -141,6 +148,7 @@ mod tests {
         let outcome = run_with_threads(&scale, 2);
         assert_eq!(outcome.differential_checks, 9, "3 traces x 3 presets");
         assert_eq!(outcome.metamorphic_checks, 4);
+        assert_eq!(outcome.tier_checks, 2);
         assert!(outcome.passed(), "failures: {:#?}", outcome.failures);
     }
 }

@@ -1,364 +1,33 @@
 //! The obviously-correct functional reference machine.
 //!
-//! [`RefMachine`] re-implements the translation pipeline and cache chain
-//! with the simplest data structures that can be audited by eye: per-set
-//! MRU-first recency lists instead of policy objects and validity
-//! bitmasks, straight-line lookups instead of MSHR merging, and no
-//! timing at all. It intentionally shares **no** structure code with
-//! `itpx-vm`/`itpx-mem`/`itpx-cpu` — only the page table (the
-//! deterministic address mapping both machines must agree on) and the
-//! type vocabulary come from the production crates.
+//! The model itself now lives in `itpx_cpu::functional` — it was promoted
+//! there so the execution engine can drive it as the fast-forward tier of
+//! a tiered schedule (warm-state handoff at every tier boundary). This
+//! module keeps the difftest-facing wrapper: [`RefMachine`] owns its own
+//! [`PageTable`] (the harness replays event lists against a standalone
+//! address space), feeds [`crate::events::Event`]s through the functional
+//! machine, and snapshots its counters as a [`DiffReport`].
 //!
 //! When the optimized pipeline is driven in *quiescent* mode (events
 //! spaced far enough apart that every miss resolves before the next
 //! event arrives; see the driver module), its counts are purely
-//! functional and must equal this model's bit for bit.
+//! functional and must equal this model's bit for bit. That same
+//! equivalence is what licenses the fast-forward tier: the state the
+//! functional machine hands the cycle model at a tier boundary is the
+//! state the cycle model would have reached itself, up to timing-induced
+//! reordering.
 
 use crate::events::{Event, EventKind};
-use crate::report::{DiffReport, LevelCounts, StructCounts};
-use itpx_cpu::SystemConfig;
-use itpx_types::{FillClass, LevelId, PageSize, PhysAddr, TranslationKind, VirtAddr};
+use crate::report::DiffReport;
+use itpx_cpu::{FunctionalMachine, SystemConfig};
 use itpx_vm::page_table::PageTable;
-use itpx_vm::tlb::TlbConfig;
 
-/// A TLB modeled as per-set MRU-first lists of `(vpn, size, frame)`.
-///
-/// Equivalent to the production structure under LRU: a hit or a refill
-/// of a resident entry moves it to the front, a fill pushes to the
-/// front and drops the back of a full set. The production first-free-way
-/// fill plus recency-stack victim selection preserves exactly this
-/// membership and eviction order.
-#[derive(Debug)]
-struct RefTlb {
-    sets: usize,
-    ways: usize,
-    /// Per-set entries, most recently used first.
-    lists: Vec<Vec<(u64, PageSize, PhysAddr)>>,
-    stats: StructCounts,
-}
-
-impl RefTlb {
-    fn new(cfg: &TlbConfig) -> Self {
-        Self {
-            sets: cfg.sets,
-            ways: cfg.ways,
-            lists: vec![Vec::new(); cfg.sets],
-            stats: StructCounts::default(),
-        }
-    }
-
-    fn stat_class(kind: TranslationKind) -> FillClass {
-        match kind {
-            TranslationKind::Instruction => FillClass::InstrPayload,
-            TranslationKind::Data => FillClass::DataPayload,
-        }
-    }
-
-    /// Probes both page-size granularities in the production order
-    /// (4 KiB first), touching recency and recording stats.
-    fn lookup(&mut self, va: VirtAddr, kind: TranslationKind) -> Option<(PhysAddr, PageSize)> {
-        for size in [PageSize::Base4K, PageSize::Huge2M] {
-            let vpn = va.vpn(size).0;
-            let set = (vpn as usize) % self.sets;
-            let list = &mut self.lists[set];
-            if let Some(pos) = list.iter().position(|&(v, s, _)| v == vpn && s == size) {
-                let entry = list.remove(pos);
-                list.insert(0, entry);
-                self.stats.record(Self::stat_class(kind), false);
-                return Some((entry.2, size));
-            }
-        }
-        self.stats.record(Self::stat_class(kind), true);
-        None
-    }
-
-    /// Installs a translation; a resident entry is refreshed in place.
-    fn fill(&mut self, vpn: u64, size: PageSize, frame: PhysAddr) {
-        let set = (vpn as usize) % self.sets;
-        let list = &mut self.lists[set];
-        if let Some(pos) = list.iter().position(|&(v, s, _)| v == vpn && s == size) {
-            let entry = list.remove(pos);
-            list.insert(0, entry);
-            return;
-        }
-        if list.len() == self.ways {
-            list.pop();
-        }
-        list.insert(0, (vpn, size, frame));
-    }
-}
-
-/// One page-structure cache as per-set MRU-first tag lists.
-#[derive(Debug)]
-struct RefPsc {
-    level: u8,
-    sets: usize,
-    ways: usize,
-    lists: Vec<Vec<u64>>,
-}
-
-impl RefPsc {
-    fn new(level: u8, sets: usize, ways: usize) -> Self {
-        Self {
-            level,
-            sets,
-            ways,
-            lists: vec![Vec::new(); sets],
-        }
-    }
-
-    fn tag(&self, vpn4k: u64) -> u64 {
-        vpn4k >> (9 * (self.level as u32 - 1))
-    }
-
-    /// Probe, touching recency on a hit (the production lookup does).
-    fn lookup(&mut self, vpn4k: u64) -> bool {
-        let tag = self.tag(vpn4k);
-        let set = (tag as usize) % self.sets;
-        let list = &mut self.lists[set];
-        if let Some(pos) = list.iter().position(|&t| t == tag) {
-            let t = list.remove(pos);
-            list.insert(0, t);
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Install after a walk. A resident tag is left untouched — the
-    /// production fill early-returns without a recency update.
-    fn fill(&mut self, vpn4k: u64) {
-        let tag = self.tag(vpn4k);
-        let set = (tag as usize) % self.sets;
-        let list = &mut self.lists[set];
-        if list.contains(&tag) {
-            return;
-        }
-        if list.len() == self.ways {
-            list.pop();
-        }
-        list.insert(0, tag);
-    }
-}
-
-/// The split PSC hierarchy with the Table 1 geometry, replicating the
-/// production probe order (PSCL2 → PSCL3 → PSCL4 → PSCL5) and fill
-/// order (2, 3, 4, 5).
-#[derive(Debug)]
-struct RefPscs {
-    pscl5: RefPsc,
-    pscl4: RefPsc,
-    pscl3: RefPsc,
-    pscl2: RefPsc,
-}
-
-impl RefPscs {
-    fn asplos25() -> Self {
-        Self {
-            pscl5: RefPsc::new(5, 1, 2),
-            pscl4: RefPsc::new(4, 1, 4),
-            pscl3: RefPsc::new(3, 4, 2),
-            pscl2: RefPsc::new(2, 8, 4),
-        }
-    }
-
-    fn start_level(&mut self, vpn4k: u64) -> u8 {
-        if self.pscl2.lookup(vpn4k) {
-            2
-        } else if self.pscl3.lookup(vpn4k) {
-            3
-        } else if self.pscl4.lookup(vpn4k) {
-            4
-        } else {
-            // Production consults PSCL5 even though the answer is the
-            // root either way; replicate for identical recency state.
-            let _ = self.pscl5.lookup(vpn4k);
-            5
-        }
-    }
-
-    fn fill(&mut self, vpn4k: u64) {
-        self.pscl2.fill(vpn4k);
-        self.pscl3.fill(vpn4k);
-        self.pscl4.fill(vpn4k);
-        self.pscl5.fill(vpn4k);
-    }
-}
-
-/// One cached block of the reference chain.
-#[derive(Debug, Clone, Copy)]
-struct RefLine {
-    block: u64,
-    dirty: bool,
-}
-
-/// One level of the reference chain.
-#[derive(Debug)]
-struct RefLevel {
-    id: LevelId,
-    sets: usize,
-    ways: usize,
-    /// Per-set lines, most recently used first.
-    lists: Vec<Vec<RefLine>>,
-    /// Index of the next-lower level; `None` misses to DRAM.
-    next: Option<usize>,
-    counts: StructCounts,
-    writebacks: u64,
-    evictions: u64,
-}
-
-impl RefLevel {
-    fn set_of(&self, block: u64) -> usize {
-        (block as usize) % self.sets
-    }
-
-    /// Non-touching residency check (writeback routing uses this).
-    fn contains(&self, block: u64) -> bool {
-        let set = self.set_of(block);
-        self.lists[set].iter().any(|l| l.block == block)
-    }
-
-    fn mark_dirty(&mut self, block: u64) {
-        let set = self.set_of(block);
-        if let Some(line) = self.lists[set].iter_mut().find(|l| l.block == block) {
-            line.dirty = true;
-        }
-    }
-}
-
-/// The reference cache chain: `[L1I, L1D, shared…]` with DRAM at the
-/// bottom, mirroring the production level-chain topology.
-#[derive(Debug)]
-struct RefChain {
-    levels: Vec<RefLevel>,
-    dram_reads: u64,
-    dram_writes: u64,
-    wb_absorbed: u64,
-}
-
-/// Index of the L1I entry level.
-const L1I: usize = 0;
-/// Index of the L1D entry level.
-const L1D: usize = 1;
-/// Index of the first shared level (the page-walk entry point).
-const SHARED: usize = 2;
-
-impl RefChain {
-    fn new(cfg: &itpx_mem::HierarchyConfig) -> Self {
-        let shared = cfg.shared_levels();
-        let last = shared.len() - 1;
-        let mut levels = Vec::with_capacity(2 + shared.len());
-        let mk = |id, sets: usize, ways: usize, next| RefLevel {
-            id,
-            sets,
-            ways,
-            lists: vec![Vec::new(); sets],
-            next,
-            counts: StructCounts::default(),
-            writebacks: 0,
-            evictions: 0,
-        };
-        levels.push(mk(LevelId::L1I, cfg.l1i.sets, cfg.l1i.ways, Some(SHARED)));
-        levels.push(mk(LevelId::L1D, cfg.l1d.sets, cfg.l1d.ways, Some(SHARED)));
-        for (i, level) in shared.iter().enumerate() {
-            let next = (i != last).then_some(SHARED + i + 1);
-            levels.push(mk(level.id, level.cache.sets, level.cache.ways, next));
-        }
-        Self {
-            levels,
-            dram_reads: 0,
-            dram_writes: 0,
-            wb_absorbed: 0,
-        }
-    }
-
-    /// The probe → miss-below → fill recursion, in the production order:
-    /// on a miss the lower levels fill (and route their writebacks)
-    /// before this level does.
-    fn access(&mut self, idx: usize, block: u64, class: FillClass) {
-        let set = self.levels[idx].set_of(block);
-        let pos = self.levels[idx].lists[set]
-            .iter()
-            .position(|l| l.block == block);
-        if let Some(pos) = pos {
-            self.levels[idx].counts.record(class, false);
-            let line = self.levels[idx].lists[set].remove(pos);
-            self.levels[idx].lists[set].insert(0, line);
-            return;
-        }
-        self.levels[idx].counts.record(class, true);
-        match self.levels[idx].next {
-            Some(next) => self.access(next, block, class),
-            None => self.dram_reads += 1,
-        }
-        if let Some(victim) = self.fill(idx, block) {
-            self.route_writeback(idx, victim);
-        }
-    }
-
-    /// Installs `block` clean; returns a displaced dirty block.
-    fn fill(&mut self, idx: usize, block: u64) -> Option<u64> {
-        let set = self.levels[idx].set_of(block);
-        let ways = self.levels[idx].ways;
-        let list = &mut self.levels[idx].lists[set];
-        if let Some(pos) = list.iter().position(|l| l.block == block) {
-            // Resident refresh (production `fill` of a present block).
-            let line = list.remove(pos);
-            list.insert(0, line);
-            return None;
-        }
-        let mut wb = None;
-        if list.len() == ways {
-            // popped from a full list checked just above
-            let victim = list.pop().unwrap_or(RefLine {
-                block: 0,
-                dirty: false,
-            });
-            self.levels[idx].evictions += 1;
-            if victim.dirty {
-                self.levels[idx].writebacks += 1;
-                wb = Some(victim.block);
-            }
-        }
-        self.levels[idx].lists[set].insert(
-            0,
-            RefLine {
-                block,
-                dirty: false,
-            },
-        );
-        wb
-    }
-
-    /// First strictly-lower level holding the block absorbs the
-    /// writeback as a dirty mark; otherwise it is a DRAM write.
-    fn route_writeback(&mut self, from: usize, block: u64) {
-        let mut next = self.levels[from].next;
-        while let Some(idx) = next {
-            if self.levels[idx].contains(block) {
-                self.levels[idx].mark_dirty(block);
-                self.wb_absorbed += 1;
-                return;
-            }
-            next = self.levels[idx].next;
-        }
-        self.dram_writes += 1;
-    }
-}
-
-/// The functional reference machine: TLBs, PSCs, page walker
-/// bookkeeping, and the cache chain, over the production page table.
+/// The functional reference machine: a [`FunctionalMachine`] over its own
+/// production page table.
 #[derive(Debug)]
 pub struct RefMachine {
-    itlb: RefTlb,
-    dtlb: RefTlb,
-    stlb: RefTlb,
-    pscs: RefPscs,
-    chain: RefChain,
+    machine: FunctionalMachine,
     page_table: PageTable,
-    walks: u64,
-    instr_walks: u64,
-    walk_refs: u64,
 }
 
 impl RefMachine {
@@ -370,82 +39,24 @@ impl RefMachine {
     /// Panics if `cfg` requests a split STLB — the harness compares the
     /// unified organization the paper optimizes.
     pub fn new(cfg: &SystemConfig) -> Self {
-        assert!(!cfg.split_stlb, "reference models the unified STLB only");
         Self {
-            itlb: RefTlb::new(&cfg.itlb),
-            dtlb: RefTlb::new(&cfg.dtlb),
-            stlb: RefTlb::new(&cfg.stlb),
-            pscs: RefPscs::asplos25(),
-            chain: RefChain::new(&cfg.hierarchy),
+            machine: FunctionalMachine::new(cfg),
             page_table: PageTable::with_region_offset(cfg.huge_pages, cfg.seed, 0),
-            walks: 0,
-            instr_walks: 0,
-            walk_refs: 0,
         }
     }
 
-    /// The full ITLB/DTLB → STLB → page-walk path, minus all timing.
-    fn translate(&mut self, va: VirtAddr, kind: TranslationKind) -> PhysAddr {
-        let l1 = if kind.is_instruction() {
-            &mut self.itlb
-        } else {
-            &mut self.dtlb
-        };
-        if let Some((frame, size)) = l1.lookup(va, kind) {
-            return frame.offset(va.page_offset(size));
-        }
-        // Production translates on every L1-TLB miss (page-table node
-        // and frame allocation are first-touch, so call order matters).
-        let tr = self.page_table.translate(va, kind);
-        if self.stlb.lookup(va, kind).is_none() {
-            // Page walk: PSC start level, then one chain access per
-            // remaining page-table level, entering at the first shared
-            // level with the translation kind's PTE class.
-            let vpn4k = match tr.size {
-                PageSize::Base4K => tr.vpn,
-                PageSize::Huge2M => tr.vpn << 9,
-            };
-            let start_level = self.pscs.start_level(vpn4k);
-            let steps = tr.path.from_level(start_level).to_vec();
-            for &(_level, pa) in &steps {
-                self.chain
-                    .access(SHARED, pa.block().index(), FillClass::pte_for(kind));
-            }
-            self.pscs.fill(vpn4k);
-            self.walks += 1;
-            if kind.is_instruction() {
-                self.instr_walks += 1;
-            }
-            self.walk_refs += steps.len() as u64;
-            self.stlb.fill(tr.vpn, tr.size, tr.frame);
-        }
-        let l1 = if kind.is_instruction() {
-            &mut self.itlb
-        } else {
-            &mut self.dtlb
-        };
-        l1.fill(tr.vpn, tr.size, tr.frame);
-        tr.pa
+    /// The wrapped functional machine (structure-level assertions).
+    pub fn machine(&self) -> &FunctionalMachine {
+        &self.machine
     }
 
     /// Executes one event: translate, then walk the cache chain.
     pub fn apply(&mut self, ev: &Event) {
+        let va = itpx_types::VirtAddr::new(ev.va);
         match ev.kind {
-            EventKind::Fetch => {
-                let pa = self.translate(VirtAddr::new(ev.va), TranslationKind::Instruction);
-                self.chain
-                    .access(L1I, pa.block().index(), FillClass::InstrPayload);
-            }
-            EventKind::Load | EventKind::Store => {
-                let pa = self.translate(VirtAddr::new(ev.va), TranslationKind::Data);
-                let block = pa.block().index();
-                self.chain.access(L1D, block, FillClass::DataPayload);
-                if ev.kind == EventKind::Store {
-                    // Production marks the L1D block dirty after the
-                    // chain access completes.
-                    self.chain.levels[L1D].mark_dirty(block);
-                }
-            }
+            EventKind::Fetch => self.machine.fetch(&mut self.page_table, va),
+            EventKind::Load => self.machine.load(&mut self.page_table, va),
+            EventKind::Store => self.machine.store(&mut self.page_table, va),
         }
     }
 
@@ -458,27 +69,18 @@ impl RefMachine {
 
     /// Snapshots the reference counters in [`DiffReport`] form.
     pub fn report(&self) -> DiffReport {
+        let m = &self.machine;
         DiffReport {
-            itlb: self.itlb.stats,
-            dtlb: self.dtlb.stats,
-            stlb: self.stlb.stats,
-            walks: self.walks,
-            instruction_walks: self.instr_walks,
-            walk_refs: self.walk_refs,
-            levels: self
-                .chain
-                .levels
-                .iter()
-                .map(|l| LevelCounts {
-                    id: l.id,
-                    counts: l.counts,
-                    writebacks: l.writebacks,
-                    evictions: l.evictions,
-                })
-                .collect(),
-            dram_reads: self.chain.dram_reads,
-            dram_writes: self.chain.dram_writes,
-            writebacks_absorbed: self.chain.wb_absorbed,
+            itlb: m.itlb.stats,
+            dtlb: m.dtlb.stats,
+            stlb: m.stlb.stats,
+            walks: m.walks,
+            instruction_walks: m.instr_walks,
+            walk_refs: m.walk_refs,
+            levels: m.chain.level_counts(),
+            dram_reads: m.chain.dram_reads(),
+            dram_writes: m.chain.dram_writes(),
+            writebacks_absorbed: m.chain.writebacks_absorbed(),
         }
     }
 }
@@ -487,6 +89,7 @@ impl RefMachine {
 mod tests {
     use super::*;
     use crate::events::{Event, EventKind};
+    use itpx_types::LevelId;
 
     fn machine() -> RefMachine {
         RefMachine::new(&SystemConfig::asplos25())
@@ -568,7 +171,7 @@ mod tests {
         for i in 0..70u64 {
             m.run(&[fetch(0x51_0000_0000 + i * 16 * 4096)]);
         }
-        let set_len = m.itlb.lists.iter().map(Vec::len).max().unwrap_or(0);
+        let set_len = m.machine().itlb.max_set_occupancy();
         assert!(set_len <= 4, "ITLB set overflow: {set_len}");
         let r = m.report();
         assert_eq!(r.itlb.misses[1], 70, "all distinct pages miss");

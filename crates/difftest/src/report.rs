@@ -7,47 +7,11 @@
 //! names every field that is not.
 
 use itpx_cpu::System;
-use itpx_types::{FillClass, LevelId, StructStats};
 
-/// Per-class access and miss counts of one structure (the timing-free
-/// projection of [`StructStats`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct StructCounts {
-    /// Accesses per [`FillClass`], indexed by `stat_index()`.
-    pub accesses: [u64; 4],
-    /// Misses per [`FillClass`], same order.
-    pub misses: [u64; 4],
-}
-
-impl From<&StructStats> for StructCounts {
-    fn from(s: &StructStats) -> Self {
-        let (accesses, misses, _latency) = s.raw_parts();
-        Self { accesses, misses }
-    }
-}
-
-impl StructCounts {
-    /// Records one access, mirroring [`StructStats::record`].
-    pub fn record(&mut self, class: FillClass, miss: bool) {
-        self.accesses[class.stat_index()] += 1;
-        if miss {
-            self.misses[class.stat_index()] += 1;
-        }
-    }
-}
-
-/// Counts of one cache level of the chain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LevelCounts {
-    /// Which level this is.
-    pub id: LevelId,
-    /// Demand access/miss counts per class.
-    pub counts: StructCounts,
-    /// Dirty blocks displaced by fills.
-    pub writebacks: u64,
-    /// Valid blocks displaced by fills (dirty or clean).
-    pub evictions: u64,
-}
+// The count vocabulary moved to `itpx-types` when the reference machine
+// was promoted into `itpx-cpu` (both crates need it without a dependency
+// cycle); re-exported here so difftest code keeps its familiar paths.
+pub use itpx_types::{LevelCounts, StructCounts};
 
 /// Every timing-free counter of one simulation, from either machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -164,6 +128,7 @@ impl DiffReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use itpx_types::LevelId;
 
     fn empty() -> DiffReport {
         DiffReport {

@@ -3,7 +3,12 @@
 
 use itpx_policy::{CacheMeta, CachePolicyEngine, Policy};
 use itpx_types::fingerprint::{Fingerprint, Fnv1a};
-use itpx_types::{Cycle, FillClass, SetMask, SlotPool, StructStats};
+use itpx_types::{Cycle, FillClass, ResetBoundary, SetMask, SlotPool, StructStats};
+
+/// One resident line as exported/imported at a tier boundary:
+/// `(block, dirty, fill_class)`. The fill class is the stored meta's class
+/// so class-aware policies see the right kind on re-install.
+pub type CacheLineSnapshot = (u64, bool, FillClass);
 
 /// Geometry and timing of a cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -363,6 +368,80 @@ impl Cache {
         let set = self.set_of(block);
         self.find_way(set, block).is_some()
     }
+
+    /// Exports every resident line in set order, ways ascending — the
+    /// warm-state snapshot handed across a tier boundary. Statistics and
+    /// replacement metadata are not touched.
+    pub fn export_lines(&self) -> Vec<CacheLineSnapshot> {
+        let mut out = Vec::new();
+        for set in 0..self.cfg.sets {
+            let mut mask = self.valid[set];
+            while mask != 0 {
+                let way = mask.trailing_zeros() as usize;
+                // way comes from the set's valid mask, so slot(set, way)
+                // is in bounds by construction
+                let line = &self.lines[self.slot(set, way)];
+                out.push((line.block, line.dirty, line.meta.fill));
+                mask &= mask - 1;
+            }
+        }
+        out
+    }
+
+    /// Replaces the cache's contents with `lines`: the warm-state import
+    /// at a tier boundary. Resident lines and in-flight MSHRs are
+    /// dropped, then each line is installed through the regular policy
+    /// fill path in iteration order. Statistics, writeback/eviction
+    /// counters, and prefetch counters are NOT perturbed: a handoff is
+    /// not simulated traffic. Replacement metadata beyond the fill class
+    /// (e.g. RRPV ages) is reconstructed by the policy's fill hook — a
+    /// documented fidelity limit of the handoff.
+    pub fn import_lines<I: IntoIterator<Item = CacheLineSnapshot>>(&mut self, lines: I) {
+        for v in self.valid.iter_mut() {
+            *v = 0;
+        }
+        self.inflight.retain(|_| false);
+        for (block, dirty, class) in lines {
+            let set = self.set_of(block);
+            if self.find_way(set, block).is_some() {
+                continue;
+            }
+            let meta = CacheMeta::demand(block, class);
+            let way = match self.first_free_way(set) {
+                Some(w) => w,
+                None => {
+                    let v = self.policy.victim(set, &meta);
+                    #[cfg(feature = "strict-contracts")]
+                    assert!(v < self.cfg.ways, "policy returned way out of range");
+                    #[cfg(not(feature = "strict-contracts"))]
+                    debug_assert!(v < self.cfg.ways, "policy returned way out of range");
+                    self.policy.on_evict(set, v);
+                    v
+                }
+            };
+            self.valid[set] |= 1 << way;
+            // way is a free slot or a checked victim (< ways), so
+            // slot(set, way) is in bounds
+            self.lines[self.slot(set, way)] = Line {
+                block,
+                ready: 0,
+                dirty,
+                meta,
+            };
+            self.policy.on_fill(set, way, &meta);
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn resident_count(&self) -> usize {
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
+    }
+}
+
+impl ResetBoundary for Cache {
+    fn reset_boundary(&mut self) {
+        self.reset_stats();
+    }
 }
 
 #[cfg(test)]
@@ -482,9 +561,11 @@ mod tests {
     }
 
     /// A policy that violates the `victim() < ways` contract.
+    #[cfg(any(debug_assertions, feature = "strict-contracts"))]
     #[derive(Debug)]
     struct OutOfRangeVictim;
 
+    #[cfg(any(debug_assertions, feature = "strict-contracts"))]
     impl itpx_policy::Policy<CacheMeta> for OutOfRangeVictim {
         fn on_fill(&mut self, _: usize, _: usize, _: &CacheMeta) {}
         fn on_hit(&mut self, _: usize, _: usize, _: &CacheMeta) {}
@@ -519,6 +600,55 @@ mod tests {
         c.fill(&m(2), 0, 0, true);
         // The set is full: the next fill asks the policy for a victim.
         c.fill(&m(3), 0, 0, true);
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_membership_and_dirt() {
+        let mut src = cache(4, 2);
+        for b in 0..6u64 {
+            src.fill(&m(b), 0, 0, true);
+        }
+        src.mark_dirty(2);
+        let exported = src.export_lines();
+        assert_eq!(exported.len(), src.resident_count());
+
+        let mut dst = cache(4, 2);
+        dst.fill(&m(99), 0, 0, true); // stale content, must be dropped
+        dst.import_lines(exported.clone());
+        assert_eq!(dst.resident_count(), exported.len());
+        assert!(!dst.contains(99));
+        for b in 0..6u64 {
+            assert!(dst.contains(b));
+        }
+        // Imports are not simulated traffic.
+        assert_eq!(dst.stats().accesses(), 0);
+        assert_eq!(dst.evictions(), 0);
+        assert_eq!(dst.writebacks(), 0);
+        // Dirt survives: evicting block 2 produces a writeback.
+        let dirty = dst
+            .export_lines()
+            .into_iter()
+            .find(|(b, _, _)| *b == 2)
+            .expect("block 2 resident");
+        assert!(dirty.1, "dirty bit carried across the roundtrip");
+    }
+
+    #[test]
+    fn reset_boundary_clears_all_counters_keeps_lines() {
+        let mut c = cache(1, 2);
+        c.fill(&m(1), 0, 0, true);
+        c.fill(&m(2), 0, 0, true);
+        c.mark_dirty(1);
+        c.fill(&m(3), 0, 0, true); // evicts dirty block 1
+        c.fill(&m(7), 0, 10, false); // prefetch
+        assert!(c.writebacks() > 0 && c.evictions() > 0 && c.prefetches_issued() > 0);
+        c.reset_boundary();
+        assert_eq!(c.stats().accesses(), 0);
+        assert_eq!(c.writebacks(), 0);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.prefetches_issued(), 0);
+        assert_eq!(c.prefetches_useful(), 0);
+        assert!(c.contains(3) && c.contains(7), "contents preserved");
     }
 
     #[test]

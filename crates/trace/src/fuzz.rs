@@ -44,16 +44,23 @@ pub enum FuzzPattern {
     WritebackStorm,
     /// Bursts of all four patterns interleaved.
     Mixed,
+    /// One abrupt working-set migration placed *mid-trace*, with dense
+    /// straddling traffic on both sides — the shape of a tier handoff:
+    /// state warmed before the boundary must carry the first accesses
+    /// after it. The ddmin shrinker preserves the straddle when it
+    /// minimizes, so handoff bugs reduce to a few pre/post accesses.
+    TierBoundary,
 }
 
 impl FuzzPattern {
     /// Every pattern, in corpus round-robin order.
-    pub const ALL: [FuzzPattern; 5] = [
+    pub const ALL: [FuzzPattern; 6] = [
         FuzzPattern::InstrThrash,
         FuzzPattern::PageWalkHeavy,
         FuzzPattern::PhaseShift,
         FuzzPattern::WritebackStorm,
         FuzzPattern::Mixed,
+        FuzzPattern::TierBoundary,
     ];
 
     /// Stable display name.
@@ -64,6 +71,7 @@ impl FuzzPattern {
             FuzzPattern::PhaseShift => "phase-shift",
             FuzzPattern::WritebackStorm => "writeback-storm",
             FuzzPattern::Mixed => "mixed",
+            FuzzPattern::TierBoundary => "tier-boundary",
         }
     }
 }
@@ -126,6 +134,7 @@ fn emit(pattern: FuzzPattern, rng: &mut Rng64, budget: usize, out: &mut Vec<Trac
         FuzzPattern::PhaseShift => phase_shift(rng, budget, out),
         FuzzPattern::WritebackStorm => writeback_storm(rng, budget, out),
         FuzzPattern::Mixed => mixed(rng, budget, out),
+        FuzzPattern::TierBoundary => tier_boundary(rng, budget, out),
     }
 }
 
@@ -237,6 +246,41 @@ fn writeback_storm(rng: &mut Rng64, budget: usize, out: &mut Vec<TraceInst>) {
     }
 }
 
+/// One phase shift pinned to the middle of the trace, straddled by dense
+/// revisits: the first half warms a working set, the boundary jumps to a
+/// disjoint range, and the second half keeps interleaving *both* ranges
+/// so any state dropped or duplicated at a handoff shows up as a count
+/// divergence immediately after the boundary.
+fn tier_boundary(rng: &mut Rng64, budget: usize, out: &mut Vec<TraceInst>) {
+    const CODE_PAGES: u64 = 32;
+    const DATA_PAGES: u64 = 64;
+    const SHIFT: u64 = 1 << 27;
+    let boundary = budget / 2;
+    // Pre-boundary: warm one working set densely.
+    while out.len() < boundary {
+        let page = CODE_BASE + rng.below(CODE_PAGES) * PAGE;
+        run_in_page(rng, out, page, 2, |r| MemRef {
+            addr: DATA_BASE + r.below(DATA_PAGES) * PAGE + r.below(PAGE / 8) * 8,
+            store: r.chance(0.3),
+        });
+    }
+    // Post-boundary: the shifted set dominates, but every few runs dips
+    // back into the warmed set — the straddling reuse a broken handoff
+    // would get wrong.
+    while out.len() < budget {
+        let (code, data) = if rng.chance(0.7) {
+            (CODE_BASE + SHIFT, DATA_BASE + SHIFT)
+        } else {
+            (CODE_BASE, DATA_BASE)
+        };
+        let page = code + rng.below(CODE_PAGES) * PAGE;
+        run_in_page(rng, out, page, 2, |r| MemRef {
+            addr: data + r.below(DATA_PAGES) * PAGE + r.below(PAGE / 8) * 8,
+            store: r.chance(0.3),
+        });
+    }
+}
+
 /// Bursts of every pattern back to back.
 fn mixed(rng: &mut Rng64, budget: usize, out: &mut Vec<TraceInst>) {
     const BURST: usize = 96;
@@ -286,15 +330,36 @@ mod tests {
 
     #[test]
     fn corpus_cycles_patterns_with_distinct_seeds() {
-        let specs = corpus(7, 10, 100);
-        assert_eq!(specs.len(), 10);
+        let specs = corpus(7, 12, 100);
+        assert_eq!(specs.len(), 12);
         assert_eq!(specs[0].pattern, FuzzPattern::InstrThrash);
-        assert_eq!(specs[5].pattern, FuzzPattern::InstrThrash);
         assert_eq!(specs[4].pattern, FuzzPattern::Mixed);
+        assert_eq!(specs[5].pattern, FuzzPattern::TierBoundary);
+        assert_eq!(specs[6].pattern, FuzzPattern::InstrThrash);
         let mut seeds: Vec<u64> = specs.iter().map(|s| s.seed).collect();
         seeds.sort_unstable();
         seeds.dedup();
-        assert_eq!(seeds.len(), 10, "seeds must differ per trace");
+        assert_eq!(seeds.len(), 12, "seeds must differ per trace");
+    }
+
+    #[test]
+    fn tier_boundary_shifts_mid_trace_and_straddles() {
+        let spec = FuzzSpec {
+            pattern: FuzzPattern::TierBoundary,
+            seed: 21,
+            instructions: 4_000,
+        };
+        let trace = generate(&spec);
+        let shifted = |pc: u64| pc >= CODE_BASE + (1 << 27);
+        // First half never touches the shifted range...
+        assert!(trace[..1800].iter().all(|i| !shifted(i.pc)));
+        // ...the second half touches both ranges (straddling reuse).
+        let post = &trace[2200..];
+        assert!(post.iter().any(|i| shifted(i.pc)), "no shift happened");
+        assert!(
+            post.iter().any(|i| !shifted(i.pc)),
+            "post-boundary traffic must dip back into the warmed set"
+        );
     }
 
     #[test]

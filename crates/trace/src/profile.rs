@@ -187,6 +187,87 @@ impl Fingerprint for Profile {
     }
 }
 
+/// A SMARTS-style tiered execution schedule.
+///
+/// After the ordinary cycle-accurate warmup, a tiered run repeats
+/// `windows` segments of (functional fast-forward of `fast_forward`
+/// instructions → cycle-accurate window of `window` instructions). The
+/// flat schedule (all fields zero) is the default and means "no tiering":
+/// the engine takes the classic single-window path and produces
+/// byte-identical outputs to a pre-tiering build, and the flat schedule
+/// contributes nothing to a workload's fingerprint so existing simcache
+/// keys stay byte-identical too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierSchedule {
+    /// Instructions per cycle-accurate measurement window.
+    pub window: u64,
+    /// Instructions covered by the functional fast-forward before each
+    /// window (0 = windows are back-to-back).
+    pub fast_forward: u64,
+    /// Number of (fast-forward, window) segments.
+    pub windows: u64,
+}
+
+impl TierSchedule {
+    /// The non-tiered schedule: one classic warmup + measurement run.
+    pub fn flat() -> Self {
+        Self::default()
+    }
+
+    /// A tiered schedule of `windows` segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `windows` is zero.
+    pub fn tiered(window: u64, fast_forward: u64, windows: u64) -> Self {
+        let s = Self {
+            window,
+            fast_forward,
+            windows,
+        };
+        s.validate();
+        s
+    }
+
+    /// Whether this is the flat (non-tiered) schedule.
+    pub fn is_flat(&self) -> bool {
+        *self == Self::flat()
+    }
+
+    /// Instructions measured cycle-accurately across all windows
+    /// (0 for the flat schedule, which measures `spec.instructions`).
+    pub fn measured_instructions(&self) -> u64 {
+        self.windows * self.window
+    }
+
+    /// Program instructions covered after warmup: measured windows plus
+    /// every fast-forwarded gap.
+    pub fn horizon(&self) -> u64 {
+        self.windows * (self.window + self.fast_forward)
+    }
+
+    /// Validates the schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-flat schedule with zero-length windows or zero
+    /// window count.
+    pub fn validate(&self) {
+        if !self.is_flat() {
+            assert!(self.window > 0, "tiered schedule needs window > 0");
+            assert!(self.windows > 0, "tiered schedule needs windows > 0");
+        }
+    }
+}
+
+impl Fingerprint for TierSchedule {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        h.write_u64(self.window);
+        h.write_u64(self.fast_forward);
+        h.write_u64(self.windows);
+    }
+}
+
 /// One workload: a profile plus identity and run lengths.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
@@ -200,6 +281,8 @@ pub struct WorkloadSpec {
     pub instructions: u64,
     /// Instructions to warm up structures before measuring.
     pub warmup: u64,
+    /// Tiered execution schedule ([`TierSchedule::flat`] = classic run).
+    pub tiers: TierSchedule,
 }
 
 impl WorkloadSpec {
@@ -223,6 +306,7 @@ impl WorkloadSpec {
             profile: p,
             instructions: 1_000_000,
             warmup: 200_000,
+            tiers: TierSchedule::flat(),
         }
     }
 
@@ -238,6 +322,7 @@ impl WorkloadSpec {
             profile: p,
             instructions: 1_000_000,
             warmup: 200_000,
+            tiers: TierSchedule::flat(),
         }
     }
 
@@ -254,6 +339,14 @@ impl WorkloadSpec {
         self.warmup = n;
         self
     }
+
+    /// Sets the tiered execution schedule.
+    #[must_use]
+    pub fn tiers(mut self, tiers: TierSchedule) -> Self {
+        tiers.validate();
+        self.tiers = tiers;
+        self
+    }
 }
 
 impl Fingerprint for WorkloadSpec {
@@ -265,6 +358,13 @@ impl Fingerprint for WorkloadSpec {
         self.profile.fingerprint(h);
         h.write_u64(self.instructions);
         h.write_u64(self.warmup);
+        // The flat schedule is hashed as *nothing* so every pre-tiering
+        // simcache key stays byte-identical (the same trick
+        // HierarchyConfig uses for optional levels); any tiered schedule
+        // changes the key.
+        if !self.tiers.is_flat() {
+            self.tiers.fingerprint(h);
+        }
     }
 }
 
@@ -366,5 +466,53 @@ mod tests {
         let mut p = Profile::server();
         p.loop_prob = 1.5;
         p.validate();
+    }
+
+    fn key_of(w: &WorkloadSpec) -> u64 {
+        let mut h = Fnv1a::new();
+        w.fingerprint(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn flat_schedule_leaves_fingerprint_unchanged() {
+        // The explicit flat schedule must hash exactly like an untouched
+        // spec: pre-tiering simcache keys depend on this.
+        let base = WorkloadSpec::server_like(1);
+        let flat = base.clone().tiers(TierSchedule::flat());
+        assert_eq!(key_of(&base), key_of(&flat));
+    }
+
+    #[test]
+    fn tiered_schedule_changes_fingerprint() {
+        let base = WorkloadSpec::server_like(1);
+        let tiered = base.clone().tiers(TierSchedule::tiered(10_000, 90_000, 4));
+        assert_ne!(key_of(&base), key_of(&tiered));
+        // Every schedule field is key-relevant.
+        let a = base.clone().tiers(TierSchedule::tiered(10_000, 90_000, 5));
+        let b = base.clone().tiers(TierSchedule::tiered(10_000, 80_000, 4));
+        let c = base.tiers(TierSchedule::tiered(20_000, 90_000, 4));
+        let keys = [key_of(&tiered), key_of(&a), key_of(&b), key_of(&c)];
+        for (i, x) in keys.iter().enumerate() {
+            for y in keys.iter().skip(i + 1) {
+                assert_ne!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn tier_schedule_accounting() {
+        let t = TierSchedule::tiered(10_000, 490_000, 4);
+        assert!(!t.is_flat());
+        assert_eq!(t.measured_instructions(), 40_000);
+        assert_eq!(t.horizon(), 2_000_000);
+        assert!(TierSchedule::flat().is_flat());
+        assert_eq!(TierSchedule::flat().measured_instructions(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window > 0")]
+    fn zero_window_tiered_schedule_panics() {
+        let _ = TierSchedule::tiered(0, 1000, 2);
     }
 }

@@ -46,7 +46,9 @@ pub use grid::{SetGrid, SetMask};
 pub use mshr::SlotPool;
 pub use page::PageSize;
 pub use rng::Rng64;
-pub use stats::{Histogram, MpkiBreakdown, OnlineMean, StructStats};
+pub use stats::{
+    Histogram, LevelCounts, MpkiBreakdown, OnlineMean, ResetBoundary, StructCounts, StructStats,
+};
 
 /// Identifier of a hardware thread (SMT context) within a simulated core.
 ///

@@ -3,6 +3,26 @@
 //! latencies (Figure 9b), and log-bucket histograms.
 
 use crate::access::FillClass;
+use crate::LevelId;
+
+/// A structure that participates in a warmup/measurement boundary: it can
+/// clear its *measurement counters* without disturbing its *contents*.
+///
+/// Every stats-bearing structure on the simulated machine implements this
+/// trait, and the engine's boundary reset walks one list of
+/// `&mut dyn ResetBoundary` instead of hand-naming counters — so adding a
+/// counter to a structure cannot silently escape the boundary, and the
+/// tier scheduler resets exactly the same set the flat engine does.
+pub trait ResetBoundary {
+    /// Zeroes measurement counters; warmed contents stay intact.
+    fn reset_boundary(&mut self);
+}
+
+impl ResetBoundary for StructStats {
+    fn reset_boundary(&mut self) {
+        self.reset();
+    }
+}
 
 /// Streaming mean without storing samples.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -266,6 +286,49 @@ impl StructStats {
         }
         self.miss_latency.merge(&other.miss_latency);
     }
+}
+
+/// Per-class access and miss counts of one structure: the timing-free
+/// projection of [`StructStats`] (no latency mean), used wherever two
+/// machines are compared on pure counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StructCounts {
+    /// Accesses per [`FillClass`], indexed by `stat_index()`.
+    pub accesses: [u64; 4],
+    /// Misses per [`FillClass`], same order.
+    pub misses: [u64; 4],
+}
+
+impl From<&StructStats> for StructCounts {
+    fn from(s: &StructStats) -> Self {
+        let (accesses, misses, _latency) = s.raw_parts();
+        Self { accesses, misses }
+    }
+}
+
+impl StructCounts {
+    /// Records one access, mirroring [`StructStats::record`].
+    pub fn record(&mut self, class: FillClass, miss: bool) {
+        // stat_index() < 4, the counter arrays' fixed length
+        self.accesses[class.stat_index()] += 1;
+        if miss {
+            // stat_index() < 4, the counter arrays' fixed length
+            self.misses[class.stat_index()] += 1;
+        }
+    }
+}
+
+/// Timing-free counts of one cache level of the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelCounts {
+    /// Which level this is.
+    pub id: LevelId,
+    /// Demand access/miss counts per class.
+    pub counts: StructCounts,
+    /// Dirty blocks displaced by fills.
+    pub writebacks: u64,
+    /// Valid blocks displaced by fills (dirty or clean).
+    pub evictions: u64,
 }
 
 /// Geometric mean of `1 + x` minus 1, the aggregation the paper uses for

@@ -33,5 +33,5 @@ pub mod walker;
 pub use page_table::{FrameAllocator, HugePagePolicy, PageTable, Translation, WalkPath};
 pub use path::{PathResult, TranslationPath};
 pub use psc::{PageStructureCache, SplitPscs};
-pub use tlb::{LastLevelTlb, Tlb, TlbConfig, TlbLookup};
+pub use tlb::{LastLevelTlb, Tlb, TlbConfig, TlbEntry, TlbLookup};
 pub use walker::{PageWalker, PteMemory, WalkOutcome};

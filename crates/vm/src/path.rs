@@ -19,7 +19,7 @@ use crate::page_table::PageTable;
 use crate::psc::SplitPscs;
 use crate::tlb::{LastLevelTlb, Tlb, TlbLookup};
 use crate::walker::{PageWalker, PteMemory};
-use itpx_types::{Cycle, PhysAddr, ThreadId, TranslationKind, VirtAddr};
+use itpx_types::{Cycle, PhysAddr, ResetBoundary, ThreadId, TranslationKind, VirtAddr};
 
 /// Result of a full translation: physical address, availability cycle,
 /// and whether the STLB missed (the flag T-DRRIP consumes, Figure 7
@@ -167,6 +167,31 @@ impl TranslationPath {
         &self.walker
     }
 
+    /// Mutable first-level instruction TLB (warm-state handoff).
+    pub fn itlb_mut(&mut self) -> &mut Tlb {
+        &mut self.itlb
+    }
+
+    /// Mutable first-level data TLB (warm-state handoff).
+    pub fn dtlb_mut(&mut self) -> &mut Tlb {
+        &mut self.dtlb
+    }
+
+    /// Mutable last-level TLB organization (warm-state handoff).
+    pub fn stlb_mut(&mut self) -> &mut LastLevelTlb {
+        &mut self.stlb
+    }
+
+    /// The page-structure caches.
+    pub fn pscs(&self) -> &SplitPscs {
+        &self.pscs
+    }
+
+    /// Mutable page-structure caches (warm-state handoff).
+    pub fn pscs_mut(&mut self) -> &mut SplitPscs {
+        &mut self.pscs
+    }
+
     /// Clears statistics on every structure in the pipeline; contents
     /// and replacement state are preserved.
     pub fn reset_stats(&mut self) {
@@ -174,6 +199,12 @@ impl TranslationPath {
         self.dtlb.reset_stats();
         self.stlb.reset_stats();
         self.walker.reset_stats();
+    }
+}
+
+impl ResetBoundary for TranslationPath {
+    fn reset_boundary(&mut self) {
+        self.reset_stats();
     }
 }
 

@@ -77,6 +77,12 @@ impl PageStructureCache {
     /// Installs the node for `vpn4k` after a walk resolves it.
     pub fn fill(&mut self, vpn4k: u64) {
         let tag = self.tag(vpn4k);
+        self.install_tag(tag);
+    }
+
+    /// Installs a pre-computed level tag (shared by [`Self::fill`] and the
+    /// warm-state import path).
+    fn install_tag(&mut self, tag: u64) {
         let set = self.set_of(tag);
         if self.tags.row(set).contains(&Some(tag)) {
             return;
@@ -91,6 +97,39 @@ impl PageStructureCache {
         };
         self.tags.row_mut(set)[way] = Some(tag);
         self.policy.on_fill(set, way, &Self::meta(tag));
+    }
+
+    /// Whether the node tag for `vpn4k` is resident, without touching
+    /// recency (used by the tier-boundary lockstep check).
+    pub fn contains_vpn(&self, vpn4k: u64) -> bool {
+        let tag = self.tag(vpn4k);
+        self.tags.row(self.set_of(tag)).contains(&Some(tag))
+    }
+
+    /// Exports resident tags per set in **LRU-first** order, so replaying
+    /// them through the fill path reproduces the recency ordering.
+    pub fn export_tags(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for set in 0..self.tags.sets() {
+            for way in self.policy.stack().iter_lru_to_mru(set) {
+                if let Some(tag) = self.tags.row(set)[way] {
+                    out.push(tag);
+                }
+            }
+        }
+        out
+    }
+
+    /// Replaces this PSC's contents with raw level tags (as produced by
+    /// [`Self::export_tags`]) — the warm-state import at a tier boundary.
+    /// Tags install LRU-first, so the last tag into a set is its MRU.
+    pub fn import_tags<I: IntoIterator<Item = u64>>(&mut self, tags: I) {
+        for set in 0..self.tags.sets() {
+            self.tags.row_mut(set).fill(None);
+        }
+        for tag in tags {
+            self.install_tag(tag);
+        }
     }
 }
 
@@ -158,6 +197,36 @@ impl SplitPscs {
         self.pscl4.fill(vpn4k);
         self.pscl5.fill(vpn4k);
     }
+
+    /// Snapshots all four levels' resident tags as `[PSCL5, PSCL4, PSCL3,
+    /// PSCL2]`, each LRU-first (see [`PageStructureCache::export_tags`]).
+    pub fn export_tags(&self) -> [Vec<u64>; 4] {
+        [
+            self.pscl5.export_tags(),
+            self.pscl4.export_tags(),
+            self.pscl3.export_tags(),
+            self.pscl2.export_tags(),
+        ]
+    }
+
+    /// Replaces all four levels' contents from an [`Self::export_tags`]
+    /// snapshot — the warm-state import at a tier boundary.
+    pub fn import_tags(&mut self, tags: [Vec<u64>; 4]) {
+        let [t5, t4, t3, t2] = tags;
+        self.pscl5.import_tags(t5);
+        self.pscl4.import_tags(t4);
+        self.pscl3.import_tags(t3);
+        self.pscl2.import_tags(t2);
+    }
+
+    /// Whether any level holds a node for `vpn4k` without touching
+    /// recency (used by the tier-boundary lockstep check).
+    pub fn contains_vpn(&self, vpn4k: u64) -> bool {
+        self.pscl2.contains_vpn(vpn4k)
+            || self.pscl3.contains_vpn(vpn4k)
+            || self.pscl4.contains_vpn(vpn4k)
+            || self.pscl5.contains_vpn(vpn4k)
+    }
 }
 
 #[cfg(test)]
@@ -214,5 +283,41 @@ mod tests {
         c.fill(7);
         c.fill(7);
         assert!(c.lookup(7));
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_tags_and_recency() {
+        let mut src = PageStructureCache::new(2, 1, 2);
+        src.fill(0);
+        src.fill(1 << 9);
+        assert!(src.lookup(0)); // 0 becomes MRU; LRU = 1<<9
+        let tags = src.export_tags();
+        assert_eq!(tags.len(), 2);
+
+        let mut dst = PageStructureCache::new(2, 1, 2);
+        dst.fill(7 << 9); // stale content, must be dropped
+        dst.import_tags(tags);
+        assert!(!dst.contains_vpn(7 << 9));
+        assert!(dst.contains_vpn(0));
+        assert!(dst.contains_vpn(1 << 9));
+        // Recency carried over: a capacity fill evicts 1<<9 (LRU), not 0.
+        dst.fill(2 << 9);
+        assert!(dst.contains_vpn(0));
+        assert!(!dst.contains_vpn(1 << 9));
+    }
+
+    #[test]
+    fn split_pscs_roundtrip_restores_start_levels() {
+        let mut src = SplitPscs::asplos25();
+        src.fill(0x1234, 1);
+        src.fill(0x9_0000, 1);
+        let snapshot = src.export_tags();
+
+        let mut dst = SplitPscs::asplos25();
+        dst.fill(0xdead_0000, 1); // stale
+        dst.import_tags(snapshot);
+        assert_eq!(dst.start_level(0x1234), 2);
+        assert_eq!(dst.start_level(0x9_0000), 2);
+        assert!(!dst.pscl2.contains_vpn(0xdead_0000));
     }
 }

@@ -14,9 +14,15 @@ use crate::page_table::Translation;
 use itpx_policy::{Policy, TlbMeta, TlbPolicyEngine};
 use itpx_types::fingerprint::{Fingerprint, Fnv1a};
 use itpx_types::{
-    Cycle, FillClass, PageSize, PhysAddr, SetMask, SlotPool, StructStats, ThreadId,
+    Cycle, FillClass, PageSize, PhysAddr, ResetBoundary, SetMask, SlotPool, StructStats, ThreadId,
     TranslationKind, VirtAddr,
 };
+
+/// One resident translation as exported/imported at a tier boundary:
+/// `(vpn, size, frame, kind)`. `kind` is the translation kind of the fill
+/// that installed the entry — the paper's `Type` bit — so kind-aware
+/// policies (iTP) see the right class when warm state is re-installed.
+pub type TlbEntry = (u64, PageSize, PhysAddr, TranslationKind);
 
 /// Geometry and timing of one TLB level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +58,9 @@ struct Entry {
     vpn: u64,
     size: PageSize,
     frame: PhysAddr,
+    /// Translation kind of the installing fill (kept so warm-state export
+    /// at a tier boundary can carry the `Type` bit along).
+    kind: TranslationKind,
     /// Cycle at which the entry's fill completes; lookups before this wait
     /// for it (the timing an MSHR merge produces).
     ready: Cycle,
@@ -134,6 +143,7 @@ impl Tlb {
             vpn: 0,
             size: PageSize::Base4K,
             frame: PhysAddr::new(0),
+            kind: TranslationKind::Data,
             ready: 0,
         };
         Self {
@@ -379,6 +389,7 @@ impl Tlb {
             vpn,
             size,
             frame,
+            kind,
             ready,
         };
         self.policy.on_fill(set, way, &meta);
@@ -389,9 +400,74 @@ impl Tlb {
         self.stats.reset();
     }
 
-    /// Number of resident entries translating `kind` pages cannot be
-    /// derived (entries do not store their kind) — but residency of a
-    /// specific page can: used by tests.
+    /// Exports every resident entry in set order, ways ascending — the
+    /// warm-state snapshot handed to the functional tier at a boundary.
+    /// Statistics and replacement metadata are not touched.
+    pub fn export_entries(&self) -> Vec<TlbEntry> {
+        let mut out = Vec::new();
+        for set in 0..self.cfg.sets {
+            let mut mask = self.valid[set];
+            while mask != 0 {
+                let way = mask.trailing_zeros() as usize;
+                // way comes from the set's valid mask, so slot(set, way)
+                // is in bounds by construction
+                let e = &self.entries[self.slot(set, way)];
+                out.push((e.vpn, e.size, e.frame, e.kind));
+                mask &= mask - 1;
+            }
+        }
+        out
+    }
+
+    /// Replaces the TLB's contents with `entries`: the warm-state import
+    /// at a tier boundary. Resident entries and in-flight MSHRs are
+    /// dropped, then each entry is installed through the regular policy
+    /// fill path — iterate **LRU-first** so the last entry installed into
+    /// a set is its MRU. Statistics are NOT perturbed: a handoff is not
+    /// simulated traffic.
+    pub fn import_entries<I: IntoIterator<Item = TlbEntry>>(&mut self, entries: I) {
+        for v in self.valid.iter_mut() {
+            *v = 0;
+        }
+        self.outstanding.retain(|_| false);
+        for (vpn, size, frame, kind) in entries {
+            let set = self.set_of(vpn);
+            if self.find_way(set, vpn, size).is_some() {
+                continue;
+            }
+            let meta = self.meta(vpn, 0, kind, ThreadId(0));
+            let way = match self.first_free_way(set) {
+                Some(w) => w,
+                None => {
+                    let v = self.policy.victim(set, &meta);
+                    #[cfg(feature = "strict-contracts")]
+                    assert!(v < self.cfg.ways, "policy returned way out of range");
+                    #[cfg(not(feature = "strict-contracts"))]
+                    debug_assert!(v < self.cfg.ways, "policy returned way out of range");
+                    self.policy.on_evict(set, v);
+                    v
+                }
+            };
+            self.valid[set] |= 1 << way;
+            // way is a free slot or a checked victim (< ways), so
+            // slot(set, way) is in bounds
+            self.entries[self.slot(set, way)] = Entry {
+                vpn,
+                size,
+                frame,
+                kind,
+                ready: 0,
+            };
+            self.policy.on_fill(set, way, &meta);
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn resident_count(&self) -> usize {
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
+    }
+
+    /// Whether a translation for `va` at `size` is resident.
     pub fn contains(&self, va: VirtAddr, size: PageSize) -> bool {
         let vpn = va.vpn(size).0;
         let set = self.set_of(vpn);
@@ -461,6 +537,18 @@ impl LastLevelTlb {
                 instr.config().entries() + data.config().entries()
             }
         }
+    }
+}
+
+impl ResetBoundary for Tlb {
+    fn reset_boundary(&mut self) {
+        self.reset_stats();
+    }
+}
+
+impl ResetBoundary for LastLevelTlb {
+    fn reset_boundary(&mut self) {
+        self.reset_stats();
     }
 }
 
@@ -632,9 +720,11 @@ mod tests {
     }
 
     /// A policy that violates the `victim() < ways` contract.
+    #[cfg(any(debug_assertions, feature = "strict-contracts"))]
     #[derive(Debug)]
     struct OutOfRangeVictim;
 
+    #[cfg(any(debug_assertions, feature = "strict-contracts"))]
     impl itpx_policy::Policy<TlbMeta> for OutOfRangeVictim {
         fn on_fill(&mut self, _: usize, _: usize, _: &TlbMeta) {}
         fn on_hit(&mut self, _: usize, _: usize, _: &TlbMeta) {}
@@ -670,6 +760,90 @@ mod tests {
             // fill asks the policy for a victim.
             fill4k(&mut t, VirtAddr::new(i * 4096), i + 1);
         }
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_membership() {
+        let mut src = tlb();
+        // Mixed page sizes and kinds across several sets.
+        for i in 0..12u64 {
+            fill4k(&mut src, VirtAddr::new(i * 4096), i + 1);
+        }
+        src.fill(
+            VirtAddr::new(0x4000_0000).vpn(PageSize::Huge2M).0,
+            PageSize::Huge2M,
+            PhysAddr::new(0x8000_0000),
+            TranslationKind::Instruction,
+            0,
+            ThreadId(0),
+            10,
+            0,
+        );
+        let exported = src.export_entries();
+        assert_eq!(exported.len(), src.resident_count());
+
+        let mut dst = tlb();
+        fill4k(&mut dst, VirtAddr::new(0xdead_0000), 99); // stale content, must be dropped
+        dst.import_entries(exported.clone());
+        assert_eq!(dst.resident_count(), exported.len());
+        assert!(!dst.contains(VirtAddr::new(0xdead_0000), PageSize::Base4K));
+        for i in 0..12u64 {
+            assert!(dst.contains(VirtAddr::new(i * 4096), PageSize::Base4K));
+        }
+        assert!(dst.contains(VirtAddr::new(0x4000_0000), PageSize::Huge2M));
+        // Exported kinds survive the roundtrip.
+        assert_eq!(dst.export_entries().len(), exported.len());
+        let huge = dst
+            .export_entries()
+            .into_iter()
+            .find(|(_, size, _, _)| *size == PageSize::Huge2M)
+            .expect("huge entry survives");
+        assert_eq!(huge.3, TranslationKind::Instruction);
+    }
+
+    #[test]
+    fn import_does_not_touch_stats_and_sets_mru_order() {
+        let mut src = Tlb::new(
+            TlbConfig {
+                sets: 1,
+                ways: 2,
+                latency: 1,
+                mshr_entries: 2,
+            },
+            Lru::new(1, 2),
+        );
+        // Install A then B: export order is ways-ascending (A first = LRU).
+        fill4k(&mut src, VirtAddr::new(0x1000), 1);
+        fill4k(&mut src, VirtAddr::new(0x2000), 2);
+
+        let mut dst = Tlb::new(
+            TlbConfig {
+                sets: 1,
+                ways: 2,
+                latency: 1,
+                mshr_entries: 2,
+            },
+            Lru::new(1, 2),
+        );
+        dst.import_entries(src.export_entries());
+        assert_eq!(dst.stats().accesses(), 0, "import is not simulated traffic");
+        assert_eq!(dst.stats().misses(), 0);
+        // B was installed last (MRU); a new fill must evict A, not B.
+        fill4k(&mut dst, VirtAddr::new(0x3000), 3);
+        assert!(!dst.contains(VirtAddr::new(0x1000), PageSize::Base4K));
+        assert!(dst.contains(VirtAddr::new(0x2000), PageSize::Base4K));
+    }
+
+    #[test]
+    fn reset_boundary_clears_stats_keeps_entries() {
+        let mut t = tlb();
+        let va = VirtAddr::new(0x1234_5678);
+        let _ = t.lookup(va, TranslationKind::Data, 0, ThreadId(0), 0);
+        fill4k(&mut t, va, 0x1);
+        assert!(t.stats().accesses() > 0);
+        t.reset_boundary();
+        assert_eq!(t.stats().accesses(), 0);
+        assert!(t.contains(va, PageSize::Base4K));
     }
 
     #[test]
