@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use itpx_mem::{Cache, CacheConfig, Probe};
 use itpx_policy::{CacheMeta, Lru};
 use itpx_trace::{TraceGenerator, WorkloadSpec};
-use itpx_types::{FillClass, PageSize, PhysAddr, ThreadId, TranslationKind, VirtAddr};
+use itpx_types::{Asid, FillClass, PageSize, PhysAddr, ThreadId, TranslationKind, VirtAddr};
 use itpx_vm::page_table::{HugePagePolicy, PageTable};
 use itpx_vm::psc::SplitPscs;
 use itpx_vm::tlb::{Tlb, TlbConfig};
@@ -34,6 +34,7 @@ fn benches(c: &mut Criterion) {
             PageSize::Base4K,
             PhysAddr::new(i << 12),
             TranslationKind::Data,
+            Asid::GLOBAL,
             0,
             ThreadId(0),
             1,

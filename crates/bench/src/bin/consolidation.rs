@@ -1,0 +1,15 @@
+//! Sweeps tenant consolidation (1/2/4/8 tenants round-robin on one
+//! hardware thread), reporting iTP+xPTP's uplift over LRU and the
+//! baseline's translation pressure at each point.
+//!
+//! ```sh
+//! cargo run -p itpx-bench --release --bin consolidation
+//! ```
+//!
+//! `ITPX_TENANTS=2` caps the sweep (the CI smoke configuration).
+
+use itpx_bench::{figures, Campaign};
+
+fn main() {
+    figures::consolidation_report(&Campaign::from_env()).finish();
+}

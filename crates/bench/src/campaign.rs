@@ -305,6 +305,37 @@ mod tests {
         seen.push(tiered(1_000, 10_000, 5).key());
         seen.push(tiered(1_000, 20_000, 4).key());
         seen.push(tiered(2_000, 10_000, 4).key());
+        // A context schedule keys distinctly (and each knob matters).
+        let ctx = |c: itpx_trace::ContextSchedule| {
+            SimRequest::single(
+                &SystemConfig::asplos25(),
+                Preset::Lru,
+                &smoke_workload(1).contexts(c),
+            )
+            .key()
+        };
+        let rr =
+            itpx_trace::ContextSchedule::round_robin(2, 3_000, itpx_trace::SwitchPolicy::FlushAsid);
+        seen.push(ctx(rr));
+        seen.push(ctx(itpx_trace::ContextSchedule::round_robin(
+            4,
+            3_000,
+            itpx_trace::SwitchPolicy::FlushAsid,
+        )));
+        seen.push(ctx(itpx_trace::ContextSchedule::round_robin(
+            2,
+            4_000,
+            itpx_trace::SwitchPolicy::FlushAsid,
+        )));
+        seen.push(ctx(itpx_trace::ContextSchedule::round_robin(
+            2,
+            3_000,
+            itpx_trace::SwitchPolicy::Preserve,
+        )));
+        seen.push(ctx(rr.shootdowns(500)));
+        seen.push(ctx(rr.churn(2_000)));
+        seen.push(ctx(rr.globals(0.5, 7)));
+        seen.push(ctx(rr.globals(0.5, 8)));
 
         // Single vs pair on overlapping content.
         let pair = SmtPairSpec {
@@ -332,6 +363,19 @@ mod tests {
             &SystemConfig::asplos25(),
             Preset::Lru,
             &smoke_workload(1).tiers(itpx_trace::TierSchedule::flat()),
+        );
+        assert_eq!(explicit_flat.key(), base_request().key());
+    }
+
+    /// Same contract for the context schedule: a flat (single-ASID,
+    /// no-switching) schedule hashes as nothing, so keys minted before
+    /// multi-tenancy existed keep serving warm caches.
+    #[test]
+    fn flat_context_schedule_keeps_pre_consolidation_keys() {
+        let explicit_flat = SimRequest::single(
+            &SystemConfig::asplos25(),
+            Preset::Lru,
+            &smoke_workload(1).contexts(itpx_trace::ContextSchedule::flat()),
         );
         assert_eq!(explicit_flat.key(), base_request().key());
     }

@@ -1,0 +1,188 @@
+//! Multi-tenant consolidation sweep — the context-schedule subsystem's
+//! bench experiment.
+//!
+//! The paper evaluates single-tenant machines; the ASID-tagged
+//! translation path makes tenant count a workload axis. This sweep runs
+//! the server-like suite at 1/2/4/8 consolidated tenants (round-robin
+//! quanta over one hardware thread, flushing switches — the
+//! conservative policy every OS supports) with LRU baselines and
+//! iTP+xPTP, answering two questions per point: does iTP+xPTP's uplift
+//! survive consolidation, and how quickly does tenant pressure inflate
+//! the baseline's walk traffic?
+//!
+//! Every point is a block of [`SimRequest`]s through the shared
+//! [`Campaign`], so each tenant count keys distinctly in the simcache
+//! (non-flat context schedules extend the workload fingerprint) and
+//! repeated sweeps are served from cache. `ITPX_TENANTS` caps the sweep
+//! (CI smoke runs `ITPX_TENANTS=2`).
+
+use crate::campaign::{Campaign, SimRequest};
+use crate::harness::RunScale;
+use itpx_core::Preset;
+use itpx_cpu::{SimulationOutput, SystemConfig};
+use itpx_trace::{qualcomm_like_suite, ContextSchedule, SwitchPolicy, WorkloadSpec};
+use itpx_types::stats::geomean_speedup;
+
+/// Tenant counts the sweep covers (1 = the classic single-tenant run).
+pub const TENANTS: &[u16] = &[1, 2, 4, 8];
+
+/// Scheduler quantum in instructions: small enough that every
+/// measurement window spans many switches, large enough that a tenant
+/// re-warms its TLB footprint inside one quantum.
+pub const QUANTUM: u64 = 2_500;
+
+/// One sweep point: a tenant count under the flushing round-robin
+/// schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsolidationCell {
+    /// Tenants sharing the hardware thread (1 = no schedule at all).
+    pub tenants: u16,
+    /// Geomean iTP+xPTP IPC uplift over LRU at this point, in percent.
+    pub geomean_pct: f64,
+    /// Mean LRU-baseline page walks per kilo-instruction (how much
+    /// translation pressure consolidation adds).
+    pub baseline_walks_pki: f64,
+    /// Mean LRU-baseline STLB MPKI.
+    pub baseline_stlb_mpki: f64,
+}
+
+/// Tenant counts after the `ITPX_TENANTS` cap (unset or invalid: the
+/// full sweep).
+pub fn tenant_counts() -> Vec<u16> {
+    let cap = std::env::var("ITPX_TENANTS")
+        .ok()
+        .and_then(|v| v.parse::<u16>().ok())
+        .unwrap_or(u16::MAX);
+    TENANTS.iter().copied().filter(|&t| t <= cap).collect()
+}
+
+fn suite(scale: &RunScale) -> Vec<WorkloadSpec> {
+    qualcomm_like_suite(scale.workloads)
+        .into_iter()
+        .map(|w| scale.apply(w))
+        .collect()
+}
+
+fn consolidate(w: &WorkloadSpec, tenants: u16) -> WorkloadSpec {
+    if tenants <= 1 {
+        w.clone()
+    } else {
+        w.clone().contexts(ContextSchedule::round_robin(
+            tenants,
+            QUANTUM,
+            SwitchPolicy::FlushAsid,
+        ))
+    }
+}
+
+/// Runs the sweep: every tenant count as one campaign batch, LRU
+/// baselines first, iTP+xPTP second.
+pub fn run(campaign: &Campaign, scale: &RunScale) -> Vec<ConsolidationCell> {
+    let suite = suite(scale);
+    let config = SystemConfig::asplos25();
+    let tenants = tenant_counts();
+    let mut requests = Vec::new();
+    for &t in &tenants {
+        for preset in [Preset::Lru, Preset::ItpXptp] {
+            requests.extend(
+                suite
+                    .iter()
+                    .map(|w| SimRequest::single(&config, preset, &consolidate(w, t))),
+            );
+        }
+    }
+    let outputs = campaign.run_batch(requests);
+    let per_point = 2 * suite.len();
+    tenants
+        .into_iter()
+        .zip(outputs.chunks(per_point))
+        .map(|(t, outs)| {
+            let (base, prop) = outs.split_at(suite.len());
+            cell(t, base, prop)
+        })
+        .collect()
+}
+
+fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let xs: Vec<f64> = xs.collect();
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}
+
+fn cell(tenants: u16, base: &[SimulationOutput], prop: &[SimulationOutput]) -> ConsolidationCell {
+    let ups: Vec<f64> = prop
+        .iter()
+        .zip(base)
+        .map(|(o, b)| o.speedup_pct_over(b) / 100.0)
+        .collect();
+    ConsolidationCell {
+        tenants,
+        geomean_pct: geomean_speedup(&ups) * 100.0,
+        baseline_walks_pki: mean(
+            base.iter()
+                .map(|o| o.walker.walks as f64 * 1000.0 / o.instructions() as f64),
+        ),
+        baseline_stlb_mpki: mean(base.iter().map(SimulationOutput::stlb_mpki)),
+    }
+}
+
+/// Formats the sweep as an aligned table.
+pub fn format_cells(cells: &[ConsolidationCell]) -> String {
+    let mut out = format!(
+        "{:<8} {:>10} {:>10} {:>10}\n",
+        "tenants", "uplift", "walks/ki", "STLB MPKI"
+    );
+    for c in cells {
+        out.push_str(&format!(
+            "{:<8} {:>+9.2}% {:>10.2} {:>10.2}\n",
+            c.tenants, c.geomean_pct, c.baseline_walks_pki, c.baseline_stlb_mpki
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simcache::SimCache;
+
+    fn smoke_scale() -> RunScale {
+        RunScale {
+            workloads: 2,
+            instructions: 12_000,
+            warmup: 3_000,
+            ..RunScale::smoke()
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_tenant_count_and_pressure_grows() {
+        let campaign = Campaign::new(smoke_scale(), SimCache::new(None));
+        let cells = run(&campaign, &smoke_scale());
+        let tenants: Vec<u16> = cells.iter().map(|c| c.tenants).collect();
+        assert_eq!(tenants, TENANTS, "one cell per tenant count");
+        let single = &cells[0];
+        let eight = cells.last().expect("non-empty sweep");
+        assert!(
+            eight.baseline_walks_pki > single.baseline_walks_pki,
+            "8 flushing tenants must out-walk 1 ({} vs {})",
+            eight.baseline_walks_pki,
+            single.baseline_walks_pki
+        );
+        for c in &cells {
+            assert!(c.geomean_pct.is_finite(), "tenants={}", c.tenants);
+        }
+    }
+
+    #[test]
+    fn formatted_table_has_one_row_per_cell() {
+        let cells = vec![ConsolidationCell {
+            tenants: 2,
+            geomean_pct: 1.5,
+            baseline_walks_pki: 10.0,
+            baseline_stlb_mpki: 3.0,
+        }];
+        let table = format_cells(&cells);
+        assert_eq!(table.lines().count(), 2, "header plus one row");
+        assert!(table.contains("+1.50%"));
+    }
+}

@@ -3,6 +3,7 @@
 //! the paper's claims on reduced scales.
 
 pub mod calibrate;
+pub mod consolidation;
 pub mod depth_sweep;
 pub mod fig08;
 pub mod fig09;

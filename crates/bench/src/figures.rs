@@ -6,7 +6,9 @@
 //! same scheduler and simulation cache.
 
 use crate::campaign::Campaign;
-use crate::experiments::{calibrate, depth_sweep, fig08, fig09, motivation, sensitivity};
+use crate::experiments::{
+    calibrate, consolidation, depth_sweep, fig08, fig09, motivation, sensitivity,
+};
 use crate::report::{Distribution, Report};
 use itpx_core::presets::{BuildConfig, LlcChoice};
 use itpx_core::Preset;
@@ -84,6 +86,10 @@ pub const ALL: &[Figure] = &[
     Figure {
         name: "depth_sweep",
         build: depth_sweep_report,
+    },
+    Figure {
+        name: "consolidation",
+        build: consolidation_report,
     },
 ];
 
@@ -352,6 +358,21 @@ pub fn depth_sweep_report(campaign: &Campaign) -> Report {
     report.line("uplift is iTP+xPTP's geomean IPC gain; MPKI/rpki are the LRU baseline's");
     report.line("");
     report.line(depth_sweep::format_cells(&depth_sweep::run(
+        campaign, scale,
+    )));
+    report
+}
+
+/// Extension: multi-tenant consolidation sweep (iTP+xPTP vs LRU at
+/// 1/2/4/8 tenants under flushing round-robin switches).
+pub fn consolidation_report(campaign: &Campaign) -> Report {
+    let scale = campaign.scale();
+    let mut report = Report::new("Extension - multi-tenant consolidation (iTP+xPTP over LRU)");
+    report.line("tenants share one hardware thread via round-robin quanta with flushing");
+    report.line("switches; uplift is iTP+xPTP's geomean IPC gain, walks/MPKI are the LRU");
+    report.line("baseline's (how fast consolidation inflates translation pressure)");
+    report.line("");
+    report.line(consolidation::format_cells(&consolidation::run(
         campaign, scale,
     )));
     report

@@ -30,9 +30,12 @@ use crate::functional::FunctionalMachine;
 use crate::output::{LevelReport, SimulationOutput, ThreadOutput, WalkerSummary};
 use crate::system::System;
 use itpx_trace::{
-    InstructionStream, TierSchedule, TraceGenerator, TraceInst, WorkloadSource, WorkloadSpec,
+    ContextSchedule, InstructionStream, SwitchPolicy, TierSchedule, TraceGenerator, TraceInst,
+    WorkloadSource, WorkloadSpec,
 };
-use itpx_types::{Cycle, LevelId, ResetBoundary, ThreadId, TranslationKind, VirtAddr};
+use itpx_types::{
+    Asid, Cycle, LevelId, PageSize, ResetBoundary, ThreadId, TranslationKind, VirtAddr,
+};
 use std::collections::VecDeque;
 
 /// Ring size for dependency tracking (dep distances are `u8`).
@@ -91,6 +94,128 @@ impl Tier {
             });
         }
         out
+    }
+}
+
+/// Tenant `t`'s workload: the same statistical shape as `spec` with the
+/// layout re-seeded, so every tenant runs over its own concrete pages
+/// (tenant 0 keeps the spec verbatim — its stream IS the original one).
+fn tenant_spec(spec: &WorkloadSpec, tenant: u16) -> WorkloadSpec {
+    let mut s = spec.clone();
+    s.seed = spec.seed ^ (tenant as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    s
+}
+
+/// Live state of a multi-tenant [`ContextSchedule`].
+///
+/// The schedule clock counts *executed program instructions* across both
+/// execution tiers (cycle windows and functional fast-forwards advance it
+/// identically), so switches, shootdowns, and churn fire at the same
+/// program points no matter how a run is tiered. Cadence events
+/// (shootdown/churn) target the data VA of the instruction they fire on —
+/// well-defined in both tiers and guaranteed to hit live translations.
+struct ContextState {
+    schedule: ContextSchedule,
+    /// Unmounted tenant streams (`None` = currently mounted on the pipe).
+    streams: Vec<Option<Box<dyn InstructionStream>>>,
+    /// Tenant currently executing.
+    current: usize,
+    /// Executed program instructions, both tiers.
+    clock: u64,
+    next_switch: u64,
+    next_shootdown: u64,
+    next_churn: u64,
+}
+
+impl std::fmt::Debug for ContextState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContextState")
+            .field("schedule", &self.schedule)
+            .field("current", &self.current)
+            .field("clock", &self.clock)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ContextState {
+    /// Whether a switch boundary has been reached.
+    fn switch_due(&self) -> bool {
+        self.clock >= self.next_switch
+    }
+
+    /// Advances to the next tenant round-robin: remounts the pipe's
+    /// instruction stream and flushes its front-end lookahead (the FTQ
+    /// holds the outgoing tenant's speculative path — a context switch
+    /// discards it). Returns the incoming tenant's ASID; the caller
+    /// applies the tier-appropriate TLB/PSC effects.
+    fn rotate(&mut self, pipe: &mut ThreadPipe) -> Asid {
+        self.next_switch += self.schedule.quantum;
+        let next = (self.current + 1) % self.streams.len();
+        // next < streams.len() by the modulo, and every slot except the
+        // executing tenant's holds Some by the mount/unmount discipline.
+        let incoming = self.streams[next].take().expect("unmounted tenant stream");
+        self.streams[self.current] = Some(std::mem::replace(&mut pipe.stream, incoming));
+        self.current = next;
+        pipe.lookahead.clear();
+        pipe.cur_block = u64::MAX;
+        pipe.group_count = 0;
+        // itpx-allow: arith-width streams.len() == schedule.tenants, a u16, so the index fits
+        Asid(next as u16)
+    }
+
+    /// The executing tenant's ASID.
+    fn asid(&self) -> Asid {
+        // itpx-allow: arith-width current indexes streams, whose length is the u16 tenant count
+        Asid(self.current as u16)
+    }
+
+    /// Whether switches flush the incoming tenant's cached translations.
+    fn flushes(&self) -> bool {
+        self.schedule.policy == SwitchPolicy::FlushAsid
+    }
+
+    /// Whether the shootdown cadence fires at the current clock (consumes
+    /// the event when it does).
+    fn shootdown_due(&mut self) -> bool {
+        if self.schedule.shootdown_every > 0 && self.clock >= self.next_shootdown {
+            self.next_shootdown += self.schedule.shootdown_every;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the churn cadence fires at the current clock (consumes the
+    /// event when it does).
+    fn churn_due(&mut self) -> bool {
+        if self.schedule.churn_every > 0 && self.clock >= self.next_churn {
+            self.next_churn += self.schedule.churn_every;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Advances the clock across a free skip of `skip` instructions.
+    /// Cadence events are executed-instruction driven, so skipped spans
+    /// advance their counters without firing (documented limit); switch
+    /// boundaries still count — the caller rotates once per crossing.
+    fn skip(&mut self, skip: u64) -> u64 {
+        self.clock += skip;
+        let crossings = self
+            .clock
+            .saturating_sub(self.next_switch)
+            .checked_div(self.schedule.quantum)
+            .map_or(0, |full| full + u64::from(self.clock >= self.next_switch));
+        for (every, next) in [
+            (self.schedule.shootdown_every, &mut self.next_shootdown),
+            (self.schedule.churn_every, &mut self.next_churn),
+        ] {
+            if every > 0 && *next <= self.clock {
+                *next += (self.clock - *next) / every * every + every;
+            }
+        }
+        crossings
     }
 }
 
@@ -207,6 +332,8 @@ impl ResetBoundary for ThreadPipe {
 pub struct Engine {
     system: System,
     threads: Vec<ThreadPipe>,
+    /// Multi-tenant schedule state (`None` = classic single-tenant run).
+    ctx: Option<ContextState>,
 }
 
 impl Engine {
@@ -235,19 +362,75 @@ impl Engine {
             "1 or 2 hardware threads supported"
         );
         let rob_per_thread = system.config.rob_entries / sources.len();
-        let threads = sources
+        let threads: Vec<ThreadPipe> = sources
             .into_iter()
             .enumerate()
             .map(|(i, s)| ThreadPipe::new(s, ThreadId(i as u8), rob_per_thread))
             .collect();
-        Self { system, threads }
+        let mut system = system;
+        let contexts = threads[0]
+            .spec
+            .as_ref()
+            .map_or_else(ContextSchedule::flat, |s| s.contexts);
+        let ctx = if contexts.is_flat() {
+            None
+        } else {
+            assert!(
+                threads.len() == 1,
+                "multi-tenant schedules support a single hardware thread"
+            );
+            let spec = threads[0]
+                .spec
+                .as_ref()
+                // Unreachable: replay sources carry no spec, so their
+                // schedule is flat and this branch never runs.
+                .expect("multi-tenant runs need a synthetic workload");
+            system.configure_address_spaces(
+                contexts.tenants as usize,
+                contexts.global_fraction,
+                contexts.global_seed,
+            );
+            // Tenant 0's stream is the pipe's own; slots hold the rest.
+            let streams = (0..contexts.tenants)
+                .map(|t| {
+                    (t > 0).then(|| {
+                        Box::new(TraceGenerator::new(&tenant_spec(spec, t)))
+                            as Box<dyn InstructionStream>
+                    })
+                })
+                .collect();
+            Some(ContextState {
+                schedule: contexts,
+                streams,
+                current: 0,
+                clock: 0,
+                next_switch: contexts.quantum,
+                next_shootdown: contexts.shootdown_every,
+                next_churn: contexts.churn_every,
+            })
+        };
+        Self {
+            system,
+            threads,
+            ctx,
+        }
     }
 
     /// Executes one instruction on thread `ti`.
     fn step(&mut self, ti: usize, smt_active: bool) {
+        // A due context switch lands before the instruction: rotate the
+        // tenant streams and apply the switch to the cycle structures.
+        if let Some(ctx) = self.ctx.as_mut() {
+            if ctx.switch_due() {
+                let flush = ctx.flushes();
+                let asid = ctx.rotate(&mut self.threads[ti]);
+                self.system.context_switch(asid, flush);
+            }
+        }
         let cfg = self.system.config;
         let sys = &mut self.system;
         let t = &mut self.threads[ti];
+        let mut ctx = self.ctx.as_mut();
 
         // Keep the FTQ lookahead full.
         while t.lookahead.len() < cfg.ftq_entries {
@@ -337,6 +520,16 @@ impl Engine {
         // ---- Execute. ----
         let completion = if let Some(m) = inst.mem {
             let va = VirtAddr::new(m.addr + t.va_offset);
+            // Due cadence events target this instruction's VA *before* it
+            // translates, so the access itself exercises the refill.
+            if let Some(c) = ctx.as_deref_mut() {
+                if c.shootdown_due() {
+                    sys.shootdown(va, c.asid());
+                }
+                if c.churn_due() {
+                    sys.churn_region(t.id, va.vpn(PageSize::Huge2M).0);
+                }
+            }
             let tr = sys.translate(va, TranslationKind::Data, pc, t.id, ready);
             let mdone = sys
                 .hierarchy
@@ -383,6 +576,9 @@ impl Engine {
         // % DEP_RING keeps the index inside the ring
         t.completions[(t.produced % DEP_RING as u64) as usize] = completion;
         t.produced += 1;
+        if let Some(c) = ctx {
+            c.clock += 1;
+        }
         sys.on_retire(1);
     }
 
@@ -417,29 +613,82 @@ impl Engine {
             .expect("tiered runs need a synthetic workload");
         let mut fun = FunctionalMachine::from_cycle(&self.system);
         let mut warm_bp = self.threads[ti].bp.clone();
-        let mut gen = TraceGenerator::phase_fork(&spec, salt);
         let warm = instructions.min(FF_WARM_CAP);
         let va_offset = self.threads[ti].va_offset;
         let tid = self.threads[ti].id;
+        // One phase-forked warm stream per tenant (a single one when the
+        // run is single-tenant): the schedule keeps firing through the
+        // fast-forward so both tiers see switches at the same program
+        // points.
+        let mut gens: Vec<TraceGenerator> = match self.ctx.as_ref() {
+            Some(ctx) => (0..ctx.schedule.tenants)
+                .map(|t| TraceGenerator::phase_fork(&tenant_spec(&spec, t), salt))
+                .collect(),
+            None => vec![TraceGenerator::phase_fork(&spec, salt)],
+        };
+        // The free skip advances the schedule clock too: switch
+        // boundaries crossed inside it still rotate tenants (and flush,
+        // per policy); cadence events are executed-instruction driven, so
+        // they re-arm without firing.
+        if let Some(ctx) = self.ctx.as_mut() {
+            let crossings = ctx.skip(instructions - warm);
+            for _ in 0..crossings {
+                let flush = ctx.flushes();
+                let asid = ctx.rotate(&mut self.threads[ti]);
+                fun.context_switch(asid, flush);
+                self.system.address_space_mut(tid).switch_to(asid);
+            }
+        }
         let mut cur_block = u64::MAX;
         for _ in 0..warm {
-            let inst = gen.next_inst();
+            if let Some(ctx) = self.ctx.as_mut() {
+                if ctx.switch_due() {
+                    let flush = ctx.flushes();
+                    let asid = ctx.rotate(&mut self.threads[ti]);
+                    fun.context_switch(asid, flush);
+                    self.system.address_space_mut(tid).switch_to(asid);
+                    cur_block = u64::MAX;
+                }
+            }
+            let tenant = self.ctx.as_ref().map_or(0, |c| c.current);
+            let inst = gens[tenant].next_inst();
             let pc = inst.pc + va_offset;
             let block = pc >> 6;
             if block != cur_block {
                 cur_block = block;
-                fun.fetch(self.system.page_table_mut(tid), VirtAddr::new(pc));
+                fun.fetch(self.system.address_space_mut(tid), VirtAddr::new(pc));
             }
             if let Some(m) = inst.mem {
                 let va = VirtAddr::new(m.addr + va_offset);
+                // Cadence events mirror the cycle tier: target the VA of
+                // the instruction they fire on, before it translates.
+                if let Some(ctx) = self.ctx.as_mut() {
+                    if ctx.shootdown_due() {
+                        fun.shootdown(va, ctx.asid());
+                    }
+                    if ctx.churn_due() {
+                        let region = va.vpn(PageSize::Huge2M).0;
+                        if self
+                            .system
+                            .address_space_mut(tid)
+                            .churn_region(region)
+                            .is_some()
+                        {
+                            fun.invalidate_region(region);
+                        }
+                    }
+                }
                 if m.store {
-                    fun.store(self.system.page_table_mut(tid), va);
+                    fun.store(self.system.address_space_mut(tid), va);
                 } else {
-                    fun.load(self.system.page_table_mut(tid), va);
+                    fun.load(self.system.address_space_mut(tid), va);
                 }
             }
             if let Some(b) = inst.branch {
                 warm_bp.update(pc, b.taken);
+            }
+            if let Some(ctx) = self.ctx.as_mut() {
+                ctx.clock += 1;
             }
         }
         self.threads[ti].bp.import_state(&warm_bp);

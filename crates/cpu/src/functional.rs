@@ -32,9 +32,11 @@ use itpx_mem::CacheLineSnapshot;
 #[cfg(feature = "strict-contracts")]
 use itpx_types::Vpn;
 use itpx_types::{
-    FillClass, LevelCounts, LevelId, PageSize, PhysAddr, StructCounts, TranslationKind, VirtAddr,
+    Asid, FillClass, LevelCounts, LevelId, PageSize, PhysAddr, StructCounts, TranslationKind,
+    VirtAddr,
 };
-use itpx_vm::page_table::PageTable;
+use itpx_vm::address_space::AddressSpace;
+use itpx_vm::psc::{namespaced_vpn, tag_asid};
 use itpx_vm::tlb::{LastLevelTlb, TlbConfig, TlbEntry};
 
 /// A TLB modeled as per-set MRU-first lists of [`TlbEntry`] tuples.
@@ -51,6 +53,9 @@ pub struct FunctionalTlb {
     /// Per-set entries, most recently used first.
     // itpx-allow: nested-vec reference model optimizes for auditability, not speed
     lists: Vec<Vec<TlbEntry>>,
+    /// The address space lookups currently run under (mirrors the
+    /// production TLB's current-ASID register).
+    current: Asid,
     /// Access/miss counters in the difftest vocabulary.
     pub stats: StructCounts,
 }
@@ -62,6 +67,7 @@ impl FunctionalTlb {
             sets: cfg.sets,
             ways: cfg.ways,
             lists: vec![Vec::new(); cfg.sets],
+            current: Asid::KERNEL,
             stats: StructCounts::default(),
         }
     }
@@ -79,8 +85,12 @@ impl FunctionalTlb {
         for size in [PageSize::Base4K, PageSize::Huge2M] {
             let vpn = va.vpn(size).0;
             let set = (vpn as usize) % self.sets;
+            let current = self.current;
             let list = &mut self.lists[set];
-            if let Some(pos) = list.iter().position(|&(v, s, _, _)| v == vpn && s == size) {
+            if let Some(pos) = list
+                .iter()
+                .position(|&(v, s, _, _, a)| v == vpn && s == size && a.matches(current))
+            {
                 let entry = list.remove(pos);
                 list.insert(0, entry);
                 self.stats.record(Self::stat_class(kind), false);
@@ -93,11 +103,22 @@ impl FunctionalTlb {
 
     /// Installs a translation; a resident entry is refreshed in place.
     /// `kind` is the `Type` bit of the installing fill, carried so a
-    /// later export hands it back to kind-aware cycle policies.
-    pub fn fill(&mut self, vpn: u64, size: PageSize, frame: PhysAddr, kind: TranslationKind) {
+    /// later export hands it back to kind-aware cycle policies. `asid` is
+    /// the entry's address-space tag.
+    pub fn fill(
+        &mut self,
+        vpn: u64,
+        size: PageSize,
+        frame: PhysAddr,
+        kind: TranslationKind,
+        asid: Asid,
+    ) {
         let set = (vpn as usize) % self.sets;
         let list = &mut self.lists[set];
-        if let Some(pos) = list.iter().position(|&(v, s, _, _)| v == vpn && s == size) {
+        if let Some(pos) = list
+            .iter()
+            .position(|&(v, s, _, _, a)| v == vpn && s == size && a.matches(asid))
+        {
             let entry = list.remove(pos);
             list.insert(0, entry);
             return;
@@ -105,7 +126,46 @@ impl FunctionalTlb {
         if list.len() == self.ways {
             list.pop();
         }
-        list.insert(0, (vpn, size, frame, kind));
+        list.insert(0, (vpn, size, frame, kind, asid));
+    }
+
+    /// Retargets lookups to `asid` (mirrors `Tlb::set_current_asid`).
+    pub fn set_current_asid(&mut self, asid: Asid) {
+        self.current = asid;
+    }
+
+    /// The address space lookups currently run under.
+    pub fn current_asid(&self) -> Asid {
+        self.current
+    }
+
+    /// Drops every entry tagged exactly `asid`, preserving the recency
+    /// order of survivors (mirrors `Tlb::flush_asid`).
+    pub fn flush_asid(&mut self, asid: Asid) {
+        for list in &mut self.lists {
+            list.retain(|&(_, _, _, _, a)| a != asid);
+        }
+    }
+
+    /// Targeted shootdown of `va` under exactly `asid`, both page sizes
+    /// (mirrors `Tlb::invalidate_page`).
+    pub fn invalidate_page(&mut self, va: VirtAddr, asid: Asid) {
+        for size in [PageSize::Base4K, PageSize::Huge2M] {
+            let vpn = va.vpn(size).0;
+            let set = (vpn as usize) % self.sets;
+            self.lists[set].retain(|&(v, s, _, _, a)| !(v == vpn && s == size && a == asid));
+        }
+    }
+
+    /// Drops every entry (any tag) inside the 2 MiB region `region_vpn2m`
+    /// (mirrors `Tlb::invalidate_region`).
+    pub fn invalidate_region(&mut self, region_vpn2m: u64) {
+        for list in &mut self.lists {
+            list.retain(|&(v, s, _, _, _)| match s {
+                PageSize::Base4K => v >> 9 != region_vpn2m,
+                PageSize::Huge2M => v != region_vpn2m,
+            });
+        }
     }
 
     /// Exports resident entries per set in **LRU-first** order, so
@@ -124,8 +184,8 @@ impl FunctionalTlb {
         for list in &mut self.lists {
             list.clear();
         }
-        for (vpn, size, frame, kind) in entries {
-            self.fill(vpn, size, frame, kind);
+        for (vpn, size, frame, kind, asid) in entries {
+            self.fill(vpn, size, frame, kind, asid);
         }
     }
 
@@ -134,13 +194,14 @@ impl FunctionalTlb {
         self.lists.iter().map(Vec::len).max().unwrap_or(0)
     }
 
-    /// Whether a `(vpn, size)` translation is resident, without touching
-    /// recency or stats.
+    /// Whether a `(vpn, size)` translation visible under the current ASID
+    /// is resident, without touching recency or stats.
     pub fn contains(&self, vpn: u64, size: PageSize) -> bool {
         let set = (vpn as usize) % self.sets;
+        let current = self.current;
         self.lists[set]
             .iter()
-            .any(|&(v, s, _, _)| v == vpn && s == size)
+            .any(|&(v, s, _, _, a)| v == vpn && s == size && a.matches(current))
     }
 }
 
@@ -219,6 +280,15 @@ impl FunctionalPsc {
             self.install_tag(tag);
         }
     }
+
+    /// Drops tags cached under `asid`'s namespace (mirrors
+    /// `PageStructureCache::flush_asid`).
+    pub fn flush_asid(&mut self, asid: Asid) {
+        let level = self.level;
+        for list in &mut self.lists {
+            list.retain(|&t| tag_asid(t, level) != asid);
+        }
+    }
 }
 
 /// The split PSC hierarchy with the Table 1 geometry, replicating the
@@ -285,6 +355,15 @@ impl FunctionalPscs {
         self.pscl4.import_tags(t4);
         self.pscl3.import_tags(t3);
         self.pscl2.import_tags(t2);
+    }
+
+    /// Drops every level's tags under `asid`'s namespace (mirrors
+    /// `SplitPscs::flush_asid`).
+    pub fn flush_asid(&mut self, asid: Asid) {
+        self.pscl2.flush_asid(asid);
+        self.pscl3.flush_asid(asid);
+        self.pscl4.flush_asid(asid);
+        self.pscl5.flush_asid(asid);
     }
 }
 
@@ -606,9 +685,14 @@ impl FunctionalMachine {
     pub fn from_cycle(system: &System) -> Self {
         let mut m = Self::new(&system.config);
         m.itlb.import_entries(system.itlb().export_entries());
+        m.itlb.set_current_asid(system.itlb().current_asid());
         m.dtlb.import_entries(system.dtlb().export_entries());
+        m.dtlb.set_current_asid(system.dtlb().current_asid());
         match system.stlb() {
-            LastLevelTlb::Unified(t) => m.stlb.import_entries(t.export_entries()),
+            LastLevelTlb::Unified(t) => {
+                m.stlb.import_entries(t.export_entries());
+                m.stlb.set_current_asid(t.current_asid());
+            }
             // Self::new above already rejected split configurations.
             LastLevelTlb::Split { .. } => unreachable!("split STLB rejected at construction"),
         }
@@ -628,6 +712,7 @@ impl FunctionalMachine {
     /// a handoff is not simulated traffic.
     pub fn seed_cycle(&self, system: &mut System) {
         let path = system.path_mut();
+        path.set_current_asid(self.itlb.current_asid());
         path.itlb_mut().import_entries(self.itlb.export_entries());
         path.dtlb_mut().import_entries(self.dtlb.export_entries());
         match path.stlb_mut() {
@@ -651,22 +736,26 @@ impl FunctionalMachine {
     /// Panics on the first membership divergence, naming the structure.
     #[cfg(feature = "strict-contracts")]
     pub fn verify_seeded(&self, system: &System) {
-        for (vpn, size, _, _) in self.itlb.export_entries() {
+        for (vpn, size, _, _, asid) in self.itlb.export_entries() {
             assert!(
-                system.itlb().contains(Vpn(vpn).base(size), size),
+                system
+                    .itlb()
+                    .contains_tagged(Vpn(vpn).base(size), size, asid),
                 "tier handoff lost ITLB entry vpn={vpn:#x}"
             );
         }
-        for (vpn, size, _, _) in self.dtlb.export_entries() {
+        for (vpn, size, _, _, asid) in self.dtlb.export_entries() {
             assert!(
-                system.dtlb().contains(Vpn(vpn).base(size), size),
+                system
+                    .dtlb()
+                    .contains_tagged(Vpn(vpn).base(size), size, asid),
                 "tier handoff lost DTLB entry vpn={vpn:#x}"
             );
         }
         if let LastLevelTlb::Unified(t) = system.stlb() {
-            for (vpn, size, _, _) in self.stlb.export_entries() {
+            for (vpn, size, _, _, asid) in self.stlb.export_entries() {
                 assert!(
-                    t.contains(Vpn(vpn).base(size), size),
+                    t.contains_tagged(Vpn(vpn).base(size), size, asid),
                     "tier handoff lost STLB entry vpn={vpn:#x}"
                 );
             }
@@ -692,7 +781,7 @@ impl FunctionalMachine {
     /// Returns the physical address.
     pub fn translate(
         &mut self,
-        page_table: &mut PageTable,
+        space: &mut AddressSpace,
         va: VirtAddr,
         kind: TranslationKind,
     ) -> PhysAddr {
@@ -706,15 +795,20 @@ impl FunctionalMachine {
         }
         // Production translates on every L1-TLB miss (page-table node
         // and frame allocation are first-touch, so call order matters).
-        let tr = page_table.translate(va, kind);
+        let tr = space.translate(va, kind);
         if self.stlb.lookup(va, kind).is_none() {
             // Page walk: PSC start level, then one chain access per
             // remaining page-table level, entering at the first shared
-            // level with the translation kind's PTE class.
-            let vpn4k = match tr.size {
-                PageSize::Base4K => tr.vpn,
-                PageSize::Huge2M => tr.vpn << 9,
-            };
+            // level with the translation kind's PTE class. Tags are
+            // namespaced per address space exactly like the production
+            // walker.
+            let vpn4k = namespaced_vpn(
+                match tr.size {
+                    PageSize::Base4K => tr.vpn,
+                    PageSize::Huge2M => tr.vpn << 9,
+                },
+                tr.asid,
+            );
             let start_level = self.pscs.start_level(vpn4k);
             // itpx-allow: hot-alloc reference model: copies at most four (level, pa) pairs to release the page-table borrow before touching the chain
             let steps = tr.path.from_level(start_level).to_vec();
@@ -728,38 +822,71 @@ impl FunctionalMachine {
                 self.instr_walks += 1;
             }
             self.walk_refs += steps.len() as u64;
-            self.stlb.fill(tr.vpn, tr.size, tr.frame, kind);
+            self.stlb.fill(tr.vpn, tr.size, tr.frame, kind, tr.asid);
         }
         let l1 = if kind.is_instruction() {
             &mut self.itlb
         } else {
             &mut self.dtlb
         };
-        l1.fill(tr.vpn, tr.size, tr.frame, kind);
+        l1.fill(tr.vpn, tr.size, tr.frame, kind, tr.asid);
         tr.pa
     }
 
     /// Instruction fetch of the block containing `va`.
-    pub fn fetch(&mut self, page_table: &mut PageTable, va: VirtAddr) {
-        let pa = self.translate(page_table, va, TranslationKind::Instruction);
+    pub fn fetch(&mut self, space: &mut AddressSpace, va: VirtAddr) {
+        let pa = self.translate(space, va, TranslationKind::Instruction);
         self.chain
             .access(L1I, pa.block().index(), FillClass::InstrPayload);
     }
 
     /// Data load from `va`.
-    pub fn load(&mut self, page_table: &mut PageTable, va: VirtAddr) {
-        let pa = self.translate(page_table, va, TranslationKind::Data);
+    pub fn load(&mut self, space: &mut AddressSpace, va: VirtAddr) {
+        let pa = self.translate(space, va, TranslationKind::Data);
         self.chain
             .access(L1D, pa.block().index(), FillClass::DataPayload);
     }
 
     /// Data store to `va` (dirties the L1D block after the chain access,
     /// matching the production order).
-    pub fn store(&mut self, page_table: &mut PageTable, va: VirtAddr) {
-        let pa = self.translate(page_table, va, TranslationKind::Data);
+    pub fn store(&mut self, space: &mut AddressSpace, va: VirtAddr) {
+        let pa = self.translate(space, va, TranslationKind::Data);
         let block = pa.block().index();
         self.chain.access(L1D, block, FillClass::DataPayload);
         self.chain.mark_dirty_l1d(block);
+    }
+
+    /// Mirrors [`System::context_switch`]: optionally flushes the
+    /// incoming tenant's TLB entries and PSC namespace, then retargets
+    /// every TLB level. The caller retargets the [`AddressSpace`]
+    /// separately (it is not owned by the machine).
+    pub fn context_switch(&mut self, asid: Asid, flush: bool) {
+        if flush {
+            self.itlb.flush_asid(asid);
+            self.dtlb.flush_asid(asid);
+            self.stlb.flush_asid(asid);
+            self.pscs.flush_asid(asid);
+        }
+        self.itlb.set_current_asid(asid);
+        self.dtlb.set_current_asid(asid);
+        self.stlb.set_current_asid(asid);
+    }
+
+    /// Mirrors [`System::shootdown`]: a targeted invalidation of `va`
+    /// under `asid` across every TLB level (PSC interiors survive, like
+    /// production).
+    pub fn shootdown(&mut self, va: VirtAddr, asid: Asid) {
+        self.itlb.invalidate_page(va, asid);
+        self.dtlb.invalidate_page(va, asid);
+        self.stlb.invalidate_page(va, asid);
+    }
+
+    /// Mirrors the TLB half of [`System::churn_region`]: drops every
+    /// entry inside a 2 MiB region after huge-page promotion/demotion.
+    pub fn invalidate_region(&mut self, region_vpn2m: u64) {
+        self.itlb.invalidate_region(region_vpn2m);
+        self.dtlb.invalidate_region(region_vpn2m);
+        self.stlb.invalidate_region(region_vpn2m);
     }
 }
 
@@ -775,8 +902,8 @@ mod tests {
         SystemConfig::asplos25()
     }
 
-    fn table(c: &SystemConfig) -> PageTable {
-        PageTable::with_region_offset(c.huge_pages, c.seed, 0)
+    fn table(c: &SystemConfig) -> AddressSpace {
+        AddressSpace::single(c.huge_pages, c.seed, 0)
     }
 
     #[test]
@@ -804,12 +931,14 @@ mod tests {
             PageSize::Base4K,
             PhysAddr::new(0x1000),
             TranslationKind::Instruction,
+            Asid::KERNEL,
         );
         src.fill(
             0x20,
             PageSize::Base4K,
             PhysAddr::new(0x2000),
             TranslationKind::Instruction,
+            Asid::KERNEL,
         );
         let mut dst = FunctionalTlb::new(&c.itlb);
         dst.import_entries(src.export_entries());
@@ -854,7 +983,7 @@ mod tests {
         fun.seed_cycle(&mut sys2);
         #[cfg(feature = "strict-contracts")]
         fun.verify_seeded(&sys2);
-        for (vpn, size, _, _) in fun.itlb.export_entries() {
+        for (vpn, size, _, _, _) in fun.itlb.export_entries() {
             assert!(sys2.itlb().contains(Vpn(vpn).base(size), size));
         }
         let l1i_fun = fun.chain.level(LevelId::L1I).expect("has L1I");

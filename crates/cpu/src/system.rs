@@ -6,8 +6,8 @@ use itpx_core::presets::PolicyBundle;
 use itpx_core::StlbPressureMonitor;
 use itpx_mem::{Hierarchy, HierarchyPolicies};
 use itpx_policy::Lru;
-use itpx_types::{Cycle, PhysAddr, ResetBoundary, ThreadId, TranslationKind, VirtAddr};
-use itpx_vm::page_table::PageTable;
+use itpx_types::{Asid, Cycle, PhysAddr, ResetBoundary, ThreadId, TranslationKind, VirtAddr};
+use itpx_vm::address_space::AddressSpace;
 use itpx_vm::path::TranslationPath;
 use itpx_vm::psc::SplitPscs;
 use itpx_vm::tlb::{LastLevelTlb, Tlb, TlbConfig};
@@ -36,7 +36,7 @@ pub struct System {
     /// Configuration the system was built with.
     pub config: SystemConfig,
     path: TranslationPath,
-    page_tables: Vec<PageTable>,
+    spaces: Vec<AddressSpace>,
     /// The cache hierarchy (public: the engine issues fetches/accesses).
     pub hierarchy: Hierarchy,
     monitor: Option<StlbPressureMonitor>,
@@ -81,9 +81,9 @@ impl System {
                 llc,
             },
         );
-        let page_tables = (0..threads)
+        let spaces = (0..threads)
             .map(|t| {
-                PageTable::with_region_offset(
+                AddressSpace::single(
                     config.huge_pages,
                     config.seed ^ (t as u64).wrapping_mul(0x1234_5677),
                     (t as u64) << 44,
@@ -99,11 +99,80 @@ impl System {
         );
         Self {
             path,
-            page_tables,
+            spaces,
             hierarchy,
             monitor,
             config,
         }
+    }
+
+    /// Reconfigures thread 0's address space for a multi-tenant run:
+    /// `tenants` per-ASID page tables (tenant 0 keeps the exact tables a
+    /// single-tenant build would get) plus an optional shared global
+    /// table. Call once after construction, before any traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on SMT configurations — consolidation scenarios schedule
+    /// tenants over one hardware thread — or after traffic has touched
+    /// the address space.
+    pub fn configure_address_spaces(
+        &mut self,
+        tenants: usize,
+        global_fraction: f64,
+        global_seed: u64,
+    ) {
+        assert_eq!(
+            self.spaces.len(),
+            1,
+            "multi-tenant scheduling requires a single hardware thread"
+        );
+        assert_eq!(
+            self.spaces[0].table().mapped_4k_pages(),
+            0,
+            "configure address spaces before any traffic"
+        );
+        self.spaces[0] = AddressSpace::multi(
+            tenants,
+            self.config.huge_pages,
+            self.config.seed,
+            0,
+            global_fraction,
+            global_seed,
+        );
+    }
+
+    /// Switches thread 0 to tenant `asid`: retargets every TLB level's
+    /// current-ASID register and the address space. With `flush`, the
+    /// incoming tenant's stale entries (TLBs and PSC namespaces) are
+    /// invalidated first, so it restarts translation cold — the
+    /// `SwitchPolicy::FlushAsid` behavior; without it, tagged entries
+    /// survive across quanta.
+    pub fn context_switch(&mut self, asid: Asid, flush: bool) {
+        if flush {
+            self.path.flush_asid(asid);
+        }
+        self.path.set_current_asid(asid);
+        self.spaces[0].switch_to(asid);
+    }
+
+    /// Targeted TLB shootdown: invalidates `va`'s translation under
+    /// `asid` in every TLB level (PSC interior nodes survive — see
+    /// `TranslationPath::invalidate_page`).
+    pub fn shootdown(&mut self, va: VirtAddr, asid: Asid) {
+        self.path.invalidate_page(va, asid);
+    }
+
+    /// Huge-page promotion/demotion churn: flips the current tenant's
+    /// mapping granularity for a 2 MiB region and invalidates the
+    /// region's TLB entries. Returns the new huge state, or `None` if the
+    /// region is globally mapped (globals stay stable).
+    pub fn churn_region(&mut self, thread: ThreadId, region_vpn2m: u64) -> Option<bool> {
+        let flipped = self.spaces[thread.0 as usize].churn_region(region_vpn2m);
+        if flipped.is_some() {
+            self.path.invalidate_region(region_vpn2m);
+        }
+        flipped
     }
 
     /// Translates `va` for `thread`, modeling the full ITLB/DTLB → STLB →
@@ -117,7 +186,7 @@ impl System {
         now: Cycle,
     ) -> Translated {
         let result = self.path.translate(
-            &mut self.page_tables[thread.0 as usize],
+            &mut self.spaces[thread.0 as usize],
             WalkMemory {
                 hierarchy: &mut self.hierarchy,
                 thread,
@@ -142,7 +211,7 @@ impl System {
     /// touching TLB state, so demand fetches still expose every ITLB/STLB
     /// miss — the bottleneck the paper targets.
     pub fn fdip_target(&mut self, va: VirtAddr, thread: ThreadId) -> PhysAddr {
-        self.page_tables[thread.0 as usize]
+        self.spaces[thread.0 as usize]
             .translate(va, TranslationKind::Instruction)
             .pa
     }
@@ -191,11 +260,11 @@ impl System {
         &mut self.path
     }
 
-    /// Mutable access to `thread`'s page table, so the functional tier
+    /// Mutable access to `thread`'s address space, so the functional tier
     /// allocates frames out of the same first-touch sequence the cycle
     /// model would.
-    pub fn page_table_mut(&mut self, thread: ThreadId) -> &mut PageTable {
-        &mut self.page_tables[thread.0 as usize]
+    pub fn address_space_mut(&mut self, thread: ThreadId) -> &mut AddressSpace {
+        &mut self.spaces[thread.0 as usize]
     }
 
     /// Clears every statistic (warmup/measurement boundary); structure
@@ -347,5 +416,66 @@ mod tests {
         );
         assert_eq!(second.done, first.done);
         assert_eq!(s.walker().walks(), 1, "no duplicate walk");
+    }
+
+    #[test]
+    fn flushing_context_switch_restarts_the_tenant_cold() {
+        let mut s = system(Preset::Lru);
+        s.configure_address_spaces(2, 0.0, 0);
+        let va = VirtAddr::new(0x10_0000_1000);
+        s.translate(va, TranslationKind::Data, 0, ThreadId(0), 0);
+        assert_eq!(s.walker().walks(), 1);
+        // Preserving switch away and back: tenant 0's entry survives.
+        s.context_switch(Asid(1), false);
+        s.context_switch(Asid(0), false);
+        s.translate(va, TranslationKind::Data, 0, ThreadId(0), 1_000_000);
+        assert_eq!(s.walker().walks(), 1, "tagged entry survived the switch");
+        // Flushing switch back in: the entry is gone, the walk repeats.
+        s.context_switch(Asid(1), true);
+        s.context_switch(Asid(0), true);
+        s.translate(va, TranslationKind::Data, 0, ThreadId(0), 2_000_000);
+        assert_eq!(s.walker().walks(), 2, "flush restarted translation cold");
+    }
+
+    #[test]
+    fn tenants_translate_the_same_va_to_different_frames() {
+        let mut s = system(Preset::Lru);
+        s.configure_address_spaces(2, 0.0, 0);
+        let va = VirtAddr::new(0x10_0000_1000);
+        let a = s.translate(va, TranslationKind::Data, 0, ThreadId(0), 0);
+        s.context_switch(Asid(1), false);
+        let b = s.translate(va, TranslationKind::Data, 0, ThreadId(0), 1_000_000);
+        assert_ne!(a.pa, b.pa, "tenants must not share frames");
+        assert_eq!(s.walker().walks(), 2, "tenant 1 cannot hit tenant 0's tag");
+    }
+
+    #[test]
+    fn shootdown_forces_a_rewalk_of_exactly_that_page() {
+        let mut s = system(Preset::Lru);
+        s.configure_address_spaces(2, 0.0, 0);
+        let hit = VirtAddr::new(0x10_0000_1000);
+        let shot = VirtAddr::new(0x10_0040_2000);
+        s.translate(hit, TranslationKind::Data, 0, ThreadId(0), 0);
+        s.translate(shot, TranslationKind::Data, 0, ThreadId(0), 1_000_000);
+        assert_eq!(s.walker().walks(), 2);
+        s.shootdown(shot, Asid(0));
+        s.translate(hit, TranslationKind::Data, 0, ThreadId(0), 2_000_000);
+        assert_eq!(s.walker().walks(), 2, "untargeted page still hits");
+        s.translate(shot, TranslationKind::Data, 0, ThreadId(0), 3_000_000);
+        assert_eq!(s.walker().walks(), 3, "shot page re-walks");
+    }
+
+    #[test]
+    fn churn_flips_the_mapping_granularity_and_rewalks() {
+        let mut s = system(Preset::Lru);
+        s.configure_address_spaces(2, 0.0, 0);
+        let va = VirtAddr::new(0x10_0000_1000);
+        let before = s.translate(va, TranslationKind::Data, 0, ThreadId(0), 0);
+        let region = va.vpn(itpx_types::PageSize::Huge2M).0;
+        let flipped = s.churn_region(ThreadId(0), region);
+        assert!(flipped.is_some(), "private region must churn");
+        let after = s.translate(va, TranslationKind::Data, 0, ThreadId(0), 1_000_000);
+        assert!(after.stlb_miss, "churned region re-walks");
+        assert_ne!(before.pa, after.pa, "promotion remapped the page");
     }
 }

@@ -11,7 +11,7 @@
 //! prefetching is timing-driven speculation with no functional
 //! counterpart.
 
-use crate::events::{events_from_trace, Event};
+use crate::events::{events_from_spec, tenants_in, Event};
 use crate::refmodel::RefMachine;
 use crate::report::DiffReport;
 use crate::shrink;
@@ -20,7 +20,7 @@ use itpx_core::Preset;
 use itpx_cpu::{System, SystemConfig};
 use itpx_mem::hierarchy::LevelHooks;
 use itpx_mem::HierarchyConfig;
-use itpx_trace::fuzz::{generate, FuzzSpec};
+use itpx_trace::fuzz::FuzzSpec;
 use itpx_types::{Cycle, LevelId, ThreadId, TranslationKind, VirtAddr};
 
 /// Cycles between events: longer than any cold miss chain (a full walk
@@ -41,6 +41,10 @@ pub fn run_system(events: &[Event], hierarchy: &HierarchyConfig) -> DiffReport {
     let cfg = config_with(hierarchy);
     let bundle = Preset::Lru.build(&cfg.dims(), &BuildConfig::default());
     let mut sys = System::new(cfg, bundle, 1);
+    let tenants = tenants_in(events);
+    if tenants > 1 {
+        sys.configure_address_spaces(tenants, 0.0, 0);
+    }
     for id in [
         LevelId::L1I,
         LevelId::L1D,
@@ -76,6 +80,10 @@ pub fn run_system(events: &[Event], hierarchy: &HierarchyConfig) -> DiffReport {
                 sys.hierarchy
                     .data_access(t.pa, ev.pc, ThreadId(0), store, t.stlb_miss, now);
             }
+            crate::events::EventKind::Switch { asid, flush } => sys.context_switch(asid, flush),
+            crate::events::EventKind::Shootdown { asid } => {
+                sys.shootdown(VirtAddr::new(ev.va), asid);
+            }
         }
         now += EVENT_SPACING;
     }
@@ -83,8 +91,11 @@ pub fn run_system(events: &[Event], hierarchy: &HierarchyConfig) -> DiffReport {
 }
 
 /// Runs the functional reference over `events` and reports its counts.
+/// The tenant count is derived from the event list, exactly as
+/// [`run_system`] derives it, so both machines build identical address
+/// spaces for every shrink candidate.
 pub fn run_reference(events: &[Event], hierarchy: &HierarchyConfig) -> DiffReport {
-    let mut m = RefMachine::new(&config_with(hierarchy));
+    let mut m = RefMachine::with_tenants(&config_with(hierarchy), tenants_in(events));
     m.run(events);
     m.report()
 }
@@ -114,7 +125,7 @@ pub fn check_spec(
     preset_name: &str,
     hierarchy: &HierarchyConfig,
 ) -> Result<(), String> {
-    let events = events_from_trace(&generate(spec));
+    let events = events_from_spec(spec);
     match check_events(&events, hierarchy) {
         Ok(()) => Ok(()),
         Err(first) => {
@@ -170,6 +181,56 @@ mod tests {
         ] {
             check_spec(&spec, name, &h).expect("fuzzed trace must agree");
         }
+    }
+
+    #[test]
+    fn optimized_matches_reference_under_context_and_shootdown_storms() {
+        for pattern in [FuzzPattern::ContextStorm, FuzzPattern::ShootdownStorm] {
+            let spec = FuzzSpec {
+                pattern,
+                seed: 0x7e4a_4715,
+                instructions: 600,
+            };
+            for (name, h) in [
+                ("asplos25", HierarchyConfig::asplos25()),
+                ("asplos25_no_llc", HierarchyConfig::asplos25_no_llc()),
+                ("asplos25_deep", HierarchyConfig::asplos25_deep()),
+            ] {
+                check_spec(&spec, name, &h).expect("multi-tenant trace must agree");
+            }
+        }
+    }
+
+    #[test]
+    fn switches_and_shootdowns_change_translation_counts() {
+        // Same access pattern with and without control events: the
+        // multi-tenant lowering must actually perturb translation
+        // behavior, otherwise the new patterns test nothing.
+        let spec = FuzzSpec {
+            pattern: FuzzPattern::ContextStorm,
+            seed: 0xbeef,
+            instructions: 800,
+        };
+        let full = events_from_spec(&spec);
+        let plain: Vec<Event> = full
+            .iter()
+            .copied()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::Fetch | EventKind::Load | EventKind::Store
+                )
+            })
+            .collect();
+        let h = HierarchyConfig::asplos25();
+        let with_ctx = run_system(&full, &h);
+        let without = run_system(&plain, &h);
+        assert!(
+            with_ctx.walks > without.walks,
+            "tenant rotation must force extra walks ({} vs {})",
+            with_ctx.walks,
+            without.walks
+        );
     }
 
     #[test]

@@ -3,11 +3,18 @@
 //! The differential harness compares the optimized pipeline against the
 //! reference model on a common, minimal input language: a flat list of
 //! *events* — instruction fetches and data loads/stores by virtual
-//! address. [`events_from_trace`] derives the list from a fuzzer trace
-//! (one fetch per new instruction block, one memory event per operand),
-//! and the shrinker minimizes failing inputs at this granularity.
+//! address, plus the multi-tenant control events (context switches and
+//! targeted shootdowns). [`events_from_trace`] derives the access list
+//! from a fuzzer trace (one fetch per new instruction block, one memory
+//! event per operand); [`events_from_spec`] additionally interleaves
+//! control events for the multi-tenant fuzz patterns. The shrinker
+//! minimizes failing inputs at this granularity, control events
+//! included — both drivers derive the tenant count from the event list
+//! itself ([`tenants_in`]), so every shrink candidate stays well-formed.
 
+use itpx_trace::fuzz::{generate, FuzzPattern, FuzzSpec};
 use itpx_trace::TraceInst;
+use itpx_types::{Asid, Rng64};
 
 /// What one event does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +26,21 @@ pub enum EventKind {
     Load,
     /// Data store: like a load, then marks the L1D block dirty.
     Store,
+    /// Context switch to tenant `asid`; with `flush`, the incoming
+    /// tenant's TLB and PSC entries are invalidated first
+    /// (`SwitchPolicy::FlushAsid`). The event's `va`/`pc` are unused.
+    Switch {
+        /// The tenant the scheduler switches to.
+        asid: Asid,
+        /// Whether the incoming tenant's stale entries are flushed.
+        flush: bool,
+    },
+    /// Targeted TLB shootdown: invalidates the event's `va` under `asid`
+    /// in every TLB level.
+    Shootdown {
+        /// The tenant whose translation is shot down.
+        asid: Asid,
+    },
 }
 
 /// One access both machines execute.
@@ -59,6 +81,108 @@ pub fn events_from_trace(trace: &[TraceInst]) -> Vec<Event> {
                 pc: inst.pc,
             });
         }
+    }
+    out
+}
+
+/// Lowers a fuzz spec to its full event list: the trace's accesses, with
+/// deterministic multi-tenant control events interleaved for the
+/// patterns that call for them. Every other pattern lowers exactly as
+/// [`events_from_trace`] does.
+pub fn events_from_spec(spec: &FuzzSpec) -> Vec<Event> {
+    let base = events_from_trace(&generate(spec));
+    match spec.pattern {
+        FuzzPattern::ContextStorm => inject_context_storm(&base, spec.seed),
+        FuzzPattern::ShootdownStorm => inject_shootdown_storm(&base, spec.seed),
+        _ => base,
+    }
+}
+
+/// The tenant count an event list requires: one more than the highest
+/// ASID any control event names (access events run under whatever tenant
+/// is current). A list with no control events needs exactly one tenant.
+pub fn tenants_in(events: &[Event]) -> usize {
+    events
+        .iter()
+        .map(|e| match e.kind {
+            EventKind::Switch { asid, .. } | EventKind::Shootdown { asid } => asid.0 as usize + 1,
+            _ => 1,
+        })
+        .max()
+        .unwrap_or(1)
+}
+
+/// Tenants rotated through by the context-storm injection.
+const STORM_TENANTS: u16 = 3;
+
+/// High-rate round-robin switching over [`STORM_TENANTS`] tenants, a few
+/// dozen events per quantum, with the flush policy drawn per switch so
+/// one trace exercises both `FlushAsid` and `Preserve` transitions.
+fn inject_context_storm(base: &[Event], seed: u64) -> Vec<Event> {
+    let mut rng = Rng64::new(seed ^ 0x00c0_ffee);
+    let mut out = Vec::with_capacity(base.len() + base.len() / 16);
+    let mut next_switch = rng.range(16, 48);
+    let mut tenant = 0u16;
+    for (i, ev) in base.iter().enumerate() {
+        if i as u64 >= next_switch {
+            next_switch += rng.range(16, 48);
+            tenant = (tenant + 1) % STORM_TENANTS;
+            out.push(Event {
+                kind: EventKind::Switch {
+                    asid: Asid(tenant),
+                    flush: rng.chance(0.5),
+                },
+                va: 0,
+                pc: 0,
+            });
+        }
+        out.push(*ev);
+    }
+    out
+}
+
+/// Frequent shootdowns of recently accessed pages under the current
+/// tenant (so they land on resident translations), over a slow two-tenant
+/// rotation. The recency ring resets at each switch: shots always target
+/// pages the *current* tenant touched.
+fn inject_shootdown_storm(base: &[Event], seed: u64) -> Vec<Event> {
+    let mut rng = Rng64::new(seed ^ 0x0005_d00d);
+    let mut out = Vec::with_capacity(base.len() + base.len() / 8);
+    let mut recent: Vec<u64> = Vec::new();
+    let mut tenant = 0u16;
+    let mut next_shot = rng.range(8, 24);
+    let mut next_switch = rng.range(150, 250);
+    for (i, ev) in base.iter().enumerate() {
+        let i = i as u64;
+        if i >= next_switch {
+            next_switch += rng.range(150, 250);
+            tenant = (tenant + 1) % 2;
+            recent.clear();
+            out.push(Event {
+                kind: EventKind::Switch {
+                    asid: Asid(tenant),
+                    flush: rng.chance(0.25),
+                },
+                va: 0,
+                pc: 0,
+            });
+        }
+        if i >= next_shot {
+            next_shot += rng.range(8, 24);
+            if !recent.is_empty() {
+                let va = recent[rng.index(recent.len())];
+                out.push(Event {
+                    kind: EventKind::Shootdown { asid: Asid(tenant) },
+                    va,
+                    pc: 0,
+                });
+            }
+        }
+        out.push(*ev);
+        if recent.len() == 8 {
+            recent.remove(0);
+        }
+        recent.push(ev.va);
     }
     out
 }
@@ -108,5 +232,74 @@ mod tests {
         ];
         let evs = events_from_trace(&trace);
         assert_eq!(evs.len(), 3, "returning to a block re-fetches it");
+    }
+
+    fn storm_spec(pattern: FuzzPattern) -> FuzzSpec {
+        FuzzSpec {
+            pattern,
+            seed: 0xca11,
+            instructions: 2_000,
+        }
+    }
+
+    #[test]
+    fn context_storm_lowering_injects_rotating_switches() {
+        let spec = storm_spec(FuzzPattern::ContextStorm);
+        let evs = events_from_spec(&spec);
+        assert_eq!(
+            evs,
+            events_from_spec(&spec),
+            "lowering must be deterministic"
+        );
+        let switches: Vec<Asid> = evs
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Switch { asid, .. } => Some(asid),
+                _ => None,
+            })
+            .collect();
+        assert!(switches.len() > 20, "storm needs many switches");
+        for t in 0..STORM_TENANTS {
+            assert!(switches.contains(&Asid(t)), "tenant {t} never scheduled");
+        }
+        assert_eq!(tenants_in(&evs), STORM_TENANTS as usize);
+    }
+
+    #[test]
+    fn shootdown_storm_lowering_targets_recent_pages() {
+        let evs = events_from_spec(&storm_spec(FuzzPattern::ShootdownStorm));
+        let mut current = Asid::KERNEL;
+        let mut recent_blocks: Vec<u64> = Vec::new();
+        let mut shots = 0;
+        for ev in &evs {
+            match ev.kind {
+                EventKind::Switch { asid, .. } => {
+                    current = asid;
+                    recent_blocks.clear();
+                }
+                EventKind::Shootdown { asid } => {
+                    shots += 1;
+                    assert_eq!(asid, current, "shots target the current tenant");
+                    assert!(
+                        recent_blocks.contains(&(ev.va >> 12)),
+                        "shot {:#x} must target a recently accessed page",
+                        ev.va
+                    );
+                }
+                _ => recent_blocks.push(ev.va >> 12),
+            }
+        }
+        assert!(shots > 30, "storm needs many shootdowns, got {shots}");
+        assert_eq!(tenants_in(&evs), 2);
+    }
+
+    #[test]
+    fn plain_patterns_lower_without_control_events() {
+        let evs = events_from_spec(&storm_spec(FuzzPattern::Mixed));
+        assert!(evs.iter().all(|e| matches!(
+            e.kind,
+            EventKind::Fetch | EventKind::Load | EventKind::Store
+        )));
+        assert_eq!(tenants_in(&evs), 1);
     }
 }

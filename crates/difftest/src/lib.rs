@@ -12,10 +12,13 @@
 //!
 //! Inputs come from the deterministic adversarial fuzzer in
 //! [`itpx_trace::fuzz`]; failing event lists are shrunk to near-minimal
-//! reproducers by [`shrink`]. [`metamorphic`] adds invariance
-//! properties (address relabeling, warm/cold simcache, host-thread
-//! count, chain depth) that catch bug classes a same-input comparison
-//! cannot, and [`tiered`] pins the warm-state handoff of the tiered
+//! reproducers by [`shrink`]. Multi-tenant patterns interleave context
+//! switches and targeted shootdowns into the event lists (see
+//! [`events::events_from_spec`]), so ASID tagging is oracle-checked end
+//! to end. [`metamorphic`] adds invariance properties (VPN and ASID
+//! relabeling, warm/cold simcache, host-thread count, chain depth) that
+//! catch bug classes a same-input comparison cannot, and [`tiered`]
+//! pins the warm-state handoff of the tiered
 //! execution engine (degenerate schedules exactly reproduce flat runs;
 //! fast-forwarded windows stay within tolerance of them).
 //!
@@ -34,7 +37,7 @@ pub mod shrink;
 pub mod tiered;
 
 pub use driver::{check_events, check_spec, run_reference, run_system, EVENT_SPACING};
-pub use events::{events_from_trace, Event, EventKind};
+pub use events::{events_from_spec, events_from_trace, tenants_in, Event, EventKind};
 pub use refmodel::RefMachine;
 pub use report::{DiffReport, LevelCounts, StructCounts};
 
@@ -147,7 +150,7 @@ mod tests {
         };
         let outcome = run_with_threads(&scale, 2);
         assert_eq!(outcome.differential_checks, 9, "3 traces x 3 presets");
-        assert_eq!(outcome.metamorphic_checks, 4);
+        assert_eq!(outcome.metamorphic_checks, 5);
         assert_eq!(outcome.tier_checks, 2);
         assert!(outcome.passed(), "failures: {:#?}", outcome.failures);
     }

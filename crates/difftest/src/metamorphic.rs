@@ -1,7 +1,7 @@
 //! Metamorphic properties: transformations of an input that must leave
 //! observable results unchanged (or move them in a known direction).
 //!
-//! Four families ride alongside the differential comparison:
+//! Five families ride alongside the differential comparison:
 //!
 //! 1. **Address-relabeling invariance** — XOR-ing every VPN with a
 //!    set-preserving mask renames TLB entries without changing set
@@ -16,9 +16,13 @@
 //!    above the shared tail, so TLB/walker/L1/L2C counts must be
 //!    identical across depths and adding cache levels must not increase
 //!    DRAM reads.
+//! 5. **ASID-relabeling invariance** — ASIDs are opaque tags: permuting
+//!    tenant ids in a multi-tenant event list renames entries without
+//!    changing any tag-equality outcome, so every translation-side count
+//!    (TLB hits/misses, walks, walk references) is unchanged.
 
 use crate::driver::{run_reference, run_system};
-use crate::events::events_from_trace;
+use crate::events::{events_from_spec, events_from_trace, Event, EventKind};
 use itpx_bench::{SimCache, Sweep};
 use itpx_core::presets::BuildConfig;
 use itpx_core::{Itp, ItpParams, Preset};
@@ -27,7 +31,7 @@ use itpx_mem::HierarchyConfig;
 use itpx_policy::{Lru, TlbPolicyEngine};
 use itpx_trace::fuzz::{self, FuzzPattern, FuzzSpec};
 use itpx_trace::WorkloadSpec;
-use itpx_types::{PageSize, PhysAddr, Rng64, ThreadId, TranslationKind, VirtAddr};
+use itpx_types::{Asid, PageSize, PhysAddr, Rng64, ThreadId, TranslationKind, VirtAddr};
 use itpx_vm::tlb::{Tlb, TlbConfig, TlbLookup};
 
 use crate::report::StructCounts;
@@ -57,6 +61,7 @@ fn drive_tlb(policy: TlbPolicyEngine, stream: &[(u64, TranslationKind)]) -> Stru
                 PageSize::Base4K,
                 PhysAddr::new(vpn << 12),
                 kind,
+                Asid::KERNEL,
                 0,
                 ThreadId(0),
                 1,
@@ -143,13 +148,10 @@ fn check_simcache_warm_cold(failures: &mut Vec<String>) {
 /// Property 3: host-thread count changes scheduling only. The same jobs
 /// through 1- and 4-thread sweeps must give identical ordered results.
 fn check_thread_invariance(failures: &mut Vec<String>) {
-    let specs = fuzz::corpus(0x7442_ead5, 6, 300);
+    let specs = fuzz::corpus(0x7442_ead5, 8, 300);
     let run = |threads: usize| {
         Sweep::new(threads).run_generic(specs.clone(), |spec| {
-            run_reference(
-                &events_from_trace(&fuzz::generate(spec)),
-                &HierarchyConfig::asplos25(),
-            )
+            run_reference(&events_from_spec(spec), &HierarchyConfig::asplos25())
         })
     };
     if run(1) != run(4) {
@@ -206,6 +208,79 @@ fn check_depth_sanity(failures: &mut Vec<String>) {
     let _ = Preset::Lru.build(&cfg.dims(), &BuildConfig::default());
 }
 
+/// Property 5: permuting ASID labels leaves every translation-side count
+/// unchanged. ASIDs enter lookups only through tag equality (and the PSC
+/// namespace, far above the set-index bits), so relabeling tenants
+/// renames entries without moving any of them or changing any
+/// hit/miss/walk outcome. Cache-side counts are exempt: each tenant's
+/// table scatters frames with its own seed, so tenant `t`'s traffic
+/// lands on different physical blocks once it runs as tenant `π(t)`.
+///
+/// Both lists get an explicit leading switch so even the pre-rotation
+/// quantum carries a permutable label. The harness config maps pure 4 KiB
+/// pages, which keeps page sizes independent of the per-tenant seeds.
+fn check_asid_relabeling(failures: &mut Vec<String>) {
+    let spec = FuzzSpec {
+        pattern: FuzzPattern::ContextStorm,
+        seed: 0x0a51_d5ee,
+        instructions: 2_000,
+    };
+    // π = the 3-cycle (0 1 2) over the storm's three tenants.
+    let perm = |a: Asid| Asid((a.0 + 1) % 3);
+    let relabel = |evs: &[Event]| -> Vec<Event> {
+        evs.iter()
+            .map(|ev| {
+                let kind = match ev.kind {
+                    EventKind::Switch { asid, flush } => EventKind::Switch {
+                        asid: perm(asid),
+                        flush,
+                    },
+                    EventKind::Shootdown { asid } => EventKind::Shootdown { asid: perm(asid) },
+                    k => k,
+                };
+                Event { kind, ..*ev }
+            })
+            .collect()
+    };
+    let mut base = vec![Event {
+        kind: EventKind::Switch {
+            asid: Asid(0),
+            flush: false,
+        },
+        va: 0,
+        pc: 0,
+    }];
+    base.extend(events_from_spec(&spec));
+    let renamed = relabel(&base);
+    let h = HierarchyConfig::asplos25();
+    let translation = |r: &crate::report::DiffReport| {
+        (
+            r.itlb,
+            r.dtlb,
+            r.stlb,
+            r.walks,
+            r.instruction_walks,
+            r.walk_refs,
+        )
+    };
+    for (machine, run) in [
+        (
+            "optimized",
+            run_system as fn(&[Event], &HierarchyConfig) -> _,
+        ),
+        ("reference", run_reference),
+    ] {
+        let a = translation(&run(&base, &h));
+        let b = translation(&run(&renamed, &h));
+        if a != b {
+            failures.push(format!(
+                "asid-relabeling/{machine}: translation counts changed under a \
+                 tenant permutation: {a:?} vs {b:?}"
+            ));
+        }
+    }
+}
+
 /// Runs every metamorphic property; returns one line per failure.
 pub fn run_all() -> Vec<String> {
     let mut failures = Vec::new();
@@ -213,11 +288,12 @@ pub fn run_all() -> Vec<String> {
     check_simcache_warm_cold(&mut failures);
     check_thread_invariance(&mut failures);
     check_depth_sanity(&mut failures);
+    check_asid_relabeling(&mut failures);
     failures
 }
 
 /// Number of property families [`run_all`] evaluates.
-pub const PROPERTY_COUNT: usize = 4;
+pub const PROPERTY_COUNT: usize = 5;
 
 #[cfg(test)]
 mod tests {
@@ -248,6 +324,13 @@ mod tests {
     fn depth_sanity_holds() {
         let mut f = Vec::new();
         check_depth_sanity(&mut f);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn asid_relabeling_holds() {
+        let mut f = Vec::new();
+        check_asid_relabeling(&mut f);
         assert!(f.is_empty(), "{f:?}");
     }
 }

@@ -4,7 +4,7 @@
 //! there so the execution engine can drive it as the fast-forward tier of
 //! a tiered schedule (warm-state handoff at every tier boundary). This
 //! module keeps the difftest-facing wrapper: [`RefMachine`] owns its own
-//! [`PageTable`] (the harness replays event lists against a standalone
+//! [`AddressSpace`] (the harness replays event lists against a standalone
 //! address space), feeds [`crate::events::Event`]s through the functional
 //! machine, and snapshots its counters as a [`DiffReport`].
 //!
@@ -20,14 +20,14 @@
 use crate::events::{Event, EventKind};
 use crate::report::DiffReport;
 use itpx_cpu::{FunctionalMachine, SystemConfig};
-use itpx_vm::page_table::PageTable;
+use itpx_vm::address_space::AddressSpace;
 
 /// The functional reference machine: a [`FunctionalMachine`] over its own
-/// production page table.
+/// production address space.
 #[derive(Debug)]
 pub struct RefMachine {
     machine: FunctionalMachine,
-    page_table: PageTable,
+    space: AddressSpace,
 }
 
 impl RefMachine {
@@ -39,9 +39,25 @@ impl RefMachine {
     /// Panics if `cfg` requests a split STLB — the harness compares the
     /// unified organization the paper optimizes.
     pub fn new(cfg: &SystemConfig) -> Self {
+        Self::with_tenants(cfg, 1)
+    }
+
+    /// Like [`RefMachine::new`], but with `tenants` per-ASID page tables —
+    /// built with the exact arguments `System::configure_address_spaces`
+    /// uses (no global table), so both machines translate identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`RefMachine::new`] does.
+    pub fn with_tenants(cfg: &SystemConfig, tenants: usize) -> Self {
+        let space = if tenants > 1 {
+            AddressSpace::multi(tenants, cfg.huge_pages, cfg.seed, 0, 0.0, 0)
+        } else {
+            AddressSpace::single(cfg.huge_pages, cfg.seed, 0)
+        };
         Self {
             machine: FunctionalMachine::new(cfg),
-            page_table: PageTable::with_region_offset(cfg.huge_pages, cfg.seed, 0),
+            space,
         }
     }
 
@@ -50,13 +66,19 @@ impl RefMachine {
         &self.machine
     }
 
-    /// Executes one event: translate, then walk the cache chain.
+    /// Executes one event: translate, then walk the cache chain — or, for
+    /// a control event, the matching switch/shootdown on TLBs and space.
     pub fn apply(&mut self, ev: &Event) {
         let va = itpx_types::VirtAddr::new(ev.va);
         match ev.kind {
-            EventKind::Fetch => self.machine.fetch(&mut self.page_table, va),
-            EventKind::Load => self.machine.load(&mut self.page_table, va),
-            EventKind::Store => self.machine.store(&mut self.page_table, va),
+            EventKind::Fetch => self.machine.fetch(&mut self.space, va),
+            EventKind::Load => self.machine.load(&mut self.space, va),
+            EventKind::Store => self.machine.store(&mut self.space, va),
+            EventKind::Switch { asid, flush } => {
+                self.machine.context_switch(asid, flush);
+                self.space.switch_to(asid);
+            }
+            EventKind::Shootdown { asid } => self.machine.shootdown(va, asid),
         }
     }
 

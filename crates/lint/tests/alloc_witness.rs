@@ -15,7 +15,7 @@ use itpx_core::registry::{cache_policies, tlb_policies, REGISTRY_SEED};
 use itpx_cpu::HashedPerceptron;
 use itpx_lint::alloc_witness::CountingAllocator;
 use itpx_mem::{Cache, CacheConfig, Probe};
-use itpx_types::{FillClass, PageSize, PhysAddr, Rng64, ThreadId, TranslationKind, VirtAddr};
+use itpx_types::{Asid, FillClass, PageSize, PhysAddr, Rng64, ThreadId, TranslationKind, VirtAddr};
 use itpx_vm::{SplitPscs, Tlb, TlbConfig, TlbLookup};
 
 #[global_allocator]
@@ -77,6 +77,7 @@ fn tlb_access(tlb: &mut Tlb, r: &mut Rng64, now: u64) -> u64 {
             PageSize::Base4K,
             PhysAddr::new(page << 12),
             kind,
+            Asid::GLOBAL,
             pc,
             thread,
             done - now,

@@ -64,6 +64,62 @@ proptest! {
     }
 
     #[test]
+    fn cache_export_import_roundtrip_preserves_dirty_and_class_bits(
+        ops in prop::collection::vec((0u64..512, any::<bool>(), 0usize..4), 1..150),
+        junk in prop::collection::vec(10_000u64..20_000, 0..30),
+    ) {
+        const CLASSES: [FillClass; 4] = [
+            FillClass::InstrPayload,
+            FillClass::DataPayload,
+            FillClass::InstrPte,
+            FillClass::DataPte,
+        ];
+        let mut src = cache(8, 4);
+        for (i, &(block, store, class)) in ops.iter().enumerate() {
+            let m = CacheMeta::demand(block, CLASSES[class]);
+            let now = i as u64 * 10;
+            if let Probe::Miss(start) = src.probe(&m, now, true) {
+                src.fill(&m, start, start + 20, true);
+            }
+            if store {
+                src.mark_dirty(block);
+            }
+        }
+        let snapshot = src.export_lines();
+        prop_assert_eq!(snapshot.len(), src.resident_count());
+
+        // Import into a polluted cache: import must drop the junk
+        // residents (including their dirty bits — no spurious writebacks
+        // can surface later from lines the snapshot never held).
+        let mut dst = cache(8, 4);
+        for &b in &junk {
+            let m = CacheMeta::demand(b, FillClass::DataPayload);
+            if let Probe::Miss(start) = dst.probe(&m, 0, true) {
+                dst.fill(&m, start, start + 20, true);
+            }
+            dst.mark_dirty(b);
+        }
+        dst.import_lines(snapshot.clone());
+
+        // Multiset equality on the FULL (block, dirty, fill-class)
+        // tuple: the dirty bit and the fill class survive the roundtrip,
+        // not just block membership.
+        let key = |l: &(u64, bool, FillClass)| (l.0, l.1, l.2 as u8);
+        let mut before = snapshot.clone();
+        let mut after = dst.export_lines();
+        before.sort_by_key(key);
+        after.sort_by_key(key);
+        prop_assert_eq!(before, after, "roundtrip must preserve lines bit-for-bit");
+
+        for &(block, _, _) in &snapshot {
+            prop_assert!(dst.contains(block));
+        }
+        for &b in &junk {
+            prop_assert!(!dst.contains(b), "import must evict pre-existing residents");
+        }
+    }
+
+    #[test]
     fn writebacks_only_from_dirty_blocks(ops in prop::collection::vec((0u64..16, any::<bool>()), 1..120)) {
         let mut c = cache(2, 2);
         let mut dirtied = std::collections::HashSet::new();

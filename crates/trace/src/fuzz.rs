@@ -50,17 +50,30 @@ pub enum FuzzPattern {
     /// after it. The ddmin shrinker preserves the straddle when it
     /// minimizes, so handoff bugs reduce to a few pre/post accesses.
     TierBoundary,
+    /// Dense reuse over a small working set whose window drifts slowly.
+    /// The difftest lowering injects high-rate context switches on top,
+    /// so consecutive scheduler quanta run under different ASIDs while
+    /// their working sets overlap partially: the same VPNs recur under
+    /// different tags and the TLBs must refuse every stale entry.
+    ContextStorm,
+    /// A hot, heavily revisited working set. The difftest lowering
+    /// injects targeted shootdowns of recently touched pages (plus slow
+    /// tenant rotation), so invalidations keep landing on translations
+    /// that are actually resident and the very next access re-walks.
+    ShootdownStorm,
 }
 
 impl FuzzPattern {
     /// Every pattern, in corpus round-robin order.
-    pub const ALL: [FuzzPattern; 6] = [
+    pub const ALL: [FuzzPattern; 8] = [
         FuzzPattern::InstrThrash,
         FuzzPattern::PageWalkHeavy,
         FuzzPattern::PhaseShift,
         FuzzPattern::WritebackStorm,
         FuzzPattern::Mixed,
         FuzzPattern::TierBoundary,
+        FuzzPattern::ContextStorm,
+        FuzzPattern::ShootdownStorm,
     ];
 
     /// Stable display name.
@@ -72,6 +85,8 @@ impl FuzzPattern {
             FuzzPattern::WritebackStorm => "writeback-storm",
             FuzzPattern::Mixed => "mixed",
             FuzzPattern::TierBoundary => "tier-boundary",
+            FuzzPattern::ContextStorm => "context-storm",
+            FuzzPattern::ShootdownStorm => "shootdown-storm",
         }
     }
 }
@@ -135,6 +150,8 @@ fn emit(pattern: FuzzPattern, rng: &mut Rng64, budget: usize, out: &mut Vec<Trac
         FuzzPattern::WritebackStorm => writeback_storm(rng, budget, out),
         FuzzPattern::Mixed => mixed(rng, budget, out),
         FuzzPattern::TierBoundary => tier_boundary(rng, budget, out),
+        FuzzPattern::ContextStorm => context_storm(rng, budget, out),
+        FuzzPattern::ShootdownStorm => shootdown_storm(rng, budget, out),
     }
 }
 
@@ -281,6 +298,41 @@ fn tier_boundary(rng: &mut Rng64, budget: usize, out: &mut Vec<TraceInst>) {
     }
 }
 
+/// A compact working set whose window slides forward every few hundred
+/// instructions. With the difftest harness rotating ASIDs every few
+/// dozen events, adjacent quanta share most — but not all — of their
+/// pages: exactly the partial overlap where a tag-matching bug (hitting
+/// another tenant's entry for the same VPN) would change counts.
+fn context_storm(rng: &mut Rng64, budget: usize, out: &mut Vec<TraceInst>) {
+    const CODE_PAGES: u64 = 20;
+    const DATA_PAGES: u64 = 40;
+    const DRIFT_EVERY: usize = 160;
+    while out.len() < budget {
+        let drift = (out.len() / DRIFT_EVERY) as u64 * 4;
+        let page = CODE_BASE + (drift + rng.below(CODE_PAGES)) * PAGE;
+        run_in_page(rng, out, page, 2, |r| MemRef {
+            addr: DATA_BASE + (drift + r.below(DATA_PAGES)) * PAGE + r.below(PAGE / 8) * 8,
+            store: r.chance(0.3),
+        });
+    }
+}
+
+/// A hot set small enough that almost every page stays TLB-resident, so
+/// the shootdowns the difftest harness injects (targeting recently
+/// accessed pages) reliably invalidate live entries and the revisit
+/// traffic re-walks them immediately.
+fn shootdown_storm(rng: &mut Rng64, budget: usize, out: &mut Vec<TraceInst>) {
+    const CODE_PAGES: u64 = 12;
+    const DATA_PAGES: u64 = 32;
+    while out.len() < budget {
+        let page = CODE_BASE + rng.below(CODE_PAGES) * PAGE;
+        run_in_page(rng, out, page, 1, |r| MemRef {
+            addr: DATA_BASE + r.below(DATA_PAGES) * PAGE + r.below(PAGE / 8) * 8,
+            store: r.chance(0.25),
+        });
+    }
+}
+
 /// Bursts of every pattern back to back.
 fn mixed(rng: &mut Rng64, budget: usize, out: &mut Vec<TraceInst>) {
     const BURST: usize = 96;
@@ -330,16 +382,18 @@ mod tests {
 
     #[test]
     fn corpus_cycles_patterns_with_distinct_seeds() {
-        let specs = corpus(7, 12, 100);
-        assert_eq!(specs.len(), 12);
+        let specs = corpus(7, 16, 100);
+        assert_eq!(specs.len(), 16);
         assert_eq!(specs[0].pattern, FuzzPattern::InstrThrash);
         assert_eq!(specs[4].pattern, FuzzPattern::Mixed);
         assert_eq!(specs[5].pattern, FuzzPattern::TierBoundary);
-        assert_eq!(specs[6].pattern, FuzzPattern::InstrThrash);
+        assert_eq!(specs[6].pattern, FuzzPattern::ContextStorm);
+        assert_eq!(specs[7].pattern, FuzzPattern::ShootdownStorm);
+        assert_eq!(specs[8].pattern, FuzzPattern::InstrThrash);
         let mut seeds: Vec<u64> = specs.iter().map(|s| s.seed).collect();
         seeds.sort_unstable();
         seeds.dedup();
-        assert_eq!(seeds.len(), 12, "seeds must differ per trace");
+        assert_eq!(seeds.len(), 16, "seeds must differ per trace");
     }
 
     #[test]
@@ -392,6 +446,59 @@ mod tests {
             .count();
         assert!(mems > 500, "storm needs memory traffic, got {mems}");
         assert!(stores * 2 > mems, "stores must dominate: {stores}/{mems}");
+    }
+
+    #[test]
+    fn context_storm_window_drifts_with_partial_overlap() {
+        let spec = FuzzSpec {
+            pattern: FuzzPattern::ContextStorm,
+            seed: 5,
+            instructions: 4_000,
+        };
+        let trace = generate(&spec);
+        let pages = |slice: &[TraceInst]| -> Vec<u64> {
+            let mut p: Vec<u64> = slice.iter().map(|i| i.pc / PAGE).collect();
+            p.sort_unstable();
+            p.dedup();
+            p
+        };
+        let early = pages(&trace[..800]);
+        let late = pages(&trace[3200..]);
+        assert!(
+            early.iter().all(|p| !late.contains(p)),
+            "distant windows must have fully drifted apart"
+        );
+        // Adjacent windows still overlap: that partial reuse is the point.
+        let a = pages(&trace[1600..1900]);
+        let b = pages(&trace[1900..2200]);
+        assert!(
+            a.iter().any(|p| b.contains(p)),
+            "adjacent windows must share pages — drift is gradual"
+        );
+    }
+
+    #[test]
+    fn shootdown_storm_stays_hot_and_memory_dense() {
+        let spec = FuzzSpec {
+            pattern: FuzzPattern::ShootdownStorm,
+            seed: 13,
+            instructions: 4_000,
+        };
+        let trace = generate(&spec);
+        let mut pages: Vec<u64> = trace
+            .iter()
+            .filter_map(|i| i.mem)
+            .map(|m| m.addr / PAGE)
+            .collect();
+        let mems = pages.len();
+        pages.sort_unstable();
+        pages.dedup();
+        assert!(
+            pages.len() <= 32,
+            "hot set must stay small: {}",
+            pages.len()
+        );
+        assert!(mems > 2_000, "storm needs dense data traffic, got {mems}");
     }
 
     #[test]

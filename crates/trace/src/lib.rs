@@ -38,7 +38,9 @@ pub use champsim::{read_champsim, ChampSimConverter, ChampSimRecord};
 pub use fuzz::{FuzzPattern, FuzzSpec};
 pub use gen::{TraceGenerator, ZipfSampler};
 pub use oracle::{replay_min_and_lru, tlb_key_streams, OracleResult};
-pub use profile::{Profile, SmtCategory, SmtPairSpec, TierSchedule, WorkloadSpec};
+pub use profile::{
+    ContextSchedule, Profile, SmtCategory, SmtPairSpec, SwitchPolicy, TierSchedule, WorkloadSpec,
+};
 pub use record::{read_trace, write_trace, Branch, MemRef, TraceInst};
 pub use stream::{InstructionStream, TraceLoop, WorkloadSource};
 pub use suites::{qualcomm_like_suite, smt_suite, spec_like_suite};

@@ -268,6 +268,148 @@ impl Fingerprint for TierSchedule {
     }
 }
 
+/// How a context switch treats the incoming tenant's cached
+/// translations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwitchPolicy {
+    /// Flush the incoming tenant's TLB entries and PSC namespace before
+    /// switching — each quantum starts translation-cold, the classic
+    /// non-ASID-tagged hardware behavior (global entries still survive).
+    #[default]
+    FlushAsid,
+    /// Keep tagged entries across switches — ASID-tagged hardware; a
+    /// returning tenant finds whatever survived the other tenants'
+    /// capacity pressure.
+    Preserve,
+}
+
+impl SwitchPolicy {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SwitchPolicy::FlushAsid => "flush",
+            SwitchPolicy::Preserve => "preserve",
+        }
+    }
+}
+
+/// A deterministic multi-tenant context-switch schedule.
+///
+/// A consolidation run time-slices `tenants` independent workload streams
+/// over one core, round-robin, switching every `quantum` *produced*
+/// instructions (the schedule clock is instruction count, not cycles, so
+/// the cycle and functional tiers fire switches at identical points).
+/// Each tenant is a re-seeded instance of the spec's profile — same
+/// statistical shape, different concrete pages, like the generator's
+/// `phase_fork`. Optional cadences inject targeted TLB shootdowns and
+/// huge-page promotion/demotion churn, and `global_fraction` of 2 MiB
+/// regions are backed by mappings shared across every tenant.
+///
+/// The flat schedule (all zeros) is the default and means "no
+/// multi-tenancy": the engine takes the classic single-tenant path,
+/// produces byte-identical outputs to a pre-multi-tenant build, and
+/// contributes nothing to the workload fingerprint so existing simcache
+/// keys stay byte-identical (the same trick [`TierSchedule`] uses).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ContextSchedule {
+    /// Number of tenant streams time-sliced over the core (0 = flat).
+    pub tenants: u16,
+    /// Produced instructions per tenant quantum.
+    pub quantum: u64,
+    /// What a switch does to the incoming tenant's cached translations.
+    pub policy: SwitchPolicy,
+    /// Produced instructions between injected TLB shootdowns (0 = never).
+    pub shootdown_every: u64,
+    /// Produced instructions between huge-page promotion/demotion churn
+    /// events (0 = never).
+    pub churn_every: u64,
+    /// Fraction of 2 MiB regions backed by global (cross-tenant shared)
+    /// mappings.
+    pub global_fraction: f64,
+    /// Seed of the per-region global decision and of shootdown/churn
+    /// target selection.
+    pub global_seed: u64,
+}
+
+impl ContextSchedule {
+    /// The single-tenant schedule: no switches, shootdowns, or churn.
+    pub fn flat() -> Self {
+        Self::default()
+    }
+
+    /// A round-robin schedule over `tenants` streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule fails [`ContextSchedule::validate`].
+    pub fn round_robin(tenants: u16, quantum: u64, policy: SwitchPolicy) -> Self {
+        let s = Self {
+            tenants,
+            quantum,
+            policy,
+            ..Self::default()
+        };
+        s.validate();
+        s
+    }
+
+    /// Sets the shootdown cadence.
+    #[must_use]
+    pub fn shootdowns(mut self, every: u64) -> Self {
+        self.shootdown_every = every;
+        self
+    }
+
+    /// Sets the huge-page churn cadence.
+    #[must_use]
+    pub fn churn(mut self, every: u64) -> Self {
+        self.churn_every = every;
+        self
+    }
+
+    /// Sets the globally-mapped region fraction and its seed.
+    #[must_use]
+    pub fn globals(mut self, fraction: f64, seed: u64) -> Self {
+        self.global_fraction = fraction;
+        self.global_seed = seed;
+        self
+    }
+
+    /// Whether this is the flat (single-tenant) schedule.
+    pub fn is_flat(&self) -> bool {
+        *self == Self::flat()
+    }
+
+    /// Validates the schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-flat schedule with fewer than two tenants, a zero
+    /// quantum, or a global fraction outside `[0, 1]`.
+    pub fn validate(&self) {
+        if !self.is_flat() {
+            assert!(self.tenants >= 2, "context schedule needs tenants >= 2");
+            assert!(self.quantum > 0, "context schedule needs quantum > 0");
+            assert!(
+                (0.0..=1.0).contains(&self.global_fraction),
+                "global_fraction in [0, 1]"
+            );
+        }
+    }
+}
+
+impl Fingerprint for ContextSchedule {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        h.write_u64(u64::from(self.tenants));
+        h.write_u64(self.quantum);
+        h.write_str(self.policy.name());
+        h.write_u64(self.shootdown_every);
+        h.write_u64(self.churn_every);
+        h.write_f64(self.global_fraction);
+        h.write_u64(self.global_seed);
+    }
+}
+
 /// One workload: a profile plus identity and run lengths.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
@@ -283,6 +425,9 @@ pub struct WorkloadSpec {
     pub warmup: u64,
     /// Tiered execution schedule ([`TierSchedule::flat`] = classic run).
     pub tiers: TierSchedule,
+    /// Multi-tenant context schedule ([`ContextSchedule::flat`] =
+    /// single-tenant run).
+    pub contexts: ContextSchedule,
 }
 
 impl WorkloadSpec {
@@ -307,6 +452,7 @@ impl WorkloadSpec {
             instructions: 1_000_000,
             warmup: 200_000,
             tiers: TierSchedule::flat(),
+            contexts: ContextSchedule::flat(),
         }
     }
 
@@ -323,6 +469,7 @@ impl WorkloadSpec {
             instructions: 1_000_000,
             warmup: 200_000,
             tiers: TierSchedule::flat(),
+            contexts: ContextSchedule::flat(),
         }
     }
 
@@ -347,6 +494,14 @@ impl WorkloadSpec {
         self.tiers = tiers;
         self
     }
+
+    /// Sets the multi-tenant context schedule.
+    #[must_use]
+    pub fn contexts(mut self, contexts: ContextSchedule) -> Self {
+        contexts.validate();
+        self.contexts = contexts;
+        self
+    }
 }
 
 impl Fingerprint for WorkloadSpec {
@@ -364,6 +519,12 @@ impl Fingerprint for WorkloadSpec {
         // changes the key.
         if !self.tiers.is_flat() {
             self.tiers.fingerprint(h);
+        }
+        // Same key-stability trick: the flat context schedule is hashed
+        // as nothing, so single-tenant specs keep their pre-multi-tenant
+        // simcache keys.
+        if !self.contexts.is_flat() {
+            self.contexts.fingerprint(h);
         }
     }
 }
@@ -514,5 +675,50 @@ mod tests {
     #[should_panic(expected = "window > 0")]
     fn zero_window_tiered_schedule_panics() {
         let _ = TierSchedule::tiered(0, 1000, 2);
+    }
+
+    #[test]
+    fn flat_context_schedule_leaves_fingerprint_unchanged() {
+        // The explicit flat schedule must hash exactly like an untouched
+        // spec: pre-multi-tenant simcache keys depend on this.
+        let base = WorkloadSpec::server_like(1);
+        let flat = base.clone().contexts(ContextSchedule::flat());
+        assert_eq!(key_of(&base), key_of(&flat));
+    }
+
+    #[test]
+    fn every_context_schedule_field_changes_the_fingerprint() {
+        let base = WorkloadSpec::server_like(1);
+        let sched = ContextSchedule::round_robin(2, 10_000, SwitchPolicy::FlushAsid)
+            .shootdowns(5_000)
+            .churn(7_000)
+            .globals(0.25, 9);
+        let with = |f: &dyn Fn(&mut ContextSchedule)| {
+            let mut s = sched;
+            f(&mut s);
+            key_of(&base.clone().contexts(s))
+        };
+        let keys = [
+            key_of(&base),
+            with(&|_| {}),
+            with(&|s| s.tenants = 4),
+            with(&|s| s.quantum = 20_000),
+            with(&|s| s.policy = SwitchPolicy::Preserve),
+            with(&|s| s.shootdown_every = 6_000),
+            with(&|s| s.churn_every = 8_000),
+            with(&|s| s.global_fraction = 0.5),
+            with(&|s| s.global_seed = 10),
+        ];
+        for (i, x) in keys.iter().enumerate() {
+            for (j, y) in keys.iter().enumerate().skip(i + 1) {
+                assert_ne!(x, y, "fields {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tenants >= 2")]
+    fn single_tenant_round_robin_panics() {
+        let _ = ContextSchedule::round_robin(1, 10_000, SwitchPolicy::FlushAsid);
     }
 }

@@ -1,0 +1,210 @@
+//! ChampSim decoder hardening: a committed fixture trace pins the wire
+//! format end to end, and adversarial inputs (truncated records, short
+//! reads, garbage tails, mid-stream I/O errors) pin the decoder's exact
+//! error and EOF behavior so "tolerant" never silently drifts into
+//! "wrong".
+
+use itpx_trace::champsim::{
+    read_champsim, ChampSimConverter, ChampSimRecord, CHAMPSIM_RECORD_BYTES,
+};
+use itpx_trace::{Branch, MemRef};
+use std::io::{self, Read};
+
+/// The committed fixture: six records with a register dependency, a
+/// load, a store, and a taken branch.
+const FIXTURE: &[u8] = include_bytes!("fixtures/tiny.champsimtrace");
+
+/// The fixture's records, reconstructed in code. The committed bytes
+/// must equal these records' encoding — this pins the wire format: any
+/// accidental field reorder or width change in `encode`/`decode` breaks
+/// the comparison.
+fn fixture_records() -> Vec<ChampSimRecord> {
+    let blank = |ip: u64| ChampSimRecord {
+        ip,
+        is_branch: false,
+        branch_taken: false,
+        dest_regs: [0; 2],
+        src_regs: [0; 4],
+        dest_mem: [0; 2],
+        src_mem: [0; 4],
+    };
+    let mut producer = blank(0x0040_1000);
+    producer.dest_regs = [7, 0];
+    let mut load = blank(0x0040_1004);
+    load.src_mem[0] = 0x0062_0000_0100;
+    let mut consumer = blank(0x0040_1008);
+    consumer.src_regs = [7, 0, 0, 0];
+    let mut branch = blank(0x0040_100c);
+    branch.is_branch = true;
+    branch.branch_taken = true;
+    let mut store = blank(0x0040_9000);
+    store.dest_mem[0] = 0x0062_0000_0200;
+    vec![producer, load, consumer, branch, store, blank(0x0040_9004)]
+}
+
+#[test]
+fn fixture_bytes_match_the_encoder() {
+    let encoded: Vec<u8> = fixture_records().iter().flat_map(|r| r.encode()).collect();
+    assert_eq!(FIXTURE, encoded.as_slice(), "wire format drifted");
+    assert_eq!(FIXTURE.len(), 6 * CHAMPSIM_RECORD_BYTES);
+}
+
+#[test]
+fn fixture_decodes_to_the_expected_instructions() {
+    let insts = read_champsim(FIXTURE, usize::MAX).expect("fixture reads");
+    // All six records convert: EOF at a record boundary flushes the
+    // pending record with fall-through control flow.
+    assert_eq!(insts.len(), 6);
+    let pcs: Vec<u64> = insts.iter().map(|i| i.pc).collect();
+    assert_eq!(
+        pcs,
+        [
+            0x0040_1000,
+            0x0040_1004,
+            0x0040_1008,
+            0x0040_100c,
+            0x0040_9000,
+            0x0040_9004
+        ]
+    );
+    assert_eq!(
+        insts[1].mem,
+        Some(MemRef {
+            addr: 0x0062_0000_0100,
+            store: false
+        })
+    );
+    assert_eq!(insts[2].src1_dist, 2, "r7 producer is 2 instructions back");
+    assert_eq!(
+        insts[3].branch,
+        Some(Branch {
+            taken: true,
+            target: 0x0040_9000
+        })
+    );
+    assert_eq!(
+        insts[4].mem,
+        Some(MemRef {
+            addr: 0x0062_0000_0200,
+            store: true
+        })
+    );
+    assert!(insts[5].branch.is_none(), "final record falls through");
+}
+
+#[test]
+fn truncating_mid_record_drops_the_tail_and_the_pending_record() {
+    // Cut 10 bytes into the last record: the partial tail cannot decode,
+    // and the decoder also drops the *pending* (fifth) record — its
+    // control flow needed the successor's IP, which never arrived. This
+    // asymmetry with the clean-EOF case (where finish() flushes the
+    // pending record) is deliberate and pinned here.
+    let cut = FIXTURE.len() - CHAMPSIM_RECORD_BYTES + 10;
+    let insts = read_champsim(&FIXTURE[..cut], usize::MAX).expect("truncation is tolerated");
+    assert_eq!(
+        insts.len(),
+        4,
+        "5 full records -> 4 chained, pending dropped"
+    );
+    let clean = read_champsim(&FIXTURE[..5 * CHAMPSIM_RECORD_BYTES], usize::MAX).unwrap();
+    assert_eq!(clean.len(), 5, "clean EOF flushes the pending record");
+}
+
+#[test]
+fn garbage_tail_shorter_than_a_record_is_dropped() {
+    for tail_len in [1, 13, CHAMPSIM_RECORD_BYTES - 1] {
+        let mut bytes = FIXTURE.to_vec();
+        bytes.extend(std::iter::repeat_n(0xA5, tail_len));
+        let insts = read_champsim(bytes.as_slice(), usize::MAX).expect("tail is tolerated");
+        // The garbage absorbs the pending-record flush: six full records
+        // chain into five instructions, the sixth stays pending forever.
+        assert_eq!(insts.len(), 5, "tail_len={tail_len}");
+    }
+}
+
+#[test]
+fn empty_and_single_record_inputs() {
+    assert_eq!(read_champsim(&[][..], usize::MAX).unwrap().len(), 0);
+    let one = &FIXTURE[..CHAMPSIM_RECORD_BYTES];
+    let insts = read_champsim(one, usize::MAX).unwrap();
+    assert_eq!(insts.len(), 1, "finish() flushes the only record");
+    assert_eq!(insts[0].pc, 0x0040_1000);
+}
+
+/// A reader that returns at most one byte per call: the decoder's inner
+/// fill loop must reassemble records across arbitrarily fragmented
+/// reads.
+struct OneByteReader<'a>(&'a [u8]);
+
+impl Read for OneByteReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.0.split_first() {
+            Some((&b, rest)) if !buf.is_empty() => {
+                buf[0] = b;
+                self.0 = rest;
+                Ok(1)
+            }
+            _ => Ok(0),
+        }
+    }
+}
+
+#[test]
+fn short_reads_reassemble_records() {
+    let fragmented = read_champsim(OneByteReader(FIXTURE), usize::MAX).unwrap();
+    let whole = read_champsim(FIXTURE, usize::MAX).unwrap();
+    assert_eq!(fragmented, whole, "fragmentation must not change decoding");
+}
+
+/// A reader that fails with an I/O error after `ok_bytes` bytes.
+struct FailingReader<'a> {
+    data: &'a [u8],
+    ok_bytes: usize,
+}
+
+impl Read for FailingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.ok_bytes == 0 {
+            return Err(io::Error::other("disk fell off"));
+        }
+        let n = self.ok_bytes.min(buf.len()).min(self.data.len());
+        buf[..n].copy_from_slice(&self.data[..n]);
+        self.data = &self.data[n..];
+        self.ok_bytes -= n;
+        Ok(n)
+    }
+}
+
+#[test]
+fn io_errors_propagate_mid_stream() {
+    // Error after two full records plus half a record: no silent
+    // salvage — the caller sees the error, not a truncated Ok.
+    let err = read_champsim(
+        FailingReader {
+            data: FIXTURE,
+            ok_bytes: 2 * CHAMPSIM_RECORD_BYTES + 32,
+        },
+        usize::MAX,
+    )
+    .expect_err("mid-stream I/O errors must propagate");
+    assert_eq!(err.to_string(), "disk fell off");
+}
+
+#[test]
+fn limit_zero_reads_nothing() {
+    let insts = read_champsim(FIXTURE, 0).unwrap();
+    assert!(insts.is_empty());
+}
+
+#[test]
+fn converter_streams_equal_batch_reads() {
+    // Pushing records one at a time through the converter must produce
+    // exactly what read_champsim produces.
+    let mut conv = ChampSimConverter::new();
+    let mut streamed = Vec::new();
+    for rec in fixture_records() {
+        streamed.extend(conv.push(rec));
+    }
+    streamed.extend(conv.finish());
+    assert_eq!(streamed, read_champsim(FIXTURE, usize::MAX).unwrap());
+}

@@ -57,6 +57,48 @@ pub use stats::{
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ThreadId(pub u8);
 
+/// Address-space identifier tagging translation-structure entries.
+///
+/// Multi-tenant scenarios run several address spaces on one core; TLB and
+/// page-structure-cache entries carry the ASID they were installed under
+/// and only hit when it matches the structure's current ASID. The
+/// reserved value [`Asid::GLOBAL`] marks global mappings (kernel-style
+/// shared pages) that hit under every address space and survive
+/// flush-by-ASID context switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Asid(pub u16);
+
+impl Asid {
+    /// The ASID every single-tenant simulation runs under.
+    pub const KERNEL: Asid = Asid(0);
+
+    /// Sentinel tag for global mappings: matches any current ASID and is
+    /// exempt from flush-by-ASID invalidation.
+    pub const GLOBAL: Asid = Asid(u16::MAX);
+
+    /// Whether an entry tagged with `self` hits under `current`.
+    #[inline]
+    pub fn matches(self, current: Asid) -> bool {
+        self == current || self == Asid::GLOBAL
+    }
+}
+
+impl std::fmt::Display for Asid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == Asid::GLOBAL {
+            f.write_str("ASID(global)")
+        } else {
+            write!(f, "ASID({})", self.0)
+        }
+    }
+}
+
+impl Fingerprint for Asid {
+    fn fingerprint(&self, h: &mut Fnv1a) {
+        h.write_u64(u64::from(self.0));
+    }
+}
+
 /// Names one level of the composable cache chain.
 ///
 /// The chain is ordered `L1I, L1D, L2C, [L3,] [LLC]`: both L1s front the

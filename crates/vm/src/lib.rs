@@ -4,6 +4,9 @@
 //! and the cache hierarchy, so this crate models the whole x86-64-style
 //! translation machinery the evaluation assumes (Section 5.1):
 //!
+//! * [`address_space`] — multi-tenant address spaces: per-ASID page
+//!   tables, a shared global table, and the current-ASID register driving
+//!   consolidation scenarios.
 //! * [`page_table`] — a 5-level radix page table with on-demand mapping,
 //!   4 KiB and 2 MiB leaves, and a deterministic physical frame allocator;
 //!   walks yield the *physical addresses of the PTEs touched at each
@@ -24,14 +27,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod address_space;
 pub mod page_table;
 pub mod path;
 pub mod psc;
 pub mod tlb;
 pub mod walker;
 
+pub use address_space::AddressSpace;
 pub use page_table::{FrameAllocator, HugePagePolicy, PageTable, Translation, WalkPath};
 pub use path::{PathResult, TranslationPath};
-pub use psc::{PageStructureCache, SplitPscs};
+pub use psc::{namespaced_vpn, tag_asid, PageStructureCache, SplitPscs};
 pub use tlb::{LastLevelTlb, Tlb, TlbConfig, TlbEntry, TlbLookup};
 pub use walker::{PageWalker, PteMemory, WalkOutcome};

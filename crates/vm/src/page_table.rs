@@ -13,7 +13,7 @@
 //! blocks spread over cache sets as they would on a long-lived server.
 
 use itpx_types::fingerprint::{Fingerprint, Fnv1a};
-use itpx_types::{PageSize, PhysAddr, Rng64, TranslationKind, VirtAddr};
+use itpx_types::{Asid, PageSize, PhysAddr, Rng64, TranslationKind, VirtAddr};
 use std::collections::HashMap;
 
 /// Number of tree levels (x86-64 5-level paging: PML5 → PT).
@@ -228,6 +228,11 @@ pub struct Translation {
     pub vpn: u64,
     /// Physical base of the page (frame address).
     pub frame: PhysAddr,
+    /// Address-space tag the mapping belongs to. A bare [`PageTable`]
+    /// always answers [`Asid::KERNEL`] (the single-tenant default);
+    /// [`crate::AddressSpace`] retags translations per tenant and marks
+    /// shared mappings [`Asid::GLOBAL`].
+    pub asid: Asid,
     /// PTE references a full walk would perform.
     pub path: WalkPath,
 }
@@ -332,6 +337,7 @@ impl PageTable {
                 size: PageSize::Huge2M,
                 vpn: vpn2m,
                 frame,
+                asid: Asid::KERNEL,
                 path,
             }
         } else {
@@ -349,9 +355,33 @@ impl PageTable {
                 size: PageSize::Base4K,
                 vpn: vpn4k,
                 frame,
+                asid: Asid::KERNEL,
                 path,
             }
         }
+    }
+
+    /// Flips the huge/base decision of the 2 MiB region `region_vpn2m` —
+    /// a huge-page promotion (or demotion) — and drops the region's leaf
+    /// mappings so the next touch re-maps it at the new granularity with
+    /// fresh frames, the way a real promotion migrates data. Upper-level
+    /// page-table nodes are untouched. Returns the region's new state.
+    ///
+    /// Callers owning TLBs must pair this with a region invalidation:
+    /// stale leaf entries would otherwise translate to the old frames.
+    pub fn toggle_region_huge(&mut self, region_vpn2m: u64) -> bool {
+        let now_huge = !self
+            .region_huge
+            .get(&region_vpn2m)
+            .copied()
+            .unwrap_or(false);
+        // itpx-allow: hot-alloc churn is cadence-driven (thousands of instructions apart), not per-access, and the map is bounded by the touched-region footprint
+        self.region_huge.insert(region_vpn2m, now_huge);
+        self.map2m.remove(&region_vpn2m);
+        self.map4k
+            // itpx-allow: map-iter retain only drops the region's leaves; no per-entry side effects, so hash order cannot leak into simulated state
+            .retain(|&vpn4k, _| vpn4k >> LEVEL_BITS != region_vpn2m);
+        now_huge
     }
 
     /// Number of distinct 4 KiB pages mapped so far.
@@ -471,6 +501,32 @@ mod tests {
         for _ in 0..4096 {
             assert!(seen.insert(alloc.alloc_frame().0));
         }
+    }
+
+    #[test]
+    fn toggle_region_huge_flips_size_and_remaps() {
+        let mut t = pt();
+        let va = VirtAddr::new(0x40_0000);
+        let before = t.translate(va, TranslationKind::Data);
+        assert_eq!(before.size, PageSize::Base4K);
+        let region = va.vpn(PageSize::Huge2M).0;
+        assert!(t.toggle_region_huge(region), "promoted to huge");
+        let after = t.translate(va, TranslationKind::Data);
+        assert_eq!(after.size, PageSize::Huge2M);
+        assert_ne!(before.frame, after.frame, "promotion migrates the data");
+        assert!(!t.toggle_region_huge(region), "demoted back to base");
+        let again = t.translate(va, TranslationKind::Data);
+        assert_eq!(again.size, PageSize::Base4K);
+        assert_ne!(again.frame, before.frame, "demotion re-allocates too");
+    }
+
+    #[test]
+    fn toggle_region_huge_leaves_other_regions_alone() {
+        let mut t = pt();
+        let other = VirtAddr::new(0x80_0000);
+        let kept = t.translate(other, TranslationKind::Data);
+        t.toggle_region_huge(VirtAddr::new(0x40_0000).vpn(PageSize::Huge2M).0);
+        assert_eq!(t.translate(other, TranslationKind::Data), kept);
     }
 
     #[test]

@@ -15,11 +15,11 @@
 //! and the cache-hierarchy window per call, and observes STLB misses
 //! through [`PathResult::stlb_miss`] (the adaptive monitor's feed).
 
-use crate::page_table::PageTable;
+use crate::address_space::AddressSpace;
 use crate::psc::SplitPscs;
 use crate::tlb::{LastLevelTlb, Tlb, TlbLookup};
 use crate::walker::{PageWalker, PteMemory};
-use itpx_types::{Cycle, PhysAddr, ResetBoundary, ThreadId, TranslationKind, VirtAddr};
+use itpx_types::{Asid, Cycle, PhysAddr, ResetBoundary, ThreadId, TranslationKind, VirtAddr};
 
 /// Result of a full translation: physical address, availability cycle,
 /// and whether the STLB missed (the flag T-DRRIP consumes, Figure 7
@@ -64,13 +64,14 @@ impl TranslationPath {
     }
 
     /// Translates `va`, modeling the full ITLB/DTLB → STLB → page-walk
-    /// path with all timing side effects. `page_table` supplies the
-    /// deterministic mapping; `mem` is the cache-hierarchy window the
-    /// walker's PTE references go through.
+    /// path with all timing side effects. `space` supplies the
+    /// deterministic mapping (the current tenant's in multi-tenant runs);
+    /// `mem` is the cache-hierarchy window the walker's PTE references go
+    /// through.
     #[allow(clippy::too_many_arguments)]
     pub fn translate(
         &mut self,
-        page_table: &mut PageTable,
+        space: &mut AddressSpace,
         mem: impl PteMemory,
         va: VirtAddr,
         kind: TranslationKind,
@@ -96,7 +97,7 @@ impl TranslationPath {
             TlbLookup::Miss => {
                 // The physical mapping itself is deterministic; timing
                 // comes from the structures below.
-                let tr = page_table.translate(va, kind);
+                let tr = space.translate(va, kind);
                 let pa = tr.pa;
                 // Merge under an in-flight L1-TLB miss.
                 if let Some(ready) = l1.merge(va, now) {
@@ -192,6 +193,43 @@ impl TranslationPath {
         &mut self.pscs
     }
 
+    /// Retargets every TLB level to `asid` — the tag-preserving half of
+    /// a context switch. Pair with [`TranslationPath::flush_asid`] for
+    /// flushing switches.
+    pub fn set_current_asid(&mut self, asid: Asid) {
+        self.itlb.set_current_asid(asid);
+        self.dtlb.set_current_asid(asid);
+        self.stlb.set_current_asid(asid);
+    }
+
+    /// Flushes `asid`-tagged state everywhere it lives: all TLB levels
+    /// and the PSC namespaces. Global entries survive by construction.
+    pub fn flush_asid(&mut self, asid: Asid) {
+        self.itlb.flush_asid(asid);
+        self.dtlb.flush_asid(asid);
+        self.stlb.flush_asid(asid);
+        self.pscs.flush_asid(asid);
+    }
+
+    /// Targeted TLB shootdown of `va` under `asid`, across every TLB
+    /// level. PSC nodes are deliberately kept — a shootdown invalidates a
+    /// leaf mapping, not the page-table interior (documented limit: real
+    /// invlpg flushes paging-structure caches too).
+    pub fn invalidate_page(&mut self, va: VirtAddr, asid: Asid) {
+        self.itlb.invalidate_page(va, asid);
+        self.dtlb.invalidate_page(va, asid);
+        self.stlb.invalidate_page(va, asid);
+    }
+
+    /// Invalidates a 2 MiB region in every TLB level after huge-page
+    /// promotion/demotion churn. PSC nodes survive: a level-2 start is
+    /// valid for both leaf sizes.
+    pub fn invalidate_region(&mut self, region_vpn2m: u64) {
+        self.itlb.invalidate_region(region_vpn2m);
+        self.dtlb.invalidate_region(region_vpn2m);
+        self.stlb.invalidate_region(region_vpn2m);
+    }
+
     /// Clears statistics on every structure in the pipeline; contents
     /// and replacement state are preserved.
     pub fn reset_stats(&mut self) {
@@ -247,8 +285,8 @@ mod tests {
         )
     }
 
-    fn table() -> PageTable {
-        PageTable::new(HugePagePolicy::none(), 7)
+    fn table() -> AddressSpace {
+        AddressSpace::single(HugePagePolicy::none(), 7, 0)
     }
 
     #[test]

@@ -10,10 +10,32 @@
 //! at*: the node addresses themselves are recomputed from the page table.
 
 use itpx_policy::{Lru, Policy, TlbMeta};
-use itpx_types::{SetGrid, SetMask, TranslationKind};
+use itpx_types::{Asid, SetGrid, SetMask, TranslationKind};
 
 /// Index bits per page-table level.
 const LEVEL_BITS: u32 = 9;
+
+/// Bit position the ASID folds into a namespaced VPN at. 4 KiB VPNs of
+/// the simulated 57-bit address space use at most 45 bits, so bits 48..64
+/// are free for the 16-bit tag.
+const ASID_SHIFT: u32 = 48;
+
+/// Folds an address-space tag into a 4 KiB VPN, namespacing PSC tags per
+/// address space: two tenants walking the same virtual page must not share
+/// page-table nodes. [`Asid::KERNEL`] (the single-tenant default) maps to
+/// the identity, so single-ASID simulations see byte-identical tags.
+pub fn namespaced_vpn(vpn4k: u64, asid: Asid) -> u64 {
+    debug_assert!(vpn4k < 1 << ASID_SHIFT, "VPN collides with the ASID fold");
+    vpn4k | ((asid.0 as u64) << ASID_SHIFT)
+}
+
+/// Recovers the address-space tag from a level-`level` PSC tag derived
+/// from a namespaced VPN (the fold sits above the VPN bits at every
+/// level, so the shift is exact).
+pub fn tag_asid(tag: u64, level: u8) -> Asid {
+    // itpx-allow: arith-width the shift drops the fold back to bit 0 and no VPN bits sit above it, so the tag fits u16 exactly
+    Asid((tag >> (ASID_SHIFT - LEVEL_BITS * (level as u32 - 1))) as u16)
+}
 
 /// One set-associative MMU cache covering a single page-table level.
 #[derive(Debug)]
@@ -131,6 +153,23 @@ impl PageStructureCache {
             self.install_tag(tag);
         }
     }
+
+    /// Invalidates every node cached under `asid`'s namespace (a flushing
+    /// context switch). A level tag keeps the ASID fold above its VPN
+    /// bits, so [`tag_asid`] recovers the tag's address space exactly,
+    /// global entries included.
+    pub fn flush_asid(&mut self, asid: Asid) {
+        let level = self.level;
+        for set in 0..self.tags.sets() {
+            for slot in self.tags.row_mut(set) {
+                if let Some(tag) = *slot {
+                    if tag_asid(tag, level) == asid {
+                        *slot = None;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// The split PSC hierarchy of Table 1.
@@ -227,6 +266,15 @@ impl SplitPscs {
             || self.pscl4.contains_vpn(vpn4k)
             || self.pscl5.contains_vpn(vpn4k)
     }
+
+    /// Invalidates every level's nodes cached under `asid`'s namespace
+    /// (the PSC half of a flushing context switch).
+    pub fn flush_asid(&mut self, asid: Asid) {
+        self.pscl2.flush_asid(asid);
+        self.pscl3.flush_asid(asid);
+        self.pscl4.flush_asid(asid);
+        self.pscl5.flush_asid(asid);
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +352,39 @@ mod tests {
         dst.fill(2 << 9);
         assert!(dst.contains_vpn(0));
         assert!(!dst.contains_vpn(1 << 9));
+    }
+
+    #[test]
+    fn kernel_namespace_is_the_identity() {
+        assert_eq!(namespaced_vpn(0x1234, Asid::KERNEL), 0x1234);
+        assert_ne!(namespaced_vpn(0x1234, Asid(1)), 0x1234);
+        assert_ne!(
+            namespaced_vpn(0x1234, Asid(1)),
+            namespaced_vpn(0x1234, Asid(2))
+        );
+    }
+
+    #[test]
+    fn namespaced_tenants_do_not_share_nodes() {
+        let mut p = SplitPscs::asplos25();
+        p.fill(namespaced_vpn(0x1234, Asid(1)), 1);
+        assert_eq!(p.start_level(namespaced_vpn(0x1234, Asid(1))), 2);
+        assert_eq!(p.start_level(namespaced_vpn(0x1234, Asid(2))), 5);
+    }
+
+    #[test]
+    fn flush_asid_clears_only_that_namespace() {
+        let mut p = SplitPscs::asplos25();
+        p.fill(namespaced_vpn(0x1234, Asid(1)), 1);
+        p.fill(namespaced_vpn(0x5678, Asid(2)), 1);
+        p.fill(namespaced_vpn(0x9abc, Asid::GLOBAL), 1);
+        p.flush_asid(Asid(1));
+        assert!(!p.contains_vpn(namespaced_vpn(0x1234, Asid(1))));
+        assert!(p.contains_vpn(namespaced_vpn(0x5678, Asid(2))));
+        assert!(p.contains_vpn(namespaced_vpn(0x9abc, Asid::GLOBAL)));
+        // KERNEL (0) flush of an empty namespace is a no-op for others.
+        p.flush_asid(Asid::KERNEL);
+        assert!(p.contains_vpn(namespaced_vpn(0x5678, Asid(2))));
     }
 
     #[test]

@@ -14,15 +14,17 @@ use crate::page_table::Translation;
 use itpx_policy::{Policy, TlbMeta, TlbPolicyEngine};
 use itpx_types::fingerprint::{Fingerprint, Fnv1a};
 use itpx_types::{
-    Cycle, FillClass, PageSize, PhysAddr, ResetBoundary, SetMask, SlotPool, StructStats, ThreadId,
-    TranslationKind, VirtAddr,
+    Asid, Cycle, FillClass, PageSize, PhysAddr, ResetBoundary, SetMask, SlotPool, StructStats,
+    ThreadId, TranslationKind, VirtAddr,
 };
 
 /// One resident translation as exported/imported at a tier boundary:
-/// `(vpn, size, frame, kind)`. `kind` is the translation kind of the fill
-/// that installed the entry — the paper's `Type` bit — so kind-aware
+/// `(vpn, size, frame, kind, asid)`. `kind` is the translation kind of the
+/// fill that installed the entry — the paper's `Type` bit — so kind-aware
 /// policies (iTP) see the right class when warm state is re-installed.
-pub type TlbEntry = (u64, PageSize, PhysAddr, TranslationKind);
+/// `asid` is the address-space tag the entry was installed under
+/// ([`Asid::GLOBAL`] for mappings that hit in every address space).
+pub type TlbEntry = (u64, PageSize, PhysAddr, TranslationKind, Asid);
 
 /// Geometry and timing of one TLB level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +63,10 @@ struct Entry {
     /// Translation kind of the installing fill (kept so warm-state export
     /// at a tier boundary can carry the `Type` bit along).
     kind: TranslationKind,
+    /// Address-space tag of the installing fill. Lookups require
+    /// [`Asid::matches`] against the structure's current ASID; global
+    /// entries match every space.
+    asid: Asid,
     /// Cycle at which the entry's fill completes; lookups before this wait
     /// for it (the timing an MSHR merge produces).
     ready: Cycle,
@@ -112,6 +118,9 @@ pub struct Tlb {
     /// Enum-dispatched so the per-access `on_hit`/`victim`/`on_fill`
     /// calls inline instead of going through a vtable.
     policy: TlbPolicyEngine,
+    /// The address space lookups currently run under. Single-tenant
+    /// simulations never move it off [`Asid::KERNEL`].
+    current: Asid,
     stats: StructStats,
     /// In-flight misses keyed by 4 KiB VPN (keys unique, lazy-cleaned).
     /// Consumers only take order-insensitive views (key lookup, `retain`,
@@ -144,6 +153,7 @@ impl Tlb {
             size: PageSize::Base4K,
             frame: PhysAddr::new(0),
             kind: TranslationKind::Data,
+            asid: Asid::KERNEL,
             ready: 0,
         };
         Self {
@@ -152,6 +162,7 @@ impl Tlb {
             full_mask: u64::MAX >> (64 - cfg.ways as u32),
             set_mask: SetMask::new(cfg.sets),
             policy,
+            current: Asid::KERNEL,
             stats: StructStats::new(),
             outstanding: SlotPool::with_capacity(cfg.mshr_entries),
             cfg,
@@ -190,16 +201,20 @@ impl Tlb {
         set * self.cfg.ways + way
     }
 
-    /// First valid way in `set` holding `(vpn, size)`, if any. Ways are
-    /// scanned in ascending order (bit order of the validity mask),
-    /// matching the nested-storage scan.
-    fn find_way(&self, set: usize, vpn: u64, size: PageSize) -> Option<usize> {
+    /// First valid way in `set` holding `(vpn, size)` visible under
+    /// `asid`, if any. Ways are scanned in ascending order (bit order of
+    /// the validity mask), matching the nested-storage scan. Visibility is
+    /// [`Asid::matches`]: an exact tag match or a global entry. Because a
+    /// page's globality is a pure function of its virtual address, a
+    /// global and a tenant-tagged entry for the same `(vpn, size)` never
+    /// coexist, so the scan order cannot change which entry is found.
+    fn find_way(&self, set: usize, vpn: u64, size: PageSize, asid: Asid) -> Option<usize> {
         let mut mask = self.valid[set];
         while mask != 0 {
             let way = mask.trailing_zeros() as usize;
             // way < cfg.ways because only the low `ways` mask bits are set
             let e = &self.entries[self.slot(set, way)];
-            if e.vpn == vpn && e.size == size {
+            if e.vpn == vpn && e.size == size && e.asid.matches(asid) {
                 return Some(way);
             }
             mask &= mask - 1;
@@ -239,7 +254,7 @@ impl Tlb {
         for size in [PageSize::Base4K, PageSize::Huge2M] {
             let vpn = va.vpn(size).0;
             let set = self.set_of(vpn);
-            if let Some(way) = self.find_way(set, vpn, size) {
+            if let Some(way) = self.find_way(set, vpn, size, self.current) {
                 let meta = self.meta(vpn, pc, kind, thread);
                 self.policy.on_hit(set, way, &meta);
                 self.stats.record(Self::stat_class(kind), false);
@@ -333,6 +348,7 @@ impl Tlb {
             tr.size,
             tr.frame,
             kind,
+            tr.asid,
             pc,
             thread,
             done - issued,
@@ -343,7 +359,9 @@ impl Tlb {
 
     /// Installs a translation, evicting per the policy if the set is full,
     /// and records the end-to-end miss latency. The entry becomes usable at
-    /// `ready`; lookups before that cycle wait for it.
+    /// `ready`; lookups before that cycle wait for it. `asid` is the tag
+    /// the entry is installed under ([`Asid::GLOBAL`] for mappings shared
+    /// by every address space).
     #[allow(clippy::too_many_arguments)]
     pub fn fill(
         &mut self,
@@ -351,6 +369,7 @@ impl Tlb {
         size: PageSize,
         frame: PhysAddr,
         kind: TranslationKind,
+        asid: Asid,
         pc: u64,
         thread: ThreadId,
         miss_latency: u64,
@@ -358,8 +377,11 @@ impl Tlb {
     ) {
         self.stats.record_miss_latency(miss_latency);
         let set = self.set_of(vpn);
-        // Already present (filled by a merged miss): just refresh.
-        if let Some(way) = self.find_way(set, vpn, size) {
+        // Already present (filled by a merged miss): just refresh. Probing
+        // with the installing tag is an exact-tag residence check — the
+        // never-both invariant (see `find_way`) rules out a global entry
+        // shadowing a tenant fill or vice versa.
+        if let Some(way) = self.find_way(set, vpn, size, asid) {
             let meta = self.meta(vpn, pc, kind, thread);
             self.policy.on_hit(set, way, &meta);
             return;
@@ -390,9 +412,87 @@ impl Tlb {
             size,
             frame,
             kind,
+            asid,
             ready,
         };
         self.policy.on_fill(set, way, &meta);
+    }
+
+    /// The address space lookups currently run under.
+    pub fn current_asid(&self) -> Asid {
+        self.current
+    }
+
+    /// Retargets lookups to `asid` (a context switch). Entries are left
+    /// in place — pair with [`Tlb::flush_asid`] for flushing switches.
+    pub fn set_current_asid(&mut self, asid: Asid) {
+        self.current = asid;
+    }
+
+    /// Invalidates every entry tagged exactly `asid` (a flushing context
+    /// switch). Global entries are exempt by construction — they carry
+    /// the [`Asid::GLOBAL`] tag, which no tenant flush names. Replacement
+    /// metadata of the freed ways goes stale but is rewritten by the next
+    /// fill into each way, and victims are only chosen from full sets, so
+    /// eviction order among live entries is unaffected. In-flight MSHRs
+    /// are untouched: a walk already in progress completes and installs
+    /// under the tag captured at fill time.
+    pub fn flush_asid(&mut self, asid: Asid) {
+        for set in 0..self.cfg.sets {
+            let mut mask = self.valid[set];
+            while mask != 0 {
+                let way = mask.trailing_zeros() as usize;
+                // way comes from the set's valid mask, so slot(set, way)
+                // is in bounds by construction
+                if self.entries[self.slot(set, way)].asid == asid {
+                    self.valid[set] &= !(1 << way);
+                }
+                mask &= mask - 1;
+            }
+        }
+    }
+
+    /// Targeted shootdown: invalidates any entry translating `va` under
+    /// exactly `asid`, probing both page-size granularities.
+    pub fn invalidate_page(&mut self, va: VirtAddr, asid: Asid) {
+        for size in [PageSize::Base4K, PageSize::Huge2M] {
+            let vpn = va.vpn(size).0;
+            let set = self.set_of(vpn);
+            let mut mask = self.valid[set];
+            while mask != 0 {
+                let way = mask.trailing_zeros() as usize;
+                // way comes from the set's valid mask, so slot(set, way)
+                // is in bounds by construction
+                let e = &self.entries[self.slot(set, way)];
+                if e.vpn == vpn && e.size == size && e.asid == asid {
+                    self.valid[set] &= !(1 << way);
+                }
+                mask &= mask - 1;
+            }
+        }
+    }
+
+    /// Invalidates every entry (any tag) whose page lies inside the 2 MiB
+    /// region `region_vpn2m` — the TLB half of a huge-page promotion or
+    /// demotion, which changes the region's translations wholesale.
+    pub fn invalidate_region(&mut self, region_vpn2m: u64) {
+        for set in 0..self.cfg.sets {
+            let mut mask = self.valid[set];
+            while mask != 0 {
+                let way = mask.trailing_zeros() as usize;
+                // way comes from the set's valid mask, so slot(set, way)
+                // is in bounds by construction
+                let e = &self.entries[self.slot(set, way)];
+                let in_region = match e.size {
+                    PageSize::Base4K => e.vpn >> 9 == region_vpn2m,
+                    PageSize::Huge2M => e.vpn == region_vpn2m,
+                };
+                if in_region {
+                    self.valid[set] &= !(1 << way);
+                }
+                mask &= mask - 1;
+            }
+        }
     }
 
     /// Clears statistics (entries and replacement state are preserved).
@@ -412,7 +512,7 @@ impl Tlb {
                 // way comes from the set's valid mask, so slot(set, way)
                 // is in bounds by construction
                 let e = &self.entries[self.slot(set, way)];
-                out.push((e.vpn, e.size, e.frame, e.kind));
+                out.push((e.vpn, e.size, e.frame, e.kind, e.asid));
                 mask &= mask - 1;
             }
         }
@@ -430,9 +530,9 @@ impl Tlb {
             *v = 0;
         }
         self.outstanding.retain(|_| false);
-        for (vpn, size, frame, kind) in entries {
+        for (vpn, size, frame, kind, asid) in entries {
             let set = self.set_of(vpn);
-            if self.find_way(set, vpn, size).is_some() {
+            if self.find_way(set, vpn, size, asid).is_some() {
                 continue;
             }
             let meta = self.meta(vpn, 0, kind, ThreadId(0));
@@ -456,6 +556,7 @@ impl Tlb {
                 size,
                 frame,
                 kind,
+                asid,
                 ready: 0,
             };
             self.policy.on_fill(set, way, &meta);
@@ -467,11 +568,21 @@ impl Tlb {
         self.valid.iter().map(|v| v.count_ones() as usize).sum()
     }
 
-    /// Whether a translation for `va` at `size` is resident.
+    /// Whether a translation for `va` at `size` is visible under the
+    /// current ASID.
     pub fn contains(&self, va: VirtAddr, size: PageSize) -> bool {
         let vpn = va.vpn(size).0;
         let set = self.set_of(vpn);
-        self.find_way(set, vpn, size).is_some()
+        self.find_way(set, vpn, size, self.current).is_some()
+    }
+
+    /// Whether a translation for `va` at `size` tagged `asid` is resident
+    /// (exact tag under the never-both invariant, regardless of the
+    /// current ASID).
+    pub fn contains_tagged(&self, va: VirtAddr, size: PageSize, asid: Asid) -> bool {
+        let vpn = va.vpn(size).0;
+        let set = self.set_of(vpn);
+        self.find_way(set, vpn, size, asid).is_some()
     }
 }
 
@@ -538,6 +649,51 @@ impl LastLevelTlb {
             }
         }
     }
+
+    /// Retargets lookups in every member structure (a context switch).
+    pub fn set_current_asid(&mut self, asid: Asid) {
+        match self {
+            LastLevelTlb::Unified(t) => t.set_current_asid(asid),
+            LastLevelTlb::Split { instr, data } => {
+                instr.set_current_asid(asid);
+                data.set_current_asid(asid);
+            }
+        }
+    }
+
+    /// Flushes `asid`-tagged entries from every member structure.
+    pub fn flush_asid(&mut self, asid: Asid) {
+        match self {
+            LastLevelTlb::Unified(t) => t.flush_asid(asid),
+            LastLevelTlb::Split { instr, data } => {
+                instr.flush_asid(asid);
+                data.flush_asid(asid);
+            }
+        }
+    }
+
+    /// Targeted shootdown across every member structure.
+    pub fn invalidate_page(&mut self, va: VirtAddr, asid: Asid) {
+        match self {
+            LastLevelTlb::Unified(t) => t.invalidate_page(va, asid),
+            LastLevelTlb::Split { instr, data } => {
+                instr.invalidate_page(va, asid);
+                data.invalidate_page(va, asid);
+            }
+        }
+    }
+
+    /// Invalidates a 2 MiB region in every member structure (huge-page
+    /// promotion/demotion churn).
+    pub fn invalidate_region(&mut self, region_vpn2m: u64) {
+        match self {
+            LastLevelTlb::Unified(t) => t.invalidate_region(region_vpn2m),
+            LastLevelTlb::Split { instr, data } => {
+                instr.invalidate_region(region_vpn2m);
+                data.invalidate_region(region_vpn2m);
+            }
+        }
+    }
 }
 
 impl ResetBoundary for Tlb {
@@ -576,6 +732,21 @@ mod tests {
             PageSize::Base4K,
             PhysAddr::new(frame),
             TranslationKind::Data,
+            Asid::KERNEL,
+            0,
+            ThreadId(0),
+            10,
+            0,
+        );
+    }
+
+    fn fill4k_tagged(t: &mut Tlb, va: VirtAddr, frame: u64, asid: Asid) {
+        t.fill(
+            va.vpn(PageSize::Base4K).0,
+            PageSize::Base4K,
+            PhysAddr::new(frame),
+            TranslationKind::Data,
+            asid,
             0,
             ThreadId(0),
             10,
@@ -613,6 +784,7 @@ mod tests {
             PageSize::Huge2M,
             PhysAddr::new(0x8000_0000),
             TranslationKind::Data,
+            Asid::KERNEL,
             0,
             ThreadId(0),
             10,
@@ -705,6 +877,7 @@ mod tests {
             PageSize::Base4K,
             PhysAddr::new(0x1000),
             TranslationKind::Instruction,
+            Asid::KERNEL,
             0,
             ThreadId(0),
             1,
@@ -774,6 +947,7 @@ mod tests {
             PageSize::Huge2M,
             PhysAddr::new(0x8000_0000),
             TranslationKind::Instruction,
+            Asid::KERNEL,
             0,
             ThreadId(0),
             10,
@@ -796,9 +970,10 @@ mod tests {
         let huge = dst
             .export_entries()
             .into_iter()
-            .find(|(_, size, _, _)| *size == PageSize::Huge2M)
+            .find(|(_, size, _, _, _)| *size == PageSize::Huge2M)
             .expect("huge entry survives");
         assert_eq!(huge.3, TranslationKind::Instruction);
+        assert_eq!(huge.4, Asid::KERNEL);
     }
 
     #[test]
@@ -844,6 +1019,88 @@ mod tests {
         t.reset_boundary();
         assert_eq!(t.stats().accesses(), 0);
         assert!(t.contains(va, PageSize::Base4K));
+    }
+
+    #[test]
+    fn asid_tag_gates_hits_and_global_entries_are_exempt() {
+        let mut t = tlb();
+        let va = VirtAddr::new(0x1000);
+        let shared = VirtAddr::new(0x2000);
+        fill4k_tagged(&mut t, va, 0x1, Asid(1));
+        fill4k_tagged(&mut t, shared, 0x2, Asid::GLOBAL);
+        // Current ASID is KERNEL (0): the tenant-1 entry is invisible,
+        // the global one hits.
+        assert!(!t.contains(va, PageSize::Base4K));
+        assert!(t.contains(shared, PageSize::Base4K));
+        t.set_current_asid(Asid(1));
+        assert!(t.contains(va, PageSize::Base4K));
+        assert!(t.contains(shared, PageSize::Base4K));
+        assert!(matches!(
+            t.lookup(va, TranslationKind::Data, 0, ThreadId(0), 0),
+            TlbLookup::Hit { .. }
+        ));
+        t.set_current_asid(Asid(2));
+        assert_eq!(
+            t.lookup(va, TranslationKind::Data, 0, ThreadId(0), 0),
+            TlbLookup::Miss
+        );
+    }
+
+    #[test]
+    fn flush_asid_spares_other_tenants_and_globals() {
+        let mut t = tlb();
+        fill4k_tagged(&mut t, VirtAddr::new(0x1000), 0x1, Asid(1));
+        fill4k_tagged(&mut t, VirtAddr::new(0x2000), 0x2, Asid(2));
+        fill4k_tagged(&mut t, VirtAddr::new(0x3000), 0x3, Asid::GLOBAL);
+        t.flush_asid(Asid(1));
+        assert!(!t.contains_tagged(VirtAddr::new(0x1000), PageSize::Base4K, Asid(1)));
+        assert!(t.contains_tagged(VirtAddr::new(0x2000), PageSize::Base4K, Asid(2)));
+        assert!(t.contains_tagged(VirtAddr::new(0x3000), PageSize::Base4K, Asid::GLOBAL));
+        assert_eq!(t.resident_count(), 2);
+    }
+
+    #[test]
+    fn invalidate_page_is_exact_by_va_and_asid() {
+        let mut t = tlb();
+        let va = VirtAddr::new(0x5000);
+        fill4k_tagged(&mut t, va, 0x1, Asid(1));
+        fill4k_tagged(&mut t, va, 0x2, Asid(2));
+        t.invalidate_page(va, Asid(1));
+        assert!(!t.contains_tagged(va, PageSize::Base4K, Asid(1)));
+        assert!(t.contains_tagged(va, PageSize::Base4K, Asid(2)));
+    }
+
+    #[test]
+    fn invalidate_region_drops_both_granularities() {
+        let mut t = tlb();
+        let region = VirtAddr::new(0x4000_0000);
+        t.fill(
+            region.vpn(PageSize::Huge2M).0,
+            PageSize::Huge2M,
+            PhysAddr::new(0x8000_0000),
+            TranslationKind::Data,
+            Asid::KERNEL,
+            0,
+            ThreadId(0),
+            1,
+            0,
+        );
+        fill4k(&mut t, VirtAddr::new(0x4000_1000), 0x9);
+        fill4k(&mut t, VirtAddr::new(0x5000_0000), 0xa); // outside region
+        t.invalidate_region(region.vpn(PageSize::Huge2M).0);
+        assert!(!t.contains(region, PageSize::Huge2M));
+        assert!(!t.contains(VirtAddr::new(0x4000_1000), PageSize::Base4K));
+        assert!(t.contains(VirtAddr::new(0x5000_0000), PageSize::Base4K));
+    }
+
+    #[test]
+    fn export_carries_asid_through_roundtrip() {
+        let mut src = tlb();
+        fill4k_tagged(&mut src, VirtAddr::new(0x1000), 0x1, Asid(3));
+        let mut dst = tlb();
+        dst.import_entries(src.export_entries());
+        assert!(dst.contains_tagged(VirtAddr::new(0x1000), PageSize::Base4K, Asid(3)));
+        assert!(!dst.contains(VirtAddr::new(0x1000), PageSize::Base4K));
     }
 
     #[test]

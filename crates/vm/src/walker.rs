@@ -93,10 +93,17 @@ impl PageWalker {
             .expect("non-empty slots");
         let start = now.max(self.slots[slot]);
 
-        let vpn4k = match translation.size {
-            itpx_types::PageSize::Base4K => translation.vpn,
-            itpx_types::PageSize::Huge2M => translation.vpn << 9,
-        };
+        // PSC tags are namespaced by the translation's address space so
+        // tenants walking the same virtual page never share page-table
+        // nodes ([`crate::psc::namespaced_vpn`] is the identity for the
+        // single-tenant KERNEL tag).
+        let vpn4k = crate::psc::namespaced_vpn(
+            match translation.size {
+                itpx_types::PageSize::Base4K => translation.vpn,
+                itpx_types::PageSize::Huge2M => translation.vpn << 9,
+            },
+            translation.asid,
+        );
         let mut t = start + pscs.latency;
         let start_level = pscs.start_level(vpn4k);
         let steps = translation.path.from_level(start_level);

@@ -2,7 +2,7 @@
 //! organizations under contention.
 
 use itpx_policy::Lru;
-use itpx_types::{PageSize, PhysAddr, ThreadId, TranslationKind, VirtAddr};
+use itpx_types::{Asid, PageSize, PhysAddr, ThreadId, TranslationKind, VirtAddr};
 use itpx_vm::tlb::{LastLevelTlb, Tlb, TlbConfig, TlbLookup};
 
 fn tlb(sets: usize, ways: usize) -> Tlb {
@@ -23,6 +23,7 @@ fn fill(t: &mut Tlb, va: u64, size: PageSize, kind: TranslationKind, ready: u64)
         size,
         PhysAddr::new(0xF000_0000 + va),
         kind,
+        Asid::KERNEL,
         va,
         ThreadId(0),
         50,
@@ -127,6 +128,7 @@ fn split_stlb_capacities_are_independent() {
         PageSize::Base4K,
         PhysAddr::new(0x1),
         TranslationKind::Instruction,
+        Asid::KERNEL,
         0,
         ThreadId(0),
         1,
@@ -138,6 +140,7 @@ fn split_stlb_capacities_are_independent() {
             PageSize::Base4K,
             PhysAddr::new(i),
             TranslationKind::Data,
+            Asid::KERNEL,
             0,
             ThreadId(0),
             1,
