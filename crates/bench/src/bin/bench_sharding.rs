@@ -1,0 +1,223 @@
+//! Measures the multi-process shard mode against a single process and
+//! folds a `sharding` section into `BENCH_campaign.json`.
+//!
+//! Two legs run the full figure set cold at a fixed smoke scale with
+//! one host thread per process, sharing nothing but the segmented
+//! store:
+//!
+//! * **flat** — one process, the classic in-process executor;
+//! * **sharded** — this binary re-execs itself twice
+//!   ([`Executor::Sharded`] with `shards = 2`), both children writing
+//!   into one wiped store directory and merging each other's results.
+//!
+//! CI gates on two conditions, always: every shard's report set must be
+//! byte-identical to the flat leg's, and — only on hosts with at least
+//! two cores, since shard parallelism cannot show on one — the
+//! wall-clock speedup must clear the committed
+//! `BENCH_sharding_baseline.json` floor.
+//!
+//! ```sh
+//! cargo run -p itpx-bench --release --bin bench_sharding
+//! ITPX_BLESS_SHARDING=1 cargo run -p itpx-bench --release --bin bench_sharding
+//! ```
+
+use itpx_bench::{figures, Campaign, Executor, RunScale, SimCache};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Fixed scale for both legs: one host thread per process so the
+/// sharded leg's advantage is pure process-level parallelism, and small
+/// enough that the cold figure set stays in CI territory.
+const SCALE: RunScale = RunScale {
+    workloads: 2,
+    smt_pairs: 2,
+    instructions: 20_000,
+    warmup: 5_000,
+    host_threads: 1,
+};
+
+/// Shards in the sharded leg.
+const SHARDS: u64 = 2;
+
+/// Minimum speedup on multi-core hosts, before the baseline tightens it.
+const MIN_SPEEDUP: f64 = 1.15;
+/// Fraction of the committed baseline speedup that must be reached,
+/// unless overridden via `ITPX_SHARDING_MARGIN` (e.g. `0.5` = half).
+const DEFAULT_MARGIN: f64 = 0.5;
+
+const BASELINE_PATH: &str = "BENCH_sharding_baseline.json";
+const CAMPAIGN_PATH: &str = "BENCH_campaign.json";
+
+/// Runs every figure cold through one campaign, returning the
+/// concatenated report texts.
+fn run_figures(dir: &Path, executor: Executor) -> String {
+    let campaign =
+        Campaign::new(SCALE, SimCache::new(Some(dir.to_path_buf()))).with_executor(executor);
+    let mut all = String::new();
+    for fig in figures::ALL {
+        all.push_str((fig.build)(&campaign).text());
+        all.push('\n');
+    }
+    all
+}
+
+fn wipe(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).expect("create store dir");
+}
+
+fn main() {
+    // Child mode: run one shard of the figure set and write the texts.
+    if let Ok(index) = std::env::var("ITPX_SHARD_CHILD") {
+        let index: u64 = index.parse().expect("ITPX_SHARD_CHILD index");
+        let dir = PathBuf::from(std::env::var("ITPX_SHARD_DIR").expect("ITPX_SHARD_DIR"));
+        let out = std::env::var("ITPX_SHARD_OUT").expect("ITPX_SHARD_OUT");
+        let texts = run_figures(
+            &dir,
+            Executor::Sharded {
+                shards: SHARDS,
+                index,
+            },
+        );
+        std::fs::write(out, texts).expect("write shard texts");
+        return;
+    }
+
+    let dir = PathBuf::from("target/simcache-shard");
+
+    // Flat leg: one process, cold store.
+    wipe(&dir);
+    let t0 = Instant::now();
+    let flat_texts = run_figures(&dir, Executor::InProcess);
+    let flat_s = t0.elapsed().as_secs_f64();
+    println!(
+        "flat:    1 process  cold campaign in {:.1} ms",
+        flat_s * 1e3
+    );
+
+    // Sharded leg: two single-thread children over one cold store.
+    wipe(&dir);
+    let exe = std::env::current_exe().expect("current exe");
+    let t0 = Instant::now();
+    let children: Vec<(std::process::Child, PathBuf)> = (0..SHARDS)
+        .map(|index| {
+            let out = dir.join(format!("shard-{index}.txt"));
+            let child = std::process::Command::new(&exe)
+                .env("ITPX_SHARD_CHILD", index.to_string())
+                .env("ITPX_SHARD_DIR", &dir)
+                .env("ITPX_SHARD_OUT", &out)
+                .spawn()
+                .expect("spawn shard child");
+            (child, out)
+        })
+        .collect();
+    let mut shard_texts = Vec::new();
+    for (mut child, out) in children {
+        let status = child.wait().expect("wait for shard child");
+        assert!(status.success(), "shard child failed: {status}");
+        shard_texts.push(std::fs::read_to_string(out).expect("read shard texts"));
+    }
+    let shard_s = t0.elapsed().as_secs_f64();
+    println!(
+        "sharded: {SHARDS} processes cold campaign in {:.1} ms",
+        shard_s * 1e3
+    );
+
+    let identical = shard_texts.iter().all(|t| *t == flat_texts);
+    let speedup = flat_s / shard_s;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("identical reports: {identical}; speedup {speedup:.2}x on {cores} core(s)");
+
+    if std::env::var_os("ITPX_BLESS_SHARDING").is_some() {
+        let body = format!("{{\"sharding_speedup\": {speedup:.2}, \"cores\": {cores}}}\n");
+        std::fs::write(BASELINE_PATH, body).expect("write baseline");
+        println!("blessed {BASELINE_PATH} at {speedup:.2}x");
+    }
+
+    let margin = std::env::var("ITPX_SHARDING_MARGIN")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|m| (0.0..=1.0).contains(m))
+        .unwrap_or(DEFAULT_MARGIN);
+    let baseline = read_baseline(BASELINE_PATH);
+    // One core cannot show process parallelism: gate identity only.
+    let floor = if cores < 2 {
+        None
+    } else {
+        Some(baseline.map_or(MIN_SPEEDUP, |b| MIN_SPEEDUP.max(b * margin)))
+    };
+    let speed_pass = floor.is_none_or(|f| speedup >= f);
+    let pass = identical && speed_pass;
+
+    let section = format!(
+        "{{\"shards\": {SHARDS}, \"flat_seconds\": {flat_s:.3}, \
+         \"sharded_seconds\": {shard_s:.3}, \"speedup\": {speedup:.2}, \
+         \"cores\": {cores}, \"identical_reports\": {identical}, \
+         \"baseline_speedup\": {}, \"margin\": {margin}, \"pass\": {pass}}}",
+        baseline.map_or("null".to_string(), |b| format!("{b:.2}")),
+    );
+    let existing = std::fs::read_to_string(CAMPAIGN_PATH).unwrap_or_else(|_| "{\n}\n".to_string());
+    std::fs::write(CAMPAIGN_PATH, merge_sharding(&existing, &section))
+        .expect("write BENCH_campaign.json");
+    println!("wrote sharding section into {CAMPAIGN_PATH}");
+
+    if !identical {
+        eprintln!("FAIL: shard reports diverge from the single-process reports");
+        std::process::exit(1);
+    }
+    if let Some(f) = floor {
+        if speedup < f {
+            eprintln!("FAIL: sharding speedup {speedup:.2}x is below the floor of {f:.2}x");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Extracts `sharding_speedup` from the hand-rolled baseline JSON.
+fn read_baseline(path: &str) -> Option<f64> {
+    let raw = std::fs::read_to_string(path).ok()?;
+    let idx = raw.find("\"sharding_speedup\"")?;
+    let rest = raw[idx..].split_once(':')?.1;
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// Replaces or inserts the top-level `"sharding"` key of the campaign
+/// JSON object. The campaign file keeps one top-level key per line;
+/// `sharding` is kept immediately before `throughput` (or last when
+/// there is no throughput section) so repeated runs are idempotent.
+fn merge_sharding(existing: &str, section: &str) -> String {
+    let mut lines: Vec<String> = existing
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("\"sharding\":"))
+        .map(|l| l.to_string())
+        .collect();
+    if lines.is_empty() {
+        lines = vec!["{".to_string(), "}".to_string()];
+    }
+    let at = lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("\"throughput\":"))
+        .unwrap_or(lines.len().saturating_sub(1));
+    let follows_key = at < lines.len() - 1;
+    let entry = format!(
+        "  \"sharding\": {section}{}",
+        if follows_key { "," } else { "" }
+    );
+    if at > 0 {
+        let prev = lines[at - 1].trim_end().trim_end_matches(',').to_string();
+        lines[at - 1] = if prev == "{" {
+            prev
+        } else {
+            format!("{prev},")
+        };
+    }
+    lines.insert(at, entry);
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}

@@ -1,0 +1,32 @@
+//! `itpx-serve` — the campaign engine as a long-running service.
+//!
+//! Binds `ITPX_SERVE_ADDR` (default `127.0.0.1:7425`) and serves figure
+//! reports and single simulations over HTTP, warm results straight from
+//! the segmented store. See [`itpx_bench::serve`] for the routes.
+//!
+//! ```text
+//! $ cargo run --release --bin itpx-serve &
+//! $ curl http://127.0.0.1:7425/figure/fig01
+//! ```
+
+use itpx_bench::Campaign;
+use std::sync::Arc;
+
+fn main() {
+    let addr = itpx_bench::env::serve_addr_from_env();
+    let campaign = Arc::new(Campaign::from_env());
+    let workers = campaign.scale().host_threads.max(2);
+    let server = match itpx_bench::serve::start(&addr, campaign, workers) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("itpx-serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("itpx-serve listening on http://{}", server.addr());
+    // Serve until killed; the handle's Drop would stop the listener if
+    // main ever returned.
+    loop {
+        std::thread::park();
+    }
+}

@@ -10,6 +10,14 @@
 //! Requests with hand-built policy bundles ([`itpx_cpu::Simulation::custom`])
 //! have no stable identity and stay outside the cache; figures run those
 //! through [`crate::harness::Sweep`] directly.
+//!
+//! The cold residue of a batch is a [`WorkQueue`], resolved by one of
+//! two [`Executor`]s: the classic in-process thread pool, or the
+//! multi-process shard mode (`ITPX_SHARDS`/`ITPX_SHARD_INDEX`) where N
+//! cooperating processes split the deduplicated queue by deterministic
+//! key ranges, publish results through the shared segmented store, and
+//! poll the store for each other's chunks — every shard ends the batch
+//! holding the complete, byte-identical result set.
 
 use crate::harness::{RunScale, Sweep};
 use crate::simcache::SimCache;
@@ -19,6 +27,7 @@ use itpx_cpu::{Simulation, SimulationOutput, SystemConfig};
 use itpx_trace::{SmtPairSpec, WorkloadSpec};
 use itpx_types::fingerprint::{Fingerprint, Fnv1a};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Version tag mixed into every request key; bump when the simulator
 /// changes behavior without changing any configuration field.
@@ -122,27 +131,132 @@ impl SimRequest {
     }
 }
 
+/// One deduplicated batch: every distinct request, in first-appearance
+/// order, keyed by content fingerprint. The queue holds hits and misses
+/// alike — shard partitioning runs over the full set, so the chunk map
+/// depends only on the batch, never on store state.
+#[derive(Debug)]
+pub struct WorkQueue {
+    jobs: Vec<(u64, SimRequest)>,
+}
+
+impl WorkQueue {
+    /// Wraps a deduplicated `(key, request)` list.
+    pub fn new(jobs: Vec<(u64, SimRequest)>) -> Self {
+        Self { jobs }
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when the cache served everything.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The queued keys, in queue order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.jobs.iter().map(|(k, _)| *k)
+    }
+
+    /// Deterministic key-range partition: job indices sorted by key are
+    /// split into `shards` contiguous, near-equal chunks and chunk
+    /// `index` is returned. Every cooperating shard computes the same
+    /// queue from the same figure code, so the chunks are disjoint and
+    /// jointly exhaustive without any coordination.
+    pub fn shard(&self, shards: u64, index: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.jobs.len()).collect();
+        order.sort_by_key(|&i| self.jobs[i].0);
+        let (n, shards, index) = (order.len(), shards as usize, index as usize);
+        order[(index * n) / shards..((index + 1) * n) / shards].to_vec()
+    }
+}
+
+/// How a [`WorkQueue`] gets executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// Every job runs on this process's thread pool — the classic mode.
+    InProcess,
+    /// This process runs shard `index` of `shards` (its key-range chunk
+    /// of the queue) and resolves the other chunks by polling the shared
+    /// store, falling back to local execution if a peer shard never
+    /// delivers. Requires all shards to share one on-disk cache
+    /// directory.
+    Sharded {
+        /// Total cooperating processes.
+        shards: u64,
+        /// This process's chunk (`< shards`).
+        index: u64,
+    },
+}
+
+impl Executor {
+    /// The executor selected by `ITPX_SHARDS`/`ITPX_SHARD_INDEX`
+    /// (validated by [`crate::env`]; `ITPX_SHARDS=1` or unset is the
+    /// classic in-process mode).
+    pub fn from_env() -> Self {
+        match crate::env::shard_layout_from_env() {
+            (0 | 1, _) => Executor::InProcess,
+            (shards, index) => Executor::Sharded { shards, index },
+        }
+    }
+}
+
+/// Poll rounds before a shard gives up on its peers and runs the
+/// leftover jobs itself (self-healing a crashed shard). With the
+/// backoff in [`poll_backoff_ms`] this is several minutes of patience.
+const POLL_ROUNDS: u32 = 1_200;
+
+/// Backoff for poll round `round`: ramps 25 ms → 250 ms.
+fn poll_backoff_ms(round: u32) -> u64 {
+    (25 * (u64::from(round) + 1)).min(250)
+}
+
 /// Shared scheduler + cache for a whole campaign of figures.
 #[derive(Debug)]
 pub struct Campaign {
     scale: RunScale,
     sweep: Sweep,
     cache: SimCache,
+    executor: Executor,
+    poll_rounds: u32,
+    executed: AtomicU64,
 }
 
 impl Campaign {
-    /// A campaign at `scale` backed by `cache`.
+    /// A campaign at `scale` backed by `cache`, executing in-process.
     pub fn new(scale: RunScale, cache: SimCache) -> Self {
         Self {
             sweep: Sweep::new(scale.host_threads),
             scale,
             cache,
+            executor: Executor::InProcess,
+            poll_rounds: POLL_ROUNDS,
+            executed: AtomicU64::new(0),
         }
     }
 
-    /// The standard configuration: scale and cache from the environment.
+    /// Replaces the queue executor (shard mode for multi-process runs).
+    #[must_use]
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Shortens the peer-poll patience (tests exercise the self-heal
+    /// path without waiting out the production default).
+    #[must_use]
+    pub fn with_poll_rounds(mut self, rounds: u32) -> Self {
+        self.poll_rounds = rounds;
+        self
+    }
+
+    /// The standard configuration: scale, cache, and executor from the
+    /// environment.
     pub fn from_env() -> Self {
-        Self::new(RunScale::from_env(), SimCache::from_env())
+        Self::new(RunScale::from_env(), SimCache::from_env()).with_executor(Executor::from_env())
     }
 
     /// The run scale figures should size their suites with.
@@ -160,36 +274,50 @@ impl Campaign {
         &self.sweep
     }
 
+    /// How this campaign executes cold work.
+    pub fn executor(&self) -> Executor {
+        self.executor
+    }
+
+    /// Simulations this process actually executed (as opposed to served
+    /// from the cache or received from peer shards).
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
     /// Resolves a batch of requests, in request order.
     ///
-    /// The batch is deduplicated by [`SimRequest::key`]: each distinct key
-    /// is looked up in the cache exactly once (counting one hit or miss),
-    /// and the misses execute as one flat job list across the host
-    /// threads. Repeated keys — within the batch or across batches — never
-    /// simulate twice.
+    /// The batch is deduplicated by [`SimRequest::key`] into one
+    /// [`WorkQueue`]; each distinct key is then looked up in the cache
+    /// exactly once (counting one hit or miss), and the misses are
+    /// handed to the configured [`Executor`]. Repeated keys — within
+    /// the batch or across batches — never simulate twice in one
+    /// process, and in shard mode at most once across the whole fleet
+    /// (barring self-heal takeovers).
     pub fn run_batch(&self, requests: Vec<SimRequest>) -> Vec<SimulationOutput> {
         let keys: Vec<u64> = requests.iter().map(|r| r.key()).collect();
-        let mut resolved: BTreeMap<u64, SimulationOutput> = BTreeMap::new();
         let mut queued: BTreeSet<u64> = BTreeSet::new();
         let mut jobs: Vec<(u64, SimRequest)> = Vec::new();
         for (req, &key) in requests.into_iter().zip(&keys) {
-            if resolved.contains_key(&key) || queued.contains(&key) {
-                continue;
+            if queued.insert(key) {
+                jobs.push((key, req));
             }
+        }
+        // The queue holds every unique key, hit or miss: shard
+        // partitioning must be a pure function of the request batch, not
+        // of how much of the store peer shards have already filled.
+        let queue = WorkQueue::new(jobs);
+        let mut resolved: BTreeMap<u64, SimulationOutput> = BTreeMap::new();
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, &(key, _)) in queue.jobs.iter().enumerate() {
             match self.cache.get(key) {
                 Some(out) => {
                     resolved.insert(key, out);
                 }
-                None => {
-                    queued.insert(key);
-                    jobs.push((key, req));
-                }
+                None => misses.push(i),
             }
         }
-        let job_keys: Vec<u64> = jobs.iter().map(|(k, _)| *k).collect();
-        let outputs = self.sweep.run_generic(jobs, |(_, req)| req.execute());
-        for (key, out) in job_keys.into_iter().zip(outputs) {
-            self.cache.insert(key, &out);
+        for (key, out) in self.execute_queue(&queue, misses) {
             resolved.insert(key, out);
         }
         keys.iter()
@@ -201,6 +329,82 @@ impl Campaign {
                     .clone()
             })
             .collect()
+    }
+
+    /// Executes the queue entries at `misses` under the configured
+    /// executor, returning one output per missing key (order
+    /// unspecified; callers key off the returned pairs). Results are
+    /// published to the cache from inside the worker threads, so peer
+    /// shards see them as early as possible.
+    ///
+    /// In shard mode the partition is computed over the *full* queue —
+    /// identical on every shard by construction — and this shard then
+    /// executes only the misses inside its own chunk. Misses outside it
+    /// belong to a peer: either that peer also sees them as misses and
+    /// executes them, or it saw hits because the results were already
+    /// on disk — in which case polling returns immediately. Partitioning
+    /// only the misses instead would let desynchronized shards (one
+    /// figure ahead of its peer, dedup racing fresh inserts) derive
+    /// conflicting chunk maps and strand keys no shard claims until the
+    /// self-heal patience runs out.
+    fn execute_queue(&self, queue: &WorkQueue, misses: Vec<usize>) -> Vec<(u64, SimulationOutput)> {
+        if misses.is_empty() {
+            return Vec::new();
+        }
+        let (mine, waited): (Vec<usize>, Vec<usize>) = match self.executor {
+            Executor::InProcess | Executor::Sharded { shards: 1, .. } => (misses, Vec::new()),
+            Executor::Sharded { shards, index } => {
+                let chunk: BTreeSet<usize> = queue.shard(shards, index).into_iter().collect();
+                misses.into_iter().partition(|i| chunk.contains(i))
+            }
+        };
+        let mut outputs = self.execute_jobs(queue, mine);
+        outputs.extend(self.await_peers(queue, waited));
+        outputs
+    }
+
+    /// Runs the queue entries at `indices` on the local sweep, inserting
+    /// each result into the cache as it completes.
+    fn execute_jobs(&self, queue: &WorkQueue, indices: Vec<usize>) -> Vec<(u64, SimulationOutput)> {
+        self.executed
+            .fetch_add(indices.len() as u64, Ordering::Relaxed);
+        self.sweep.run_generic(indices, |&i| {
+            let (key, req) = &queue.jobs[i];
+            let out = req.execute();
+            self.cache.insert(*key, &out);
+            (*key, out)
+        })
+    }
+
+    /// Polls the shared store for peer shards' results, self-healing by
+    /// executing anything a peer never delivers.
+    fn await_peers(&self, queue: &WorkQueue, waited: Vec<usize>) -> Vec<(u64, SimulationOutput)> {
+        let mut outputs = Vec::with_capacity(waited.len());
+        let mut missing = waited;
+        for round in 0..self.poll_rounds {
+            missing.retain(|&i| {
+                let key = queue.jobs[i].0;
+                match self.cache.peek(key) {
+                    Some(out) => {
+                        outputs.push((key, out));
+                        false
+                    }
+                    None => true,
+                }
+            });
+            if missing.is_empty() {
+                return outputs;
+            }
+            crate::harness::sleep_ms(poll_backoff_ms(round));
+        }
+        // A peer shard crashed or was never started: take its jobs over
+        // rather than hanging the campaign.
+        eprintln!(
+            "warning: peer shards never delivered {} job(s); executing them locally",
+            missing.len()
+        );
+        outputs.extend(self.execute_jobs(queue, missing));
+        outputs
     }
 
     /// Convenience: resolves one request.
@@ -391,6 +595,81 @@ mod tests {
             SimRequest::smt(&SystemConfig::asplos25(), Preset::Lru, &pair).key()
         };
         assert_ne!(mk(SmtCategory::Intense), mk(SmtCategory::Relaxed));
+    }
+
+    #[test]
+    fn shard_partition_is_deterministic_disjoint_and_exhaustive() {
+        let jobs: Vec<(u64, SimRequest)> = (0..11)
+            .map(|seed| {
+                let req = SimRequest::single(
+                    &SystemConfig::asplos25(),
+                    Preset::Lru,
+                    &smoke_workload(seed),
+                );
+                (req.key(), req)
+            })
+            .collect();
+        let queue = WorkQueue::new(jobs);
+        for shards in 1..=4u64 {
+            let mut seen: Vec<usize> = Vec::new();
+            for index in 0..shards {
+                let chunk = queue.shard(shards, index);
+                // Deterministic: the same call yields the same chunk.
+                assert_eq!(chunk, queue.shard(shards, index));
+                // Near-equal: chunk sizes differ by at most one.
+                let n = queue.len() as u64;
+                let ideal = n / shards;
+                assert!((ideal..=ideal + 1).contains(&(chunk.len() as u64)));
+                seen.extend(chunk);
+            }
+            // Disjoint and jointly exhaustive.
+            let unique: BTreeSet<usize> = seen.iter().copied().collect();
+            assert_eq!(
+                unique.len(),
+                seen.len(),
+                "chunks overlap at {shards} shards"
+            );
+            assert_eq!(
+                unique.len(),
+                queue.len(),
+                "chunks miss jobs at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_chunks_are_contiguous_key_ranges() {
+        let jobs: Vec<(u64, SimRequest)> = (0..7)
+            .map(|seed| {
+                let req = SimRequest::single(
+                    &SystemConfig::asplos25(),
+                    Preset::Lru,
+                    &smoke_workload(seed),
+                );
+                (req.key(), req)
+            })
+            .collect();
+        let queue = WorkQueue::new(jobs);
+        let max_key = |idx: &[usize]| idx.iter().map(|&i| queue.jobs[i].0).max();
+        let min_key = |idx: &[usize]| idx.iter().map(|&i| queue.jobs[i].0).min();
+        let (a, b) = (queue.shard(2, 0), queue.shard(2, 1));
+        // Every key in shard 0's range sits below every key in shard 1's.
+        assert!(max_key(&a) < min_key(&b));
+    }
+
+    #[test]
+    fn single_shard_layouts_collapse_to_in_process() {
+        // Executor::from_env maps a 1-shard layout to InProcess; the
+        // executor itself also treats Sharded{shards: 1} as run-it-all.
+        let campaign = Campaign::new(RunScale::smoke(), SimCache::new(None)).with_executor(
+            Executor::Sharded {
+                shards: 1,
+                index: 0,
+            },
+        );
+        let out = campaign.run_one(base_request());
+        assert_eq!(out, base_request().execute());
+        assert_eq!(campaign.executed(), 1);
     }
 
     #[test]

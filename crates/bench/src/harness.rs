@@ -76,6 +76,13 @@ impl RunScale {
     }
 }
 
+/// Parks the calling thread for `ms` milliseconds — host scheduling
+/// only, used by the sharded executor's store-poll backoff. Simulated
+/// results never depend on host timing.
+pub fn sleep_ms(ms: u64) {
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+}
+
 /// Runs a set of independent jobs across host threads, preserving order.
 #[derive(Debug)]
 pub struct Sweep {

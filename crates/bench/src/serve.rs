@@ -1,0 +1,475 @@
+//! Campaign-as-a-service: a dependency-free HTTP/1.1 front-end over the
+//! campaign engine.
+//!
+//! The workspace is offline, so this is a hand-rolled server on
+//! [`std::net::TcpListener`] — one accept thread feeding a small worker
+//! pool over an mpsc channel. Warm requests are answered straight from
+//! the segmented store; cold ones are scheduled onto the campaign's
+//! runner pool and cached for every later caller.
+//!
+//! Routes (all `GET`):
+//!
+//! * `/healthz` — liveness probe.
+//! * `/figures` — the reproducible figure names, one per line.
+//! * `/figure/<name>` — builds (or re-serves) that figure's full text
+//!   report.
+//! * `/sim?preset=<name>&workload=server:<seed>|spec:<seed>` — one
+//!   simulation; optional `instructions=` and `warmup=` override the
+//!   campaign scale's run lengths.
+//! * `/metrics` — Prometheus-style text: store hits/misses, queue
+//!   depth, request totals, per-figure latency histograms.
+//!
+//! Start it with the `itpx-serve` binary (`ITPX_SERVE_ADDR` picks the
+//! bind address) or embed it with [`start`].
+
+use crate::campaign::{Campaign, SimRequest};
+use crate::figures;
+use itpx_core::Preset;
+use itpx_cpu::{SimulationOutput, SystemConfig};
+use itpx_trace::WorkloadSpec;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// Upper bounds of the per-figure latency histogram buckets, in
+/// milliseconds (the final `+Inf` bucket is implicit).
+const LATENCY_BUCKETS_MS: [u64; 8] = [1, 5, 25, 100, 500, 2_500, 10_000, 60_000];
+
+/// Largest request head (request line + headers) the server will read.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// One figure's latency histogram: log-spaced buckets plus sum/count,
+/// rendered in Prometheus text exposition format.
+#[derive(Debug, Default, Clone)]
+struct Histogram {
+    buckets: [u64; LATENCY_BUCKETS_MS.len() + 1],
+    sum_ms: u64,
+    count: u64,
+}
+
+impl Histogram {
+    fn record(&mut self, ms: u64) {
+        let slot = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&le| ms <= le)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.buckets[slot] += 1;
+        self.sum_ms += ms;
+        self.count += 1;
+    }
+}
+
+/// Shared server counters, scraped by `/metrics`.
+#[derive(Debug, Default)]
+struct Metrics {
+    requests_total: AtomicU64,
+    queue_depth: AtomicU64,
+    figure_latency: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl Metrics {
+    fn record_figure(&self, name: &'static str, ms: u64) {
+        self.figure_latency
+            .lock()
+            .expect("metrics lock")
+            .entry(name)
+            .or_default()
+            .record(ms);
+    }
+
+    fn render(&self, campaign: &Campaign) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        counter(
+            "itpx_http_requests_total",
+            "HTTP requests handled.",
+            self.requests_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "itpx_store_hits",
+            "Simulation results served from the segmented store.",
+            campaign.cache().hits(),
+        );
+        counter(
+            "itpx_store_misses",
+            "Simulation results not found in the store.",
+            campaign.cache().misses(),
+        );
+        counter(
+            "itpx_sims_executed",
+            "Simulations executed by this process.",
+            campaign.executed(),
+        );
+        out.push_str(&format!(
+            "# HELP itpx_http_queue_depth Connections waiting for a worker.\n\
+             # TYPE itpx_http_queue_depth gauge\n\
+             itpx_http_queue_depth {}\n",
+            self.queue_depth.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP itpx_figure_latency_ms Figure build latency, milliseconds.\n\
+             # TYPE itpx_figure_latency_ms histogram\n",
+        );
+        let hists = self.figure_latency.lock().expect("metrics lock");
+        for (figure, h) in hists.iter() {
+            let mut cumulative = 0;
+            for (slot, &le) in LATENCY_BUCKETS_MS.iter().enumerate() {
+                cumulative += h.buckets[slot];
+                out.push_str(&format!(
+                    "itpx_figure_latency_ms_bucket{{figure=\"{figure}\",le=\"{le}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "itpx_figure_latency_ms_bucket{{figure=\"{figure}\",le=\"+Inf\"}} {}\n\
+                 itpx_figure_latency_ms_sum{{figure=\"{figure}\"}} {}\n\
+                 itpx_figure_latency_ms_count{{figure=\"{figure}\"}} {}\n",
+                h.count, h.sum_ms, h.count
+            ));
+        }
+        out
+    }
+}
+
+/// A running server: address, stop switch, accept-thread handle.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the workers, and joins the accept thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); a throwaway self-connect
+        // wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Binds `addr` and serves the campaign on `workers` handler threads.
+///
+/// Returns once the listener is bound and accepting; the handle's
+/// [`ServerHandle::stop`] shuts the server down cleanly.
+pub fn start(addr: &str, campaign: Arc<Campaign>, workers: usize) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let metrics = Arc::new(Metrics::default());
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    for _ in 0..workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let campaign = Arc::clone(&campaign);
+        let metrics = Arc::clone(&metrics);
+        std::thread::spawn(move || loop {
+            let conn = rx.lock().expect("worker queue lock").recv();
+            let Ok(stream) = conn else { break };
+            metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            handle_connection(stream, &campaign, &metrics);
+        });
+    }
+    let accept_stop = Arc::clone(&stop);
+    let accept = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Ok(stream) = conn {
+                metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+        }
+        // Dropping `tx` unblocks every worker's recv().
+    });
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept: Some(accept),
+    })
+}
+
+/// Reads the request head, routes it, writes one response, closes.
+fn handle_connection(mut stream: TcpStream, campaign: &Campaign, metrics: &Metrics) {
+    let Some((method, target)) = read_request_head(&mut stream) else {
+        respond(&mut stream, 400, "bad request\n");
+        return;
+    };
+    metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    if method != "GET" {
+        respond(&mut stream, 405, "only GET is served here\n");
+        return;
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
+    let (status, body) = route(path, query, campaign, metrics);
+    respond(&mut stream, status, &body);
+}
+
+/// Parses `GET /path?query HTTP/1.1` plus headers (discarded), bounded
+/// by [`MAX_REQUEST_BYTES`].
+fn read_request_head(stream: &mut TcpStream) -> Option<(String, String)> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < MAX_REQUEST_BYTES {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?.to_string();
+    Some((method, target))
+}
+
+/// Dispatches one parsed request to a route handler.
+fn route(path: &str, query: &str, campaign: &Campaign, metrics: &Metrics) -> (u16, String) {
+    match path {
+        "/healthz" => (200, "ok\n".to_string()),
+        "/figures" => {
+            let names: Vec<&str> = figures::ALL.iter().map(|f| f.name).collect();
+            (200, format!("{}\n", names.join("\n")))
+        }
+        "/metrics" => (200, metrics.render(campaign)),
+        "/sim" => serve_sim(query, campaign),
+        _ => match path.strip_prefix("/figure/") {
+            Some(name) => serve_figure(name, campaign, metrics),
+            None => (404, format!("no route for {path}\n")),
+        },
+    }
+}
+
+/// Builds (or re-serves from the store) one figure's text report.
+fn serve_figure(name: &str, campaign: &Campaign, metrics: &Metrics) -> (u16, String) {
+    let Some(figure) = figures::by_name(name) else {
+        let known: Vec<&str> = figures::ALL.iter().map(|f| f.name).collect();
+        return (
+            404,
+            format!("unknown figure {name:?}; try: {}\n", known.join(", ")),
+        );
+    };
+    let started = Instant::now();
+    let report = (figure.build)(campaign);
+    let ms = started.elapsed().as_millis() as u64;
+    metrics.record_figure(figure.name, ms);
+    (200, report.text().to_string())
+}
+
+/// `/sim` — one simulation, campaign-cached like any figure request.
+fn serve_sim(query: &str, campaign: &Campaign) -> (u16, String) {
+    let params = parse_query(query);
+    let Some(preset) = params.get("preset").and_then(|p| preset_by_alias(p)) else {
+        let known: Vec<String> = Preset::EVALUATED
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+        return (
+            400,
+            format!("need preset=<name>; one of: {}\n", known.join(", ")),
+        );
+    };
+    let Some(workload) = params.get("workload").and_then(|w| parse_workload(w)) else {
+        return (
+            400,
+            "need workload=server:<seed> or workload=spec:<seed>\n".to_string(),
+        );
+    };
+    let scale = campaign.scale();
+    let parse_len = |key: &str, default: u64| {
+        params
+            .get(key)
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(default)
+            .max(1)
+    };
+    let workload = workload
+        .instructions(parse_len("instructions", scale.instructions))
+        .warmup(parse_len("warmup", scale.warmup));
+    let req = SimRequest::single(&SystemConfig::asplos25(), preset, &workload);
+    let out = campaign.run_one(req);
+    (200, render_sim(preset, &workload, &out))
+}
+
+/// Stable text rendering of one simulation result.
+fn render_sim(preset: Preset, workload: &WorkloadSpec, out: &SimulationOutput) -> String {
+    format!(
+        "preset: {}\nworkload: {}\ninstructions: {}\nipc: {:.4}\n\
+         stlb_mpki: {:.4}\nl2c_mpki: {:.4}\nllc_mpki: {:.4}\nitrans_stall: {:.4}\n",
+        preset.name(),
+        workload.name,
+        out.instructions(),
+        out.ipc(),
+        out.stlb_mpki(),
+        out.l2c_mpki(),
+        out.llc_mpki(),
+        out.itrans_stall_fraction(),
+    )
+}
+
+/// Splits `a=1&b=2` into a map, minimally percent-decoding values.
+fn parse_query(query: &str) -> BTreeMap<String, String> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .map(|(k, v)| (k.to_string(), percent_decode(v)))
+        .collect()
+}
+
+/// Decodes `%XX` escapes and `+` spaces; junk escapes pass through.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                match (
+                    bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16)),
+                    bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16)),
+                ) {
+                    (Some(hi), Some(lo)) => {
+                        out.push((hi * 16 + lo) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Matches a preset by case-and-punctuation-insensitive name
+/// (`itp+xptp`, `iTP%2BxPTP`, and `itpxptp` all resolve the same).
+fn preset_by_alias(raw: &str) -> Option<Preset> {
+    let strip = |s: &str| -> String {
+        s.chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    };
+    let wanted = strip(raw);
+    Preset::EVALUATED
+        .into_iter()
+        .chain([Preset::ItpXptpStatic, Preset::ItpXptpEmissary])
+        .find(|p| strip(p.name()) == wanted)
+}
+
+/// Parses `server:<seed>` / `spec:<seed>` workload selectors.
+fn parse_workload(raw: &str) -> Option<WorkloadSpec> {
+    let (family, seed) = raw.split_once(':')?;
+    let seed: u64 = seed.parse().ok()?;
+    match family {
+        "server" => Some(WorkloadSpec::server_like(seed)),
+        "spec" => Some(WorkloadSpec::spec_like(seed)),
+        _ => None,
+    }
+}
+
+/// Writes a complete HTTP/1.1 response and flushes.
+fn respond(stream: &mut TcpStream, status: u16, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_parsing_decodes_escapes() {
+        let q = parse_query("preset=iTP%2BxPTP&workload=server:3&x=a+b");
+        assert_eq!(q["preset"], "iTP+xPTP");
+        assert_eq!(q["workload"], "server:3");
+        assert_eq!(q["x"], "a b");
+    }
+
+    #[test]
+    fn preset_aliases_are_forgiving() {
+        assert_eq!(preset_by_alias("iTP+xPTP"), Some(Preset::ItpXptp));
+        assert_eq!(preset_by_alias("itpxptp"), Some(Preset::ItpXptp));
+        assert_eq!(preset_by_alias("LRU"), Some(Preset::Lru));
+        assert_eq!(preset_by_alias("chirp-tdrrip"), Some(Preset::ChirpTdrrip));
+        assert_eq!(preset_by_alias("nonsense"), None);
+    }
+
+    #[test]
+    fn workload_selectors_parse() {
+        assert!(parse_workload("server:7").is_some());
+        assert!(parse_workload("spec:1").is_some());
+        assert!(parse_workload("desktop:1").is_none());
+        assert!(parse_workload("server").is_none());
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_render() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(3);
+        h.record(100_000);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[LATENCY_BUCKETS_MS.len()], 1);
+    }
+}

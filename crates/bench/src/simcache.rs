@@ -7,20 +7,31 @@
 //! map and, for reuse across `run_all` invocations, as one small binary
 //! file per key under `target/simcache/`.
 //!
-//! The on-disk format is versioned: files start with a magic tag, a schema
-//! version, the key they claim to hold, and an FNV-1a checksum of the
-//! payload. A file that is truncated, bit-flipped, carries a stale
-//! version, or disagrees with its file name is ignored (the run falls
-//! back to simulating and rewrites it) — the structural decoder alone
-//! cannot catch a flipped bit inside a fixed-width counter, which is what
-//! the checksum is for. The cache toggle comes from `ITPX_SIMCACHE` via
-//! [`crate::env`] (only `0`/`false`/`off` disable it; junk values warn
-//! and keep the default).
+//! The on-disk format is versioned: entries start with a magic tag, a
+//! schema version, the key they claim to hold, and an FNV-1a checksum of
+//! the payload. An entry that is truncated, bit-flipped, carries a stale
+//! version, or disagrees with the key it was looked up under is ignored
+//! (the run falls back to simulating and rewrites it) — the structural
+//! decoder alone cannot catch a flipped bit inside a fixed-width
+//! counter, which is what the checksum is for.
+//!
+//! Persistence is layered on the [`crate::store::SegmentStore`]: entries
+//! append to single-writer segment files that any number of concurrent
+//! reader processes share lock-free, with legacy flat `<key>.bin` files
+//! from the pre-segment layout still readable. The entry layout itself
+//! (v4) is unchanged by the segmentation — only the container moved.
+//! The cache toggle comes from `ITPX_SIMCACHE` via [`crate::env`] (only
+//! `0`/`false`/`off` disable it; junk values warn and keep the default),
+//! and `ITPX_SIMCACHE_MAX_MB` caps the on-disk footprint (oldest
+//! segments pruned first; pruning degrades to a miss, never an error).
 
+use crate::store::{SegmentStore, StoreConfig};
 use itpx_cpu::{LevelReport, SimulationOutput, ThreadOutput, WalkerSummary};
 use itpx_trace::TierSchedule;
 use itpx_types::{Fnv1a, LevelId, OnlineMean, StructStats};
-use std::path::{Path, PathBuf};
+#[cfg(test)]
+use std::path::Path;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -35,18 +46,25 @@ const VERSION: u32 = 4;
 #[derive(Debug)]
 pub struct SimCache {
     enabled: bool,
-    dir: Option<PathBuf>,
+    store: Option<SegmentStore>,
     mem: Mutex<std::collections::BTreeMap<u64, SimulationOutput>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl SimCache {
-    /// A cache persisting under `dir` (`None` keeps it memory-only).
+    /// A cache persisting under `dir` (`None` keeps it memory-only),
+    /// with an unbounded on-disk footprint.
     pub fn new(dir: Option<PathBuf>) -> Self {
+        Self::with_config(dir, StoreConfig::default())
+    }
+
+    /// A cache persisting under `dir` with explicit store limits — the
+    /// constructor behind `ITPX_SIMCACHE_MAX_MB` and the pruning tests.
+    pub fn with_config(dir: Option<PathBuf>, config: StoreConfig) -> Self {
         Self {
             enabled: true,
-            dir,
+            store: dir.map(|d| SegmentStore::new(d, config)),
             mem: Mutex::new(std::collections::BTreeMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -54,14 +72,19 @@ impl SimCache {
     }
 
     /// The standard configuration: persistence under `target/simcache/`,
-    /// disabled with `ITPX_SIMCACHE=0` (or `false`/`off`). Unrecognized
-    /// values keep the cache enabled and warn once, rather than being
-    /// silently interpreted as "enabled".
+    /// disabled with `ITPX_SIMCACHE=0` (or `false`/`off`), capped by
+    /// `ITPX_SIMCACHE_MAX_MB` (unset or `0` = unbounded). Unrecognized
+    /// values keep the defaults and warn once, rather than being
+    /// silently interpreted.
     pub fn from_env() -> Self {
         let enabled = crate::env::switch_from_env("ITPX_SIMCACHE", true);
+        let config = match crate::env::simcache_max_bytes_from_env() {
+            Some(cap) => StoreConfig::capped(cap),
+            None => StoreConfig::default(),
+        };
         Self {
             enabled,
-            ..Self::new(Some(PathBuf::from("target/simcache")))
+            ..Self::with_config(Some(PathBuf::from("target/simcache")), config)
         }
     }
 
@@ -88,36 +111,48 @@ impl SimCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    fn file_for(&self, key: u64) -> Option<PathBuf> {
-        self.dir.as_ref().map(|d| d.join(format!("{key:016x}.bin")))
+    /// Bytes the backing store currently occupies on disk (0 when
+    /// memory-only) — what `ITPX_SIMCACHE_MAX_MB` caps.
+    pub fn disk_bytes(&self) -> u64 {
+        self.store.as_ref().map_or(0, SegmentStore::disk_bytes)
     }
 
-    /// The cached output for `key`, consulting memory first, then disk.
-    /// Counts a hit or miss either way.
+    /// The cached output for `key`, consulting memory first, then the
+    /// segmented store. Counts a hit or miss either way.
     pub fn get(&self, key: u64) -> Option<SimulationOutput> {
+        let found = self.lookup(key);
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// [`Self::get`] without touching the hit/miss counters — the
+    /// sharded executor polls with this while waiting for peer shards,
+    /// and polling must not distort the campaign's cache accounting.
+    pub fn peek(&self, key: u64) -> Option<SimulationOutput> {
+        self.lookup(key)
+    }
+
+    fn lookup(&self, key: u64) -> Option<SimulationOutput> {
         if !self.enabled {
-            self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         if let Some(out) = self.mem.lock().expect("simcache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
             return Some(out.clone());
         }
-        if let Some(path) = self.file_for(key) {
-            if let Some(out) = read_entry(&path, key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                self.mem
-                    .lock()
-                    .expect("simcache poisoned")
-                    .insert(key, out.clone());
-                return Some(out);
-            }
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        None
+        let bytes = self.store.as_ref()?.get(key)?;
+        let out = decode_entry_bytes(&bytes, key)?;
+        self.mem
+            .lock()
+            .expect("simcache poisoned")
+            .insert(key, out.clone());
+        Some(out)
     }
 
-    /// Stores `out` under `key` in memory and (best-effort) on disk.
+    /// Stores `out` under `key` in memory and (best-effort) in the
+    /// segmented store.
     pub fn insert(&self, key: u64, out: &SimulationOutput) {
         if !self.enabled {
             return;
@@ -126,18 +161,18 @@ impl SimCache {
             .lock()
             .expect("simcache poisoned")
             .insert(key, out.clone());
-        if let Some(path) = self.file_for(key) {
-            // Persistence failures (read-only disk, races) only cost a
-            // re-simulation later, so they are deliberately ignored.
-            let _ = write_entry(&path, key, out);
+        if let Some(store) = &self.store {
+            // Persistence failures (read-only disk, races, pruning) only
+            // cost a re-simulation later, so they are not errors.
+            store.insert(key, &entry_bytes(key, out));
         }
     }
 }
 
-fn write_entry(path: &Path, key: u64, out: &SimulationOutput) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
+/// Encodes one fully self-validating v4 entry: magic, version, key,
+/// payload checksum, payload. This is the byte layout shared by legacy
+/// flat files and segment records.
+pub(crate) fn entry_bytes(key: u64, out: &SimulationOutput) -> Vec<u8> {
     let mut payload = Vec::with_capacity(512);
     encode_output(&mut payload, out);
     let mut buf = Vec::with_capacity(payload.len() + 28);
@@ -146,20 +181,35 @@ fn write_entry(path: &Path, key: u64, out: &SimulationOutput) -> std::io::Result
     put_u64(&mut buf, key);
     put_u64(&mut buf, payload_checksum(&payload));
     buf.extend_from_slice(&payload);
-    std::fs::write(path, buf)
+    buf
 }
 
-/// FNV-1a over the serialized payload. Structural decoding alone accepts a
-/// bit flip inside any fixed-width counter; this rejects it.
-fn payload_checksum(payload: &[u8]) -> u64 {
-    let mut h = Fnv1a::new();
-    h.write_bytes(payload);
-    h.finish()
+/// Structurally validates entry bytes (magic, version, checksum, clean
+/// decode, no trailing garbage) and returns the key the entry claims to
+/// hold. Cheap enough for segment scans; callers still match the key
+/// against what they looked up.
+pub(crate) fn validate_entry_bytes(bytes: &[u8]) -> Option<u64> {
+    let mut r = Reader { bytes };
+    if r.take(MAGIC.len())? != MAGIC.as_slice() || r.u32()? != VERSION {
+        return None;
+    }
+    let key = r.u64()?;
+    if r.u64()? != payload_checksum(r.bytes) {
+        return None;
+    }
+    decode_output(&mut r)?;
+    if r.bytes.is_empty() {
+        Some(key)
+    } else {
+        None
+    }
 }
 
-fn read_entry(path: &Path, key: u64) -> Option<SimulationOutput> {
-    let bytes = std::fs::read(path).ok()?;
-    let mut r = Reader { bytes: &bytes };
+/// Decodes entry bytes previously produced by [`entry_bytes`] (or the
+/// legacy flat-file writer), rejecting anything that does not validate
+/// as an entry for `key`.
+pub(crate) fn decode_entry_bytes(bytes: &[u8], key: u64) -> Option<SimulationOutput> {
+    let mut r = Reader { bytes };
     if r.take(MAGIC.len())? != MAGIC.as_slice() {
         return None;
     }
@@ -176,6 +226,30 @@ fn read_entry(path: &Path, key: u64) -> Option<SimulationOutput> {
     } else {
         None
     }
+}
+
+/// Writes one legacy-layout flat file — kept for the compatibility tests
+/// that pin "pre-segment entries still serve".
+#[cfg(test)]
+fn write_entry(path: &Path, key: u64, out: &SimulationOutput) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, entry_bytes(key, out))
+}
+
+/// FNV-1a over the serialized payload. Structural decoding alone accepts a
+/// bit flip inside any fixed-width counter; this rejects it.
+fn payload_checksum(payload: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_bytes(payload);
+    h.finish()
+}
+
+/// Reads and validates one legacy-layout flat file.
+#[cfg(test)]
+fn read_entry(path: &Path, key: u64) -> Option<SimulationOutput> {
+    decode_entry_bytes(&std::fs::read(path).ok()?, key)
 }
 
 fn encode_output(buf: &mut Vec<u8>, out: &SimulationOutput) {
@@ -496,14 +570,25 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// The one on-disk segment file a fresh cache wrote, by construction.
+    fn only_segment(dir: &Path) -> PathBuf {
+        let mut segs: Vec<PathBuf> = std::fs::read_dir(dir.join("segments"))
+            .expect("segments dir")
+            .flatten()
+            .map(|e| e.path())
+            .collect();
+        assert_eq!(segs.len(), 1, "expected exactly one segment");
+        segs.remove(0)
+    }
+
     #[test]
-    fn corrupted_entries_degrade_to_miss_and_rewrite_cleanly() {
+    fn corrupted_segments_degrade_to_miss_and_rewrite_cleanly() {
         let out = sample_output();
         let dir = temp_dir("degrade");
         let cache = SimCache::new(Some(dir.clone()));
         cache.insert(9, &out);
-        let path = dir.join(format!("{:016x}.bin", 9));
-        let good = std::fs::read(&path).expect("entry exists on disk");
+        let seg = only_segment(&dir);
+        let good = std::fs::read(&seg).expect("segment exists on disk");
 
         for (label, bytes) in [
             ("truncated", good[..good.len() / 3].to_vec()),
@@ -513,18 +598,39 @@ mod tests {
                 b
             }),
         ] {
-            std::fs::write(&path, &bytes).expect("corrupt");
-            // A fresh instance (fresh process) must treat the damaged file
-            // as a miss — never panic, never serve garbage.
+            let _ = std::fs::remove_dir_all(dir.join("segments"));
+            std::fs::create_dir_all(dir.join("segments")).expect("recreate");
+            std::fs::write(&seg, &bytes).expect("corrupt");
+            // A fresh instance (fresh process) must treat the damaged
+            // segment as a miss — never panic, never serve garbage.
             let fresh = SimCache::new(Some(dir.clone()));
-            assert_eq!(fresh.get(9), None, "{label} entry must miss");
+            assert_eq!(fresh.get(9), None, "{label} segment must miss");
             assert_eq!((fresh.hits(), fresh.misses()), (0, 1));
             // Re-inserting (what the campaign does after re-simulating)
-            // rewrites the file so the next process hits again.
+            // appends a fresh record so the next process hits again.
             fresh.insert(9, &out);
             let next = SimCache::new(Some(dir.clone()));
             assert_eq!(next.get(9), Some(out.clone()), "{label} entry rewritten");
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Entries written by the pre-segment flat-file layout must keep
+    /// serving: the v4 entry bytes are unchanged, only the container
+    /// around them moved.
+    #[test]
+    fn legacy_flat_entries_still_serve() {
+        let out = sample_output();
+        let dir = temp_dir("legacy");
+        let key = 0x1234_5678_9abc_def0_u64;
+        let path = dir.join(format!("{key:016x}.bin"));
+        write_entry(&path, key, &out).expect("write legacy entry");
+
+        let cache = SimCache::new(Some(dir.clone()));
+        assert_eq!(cache.get(key), Some(out), "legacy entry serves");
+        assert_eq!((cache.hits(), cache.misses()), (1, 0));
+        // A wrong key against the same file stays a miss.
+        assert_eq!(cache.get(key ^ 1), None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

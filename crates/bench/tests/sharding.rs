@@ -1,0 +1,197 @@
+//! The sharded executor: cooperating campaigns over one shared store
+//! must produce complete, identical result sets while splitting the
+//! execution work between them.
+
+use itpx_bench::{Campaign, Executor, RunScale, SimCache, SimRequest, WorkQueue};
+use itpx_core::Preset;
+use itpx_cpu::SystemConfig;
+use itpx_trace::WorkloadSpec;
+use std::path::PathBuf;
+
+fn tiny_scale() -> RunScale {
+    RunScale {
+        workloads: 2,
+        smt_pairs: 1,
+        instructions: 2_000,
+        warmup: 500,
+        host_threads: 1,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("itpx-shard-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn batch() -> Vec<SimRequest> {
+    let config = SystemConfig::asplos25();
+    let mut requests = Vec::new();
+    for preset in [Preset::Lru, Preset::Itp, Preset::ItpXptp] {
+        for seed in 0..3 {
+            let w = WorkloadSpec::server_like(seed)
+                .instructions(2_000)
+                .warmup(500);
+            requests.push(SimRequest::single(&config, preset, &w));
+        }
+    }
+    requests
+}
+
+/// Two sharded campaigns (one per thread, modelling two processes)
+/// resolve the same batch over one store directory: both get the full
+/// result set, identical to a plain in-process run, while each executes
+/// only part of the work.
+#[test]
+fn two_shards_merge_to_the_in_process_result() {
+    let dir = temp_dir("merge");
+    let requests = batch();
+    let unique: std::collections::BTreeSet<u64> = requests.iter().map(|r| r.key()).collect();
+
+    let reference = Campaign::new(tiny_scale(), SimCache::disabled()).run_batch(batch());
+
+    // The partition is identical on both shards by construction; the
+    // barrier only aligns the cache-lookup phase so neither shard sees
+    // the other's results as warm hits and the executed-count split is
+    // exact.
+    let barrier = std::sync::Barrier::new(2);
+    let (out_a, out_b, exec_a, exec_b) = std::thread::scope(|scope| {
+        let spawn_shard = |index: u64| {
+            let dir = dir.clone();
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let campaign = Campaign::new(tiny_scale(), SimCache::new(Some(dir)))
+                    .with_executor(Executor::Sharded { shards: 2, index });
+                barrier.wait();
+                let out = campaign.run_batch(batch());
+                (out, campaign.executed())
+            })
+        };
+        let a = spawn_shard(0);
+        let b = spawn_shard(1);
+        let (out_a, exec_a) = a.join().expect("shard 0");
+        let (out_b, exec_b) = b.join().expect("shard 1");
+        (out_a, out_b, exec_a, exec_b)
+    });
+
+    assert_eq!(out_a, reference, "shard 0 diverges from in-process run");
+    assert_eq!(out_b, reference, "shard 1 diverges from in-process run");
+    // The work was actually split: together the shards executed each
+    // unique simulation exactly once, and neither ran the whole batch.
+    assert_eq!(
+        exec_a + exec_b,
+        unique.len() as u64,
+        "each unique key must execute exactly once across the fleet"
+    );
+    assert!(exec_a < unique.len() as u64, "shard 0 ran everything");
+    assert!(exec_b < unique.len() as u64, "shard 1 ran everything");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A lone shard whose peer never shows up self-heals: after its poll
+/// patience runs out it executes the peer's chunk locally and still
+/// returns the complete result set — wasted work, never a wrong or
+/// partial report.
+#[test]
+fn orphan_shard_self_heals_after_waiting() {
+    let dir = temp_dir("orphan");
+    let reference = Campaign::new(tiny_scale(), SimCache::disabled()).run_batch(batch());
+
+    let orphan = Campaign::new(tiny_scale(), SimCache::new(Some(dir.clone())))
+        .with_executor(Executor::Sharded {
+            shards: 2,
+            index: 0,
+        })
+        .with_poll_rounds(2);
+    let out = orphan.run_batch(batch());
+    assert_eq!(out, reference, "self-healed run diverges");
+    let unique: std::collections::BTreeSet<u64> = batch().iter().map(|r| r.key()).collect();
+    assert_eq!(
+        orphan.executed(),
+        unique.len() as u64,
+        "the orphan must take over the missing peer's whole chunk"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression: warm keys must not shift the partition. Shards drift
+/// apart across a figure sequence, so one shard's dedup pass can see
+/// results its peer already published; if the chunk map were computed
+/// over the *misses* instead of the full batch, the shards would derive
+/// conflicting partitions — a shard whose own chunk is warm would claim
+/// part of its peer's chunk, and other keys would be claimed by nobody
+/// until self-heal. Here shard 0's entire chunk is pre-warmed: it must
+/// execute nothing and still return the full set, while shard 1 runs
+/// exactly the cold chunk.
+#[test]
+fn warm_keys_do_not_shift_the_partition() {
+    let dir = temp_dir("drift");
+    let requests = batch();
+    let keys: Vec<u64> = requests.iter().map(|r| r.key()).collect();
+    let queue = WorkQueue::new(requests.into_iter().map(|r| (r.key(), r)).collect());
+    let chunk0: std::collections::BTreeSet<u64> =
+        queue.shard(2, 0).into_iter().map(|i| keys[i]).collect();
+    assert!(!chunk0.is_empty() && chunk0.len() < keys.len());
+
+    // Pre-warm exactly shard 0's chunk, as a peer that raced ahead would.
+    let seeder = Campaign::new(tiny_scale(), SimCache::new(Some(dir.clone())));
+    seeder.run_batch(
+        batch()
+            .into_iter()
+            .filter(|r| chunk0.contains(&r.key()))
+            .collect(),
+    );
+
+    let reference = Campaign::new(tiny_scale(), SimCache::disabled()).run_batch(batch());
+    let barrier = std::sync::Barrier::new(2);
+    let (out_a, out_b, exec_a, exec_b) = std::thread::scope(|scope| {
+        let spawn_shard = |index: u64| {
+            let dir = dir.clone();
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let campaign = Campaign::new(tiny_scale(), SimCache::new(Some(dir)))
+                    .with_executor(Executor::Sharded { shards: 2, index });
+                barrier.wait();
+                let out = campaign.run_batch(batch());
+                (out, campaign.executed())
+            })
+        };
+        let a = spawn_shard(0);
+        let b = spawn_shard(1);
+        let (out_a, exec_a) = a.join().expect("shard 0");
+        let (out_b, exec_b) = b.join().expect("shard 1");
+        (out_a, out_b, exec_a, exec_b)
+    });
+
+    assert_eq!(out_a, reference, "warm shard diverges");
+    assert_eq!(out_b, reference, "cold shard diverges");
+    assert_eq!(
+        exec_a, 0,
+        "shard 0's chunk was warm; it must execute nothing"
+    );
+    assert_eq!(
+        exec_b,
+        (keys.len() - chunk0.len()) as u64,
+        "shard 1 must run exactly the cold chunk"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A shard arriving at a fully warm store executes nothing at all.
+#[test]
+fn warm_store_means_no_shard_executes() {
+    let dir = temp_dir("warm");
+    let seeder = Campaign::new(tiny_scale(), SimCache::new(Some(dir.clone())));
+    let reference = seeder.run_batch(batch());
+
+    let shard = Campaign::new(tiny_scale(), SimCache::new(Some(dir.clone()))).with_executor(
+        Executor::Sharded {
+            shards: 2,
+            index: 1,
+        },
+    );
+    let out = shard.run_batch(batch());
+    assert_eq!(out, reference);
+    assert_eq!(shard.executed(), 0, "warm store means nothing executes");
+    let _ = std::fs::remove_dir_all(&dir);
+}
